@@ -1,0 +1,176 @@
+(* Benchmark harness: one Bechamel test (or group) per table/figure of
+   the paper, so each experiment's cost is measured and simulator
+   regressions show up.  Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* --- helpers ------------------------------------------------------- *)
+
+let run_program ?(policy = Ptaint_cpu.Policy.default) ?(stdin = "") ?(sessions = [])
+    ?(argv = [ "bench" ]) ?(fs_init = []) ?(timing = false) program =
+  let config = Ptaint_sim.Sim.config ~policy ~stdin ~sessions ~argv ~fs_init ~timing () in
+  Ptaint_sim.Sim.run ~config program
+
+let compiled source = Ptaint_runtime.Runtime.compile source
+
+(* --- Table 1: propagation microbenchmark ---------------------------- *)
+
+let alu_machine () =
+  let open Ptaint_isa in
+  let insns =
+    [| Insn.R (ADD, 8, 9, 10); Insn.R (XOR, 11, 8, 9); Insn.Shift (SLL, 12, 8, 4);
+       Insn.R (AND, 13, 8, 9); Insn.R (SLT, 14, 8, 9); Insn.R (OR, 9, 12, 13);
+       Insn.I (ADDIU, 10, 10, 1); Insn.J Ptaint_mem.Layout.text_base |]
+  in
+  let mem = Ptaint_mem.Memory.create () in
+  let m =
+    Ptaint_cpu.Machine.create
+      ~code:{ Ptaint_cpu.Machine.base = Ptaint_mem.Layout.text_base; insns }
+      ~mem ~entry:Ptaint_mem.Layout.text_base ()
+  in
+  Ptaint_cpu.Regfile.set m.Ptaint_cpu.Machine.regs 9 (Ptaint_taint.Tword.tainted 0x1234);
+  m
+
+let tab1_bench =
+  Test.make ~name:"tab1/alu-taint-propagation-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         for _ = 1 to 10_000 do
+           ignore (Ptaint_cpu.Machine.step m)
+         done))
+
+(* --- Figure 1 -------------------------------------------------------- *)
+
+let fig1_bench =
+  Test.make ~name:"fig1/cert-breakdown"
+    (Staged.stage (fun () -> ignore (Ptaint_cert.Cert.breakdown ())))
+
+(* --- Figure 2 / section 5.1.1: synthetic attacks --------------------- *)
+
+let attack_bench prefix ((s : Ptaint_attacks.Scenario.t), short) =
+  let program = s.Ptaint_attacks.Scenario.build () in
+  let config = s.Ptaint_attacks.Scenario.attack_config program in
+  Test.make ~name:(prefix ^ "/" ^ short)
+    (Staged.stage (fun () -> ignore (Ptaint_sim.Sim.run ~config program)))
+
+let synthetic_benches =
+  List.map (attack_bench "fig2")
+    [ (Ptaint_attacks.Catalog.exp1_stack_smash, "exp1-stack-smash");
+      (Ptaint_attacks.Catalog.exp2_heap, "exp2-heap-corruption");
+      (Ptaint_attacks.Catalog.exp3_format, "exp3-format-string") ]
+
+(* --- Table 2 ---------------------------------------------------------- *)
+
+let tab2_bench =
+  attack_bench "tab2" (Ptaint_attacks.Catalog.wuftpd_format_uid, "wuftpd-attack-session")
+
+(* --- Section 5.1.2 ---------------------------------------------------- *)
+
+let real_world_benches =
+  List.map (attack_bench "real")
+    [ (Ptaint_attacks.Catalog.nullhttpd_cgi_root, "nullhttpd-heap");
+      (Ptaint_attacks.Catalog.ghttpd_url_pointer, "ghttpd-url-pointer");
+      (Ptaint_attacks.Catalog.traceroute_double_free, "traceroute-double-free") ]
+
+(* --- Coverage matrix: the same attack under each policy --------------- *)
+
+let coverage_benches =
+  let s = Ptaint_attacks.Catalog.ghttpd_url_pointer in
+  let program = s.Ptaint_attacks.Scenario.build () in
+  let config = s.Ptaint_attacks.Scenario.attack_config program in
+  List.map
+    (fun (name, policy) ->
+      let config = { config with Ptaint_sim.Sim.policy = policy } in
+      Test.make ~name:("coverage/ghttpd-" ^ name)
+        (Staged.stage (fun () -> ignore (Ptaint_sim.Sim.run ~config program))))
+    [ ("unprotected", Ptaint_cpu.Policy.unprotected);
+      ("control-only", Ptaint_cpu.Policy.control_only);
+      ("pointer-taint", Ptaint_cpu.Policy.default) ]
+
+(* --- Table 3: the workloads (bench-sized inputs) ----------------------- *)
+
+let bench_input (w : Ptaint_workloads.Workload.t) =
+  match w.Ptaint_workloads.Workload.name with
+  | "BZIP2" -> Wl_input.bzip
+  | "GCC" -> Wl_input.gcc
+  | "GZIP" -> Wl_input.gzip
+  | "MCF" -> Wl_input.mcf
+  | "PARSER" -> Wl_input.parser
+  | "VPR" -> Wl_input.vpr
+  | _ -> ""
+
+let tab3_benches =
+  List.map
+    (fun (w : Ptaint_workloads.Workload.t) ->
+      let program = Ptaint_workloads.Workload.program w in
+      let stdin = bench_input w in
+      Test.make ~name:("tab3/" ^ String.lowercase_ascii w.Ptaint_workloads.Workload.name)
+        (Staged.stage (fun () -> ignore (run_program ~stdin program))))
+    Ptaint_workloads.Workload.all
+
+(* --- Table 4 ------------------------------------------------------------ *)
+
+let tab4_bench =
+  let program = compiled Ptaint_apps.Synthetic.fn_integer_overflow in
+  Test.make ~name:"tab4/integer-overflow-fn"
+    (Staged.stage (fun () -> ignore (run_program ~stdin:"\xff\xff\xff\xff" program)))
+
+(* --- Section 5.4: overhead — taint tracking on/off ----------------------- *)
+
+let overhead_benches =
+  let program = Ptaint_workloads.Workload.program Ptaint_workloads.Workload.gcc in
+  let stdin = Wl_input.gcc in
+  [ Test.make ~name:"overhead/tracking-on"
+      (Staged.stage (fun () ->
+           ignore (run_program ~policy:Ptaint_cpu.Policy.default ~stdin program)));
+    Test.make ~name:"overhead/tracking-off"
+      (Staged.stage (fun () ->
+           ignore (run_program ~policy:Ptaint_cpu.Policy.baseline_no_tracking ~stdin program)));
+    Test.make ~name:"overhead/pipeline-timing-model"
+      (Staged.stage (fun () -> ignore (run_program ~timing:true ~stdin program))) ]
+
+(* --- Ablation ------------------------------------------------------------- *)
+
+let ablation_bench =
+  let program = Ptaint_workloads.Workload.program Ptaint_workloads.Workload.parser in
+  let stdin = Wl_input.parser in
+  let policy = { Ptaint_cpu.Policy.default with Ptaint_cpu.Policy.compare_untaints = false } in
+  Test.make ~name:"ablation/no-compare-untaint"
+    (Staged.stage (fun () -> ignore (run_program ~policy ~stdin program)))
+
+(* --- driver ----------------------------------------------------------------- *)
+
+let tests =
+  Test.make_grouped ~name:"ptaint"
+    ([ fig1_bench; tab1_bench ] @ synthetic_benches @ [ tab2_bench ] @ real_world_benches
+     @ coverage_benches @ tab3_benches @ [ tab4_bench ] @ overhead_benches @ [ ablation_bench ])
+
+let () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let clock = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    clock;
+  let rows = List.sort compare !rows in
+  print_endline "benchmark results (wall time per run, monotonic clock):\n";
+  print_string
+    (Ptaint_report.Report.table ~headers:[ "benchmark"; "time per run" ]
+       (List.map
+          (fun (name, ns) ->
+            let pretty =
+              if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; pretty ])
+          rows))

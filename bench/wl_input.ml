@@ -1,0 +1,9 @@
+(* Bench-sized workload inputs: small enough that one simulator run is
+   a sensible benchmark iteration, generated once at startup. *)
+
+let bzip = Ptaint_workloads.Wl_bzip.input ~bytes:192 ()
+let gcc = Ptaint_workloads.Wl_gcc.input ~statements:20 ()
+let gzip = Ptaint_workloads.Wl_bzip.input ~bytes:400 ()
+let mcf = Ptaint_workloads.Wl_mcf.input ~nodes:30 ~edges:120 ()
+let parser = Ptaint_workloads.Wl_parser.input ~bytes:500 ()
+let vpr = Ptaint_workloads.Wl_vpr.input ~cells:30 ~nets:60 ()

@@ -1,0 +1,129 @@
+(* Run a guest program (Mini-C `.c`/`.mc` or SIMIPS assembly `.s`)
+   under the pointer-taintedness architecture.
+
+   Examples:
+     ptaint-run victim.c --stdin-data "$(python exploit.py)"
+     ptaint-run server.c --session "GET / HTTP/1.0" --policy control-only
+     ptaint-run prog.s --policy none --trace-alerts
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let policy_of_string = function
+  | "full" | "pointer-taintedness" -> Ok Ptaint_cpu.Policy.default
+  | "control-only" | "minos" -> Ok Ptaint_cpu.Policy.control_only
+  | "none" | "unprotected" -> Ok Ptaint_cpu.Policy.unprotected
+  | s -> Error (Printf.sprintf "unknown policy %S (full | control-only | none)" s)
+
+(* Per-instruction trace: pc, disassembly, and the source-register
+   values (with taint masks) the instruction is about to read. *)
+let tracer limit =
+  let count = ref 0 in
+  fun (m : Ptaint_cpu.Machine.t) insn ->
+    if !count < limit then begin
+      incr count;
+      let reads =
+        Ptaint_isa.Insn.reads insn
+        |> List.filter (fun r -> r <> 0)
+        |> List.sort_uniq compare
+        |> List.map (fun r ->
+               Format.asprintf "%a=%a" Ptaint_isa.Reg.pp r Ptaint_taint.Tword.pp
+                 (Ptaint_cpu.Regfile.get m.Ptaint_cpu.Machine.regs r))
+        |> String.concat " "
+      in
+      Printf.eprintf "  %08x: %-28s %s\n" m.Ptaint_cpu.Machine.pc
+        (Ptaint_isa.Insn.to_string insn) reads
+    end
+    else if !count = limit then begin
+      incr count;
+      Printf.eprintf "  ... trace truncated after %d instructions\n" limit
+    end
+
+let run path policy_name stdin_data sessions args disasm timing trace trace_limit =
+  match policy_of_string policy_name with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok policy -> (
+    try
+      let source = read_file path in
+      let program =
+        if Filename.check_suffix path ".s" then Ptaint_asm.Assembler.assemble_exn source
+        else Ptaint_runtime.Runtime.compile source
+      in
+      if disasm then print_string (Ptaint_asm.Program.disassemble program);
+      let config =
+        Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
+          ~sessions:(List.map (fun s -> [ s ]) sessions)
+          ~argv:(Filename.basename path :: args)
+          ~timing
+          ?on_step:(if trace then Some (tracer trace_limit) else None)
+          ()
+      in
+      let r = Ptaint_sim.Sim.run ~config program in
+      print_string r.Ptaint_sim.Sim.stdout;
+      List.iteri
+        (fun i m -> Printf.printf "[net reply %d] %s\n" (i + 1) (String.escaped m))
+        r.Ptaint_sim.Sim.net_sent;
+      Format.printf "--- %a (%s instructions%s)@."
+        Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
+        (string_of_int r.Ptaint_sim.Sim.instructions)
+        (match r.Ptaint_sim.Sim.cycles with
+         | Some c -> Printf.sprintf ", %d cycles" c
+         | None -> "");
+      (match r.Ptaint_sim.Sim.outcome with
+       | Ptaint_sim.Sim.Alert _ | Ptaint_sim.Sim.Fault _ ->
+         print_string (Ptaint_sim.Diagnostics.report r)
+       | _ -> ());
+      match r.Ptaint_sim.Sim.outcome with
+      | Ptaint_sim.Sim.Exited c -> c
+      | Ptaint_sim.Sim.Alert _ -> 3
+      | _ -> 4
+    with
+    | Ptaint_cc.Cc.Error { line; message; phase } ->
+      Printf.eprintf "%s:%d: %s error: %s\n" path line phase message;
+      2
+    | Sys_error e ->
+      prerr_endline e;
+      2)
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM")
+
+let policy_arg =
+  Arg.(value & opt string "full" & info [ "policy"; "p" ] ~docv:"POLICY"
+         ~doc:"Protection policy: full, control-only, or none.")
+
+let stdin_arg =
+  Arg.(value & opt string "" & info [ "stdin-data" ] ~docv:"DATA" ~doc:"Guest standard input.")
+
+let session_arg =
+  Arg.(value & opt_all string [] & info [ "session" ] ~docv:"MSG"
+         ~doc:"Scripted network session (repeatable; one message per option).")
+
+let args_arg =
+  Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"ARG" ~doc:"Guest argv entry (repeatable).")
+
+let disasm_arg = Arg.(value & flag & info [ "disasm" ] ~doc:"Print the disassembly before running.")
+let timing_arg = Arg.(value & flag & info [ "timing" ] ~doc:"Run through the pipeline timing model.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Trace executed instructions (to stderr).")
+
+let trace_limit_arg =
+  Arg.(value & opt int 200 & info [ "trace-limit" ] ~docv:"N"
+         ~doc:"Stop tracing after N instructions (default 200).")
+
+let cmd =
+  let doc = "run a guest program on the pointer-taintedness architecture" in
+  Cmd.v (Cmd.info "ptaint-run" ~doc)
+    Term.(const run $ path_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
+          $ timing_arg $ trace_arg $ trace_limit_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,39 @@
+(* The paper's headline claim, live: non-control-data attacks defeat
+   control-flow-integrity defenses but not pointer-taintedness
+   detection.  Runs the full attack catalogue under all three
+   policies and prints the coverage matrix.
+
+   Run with: dune exec examples/noncontrol_data.exe *)
+
+open Ptaint_attacks
+
+let () =
+  print_endline "Security coverage: 9 attacks x 3 protection policies.\n";
+  let headers = "attack" :: "class" :: List.map fst Scenario.coverage_policies in
+  let rows =
+    List.map
+      (fun (s : Scenario.t) ->
+        s.Scenario.name :: Scenario.kind_name s.Scenario.kind
+        :: List.map
+             (fun (_, policy) -> Scenario.verdict_name (fst (Scenario.run ~policy s)))
+             Scenario.coverage_policies)
+      Catalog.all
+  in
+  print_string (Ptaint_report.Report.table ~headers rows);
+  print_endline "";
+  print_endline "Detail of one non-control-data detection (GHTTPD URL pointer):";
+  (match Scenario.run Catalog.ghttpd_url_pointer with
+   | Scenario.Detected a, _ ->
+     Format.printf "  %a@." Ptaint_cpu.Machine.pp_alert a;
+     print_endline
+       "  The tainted pointer is a stack address planted by the request — the\n\
+       \  paper's 0x7fff3e94 — dereferenced by a load-byte instruction.  No\n\
+       \  control data was harmed in the making of this attack."
+   | v, _ -> Format.printf "  unexpected: %a@." Scenario.pp_verdict v);
+  print_endline "";
+  print_endline "And what it costs the unprotected server:";
+  match Scenario.run ~policy:Ptaint_cpu.Policy.unprotected Catalog.ghttpd_url_pointer with
+  | Scenario.Compromised evidence, r ->
+    Format.printf "  %s (exec log: %s)@." evidence
+      (String.concat ", " r.Ptaint_sim.Sim.execs)
+  | v, _ -> Format.printf "  unexpected: %a@." Scenario.pp_verdict v

@@ -1,0 +1,89 @@
+let login_buffer_to_ra = 36
+let logd_conf_path = "/etc/logd.conf"
+
+let login =
+  {|
+/* A login-style tool: copies $HOME into a fixed stack buffer before
+   switching to the user.  Command line and environment are external
+   input (section 4.4), so an oversized HOME taints the saved frame
+   pointer and return address.
+
+   root_shell sits after the other functions: a ret2libc-style payload
+   needs a target address free of NUL bytes, and the first 0x100 bytes
+   of text have a zero second byte — the same constraint real exploits
+   navigate. */
+
+void print_motd(void) {
+  puts("+----------------------------------+");
+  puts("| welcome to ptaint-login          |");
+  puts("+----------------------------------+");
+}
+
+int valid_shell(char *sh) {
+  if (strcmp(sh, "/bin/bash") == 0) return 1;
+  if (strcmp(sh, "/bin/sh") == 0) return 1;
+  if (strcmp(sh, "/bin/csh") == 0) return 1;
+  return 0;
+}
+
+void init_session(void) {
+  char homedir[32];
+  char *home = getenv("HOME");
+  if (!home) {
+    puts("no HOME set");
+    return;
+  }
+  strcpy(homedir, home);          /* unchecked environment copy */
+  printf("home directory: %s\n", homedir);
+  char *shell = getenv("SHELL");
+  if (shell && !valid_shell(shell)) {
+    printf("unusual shell: %s\n", shell);
+  }
+}
+
+int main(void) {
+  print_motd();
+  init_session();
+  puts("session initialised");
+  return 0;
+}
+
+void root_shell(void) {
+  puts("root shell: executing /bin/sh");
+  exec("/bin/sh");
+  exit(99);
+}
+|}
+
+let logd =
+  {|
+/* A syslog-style daemon: reads its prefix template from a config
+   file and formats log lines with it.  The template string comes
+   from the file system — tainted input — so a poisoned config turns
+   the printf into a write primitive. */
+
+char template[128];
+
+void log_event(char *event) {
+  char line[128];
+  char fmt[128];
+  strcpy(fmt, template);          /* working copy on the stack */
+  /* VULNERABLE: config-supplied template used as the format */
+  sprintf(line, fmt, event);
+  puts(line);
+}
+
+int main(void) {
+  int fd = open("/etc/logd.conf", 0);
+  if (fd < 0) {
+    puts("logd: no config");
+    return 1;
+  }
+  readline(fd, template, 128);
+  close(fd);
+  log_event("startup");
+  log_event("heartbeat");
+  puts("logd: done");
+  return 0;
+}
+|}

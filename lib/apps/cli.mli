@@ -1,0 +1,17 @@
+(** Victims exercising the remaining taint sources of section 4.4:
+    environment variables and the file system. *)
+
+val login : string
+(** A login-style utility that [strcpy]s $HOME into a 32-byte stack
+    buffer (the classic setuid-binary environment overflow).  A long
+    HOME reaches the saved frame pointer and return address. *)
+
+val login_buffer_to_ra : int
+
+val logd : string
+(** A log daemon that formats a line from /etc/logd.conf with the
+    config value used as the format string — file contents are
+    external input too, and a poisoned config mounts the same [%n]
+    attack as a network format string. *)
+
+val logd_conf_path : string

@@ -1,0 +1,68 @@
+let attack_argv = [ "traceroute"; "-g"; "123"; "-g"; "5.6.7.8" ]
+let benign_argv = [ "traceroute"; "10.0.0.1" ]
+
+let source =
+  {|
+/* A traceroute-shaped CLI.  savestr() does its own sub-allocation out
+   of a malloc'd pool; the gateway parser frees that pool after every
+   -g option but keeps using it (the bid-1739 double free).  The
+   second free leaves the allocator's bin threaded through memory the
+   second gateway string was just copied over, so the next heap
+   operation dereferences pointers made of command-line bytes. */
+
+char *gateways[8];
+int ngateways = 0;
+
+char *savestr_pool = 0;
+int savestr_used = 0;
+
+char *savestr(char *s) {
+  if (!savestr_pool) {
+    savestr_pool = malloc(1024);
+    savestr_used = 0;
+  }
+  char *p = savestr_pool + savestr_used;
+  strcpy(p, s);
+  savestr_used += strlen(s) + 1;
+  return p;
+}
+
+void add_gateway(char *arg) {
+  char *g = savestr(arg);
+  if (ngateways < 8) {
+    gateways[ngateways] = g;
+    ngateways++;
+  }
+  /* BUG (bid 1739): from the second gateway on, g points into the
+     middle of the savestr pool, yet it is passed to free() as if it
+     were an independent allocation.  free() then reads a "chunk
+     header" that is really the previous gateway string ("123\0" =
+     0x00333231) and walks to a next-chunk address built from those
+     command-line bytes. */
+  if (ngateways > 1) free(g);
+}
+
+int main(int argc, char **argv) {
+  char *target = 0;
+  int i;
+  for (i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "-g") == 0 && i + 1 < argc) {
+      add_gateway(argv[i + 1]);
+      i++;
+    } else {
+      target = argv[i];
+    }
+  }
+  /* probe bookkeeping: first heap activity after parsing */
+  char *packet = malloc(64);
+  if (!packet) return 1;
+  memset(packet, 0, 64);
+  if (target) printf("traceroute to %s, 30 hops max\n", target);
+  else printf("traceroute: no destination\n");
+  for (i = 0; i < ngateways; i++) {
+    printf("gateway %d: %s\n", i + 1, gateways[i]);
+  }
+  free(packet);
+  return 0;
+}
+|}

@@ -1,0 +1,18 @@
+(** LBNL traceroute analogue: the [-g] gateway double-free
+    (securityfocus bid 1739).
+
+    [savestr] hands out pieces of one pre-allocated pool, but the
+    gateway parser passes those interior pointers to [free] as if each
+    were its own allocation ("free()-ing of a heap buffer not
+    allocated by malloc()").  The fake chunk header [free] reads is
+    the previous gateway string — "123\000" = 0x00333231 — so the
+    walk to the "next chunk" dereferences an address built from
+    tainted command-line bytes.  Crash if unprotected; alert on the
+    tainted-pointer load under pointer taintedness. *)
+
+val source : string
+
+val attack_argv : string list
+(** [traceroute -g 123 -g 5.6.7.8] — the paper's invocation. *)
+
+val benign_argv : string list

@@ -1,0 +1,16 @@
+(** Two-pass assembler for SIMIPS assembly.
+
+    Supports the full instruction set of {!Ptaint_isa.Insn}, the
+    directives [.text .data .word .half .byte .ascii .asciiz .space
+    .align .globl], and the usual pseudo-instructions ([li la move b
+    beqz bnez blt ble bgt bge bltu bleu bgtu bgeu seq sne mul divq rem
+    not neg]).  [.word] initialisers may reference labels (including
+    text labels — function pointers and jump tables). *)
+
+type error = { line : int; message : string }
+
+val assemble :
+  ?text_base:int -> ?data_base:int -> string -> (Program.t, error) result
+
+val assemble_exn : ?text_base:int -> ?data_base:int -> string -> Program.t
+val pp_error : Format.formatter -> error -> unit

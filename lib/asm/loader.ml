@@ -1,0 +1,68 @@
+open Ptaint_mem
+
+type image = {
+  program : Program.t;
+  mem : Memory.t;
+  code : Ptaint_cpu.Machine.code;
+  entry : int;
+  initial_sp : int;
+  heap_base : int;
+  heap_limit : int;
+  args_bytes : int;
+}
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+let load ?(argv = [ "prog" ]) ?(env = []) ?(sources = Ptaint_os.Sources.all)
+    ?(stack_bytes = Layout.default_stack_bytes) ?(heap_bytes = Layout.default_heap_bytes)
+    (program : Program.t) =
+  let mem = Memory.create () in
+  (* Data segment (at least one page so the break is mapped). *)
+  let data_len = max (String.length program.Program.data) 16 in
+  Memory.map_range mem ~lo:program.Program.data_base ~bytes:data_len;
+  Memory.write_string mem program.Program.data_base program.Program.data ~taint:false;
+  let heap_base = align_up (Program.data_end program) Layout.page_bytes in
+  let heap_limit = heap_base + heap_bytes in
+  (* Stack. *)
+  let stack_lo = Layout.stack_top - stack_bytes in
+  Memory.map_range mem ~lo:stack_lo ~bytes:stack_bytes;
+  (* Argument block, built downward from the stack top. *)
+  let cursor = ref Layout.stack_top in
+  let args_bytes = ref 0 in
+  let push_string s ~taint =
+    let len = String.length s + 1 in
+    cursor := !cursor - len;
+    Memory.write_string mem !cursor s ~taint;
+    Memory.store_byte mem (!cursor + String.length s) 0 ~taint:false;
+    args_bytes := !args_bytes + len;
+    !cursor
+  in
+  let argv_ptrs = List.map (fun s -> push_string s ~taint:sources.Ptaint_os.Sources.args) argv in
+  let env_ptrs =
+    List.map
+      (fun (k, v) -> push_string (k ^ "=" ^ v) ~taint:sources.Ptaint_os.Sources.env)
+      env
+  in
+  cursor := !cursor land lnot 3;
+  let push_word w =
+    cursor := !cursor - 4;
+    Memory.store_word mem !cursor (Ptaint_taint.Tword.untainted w)
+  in
+  (* envp array (NULL-terminated), then argv array, then argc; [$sp]
+     ends up pointing at argc with argv = $sp+4. *)
+  push_word 0;
+  List.iter push_word (List.rev env_ptrs);
+  let envp_addr = !cursor in
+  ignore envp_addr;
+  push_word 0;
+  List.iter push_word (List.rev argv_ptrs);
+  push_word (List.length argv);
+  let initial_sp = !cursor in
+  { program;
+    mem;
+    code = { Ptaint_cpu.Machine.base = program.Program.text_base; insns = program.Program.insns };
+    entry = program.Program.entry;
+    initial_sp;
+    heap_base;
+    heap_limit;
+    args_bytes = !args_bytes }

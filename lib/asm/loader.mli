@@ -1,0 +1,28 @@
+(** Program loader.
+
+    Builds the guest memory image: maps and initialises the data
+    segment, maps the stack, and injects [argc]/[argv]/[envp] in the
+    conventional layout ([$sp] pointing at [argc]).  Command-line
+    argument and environment bytes are marked tainted according to the
+    {!Ptaint_os.Sources.t} policy — they are external input (paper
+    section 4.4). *)
+
+type image = {
+  program : Program.t;
+  mem : Ptaint_mem.Memory.t;
+  code : Ptaint_cpu.Machine.code;
+  entry : int;
+  initial_sp : int;
+  heap_base : int;   (** page-aligned first break *)
+  heap_limit : int;
+  args_bytes : int;  (** bytes of argv/env string data injected *)
+}
+
+val load :
+  ?argv:string list ->
+  ?env:(string * string) list ->
+  ?sources:Ptaint_os.Sources.t ->
+  ?stack_bytes:int ->
+  ?heap_bytes:int ->
+  Program.t ->
+  image

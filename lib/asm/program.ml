@@ -1,0 +1,29 @@
+type t = {
+  insns : Ptaint_isa.Insn.t array;
+  text_base : int;
+  data : string;
+  data_base : int;
+  symbols : (string * int) list;
+  entry : int;
+  lines : int array;
+}
+
+let symbol t name = List.assoc_opt name t.symbols
+
+let symbol_exn t name =
+  match symbol t name with
+  | Some a -> a
+  | None -> invalid_arg ("Program.symbol_exn: undefined symbol " ^ name)
+
+let text_bytes t = 4 * Array.length t.insns
+let data_bytes t = String.length t.data
+let data_end t = t.data_base + String.length t.data
+
+let disassemble t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i insn ->
+      Buffer.add_string buf
+        (Printf.sprintf "%08x: %s\n" (t.text_base + (4 * i)) (Ptaint_isa.Insn.to_string insn)))
+    t.insns;
+  Buffer.contents buf

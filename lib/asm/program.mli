@@ -1,0 +1,22 @@
+(** An assembled, linked SIMIPS program. *)
+
+type t = {
+  insns : Ptaint_isa.Insn.t array;
+  text_base : int;
+  data : string;            (** initialised data segment image *)
+  data_base : int;
+  symbols : (string * int) list;
+  entry : int;
+  lines : int array;        (** source line of each instruction *)
+}
+
+val symbol : t -> string -> int option
+val symbol_exn : t -> string -> int
+val text_bytes : t -> int
+val data_bytes : t -> int
+val data_end : t -> int
+(** First free address above initialised data — the initial heap
+    break. *)
+
+val disassemble : t -> string
+(** Full text-segment listing with addresses. *)

@@ -1,0 +1,36 @@
+(** The attack catalogue evaluated in section 5.1: the three synthetic
+    programs of Figure 2 (plus a function-pointer variant), and the
+    four real-world application attacks (WU-FTPD, NULL HTTPD, GHTTPD,
+    traceroute). *)
+
+val exp1_stack_smash : Scenario.t
+(** Paper payload: 24 'a' bytes; the tainted return address is
+    0x61616161 at [jr $31]. *)
+
+val exp1_ret2libc : Scenario.t
+(** Same bug, targeted payload jumping to [root_shell] — demonstrably
+    compromises the unprotected run. *)
+
+val exp2_heap : Scenario.t
+val exp3_format : Scenario.t
+(** Paper payload: ["abcd%x%x%x%n"]; the tainted pointer is
+    0x64636261 at the store inside the format engine. *)
+
+val exp4_fnptr : Scenario.t
+val wuftpd_format_uid : Scenario.t
+val nullhttpd_cgi_root : Scenario.t
+val ghttpd_url_pointer : Scenario.t
+val traceroute_double_free : Scenario.t
+
+val env_login : Scenario.t
+(** Stack smash via an oversized $HOME — the environment taint
+    source. *)
+
+val logd_config : Scenario.t
+(** Format-string attack via a poisoned configuration file — the
+    file-system taint source. *)
+
+val all : Scenario.t list
+val real_world : Scenario.t list
+val synthetic : Scenario.t list
+val other_sources : Scenario.t list

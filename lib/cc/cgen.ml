@@ -1,0 +1,909 @@
+open Cast
+
+exception Error of { line : int; message : string }
+
+let fail line message = raise (Error { line; message })
+
+type binding =
+  | Local of int * Ctypes.t (* offset below fp: address = fp - off *)
+  | Param of int * Ctypes.t (* address = fp + off *)
+  | Global of string * Ctypes.t
+
+type state = {
+  structs : Ctypes.env;
+  globals : (string, Ctypes.t) Hashtbl.t;
+  strings : (string, string) Hashtbl.t; (* literal -> label *)
+  mutable string_order : (string * string) list; (* label, literal (reverse) *)
+  mutable label_counter : int;
+  text : Buffer.t;
+  data : Buffer.t;
+  untaint_writeback : bool;
+}
+
+type fstate = {
+  st : state;
+  fname : string;
+  ret : Ctypes.t;
+  mutable scopes : (string * binding) list list;
+  mutable frame : int;       (* current local allocation, bytes below fp *)
+  mutable max_frame : int;
+  body : Buffer.t;
+  epilogue : string;
+  mutable breaks : string list;
+  mutable continues : string list;
+}
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+let new_label st prefix =
+  st.label_counter <- st.label_counter + 1;
+  Printf.sprintf "_%s%d" prefix st.label_counter
+
+let string_label st s =
+  match Hashtbl.find_opt st.strings s with
+  | Some l -> l
+  | None ->
+    let l = new_label st "Str" in
+    Hashtbl.replace st.strings s l;
+    st.string_order <- (l, s) :: st.string_order;
+    l
+
+let emit fs fmt = Printf.ksprintf (fun s -> Buffer.add_string fs.body ("        " ^ s ^ "\n")) fmt
+let emit_label fs l = Buffer.add_string fs.body (l ^ ":\n")
+
+(* --- bindings --- *)
+
+let lookup fs name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some b -> Some b | None -> in_scopes rest)
+  in
+  match in_scopes fs.scopes with
+  | Some b -> Some b
+  | None -> (
+    match Hashtbl.find_opt fs.st.globals name with
+    | Some ty -> Some (Global (name, ty))
+    | None -> None)
+
+let bind fs name b =
+  match fs.scopes with
+  | scope :: rest -> fs.scopes <- ((name, b) :: scope) :: rest
+  | [] -> assert false
+
+let alloc_local fs line ty =
+  let size =
+    try Ctypes.size_of fs.st.structs ty
+    with Invalid_argument m -> fail line m
+  in
+  fs.frame <- align_up (fs.frame + size) 4;
+  if fs.frame > fs.max_frame then fs.max_frame <- fs.frame;
+  fs.frame
+
+(* --- stack discipline: $t0 accumulator --- *)
+
+let push fs =
+  emit fs "addiu $sp, $sp, -4";
+  emit fs "sw $t0, 0($sp)"
+
+let pop1 fs =
+  emit fs "lw $t1, 0($sp)";
+  emit fs "addiu $sp, $sp, 4"
+
+(* --- type helpers --- *)
+
+let size_of fs line ty =
+  try Ctypes.size_of fs.st.structs ty with Invalid_argument m -> fail line m
+
+let elem_size fs line ty =
+  match Ctypes.decay ty with
+  | Ctypes.Ptr (Ctypes.Void | Ctypes.Func _) -> 1
+  | Ctypes.Ptr elt -> size_of fs line elt
+  | _ -> fail line "pointer arithmetic on non-pointer"
+
+let load_width ty = match ty with Ctypes.Char -> `Byte | _ -> `Word
+
+let emit_load fs ty =
+  (* address in $t0 -> value in $t0 *)
+  match load_width ty with
+  | `Byte -> emit fs "lbu $t0, 0($t0)"
+  | `Word -> emit fs "lw $t0, 0($t0)"
+
+let emit_store fs ty =
+  (* value in $t0, address in $t1 *)
+  match load_width ty with
+  | `Byte -> emit fs "sb $t0, 0($t1)"
+  | `Word -> emit fs "sw $t0, 0($t1)"
+
+let is_scalar ty = Ctypes.is_integer ty || Ctypes.is_pointer ty
+
+(* --- expression codegen ---
+
+   [gen_expr] leaves the value in $t0 and returns its (decayed) type.
+   [gen_addr] leaves the address of an lvalue in $t0 and returns the
+   object type. *)
+
+let rec gen_expr fs (e : expr) : Ctypes.t =
+  let line = e.eline in
+  match e.e with
+  | Num n ->
+    emit fs "li $t0, %d" (n land 0xFFFFFFFF);
+    Ctypes.Int
+  | Str s ->
+    let l = string_label fs.st s in
+    emit fs "la $t0, %s" l;
+    Ctypes.Ptr Ctypes.Char
+  | Var name -> (
+    match lookup fs name with
+    | None -> fail line ("undefined variable " ^ name)
+    | Some (Global (l, (Ctypes.Func _ as ty))) ->
+      (* function designator decays to its address *)
+      emit fs "la $t0, %s" l;
+      Ctypes.Ptr ty
+    | Some b ->
+      let ty = binding_type b in
+      (match ty with
+       | Ctypes.Array _ | Ctypes.Struct _ ->
+         ignore (gen_addr fs e);
+         Ctypes.decay ty
+       | _ ->
+         ignore (gen_addr fs e);
+         emit_load fs ty;
+         ty))
+  | Unop ("-", a) ->
+    let ty = gen_int fs a in
+    emit fs "subu $t0, $zero, $t0";
+    ty
+  | Unop ("!", a) ->
+    ignore (gen_scalar fs a);
+    emit fs "sltiu $t0, $t0, 1";
+    Ctypes.Int
+  | Unop ("~", a) ->
+    let ty = gen_int fs a in
+    emit fs "nor $t0, $t0, $zero";
+    ty
+  | Unop (op, _) -> fail line ("unsupported unary operator " ^ op)
+  | Binop (op, a, b) -> gen_binop fs line op a b
+  | And (a, b) ->
+    let l_false = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    ignore (gen_scalar fs a);
+    emit fs "beqz $t0, %s" l_false;
+    ignore (gen_scalar fs b);
+    emit fs "sne $t0, $t0, $zero";
+    emit fs "b %s" l_end;
+    emit_label fs l_false;
+    emit fs "li $t0, 0";
+    emit_label fs l_end;
+    Ctypes.Int
+  | Or (a, b) ->
+    let l_true = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    ignore (gen_scalar fs a);
+    emit fs "bnez $t0, %s" l_true;
+    ignore (gen_scalar fs b);
+    emit fs "sne $t0, $t0, $zero";
+    emit fs "b %s" l_end;
+    emit_label fs l_true;
+    emit fs "li $t0, 1";
+    emit_label fs l_end;
+    Ctypes.Int
+  | Cond (c, t, f) ->
+    let l_false = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    ignore (gen_scalar fs c);
+    emit fs "beqz $t0, %s" l_false;
+    let ty = gen_expr fs t in
+    emit fs "b %s" l_end;
+    emit_label fs l_false;
+    ignore (gen_expr fs f);
+    emit_label fs l_end;
+    ty
+  | Assign ("=", lhs, rhs) ->
+    let lty = gen_addr fs lhs in
+    if not (is_scalar lty) then fail line "assignment to non-scalar";
+    push fs;
+    ignore (gen_expr fs rhs);
+    pop1 fs;
+    emit_store fs lty;
+    lty
+  | Assign (op, lhs, rhs) ->
+    (* a op= b, evaluating the address of a once *)
+    let bare = String.sub op 0 (String.length op - 1) in
+    let lty = gen_addr fs lhs in
+    if not (is_scalar lty) then fail line "assignment to non-scalar";
+    push fs; (* [addr] *)
+    emit_load fs lty;
+    push fs; (* [addr, old] *)
+    let rty = gen_expr fs rhs in
+    pop1 fs; (* $t1 = old *)
+    gen_arith fs line bare lty rty;
+    pop1 fs; (* $t1 = addr *)
+    emit_store fs lty;
+    lty
+  | Incdec { pre; op; arg } ->
+    let ty = gen_addr fs arg in
+    if not (is_scalar ty) then fail line "++/-- on non-scalar";
+    let delta = if Ctypes.is_pointer ty then elem_size fs line ty else 1 in
+    let delta = if op = "++" then delta else -delta in
+    (match load_width ty with
+     | `Byte -> emit fs "lbu $t1, 0($t0)"
+     | `Word -> emit fs "lw $t1, 0($t0)");
+    emit fs "addiu $t2, $t1, %d" delta;
+    (match load_width ty with
+     | `Byte -> emit fs "sb $t2, 0($t0)"
+     | `Word -> emit fs "sw $t2, 0($t0)");
+    if pre then emit fs "move $t0, $t2" else emit fs "move $t0, $t1";
+    (match (ty, pre) with
+     | Ctypes.Char, false -> emit fs "andi $t0, $t0, 0xff"
+     | Ctypes.Char, true -> emit fs "andi $t0, $t0, 0xff"
+     | _ -> ());
+    ty
+  | Call (callee, args) -> gen_call fs line callee args
+  | Index _ | Deref _ | Member _ | Arrow _ ->
+    let ty = gen_addr fs e in
+    (match ty with
+     | Ctypes.Array _ | Ctypes.Struct _ -> Ctypes.decay ty
+     | _ ->
+       emit_load fs ty;
+       ty)
+  | Addr a ->
+    let ty = gen_addr fs a in
+    Ctypes.Ptr ty
+  | Cast (ty, a) ->
+    let aty = gen_expr fs a in
+    (match (ty, aty) with
+     | Ctypes.Char, _ -> emit fs "andi $t0, $t0, 0xff"
+     | _ -> ());
+    Ctypes.decay ty
+  | Sizeof_type ty ->
+    emit fs "li $t0, %d" (size_of fs line ty);
+    Ctypes.Uint
+  | Sizeof_expr a ->
+    let ty = type_of fs a in
+    emit fs "li $t0, %d" (size_of fs line ty);
+    Ctypes.Uint
+
+and binding_type = function Local (_, ty) | Param (_, ty) | Global (_, ty) -> ty
+
+and gen_scalar fs e =
+  let ty = gen_expr fs e in
+  if not (is_scalar ty) then fail e.eline "scalar expected";
+  ty
+
+and gen_int fs e =
+  let ty = gen_expr fs e in
+  if not (Ctypes.is_integer ty) then fail e.eline "integer expected";
+  ty
+
+(* Arithmetic with lhs in $t1, rhs in $t0; result in $t0. *)
+and gen_arith fs line op lty rty =
+  let lptr = Ctypes.is_pointer lty and rptr = Ctypes.is_pointer rty in
+  let scale_rhs () =
+    let s = elem_size fs line lty in
+    if s > 1 then begin
+      emit fs "li $t2, %d" s;
+      emit fs "mul $t0, $t0, $t2"
+    end
+  in
+  match op with
+  | "+" when lptr && not rptr ->
+    scale_rhs ();
+    emit fs "addu $t0, $t1, $t0"
+  | "+" when rptr && not lptr ->
+    let s = elem_size fs line rty in
+    if s > 1 then begin
+      emit fs "li $t2, %d" s;
+      emit fs "mul $t1, $t1, $t2"
+    end;
+    emit fs "addu $t0, $t1, $t0"
+  | "-" when lptr && rptr ->
+    emit fs "subu $t0, $t1, $t0";
+    let s = elem_size fs line lty in
+    if s > 1 then begin
+      emit fs "li $t2, %d" s;
+      emit fs "divq $t0, $t0, $t2"
+    end
+  | "-" when lptr ->
+    scale_rhs ();
+    emit fs "subu $t0, $t1, $t0"
+  | "+" -> emit fs "addu $t0, $t1, $t0"
+  | "-" -> emit fs "subu $t0, $t1, $t0"
+  | "*" -> emit fs "mul $t0, $t1, $t0"
+  | "/" ->
+    if lty = Ctypes.Uint || rty = Ctypes.Uint then begin
+      emit fs "divu $t1, $t0";
+      emit fs "mflo $t0"
+    end
+    else emit fs "divq $t0, $t1, $t0"
+  | "%" ->
+    if lty = Ctypes.Uint || rty = Ctypes.Uint then begin
+      emit fs "divu $t1, $t0";
+      emit fs "mfhi $t0"
+    end
+    else emit fs "rem $t0, $t1, $t0"
+  | "&" -> emit fs "and $t0, $t1, $t0"
+  | "|" -> emit fs "or $t0, $t1, $t0"
+  | "^" -> emit fs "xor $t0, $t1, $t0"
+  | "<<" -> emit fs "sllv $t0, $t1, $t0"
+  | ">>" ->
+    if lty = Ctypes.Uint then emit fs "srlv $t0, $t1, $t0"
+    else emit fs "srav $t0, $t1, $t0"
+  | "<" | ">" | "<=" | ">=" ->
+    let slt = if Ctypes.is_unsigned_cmp lty rty then "sltu" else "slt" in
+    (match op with
+     | "<" -> emit fs "%s $t0, $t1, $t0" slt
+     | ">" -> emit fs "%s $t0, $t0, $t1" slt
+     | "<=" ->
+       emit fs "%s $t0, $t0, $t1" slt;
+       emit fs "xori $t0, $t0, 1"
+     | ">=" ->
+       emit fs "%s $t0, $t1, $t0" slt;
+       emit fs "xori $t0, $t0, 1"
+     | _ -> assert false)
+  | "==" ->
+    emit fs "xor $t0, $t1, $t0";
+    emit fs "sltiu $t0, $t0, 1"
+  | "!=" ->
+    emit fs "xor $t0, $t1, $t0";
+    emit fs "sltu $t0, $zero, $t0"
+  | op -> fail line ("unsupported operator " ^ op)
+
+and result_type line op lty rty =
+  match op with
+  | "<" | ">" | "<=" | ">=" | "==" | "!=" -> Ctypes.Int
+  | "+" when Ctypes.is_pointer lty -> Ctypes.decay lty
+  | "+" when Ctypes.is_pointer rty -> Ctypes.decay rty
+  | "-" when Ctypes.is_pointer lty && Ctypes.is_pointer rty -> Ctypes.Int
+  | "-" when Ctypes.is_pointer lty -> Ctypes.decay lty
+  | _ ->
+    if Ctypes.is_pointer lty || Ctypes.is_pointer rty then
+      fail line ("invalid pointer operands to " ^ op)
+    else if lty = Ctypes.Uint || rty = Ctypes.Uint then Ctypes.Uint
+    else Ctypes.Int
+
+(* Compare write-back: an optimising compiler keeps a validated value
+   in the register the compare instruction just untainted, so later
+   uses see it untainted.  Our accumulator-style codegen reloads from
+   memory instead, which would lose the laundering the paper's rule 4
+   depends on.  To model register residency we re-run the compare's
+   untainting on the operand register (a real SLT against $zero) and
+   store it back to the variable's home slot — but only for simple
+   named scalars, never for array elements or dereferences, whose
+   memory bytes genuinely stay tainted in hardware. *)
+and writeback_target fs (e : expr) =
+  match e.e with
+  | Var name -> (
+    match lookup fs name with
+    | Some b when is_scalar (binding_type b) -> Some b
+    | _ -> None)
+  | Cast (_, inner) -> writeback_target fs inner
+  | _ -> None
+
+and emit_writeback fs reg = function
+  | Local (off, ty) ->
+    emit fs "slt $at, %s, $zero" reg;
+    (match load_width ty with
+     | `Byte -> emit fs "sb %s, %d($fp)" reg (-off)
+     | `Word -> emit fs "sw %s, %d($fp)" reg (-off))
+  | Param (off, ty) ->
+    emit fs "slt $at, %s, $zero" reg;
+    (match load_width ty with
+     | `Byte -> emit fs "sb %s, %d($fp)" reg off
+     | `Word -> emit fs "sw %s, %d($fp)" reg off)
+  | Global (l, ty) ->
+    emit fs "slt $at, %s, $zero" reg;
+    emit fs "la $t2, %s" l;
+    (match load_width ty with
+     | `Byte -> emit fs "sb %s, 0($t2)" reg
+     | `Word -> emit fs "sw %s, 0($t2)" reg)
+
+and is_comparison = function
+  | "<" | ">" | "<=" | ">=" | "==" | "!=" -> true
+  | _ -> false
+
+and gen_binop fs line op a b =
+  let lty = gen_expr fs a in
+  push fs;
+  let rty = gen_expr fs b in
+  pop1 fs;
+  if is_comparison op && fs.st.untaint_writeback then begin
+    (match writeback_target fs b with
+     | Some bind -> emit_writeback fs "$t0" bind
+     | None -> ());
+    match writeback_target fs a with
+    | Some bind -> emit_writeback fs "$t1" bind
+    | None -> ()
+  end;
+  gen_arith fs line op lty rty;
+  result_type line op lty rty
+
+and gen_call fs line callee args =
+  (* Direct call to a named function, or an indirect call through a
+     function-pointer value (the JALR the jump detector watches). *)
+  let direct =
+    match callee.e with
+    | Var name -> (
+      match lookup fs name with
+      | Some (Global (l, Ctypes.Func sg)) -> Some (l, sg)
+      | _ -> None)
+    | _ -> None
+  in
+  let sg =
+    match direct with
+    | Some (_, sg) -> Some sg
+    | None -> (
+      match type_of fs callee with
+      | Ctypes.Ptr (Ctypes.Func sg) -> Some sg
+      | Ctypes.Func sg -> Some sg
+      | _ -> None)
+  in
+  (match sg with
+   | Some sg ->
+     let nparams = List.length sg.Ctypes.params in
+     if List.length args < nparams || ((not sg.Ctypes.varargs) && List.length args > nparams)
+     then fail line "wrong number of arguments"
+   | None -> fail line "call of non-function");
+  let n = List.length args in
+  (* Push arguments right-to-left so the first argument ends lowest. *)
+  List.iter
+    (fun a ->
+      ignore (gen_expr fs a);
+      push fs)
+    (List.rev args);
+  (match direct with
+   | Some (l, _) -> emit fs "jal %s" l
+   | None ->
+     ignore (gen_expr fs callee);
+     emit fs "jalr $t0");
+  if n > 0 then emit fs "addiu $sp, $sp, %d" (4 * n);
+  emit fs "move $t0, $v0";
+  match sg with Some sg -> Ctypes.decay sg.Ctypes.ret | None -> Ctypes.Int
+
+and gen_addr fs (e : expr) : Ctypes.t =
+  let line = e.eline in
+  match e.e with
+  | Var name -> (
+    match lookup fs name with
+    | None -> fail line ("undefined variable " ^ name)
+    | Some (Local (off, ty)) ->
+      emit fs "addiu $t0, $fp, %d" (-off);
+      ty
+    | Some (Param (off, ty)) ->
+      emit fs "addiu $t0, $fp, %d" off;
+      ty
+    | Some (Global (l, ty)) ->
+      emit fs "la $t0, %s" l;
+      ty)
+  | Deref a -> (
+    match gen_expr fs a with
+    | Ctypes.Ptr ty -> ty
+    | Ctypes.Array (ty, _) -> ty
+    | _ -> fail line "dereference of non-pointer")
+  | Index (base, idx) ->
+    let bty = gen_expr fs base in
+    let elt =
+      match Ctypes.decay bty with
+      | Ctypes.Ptr ty -> ty
+      | _ -> fail line "indexing non-pointer"
+    in
+    push fs;
+    ignore (gen_int fs idx);
+    let s = size_of fs line elt in
+    if s > 1 then begin
+      emit fs "li $t2, %d" s;
+      emit fs "mul $t0, $t0, $t2"
+    end;
+    pop1 fs;
+    emit fs "addu $t0, $t1, $t0";
+    elt
+  | Member (base, fld) -> (
+    let bty = gen_addr fs base in
+    match bty with
+    | Ctypes.Struct sname -> (
+      match Ctypes.field fs.st.structs sname fld with
+      | Some (fty, off) ->
+        if off <> 0 then emit fs "addiu $t0, $t0, %d" off;
+        fty
+      | None -> fail line (Printf.sprintf "no field %s in struct %s" fld sname))
+    | _ -> fail line "member access on non-struct")
+  | Arrow (base, fld) -> (
+    match gen_expr fs base with
+    | Ctypes.Ptr (Ctypes.Struct sname) -> (
+      match Ctypes.field fs.st.structs sname fld with
+      | Some (fty, off) ->
+        if off <> 0 then emit fs "addiu $t0, $t0, %d" off;
+        fty
+      | None -> fail line (Printf.sprintf "no field %s in struct %s" fld sname))
+    | _ -> fail line "-> on non-struct-pointer")
+  | Cast (ty, a) ->
+    ignore (gen_addr fs a);
+    ty
+  | _ -> fail line "expression is not an lvalue"
+
+(* Static type computation (no code emitted) for sizeof and
+   indirect-call signatures. *)
+and type_of fs (e : expr) : Ctypes.t =
+  let line = e.eline in
+  match e.e with
+  | Num _ -> Ctypes.Int
+  | Str _ -> Ctypes.Ptr Ctypes.Char
+  | Var name -> (
+    match lookup fs name with
+    | Some b -> (
+      match binding_type b with
+      | Ctypes.Func _ as f -> Ctypes.Ptr f
+      | ty -> ty)
+    | None -> fail line ("undefined variable " ^ name))
+  | Unop (_, a) -> Ctypes.decay (type_of fs a)
+  | Binop (op, a, b) -> result_type line op (type_of_decayed fs a) (type_of_decayed fs b)
+  | And _ | Or _ -> Ctypes.Int
+  | Cond (_, t, _) -> Ctypes.decay (type_of fs t)
+  | Assign (_, lhs, _) -> Ctypes.decay (type_of fs lhs)
+  | Incdec { arg; _ } -> Ctypes.decay (type_of fs arg)
+  | Call (callee, _) -> (
+    match type_of fs callee with
+    | Ctypes.Ptr (Ctypes.Func sg) | Ctypes.Func sg -> Ctypes.decay sg.Ctypes.ret
+    | _ -> fail line "call of non-function")
+  | Index (base, _) -> (
+    match Ctypes.decay (type_of fs base) with
+    | Ctypes.Ptr ty -> ty
+    | _ -> fail line "indexing non-pointer")
+  | Deref a -> (
+    match Ctypes.decay (type_of fs a) with
+    | Ctypes.Ptr ty -> ty
+    | _ -> fail line "dereference of non-pointer")
+  | Addr a -> Ctypes.Ptr (type_of fs a)
+  | Member (base, fld) -> (
+    match type_of fs base with
+    | Ctypes.Struct sname -> (
+      match Ctypes.field fs.st.structs sname fld with
+      | Some (ty, _) -> ty
+      | None -> fail line ("no field " ^ fld))
+    | _ -> fail line "member access on non-struct")
+  | Arrow (base, fld) -> (
+    match Ctypes.decay (type_of fs base) with
+    | Ctypes.Ptr (Ctypes.Struct sname) -> (
+      match Ctypes.field fs.st.structs sname fld with
+      | Some (ty, _) -> ty
+      | None -> fail line ("no field " ^ fld))
+    | _ -> fail line "-> on non-struct-pointer")
+  | Cast (ty, _) -> ty
+  | Sizeof_type _ | Sizeof_expr _ -> Ctypes.Uint
+
+and type_of_decayed fs e = Ctypes.decay (type_of fs e)
+
+(* --- statements --- *)
+
+let rec gen_stmt fs (s : stmt) =
+  match s.s with
+  | Sexpr e -> ignore (gen_expr fs e)
+  | Sdecl (ty, name, init) -> gen_decl fs s.sline ty name init
+  | Sblock body -> gen_block fs body
+  | Sseq body -> List.iter (gen_stmt fs) body
+  | Sif (c, then_, else_) ->
+    let l_else = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    ignore (gen_scalar fs c);
+    emit fs "beqz $t0, %s" l_else;
+    gen_block fs then_;
+    if else_ <> [] then begin
+      emit fs "b %s" l_end;
+      emit_label fs l_else;
+      gen_block fs else_;
+      emit_label fs l_end
+    end
+    else emit_label fs l_else
+  | Swhile (c, body) ->
+    let l_top = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    emit_label fs l_top;
+    ignore (gen_scalar fs c);
+    emit fs "beqz $t0, %s" l_end;
+    fs.breaks <- l_end :: fs.breaks;
+    fs.continues <- l_top :: fs.continues;
+    gen_block fs body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit fs "b %s" l_top;
+    emit_label fs l_end
+  | Sdo (body, c) ->
+    let l_top = new_label fs.st "L" and l_cond = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    emit_label fs l_top;
+    fs.breaks <- l_end :: fs.breaks;
+    fs.continues <- l_cond :: fs.continues;
+    gen_block fs body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit_label fs l_cond;
+    ignore (gen_scalar fs c);
+    emit fs "bnez $t0, %s" l_top;
+    emit_label fs l_end
+  | Sfor (init, cond, step, body) ->
+    let saved_frame = fs.frame in
+    fs.scopes <- [] :: fs.scopes;
+    (match init with Some s -> gen_stmt fs s | None -> ());
+    let l_top = new_label fs.st "L" and l_step = new_label fs.st "L" and l_end = new_label fs.st "L" in
+    emit_label fs l_top;
+    (match cond with
+     | Some c ->
+       ignore (gen_scalar fs c);
+       emit fs "beqz $t0, %s" l_end
+     | None -> ());
+    fs.breaks <- l_end :: fs.breaks;
+    fs.continues <- l_step :: fs.continues;
+    gen_block fs body;
+    fs.breaks <- List.tl fs.breaks;
+    fs.continues <- List.tl fs.continues;
+    emit_label fs l_step;
+    (match step with Some e -> ignore (gen_expr fs e) | None -> ());
+    emit fs "b %s" l_top;
+    emit_label fs l_end;
+    fs.scopes <- List.tl fs.scopes;
+    fs.frame <- saved_frame
+  | Sreturn e ->
+    (match e with
+     | Some e ->
+       ignore (gen_expr fs e);
+       emit fs "move $v0, $t0"
+     | None -> ());
+    emit fs "b %s" fs.epilogue
+  | Sswitch (scrutinee, cases) ->
+    (* dispatch by sequential compares (cases are few in practice),
+       then bodies in source order so fallthrough is just fallthrough *)
+    ignore (gen_scalar fs scrutinee);
+    let l_end = new_label fs.st "L" in
+    let labelled =
+      List.map (fun (value, body) -> (value, body, new_label fs.st "L")) cases
+    in
+    List.iter
+      (fun (value, _, label) ->
+        match value with
+        | Some v ->
+          emit fs "li $t1, %d" v;
+          emit fs "beq $t0, $t1, %s" label
+        | None -> ())
+      labelled;
+    (match List.find_opt (fun (v, _, _) -> v = None) labelled with
+     | Some (_, _, label) -> emit fs "b %s" label
+     | None -> emit fs "b %s" l_end);
+    fs.breaks <- l_end :: fs.breaks;
+    List.iter
+      (fun (_, body, label) ->
+        emit_label fs label;
+        gen_block fs body)
+      labelled;
+    fs.breaks <- List.tl fs.breaks;
+    emit_label fs l_end
+  | Sbreak -> (
+    match fs.breaks with
+    | l :: _ -> emit fs "b %s" l
+    | [] -> fail s.sline "break outside loop")
+  | Scontinue -> (
+    match fs.continues with
+    | l :: _ -> emit fs "b %s" l
+    | [] -> fail s.sline "continue outside loop")
+
+and gen_decl fs line ty name init =
+  (match ty with
+   | Ctypes.Void -> fail line "void variable"
+   | _ -> ());
+  let off = alloc_local fs line ty in
+  bind fs name (Local (off, ty));
+  match init with
+  | None -> ()
+  | Some (Iexpr e) ->
+    if not (is_scalar ty) then fail line "scalar initialiser for non-scalar";
+    ignore (gen_expr fs e);
+    emit fs "addiu $t1, $fp, %d" (-off);
+    emit_store fs ty
+  | Some (Istring s) -> (
+    match ty with
+    | Ctypes.Array (Ctypes.Char, n) ->
+      if String.length s + 1 > n then fail line "string initialiser too long";
+      let l = string_label fs.st s in
+      (* copy the literal (including NUL) into the local array *)
+      emit fs "la $t1, %s" l;
+      emit fs "addiu $t2, $fp, %d" (-off);
+      let l_top = new_label fs.st "L" in
+      emit_label fs l_top;
+      emit fs "lbu $t0, 0($t1)";
+      emit fs "sb $t0, 0($t2)";
+      emit fs "addiu $t1, $t1, 1";
+      emit fs "addiu $t2, $t2, 1";
+      emit fs "bnez $t0, %s" l_top
+    | _ -> fail line "string initialiser for non-char-array")
+  | Some (Ilist es) -> (
+    match ty with
+    | Ctypes.Array (elt, n) ->
+      if List.length es > n then fail line "too many initialisers";
+      if not (is_scalar elt) then fail line "unsupported aggregate element";
+      let esz = size_of fs line elt in
+      List.iteri
+        (fun i e ->
+          ignore (gen_expr fs e);
+          emit fs "addiu $t1, $fp, %d" (-off + (i * esz));
+          emit_store fs elt)
+        es
+    | _ -> fail line "brace initialiser for non-array")
+
+and gen_block fs body =
+  let saved_frame = fs.frame in
+  fs.scopes <- [] :: fs.scopes;
+  List.iter (gen_stmt fs) body;
+  fs.scopes <- List.tl fs.scopes;
+  fs.frame <- saved_frame
+
+(* --- constant expressions for global initialisers --- *)
+
+type const_val = Cint of int | Csym of string | Csym_off of string * int
+
+let rec const_expr st (e : expr) : const_val =
+  match e.e with
+  | Num n -> Cint n
+  | Str s -> Csym (string_label st s)
+  | Var name -> Csym name (* resolved by the assembler: function or global label *)
+  | Unop ("-", a) -> (
+    match const_expr st a with
+    | Cint n -> Cint (-n)
+    | _ -> fail e.eline "bad constant expression")
+  | Binop (op, a, b) -> (
+    match (const_expr st a, const_expr st b, op) with
+    | Cint x, Cint y, "+" -> Cint (x + y)
+    | Cint x, Cint y, "-" -> Cint (x - y)
+    | Cint x, Cint y, "*" -> Cint (x * y)
+    | Cint x, Cint y, "/" when y <> 0 -> Cint (x / y)
+    | Cint x, Cint y, "<<" -> Cint (x lsl y)
+    | Cint x, Cint y, ">>" -> Cint (x lsr y)
+    | Cint x, Cint y, "|" -> Cint (x lor y)
+    | Cint x, Cint y, "&" -> Cint (x land y)
+    | Csym s, Cint y, "+" -> Csym_off (s, y)
+    | _ -> fail e.eline "bad constant expression")
+  | Addr { e = Var name; _ } -> Csym name
+  | Cast (_, a) -> const_expr st a
+  | _ -> fail e.eline "bad constant expression"
+
+(* --- top level --- *)
+
+let emit_data st fmt = Printf.ksprintf (fun s -> Buffer.add_string st.data ("        " ^ s ^ "\n")) fmt
+let emit_data_label st l = Buffer.add_string st.data (l ^ ":\n")
+
+let asciiz_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let gen_global st line ty name init =
+  emit_data st ".align 2";
+  emit_data_label st name;
+  let size = try Ctypes.size_of st.structs ty with Invalid_argument m -> fail line m in
+  match (init, ty) with
+  | None, _ -> emit_data st ".space %d" size
+  | Some (Istring s), Ctypes.Array (Ctypes.Char, n) ->
+    if String.length s + 1 > n then fail line "string initialiser too long";
+    emit_data st ".asciiz \"%s\"" (asciiz_escape s);
+    if n > String.length s + 1 then emit_data st ".space %d" (n - String.length s - 1)
+  | Some (Istring _), _ -> fail line "string initialiser for non-char-array"
+  | Some (Iexpr e), _ when is_scalar ty -> (
+    match const_expr st e with
+    | Cint n -> if Ctypes.size_of st.structs ty = 1 then emit_data st ".byte %d" (n land 0xff) else emit_data st ".word %d" n
+    | Csym s -> emit_data st ".word %s" s
+    | Csym_off _ -> fail line "symbol+offset initialiser unsupported")
+  | Some (Iexpr _), _ -> fail line "scalar initialiser for aggregate"
+  | Some (Ilist es), Ctypes.Array (elt, n) ->
+    if List.length es > n then fail line "too many initialisers";
+    let esz = try Ctypes.size_of st.structs elt with Invalid_argument m -> fail line m in
+    List.iter
+      (fun e ->
+        match const_expr st e with
+        | Cint v -> if esz = 1 then emit_data st ".byte %d" (v land 0xff) else emit_data st ".word %d" v
+        | Csym s -> emit_data st ".word %s" s
+        | Csym_off _ -> fail line "symbol+offset initialiser unsupported")
+      es;
+    let remaining = (n - List.length es) * esz in
+    if remaining > 0 then emit_data st ".space %d" remaining
+  | Some (Ilist _), _ -> fail line "brace initialiser for non-array"
+
+let gen_function st ~ret ~name ~params ~body ~line =
+  let fs =
+    { st;
+      fname = name;
+      ret;
+      scopes = [ [] ];
+      frame = 0;
+      max_frame = 0;
+      body = Buffer.create 1024;
+      epilogue = new_label st "Lepi";
+      breaks = [];
+      continues = [] }
+  in
+  ignore fs.fname;
+  ignore fs.ret;
+  (* parameters live at fp+8, fp+12, ... *)
+  List.iteri
+    (fun i (ty, pname) ->
+      let ty = Ctypes.decay ty in
+      (match ty with
+       | Ctypes.Struct _ -> fail line "struct parameters unsupported (pass a pointer)"
+       | _ -> ());
+      if pname <> "" then bind fs pname (Param (8 + (4 * i), ty)))
+    params;
+  gen_block fs body;
+  (* Fall off the end: return 0. *)
+  emit fs "li $v0, 0";
+  emit_label fs fs.epilogue;
+  emit fs "move $sp, $fp";
+  emit fs "lw $fp, 0($sp)";
+  emit fs "lw $ra, 4($sp)";
+  emit fs "addiu $sp, $sp, 8";
+  emit fs "jr $ra";
+  (* Prologue, now that the frame size is known. *)
+  Buffer.add_string st.text (name ^ ":\n");
+  Buffer.add_string st.text "        addiu $sp, $sp, -8\n";
+  Buffer.add_string st.text "        sw $ra, 4($sp)\n";
+  Buffer.add_string st.text "        sw $fp, 0($sp)\n";
+  Buffer.add_string st.text "        move $fp, $sp\n";
+  if fs.max_frame > 0 then
+    Buffer.add_string st.text (Printf.sprintf "        addiu $sp, $sp, %d\n" (-fs.max_frame));
+  Buffer.add_buffer st.text fs.body
+
+let generate ?(untaint_writeback = true) (program : Cast.program) =
+  let st =
+    { structs = Hashtbl.create 16;
+      globals = Hashtbl.create 64;
+      strings = Hashtbl.create 64;
+      string_order = [];
+      label_counter = 0;
+      text = Buffer.create 16384;
+      data = Buffer.create 4096;
+      untaint_writeback }
+  in
+  (* Collect struct layouts and global signatures first so order of
+     definition does not matter. *)
+  List.iter
+    (function
+      | Tstruct { name; fields } ->
+        Hashtbl.replace st.structs name (Ctypes.layout_struct st.structs fields)
+      | _ -> ())
+    program;
+  List.iter
+    (function
+      | Tfunc { ret; name; params; varargs; fline; _ } ->
+        (match Hashtbl.find_opt st.globals name with
+         | Some (Ctypes.Func _) | None -> ()
+         | Some _ -> fail fline (name ^ " redefined as function"));
+        Hashtbl.replace st.globals name
+          (Ctypes.Func { ret; params = List.map (fun (t, _) -> Ctypes.decay t) params; varargs })
+      | Tproto { ret; name; params; varargs } ->
+        Hashtbl.replace st.globals name
+          (Ctypes.Func { ret; params = List.map Ctypes.decay params; varargs })
+      | Tglobal { ty; name; gline; _ } ->
+        (match Hashtbl.find_opt st.globals name with
+         | Some _ -> fail gline ("global " ^ name ^ " redefined")
+         | None -> ());
+        Hashtbl.replace st.globals name ty
+      | Tstruct _ -> ())
+    program;
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Tfunc { ret; name; params; body; fline; _ } ->
+        if Hashtbl.mem defined name then fail fline ("function " ^ name ^ " defined twice");
+        Hashtbl.replace defined name ();
+        gen_function st ~ret ~name ~params ~body ~line:fline
+      | Tglobal { ty; name; init; gline } -> gen_global st gline ty name init
+      | Tproto _ | Tstruct _ -> ())
+    program;
+  (* String literals. *)
+  List.iter
+    (fun (l, s) ->
+      emit_data_label st l;
+      emit_data st ".asciiz \"%s\"" (asciiz_escape s))
+    (List.rev st.string_order);
+  ".text\n" ^ Buffer.contents st.text ^ ".data\n" ^ Buffer.contents st.data

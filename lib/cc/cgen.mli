@@ -1,0 +1,32 @@
+(** Mini-C code generator.
+
+    Emits SIMIPS assembly with the exact conventions the paper's
+    attacks rely on:
+
+    - all arguments are passed on the stack, pushed right-to-left, so
+      a varargs implementation can walk past the named parameters into
+      the caller's frame (the format-string [%n] mechanics);
+    - each frame is laid out locals / saved FP / return address /
+      incoming args from low to high addresses, so overflowing a local
+      buffer upward reaches the frame pointer and the return address
+      (the stack-smash mechanics of Figure 2);
+    - [char] loads are unsigned ([LBU]), words little-endian.
+
+    Registers: [$t0] accumulator, [$t1]/[$t2] scratch, result in
+    [$v0]; [$at] is reserved for assembler pseudo-expansions. *)
+
+exception Error of { line : int; message : string }
+
+val generate : ?untaint_writeback:bool -> Cast.program -> string
+(** Full assembly text (".text" and ".data" sections) for one
+    translation unit.
+
+    [untaint_writeback] (default true) models the register residency
+    of an optimising compiler: when a named scalar variable is an
+    operand of a comparison, the compared (and therefore
+    hardware-untainted, Table 1 rule 4) register value is stored back
+    to the variable's home location.  Without it, every later use
+    would reload the still-tainted memory copy — behaviour no real
+    [-O2] binary exhibits — which would both break the paper's
+    zero-false-positive property and accidentally "fix" the Table 4(A)
+    integer-overflow false negative.  Disable for ablation. *)

@@ -1,0 +1,171 @@
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexeme = { tok : token; line : int }
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [ "int"; "char"; "void"; "unsigned"; "struct"; "if"; "else"; "while"; "for"; "do";
+    "return"; "break"; "continue"; "sizeof"; "switch"; "case"; "default" ]
+
+(* Three-, two- then one-character punctuators, longest match first. *)
+let puncts3 = [ "<<="; ">>="; "..." ]
+
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/="; "%=";
+    "&="; "|="; "^="; "++"; "--"; "->" ]
+
+let puncts1 =
+  [ "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "&"; "|"; "^"; "~"; "("; ")"; "{"; "}";
+    "["; "]"; ";"; ","; "."; "?"; ":" ]
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "%d" n
+  | STRING s -> Format.fprintf ppf "%S" s
+  | IDENT s | KW s | PUNCT s -> Format.pp_print_string ppf s
+  | EOF -> Format.pp_print_string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let escape line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '"' -> '"'
+  | '\'' -> '\''
+  | c -> raise (Error { line; message = Printf.sprintf "unknown escape \\%c" c })
+
+let tokenize source =
+  let n = String.length source in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  let starts_with s =
+    !i + String.length s <= n && String.sub source !i (String.length s) = s
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if starts_with "//" then begin
+      while !i < n && source.[!i] <> '\n' do incr i done
+    end
+    else if starts_with "/*" then begin
+      i := !i + 2;
+      while !i < n && not (starts_with "*/") do
+        if source.[!i] = '\n' then incr line;
+        incr i
+      done;
+      if !i >= n then raise (Error { line = !line; message = "unterminated comment" });
+      i := !i + 2
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char source.[!j] do incr j done;
+      let word = String.sub source !i (!j - !i) in
+      emit (if List.mem word keywords then KW word else IDENT word);
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      if starts_with "0x" || starts_with "0X" then begin
+        j := !i + 2;
+        while
+          !j < n
+          && (is_digit source.[!j]
+             || (source.[!j] >= 'a' && source.[!j] <= 'f')
+             || (source.[!j] >= 'A' && source.[!j] <= 'F'))
+        do
+          incr j
+        done
+      end
+      else while !j < n && is_digit source.[!j] do incr j done;
+      let text = String.sub source !i (!j - !i) in
+      (match int_of_string_opt text with
+       | Some v -> emit (INT v)
+       | None -> raise (Error { line = !line; message = "bad integer " ^ text }));
+      i := !j
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec go () =
+        if !i >= n then raise (Error { line = !line; message = "unterminated string" })
+        else if source.[!i] = '"' then incr i
+        else if source.[!i] = '\\' then begin
+          (if peek 1 = Some 'x' then begin
+             if !i + 3 >= n then raise (Error { line = !line; message = "bad \\x" });
+             Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub source (!i + 2) 2)));
+             i := !i + 4
+           end
+           else begin
+             (match peek 1 with
+              | Some e -> Buffer.add_char buf (escape !line e)
+              | None -> raise (Error { line = !line; message = "trailing backslash" }));
+             i := !i + 2
+           end);
+          go ()
+        end
+        else begin
+          if source.[!i] = '\n' then incr line;
+          Buffer.add_char buf source.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '\'' then begin
+      if peek 1 = Some '\\' then begin
+        match (peek 2, peek 3) with
+        | Some 'x', _ ->
+          (match (peek 3, peek 4, peek 5) with
+           | Some h1, Some h2, Some '\'' ->
+             emit (INT (int_of_string (Printf.sprintf "0x%c%c" h1 h2)));
+             i := !i + 6
+           | _ -> raise (Error { line = !line; message = "bad char literal" }))
+        | Some e, Some '\'' ->
+          emit (INT (Char.code (escape !line e)));
+          i := !i + 4
+        | _ -> raise (Error { line = !line; message = "bad char literal" })
+      end
+      else
+        match (peek 1, peek 2) with
+        | Some ch, Some '\'' ->
+          emit (INT (Char.code ch));
+          i := !i + 3
+        | _ -> raise (Error { line = !line; message = "bad char literal" })
+    end
+    else
+      match List.find_opt starts_with puncts3 with
+      | Some p ->
+        emit (PUNCT p);
+        i := !i + 3
+      | None -> (
+        match List.find_opt starts_with puncts2 with
+        | Some p ->
+          emit (PUNCT p);
+          i := !i + 2
+        | None ->
+          let s = String.make 1 c in
+          if List.mem s puncts1 then begin
+            emit (PUNCT s);
+            incr i
+          end
+          else raise (Error { line = !line; message = Printf.sprintf "unexpected character %C" c }))
+  done;
+  emit EOF;
+  List.rev !out

@@ -1,0 +1,17 @@
+(** Mini-C lexer. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW of string       (** int char void unsigned struct if else while for do
+                           return break continue sizeof *)
+  | PUNCT of string    (** operators and separators, longest-match *)
+  | EOF
+
+type lexeme = { tok : token; line : int }
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> lexeme list
+val pp_token : Format.formatter -> token -> unit

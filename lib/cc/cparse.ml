@@ -1,0 +1,709 @@
+open Cast
+
+exception Error of { line : int; message : string }
+
+type state = { mutable toks : Clexer.lexeme list }
+
+let fail_at line message = raise (Error { line; message })
+
+let peek st = match st.toks with [] -> assert false | l :: _ -> l
+let line st = (peek st).Clexer.line
+
+let advance st =
+  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let next st =
+  let l = peek st in
+  advance st;
+  l
+
+let fail st message = fail_at (line st) message
+
+let is_punct st p =
+  match (peek st).Clexer.tok with Clexer.PUNCT q -> p = q | _ -> false
+
+let is_kw st k = match (peek st).Clexer.tok with Clexer.KW q -> k = q | _ -> false
+
+let eat_punct st p =
+  if is_punct st p then advance st
+  else fail st (Format.asprintf "expected '%s', found '%a'" p Clexer.pp_token (peek st).Clexer.tok)
+
+let eat_kw st k =
+  if is_kw st k then advance st else fail st (Printf.sprintf "expected '%s'" k)
+
+let ident st =
+  match (next st).Clexer.tok with
+  | Clexer.IDENT s -> s
+  | t -> fail st (Format.asprintf "expected identifier, found '%a'" Clexer.pp_token t)
+
+(* --- types --- *)
+
+let is_type_start st =
+  match (peek st).Clexer.tok with
+  | Clexer.KW ("int" | "char" | "void" | "unsigned" | "struct") -> true
+  | _ -> false
+
+let rec base_type st : Ctypes.t =
+  match (next st).Clexer.tok with
+  | Clexer.KW "int" -> Ctypes.Int
+  | Clexer.KW "char" -> Ctypes.Char
+  | Clexer.KW "void" -> Ctypes.Void
+  | Clexer.KW "unsigned" ->
+    if is_kw st "int" then begin advance st; Ctypes.Uint end
+    else if is_kw st "char" then begin advance st; Ctypes.Char end
+    else Ctypes.Uint
+  | Clexer.KW "struct" -> Ctypes.Struct (ident st)
+  | t -> fail st (Format.asprintf "expected type, found '%a'" Clexer.pp_token t)
+
+and pointers st ty = if is_punct st "*" then begin advance st; pointers st (Ctypes.Ptr ty) end else ty
+
+and parse_type st = pointers st (base_type st)
+
+(* Parameter list after '(' has been consumed; returns (types+names, varargs). *)
+and params st =
+  if is_punct st ")" then begin advance st; ([], false) end
+  else if is_kw st "void" && (match st.toks with
+    | _ :: { Clexer.tok = Clexer.PUNCT ")"; _ } :: _ -> true
+    | _ -> false)
+  then begin
+    advance st;
+    advance st;
+    ([], false)
+  end
+  else
+    let rec go acc =
+      if is_punct st "..." then begin
+        advance st;
+        eat_punct st ")";
+        (List.rev acc, true)
+      end
+      else begin
+        let ty = parse_type st in
+        let ty, name =
+          if is_punct st "(" then begin
+            (* function-pointer parameter: ty ( *name )(params) *)
+            advance st;
+            eat_punct st "*";
+            let name = ident st in
+            eat_punct st ")";
+            eat_punct st "(";
+            let ptypes, va = params st in
+            (Ctypes.Ptr (Ctypes.Func { ret = ty; params = List.map fst ptypes; varargs = va }), name)
+          end
+          else
+            let name =
+              match (peek st).Clexer.tok with
+              | Clexer.IDENT s -> advance st; s
+              | _ -> ""
+            in
+            (* array parameters decay *)
+            let ty =
+              if is_punct st "[" then begin
+                advance st;
+                (match (peek st).Clexer.tok with
+                 | Clexer.INT _ -> advance st
+                 | _ -> ());
+                eat_punct st "]";
+                Ctypes.Ptr ty
+              end
+              else ty
+            in
+            (ty, name)
+        in
+        let acc = (ty, name) :: acc in
+        if is_punct st "," then begin advance st; go acc end
+        else begin
+          eat_punct st ")";
+          (List.rev acc, false)
+        end
+      end
+    in
+    go []
+
+(* --- expressions --- *)
+
+let mk line e = { e; eline = line }
+
+let rec expr st = assign st
+
+and assign st =
+  let lhs = conditional st in
+  match (peek st).Clexer.tok with
+  | Clexer.PUNCT (("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") as op) ->
+    let l = line st in
+    advance st;
+    let rhs = assign st in
+    mk l (Assign (op, lhs, rhs))
+  | _ -> lhs
+
+and conditional st =
+  let c = logical_or st in
+  if is_punct st "?" then begin
+    let l = line st in
+    advance st;
+    let t = expr st in
+    eat_punct st ":";
+    let f = conditional st in
+    mk l (Cond (c, t, f))
+  end
+  else c
+
+and logical_or st =
+  let rec go acc =
+    if is_punct st "||" then begin
+      let l = line st in
+      advance st;
+      let rhs = logical_and st in
+      go (mk l (Or (acc, rhs)))
+    end
+    else acc
+  in
+  go (logical_and st)
+
+and logical_and st =
+  let rec go acc =
+    if is_punct st "&&" then begin
+      let l = line st in
+      advance st;
+      let rhs = binary st 3 in
+      go (mk l (And (acc, rhs)))
+    end
+    else acc
+  in
+  go (binary st 3)
+
+(* Precedence-climbing for | ^ & == != < <= > >= << >> + - * / % *)
+and prec_of = function
+  | "|" -> 3 | "^" -> 4 | "&" -> 5
+  | "==" | "!=" -> 6
+  | "<" | "<=" | ">" | ">=" -> 7
+  | "<<" | ">>" -> 8
+  | "+" | "-" -> 9
+  | "*" | "/" | "%" -> 10
+  | _ -> -1
+
+and binary st min_prec =
+  let lhs = ref (unary st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Clexer.tok with
+    | Clexer.PUNCT op when prec_of op >= min_prec && prec_of op > 0 ->
+      let l = line st in
+      advance st;
+      let rhs = binary st (prec_of op + 1) in
+      lhs := mk l (Binop (op, !lhs, rhs))
+    | _ -> continue := false
+  done;
+  !lhs
+
+and unary st =
+  let l = line st in
+  match (peek st).Clexer.tok with
+  | Clexer.PUNCT "-" -> advance st; mk l (Unop ("-", unary st))
+  | Clexer.PUNCT "!" -> advance st; mk l (Unop ("!", unary st))
+  | Clexer.PUNCT "~" -> advance st; mk l (Unop ("~", unary st))
+  | Clexer.PUNCT "*" -> advance st; mk l (Deref (unary st))
+  | Clexer.PUNCT "&" -> advance st; mk l (Addr (unary st))
+  | Clexer.PUNCT "++" -> advance st; mk l (Incdec { pre = true; op = "++"; arg = unary st })
+  | Clexer.PUNCT "--" -> advance st; mk l (Incdec { pre = true; op = "--"; arg = unary st })
+  | Clexer.KW "sizeof" ->
+    advance st;
+    eat_punct st "(";
+    if is_type_start st then begin
+      let ty = parse_type st in
+      eat_punct st ")";
+      mk l (Sizeof_type ty)
+    end
+    else begin
+      let e = expr st in
+      eat_punct st ")";
+      mk l (Sizeof_expr e)
+    end
+  | Clexer.PUNCT "(" when (match st.toks with
+      | _ :: { Clexer.tok = Clexer.KW ("int" | "char" | "void" | "unsigned" | "struct"); _ } :: _ ->
+        true
+      | _ -> false) ->
+    (* cast *)
+    advance st;
+    let ty = parse_type st in
+    eat_punct st ")";
+    mk l (Cast (ty, unary st))
+  | _ -> postfix st
+
+and postfix st =
+  let rec go acc =
+    let l = line st in
+    match (peek st).Clexer.tok with
+    | Clexer.PUNCT "(" ->
+      advance st;
+      let args =
+        if is_punct st ")" then begin advance st; [] end
+        else
+          let rec collect acc =
+            let a = assign st in
+            if is_punct st "," then begin advance st; collect (a :: acc) end
+            else begin
+              eat_punct st ")";
+              List.rev (a :: acc)
+            end
+          in
+          collect []
+      in
+      go (mk l (Call (acc, args)))
+    | Clexer.PUNCT "[" ->
+      advance st;
+      let idx = expr st in
+      eat_punct st "]";
+      go (mk l (Index (acc, idx)))
+    | Clexer.PUNCT "." ->
+      advance st;
+      go (mk l (Member (acc, ident st)))
+    | Clexer.PUNCT "->" ->
+      advance st;
+      go (mk l (Arrow (acc, ident st)))
+    | Clexer.PUNCT "++" ->
+      advance st;
+      go (mk l (Incdec { pre = false; op = "++"; arg = acc }))
+    | Clexer.PUNCT "--" ->
+      advance st;
+      go (mk l (Incdec { pre = false; op = "--"; arg = acc }))
+    | _ -> acc
+  in
+  go (primary st)
+
+and primary st =
+  let l = line st in
+  match (next st).Clexer.tok with
+  | Clexer.INT n -> mk l (Num n)
+  | Clexer.STRING s ->
+    (* adjacent string literals concatenate *)
+    let rec more acc =
+      match (peek st).Clexer.tok with
+      | Clexer.STRING s2 -> advance st; more (acc ^ s2)
+      | _ -> acc
+    in
+    mk l (Str (more s))
+  | Clexer.IDENT name -> mk l (Var name)
+  | Clexer.PUNCT "(" ->
+    let e = expr st in
+    eat_punct st ")";
+    e
+  | t -> fail_at l (Format.asprintf "unexpected token '%a' in expression" Clexer.pp_token t)
+
+(* --- statements --- *)
+
+let rec stmt st : stmt =
+  let l = line st in
+  let s k = { s = k; sline = l } in
+  if is_punct st "{" then s (Sblock (block st))
+  else if is_kw st "if" then begin
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    let then_ = stmt_as_list st in
+    let else_ =
+      if is_kw st "else" then begin
+        advance st;
+        stmt_as_list st
+      end
+      else []
+    in
+    s (Sif (c, then_, else_))
+  end
+  else if is_kw st "while" then begin
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    s (Swhile (c, stmt_as_list st))
+  end
+  else if is_kw st "do" then begin
+    advance st;
+    let body = stmt_as_list st in
+    eat_kw st "while";
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    s (Sdo (body, c))
+  end
+  else if is_kw st "for" then begin
+    advance st;
+    eat_punct st "(";
+    let init =
+      if is_punct st ";" then begin advance st; None end
+      else if is_type_start st then Some (decl_stmt st)
+      else begin
+        let e = expr st in
+        eat_punct st ";";
+        Some { s = Sexpr e; sline = l }
+      end
+    in
+    let cond =
+      if is_punct st ";" then begin advance st; None end
+      else begin
+        let e = expr st in
+        eat_punct st ";";
+        Some e
+      end
+    in
+    let step =
+      if is_punct st ")" then begin advance st; None end
+      else begin
+        let e = expr st in
+        eat_punct st ")";
+        Some e
+      end
+    in
+    s (Sfor (init, cond, step, stmt_as_list st))
+  end
+  else if is_kw st "switch" then begin
+    advance st;
+    eat_punct st "(";
+    let scrutinee = expr st in
+    eat_punct st ")";
+    eat_punct st "{";
+    let case_value () =
+      match (next st).Clexer.tok with
+      | Clexer.INT n -> n
+      | Clexer.PUNCT "-" -> (
+        match (next st).Clexer.tok with
+        | Clexer.INT n -> -n
+        | _ -> fail st "expected case constant")
+      | _ -> fail st "expected case constant"
+    in
+    let rec cases acc =
+      if is_punct st "}" then begin
+        advance st;
+        List.rev acc
+      end
+      else if is_kw st "case" then begin
+        advance st;
+        let v = case_value () in
+        eat_punct st ":";
+        cases ((Some v, body []) :: acc)
+      end
+      else if is_kw st "default" then begin
+        advance st;
+        eat_punct st ":";
+        cases ((None, body []) :: acc)
+      end
+      else fail st "expected 'case', 'default' or '}'"
+    and body acc =
+      if is_punct st "}" || is_kw st "case" || is_kw st "default" then List.rev acc
+      else body (stmt st :: acc)
+    in
+    s (Sswitch (scrutinee, cases []))
+  end
+  else if is_kw st "return" then begin
+    advance st;
+    if is_punct st ";" then begin
+      advance st;
+      s (Sreturn None)
+    end
+    else begin
+      let e = expr st in
+      eat_punct st ";";
+      s (Sreturn (Some e))
+    end
+  end
+  else if is_kw st "break" then begin
+    advance st;
+    eat_punct st ";";
+    s Sbreak
+  end
+  else if is_kw st "continue" then begin
+    advance st;
+    eat_punct st ";";
+    s Scontinue
+  end
+  else if is_type_start st then decl_stmt st
+  else begin
+    let e = expr st in
+    eat_punct st ";";
+    s (Sexpr e)
+  end
+
+and stmt_as_list st = match stmt st with { s = Sblock body; _ } -> body | other -> [ other ]
+
+(* A local declaration: type declarator [= init] (',' declarator [= init])* ';'
+   Multiple declarators are desugared into a block of single decls. *)
+and decl_stmt st : stmt =
+  let l = line st in
+  let base = base_type st in
+  let one () =
+    let ty = pointers st base in
+    if is_punct st "(" then begin
+      advance st;
+      eat_punct st "*";
+      let name = ident st in
+      let array_len =
+        if is_punct st "[" then begin
+          advance st;
+          match (next st).Clexer.tok with
+          | Clexer.INT n ->
+            eat_punct st "]";
+            Some n
+          | _ -> fail st "expected array size"
+        end
+        else None
+      in
+      eat_punct st ")";
+      eat_punct st "(";
+      let ptypes, va = params st in
+      let fptr = Ctypes.Ptr (Ctypes.Func { ret = ty; params = List.map fst ptypes; varargs = va }) in
+      let ty = match array_len with Some n -> Ctypes.Array (fptr, n) | None -> fptr in
+      let init = if is_punct st "=" then begin advance st; Some (Iexpr (assign st)) end else None in
+      (ty, name, init)
+    end
+    else begin
+      let name = ident st in
+      let ty =
+        let rec arrays ty =
+          if is_punct st "[" then begin
+            advance st;
+            let n =
+              match (next st).Clexer.tok with
+              | Clexer.INT n -> n
+              | _ -> fail st "expected array size"
+            in
+            eat_punct st "]";
+            Ctypes.Array (arrays ty, n)
+          end
+          else ty
+        in
+        arrays ty
+      in
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          if is_punct st "{" then begin
+            advance st;
+            let rec items acc =
+              if is_punct st "}" then begin advance st; List.rev acc end
+              else begin
+                let e = assign st in
+                if is_punct st "," then begin advance st; items (e :: acc) end
+                else begin
+                  eat_punct st "}";
+                  List.rev (e :: acc)
+                end
+              end
+            in
+            Some (Ilist (items []))
+          end
+          else
+            match ((peek st).Clexer.tok, ty) with
+            | Clexer.STRING s, Ctypes.Array (Ctypes.Char, _) ->
+              advance st;
+              Some (Istring s)
+            | _ -> Some (Iexpr (assign st))
+        end
+        else None
+      in
+      (ty, name, init)
+    end
+  in
+  let first = one () in
+  let rec more acc =
+    if is_punct st "," then begin
+      advance st;
+      more (one () :: acc)
+    end
+    else begin
+      eat_punct st ";";
+      List.rev acc
+    end
+  in
+  match more [ first ] with
+  | [ (ty, name, init) ] -> { s = Sdecl (ty, name, init); sline = l }
+  | decls ->
+    { s = Sseq (List.map (fun (ty, name, init) -> { s = Sdecl (ty, name, init); sline = l }) decls);
+      sline = l }
+
+and block st =
+  eat_punct st "{";
+  let rec go acc =
+    if is_punct st "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else go (stmt st :: acc)
+  in
+  go []
+
+(* --- top level --- *)
+
+let global_init st ty =
+  if is_punct st "=" then begin
+    advance st;
+    if is_punct st "{" then begin
+      advance st;
+      let rec items acc =
+        if is_punct st "}" then begin advance st; List.rev acc end
+        else begin
+          let e = assign st in
+          if is_punct st "," then begin advance st; items (e :: acc) end
+          else begin
+            eat_punct st "}";
+            List.rev (e :: acc)
+          end
+        end
+      in
+      Some (Ilist (items []))
+    end
+    else
+      match ((peek st).Clexer.tok, ty) with
+      | Clexer.STRING s, Ctypes.Array (Ctypes.Char, _) ->
+        advance st;
+        Some (Istring s)
+      | _ -> Some (Iexpr (assign st))
+  end
+  else None
+
+let top st : top option =
+  let l = line st in
+  if (peek st).Clexer.tok = Clexer.EOF then None
+  else if is_punct st ";" then begin
+    advance st;
+    None
+  end
+  else if
+    is_kw st "struct"
+    && (match st.toks with
+        | _ :: { Clexer.tok = Clexer.IDENT _; _ } :: { Clexer.tok = Clexer.PUNCT "{"; _ } :: _ ->
+          true
+        | _ -> false)
+  then begin
+    advance st;
+    let name = ident st in
+    eat_punct st "{";
+    let rec fields acc =
+      if is_punct st "}" then begin
+        advance st;
+        eat_punct st ";";
+        List.rev acc
+      end
+      else begin
+        let base = base_type st in
+        let rec one_field acc =
+          let ty = pointers st base in
+          if is_punct st "(" then begin
+            advance st;
+            eat_punct st "*";
+            let fname = ident st in
+            eat_punct st ")";
+            eat_punct st "(";
+            let ptypes, va = params st in
+            let ty =
+              Ctypes.Ptr (Ctypes.Func { ret = ty; params = List.map fst ptypes; varargs = va })
+            in
+            if is_punct st "," then begin advance st; one_field ((fname, ty) :: acc) end
+            else begin
+              eat_punct st ";";
+              List.rev ((fname, ty) :: acc)
+            end
+          end
+          else begin
+            let fname = ident st in
+            let rec arrays ty =
+              if is_punct st "[" then begin
+                advance st;
+                let n =
+                  match (next st).Clexer.tok with
+                  | Clexer.INT n -> n
+                  | _ -> fail st "expected array size"
+                in
+                eat_punct st "]";
+                Ctypes.Array (arrays ty, n)
+              end
+              else ty
+            in
+            let ty = arrays ty in
+            if is_punct st "," then begin advance st; one_field ((fname, ty) :: acc) end
+            else begin
+              eat_punct st ";";
+              List.rev ((fname, ty) :: acc)
+            end
+          end
+        in
+        fields (List.rev (one_field []) @ acc)
+      end
+    in
+    Some (Tstruct { name; fields = fields [] })
+  end
+  else begin
+    let base = base_type st in
+    let ty = pointers st base in
+    if is_punct st "(" then begin
+      (* function-pointer global: ty ( *name )(params), optionally an array *)
+      advance st;
+      eat_punct st "*";
+      let name = ident st in
+      let array_len =
+        if is_punct st "[" then begin
+          advance st;
+          match (next st).Clexer.tok with
+          | Clexer.INT n ->
+            eat_punct st "]";
+            Some n
+          | _ -> fail st "expected array size"
+        end
+        else None
+      in
+      eat_punct st ")";
+      eat_punct st "(";
+      let ptypes, va = params st in
+      let fptr = Ctypes.Ptr (Ctypes.Func { ret = ty; params = List.map fst ptypes; varargs = va }) in
+      let ty = match array_len with Some n -> Ctypes.Array (fptr, n) | None -> fptr in
+      let init = global_init st ty in
+      eat_punct st ";";
+      Some (Tglobal { ty; name; init; gline = l })
+    end
+    else begin
+      let name = ident st in
+      if is_punct st "(" then begin
+        advance st;
+        let ps, varargs = params st in
+        if is_punct st ";" then begin
+          advance st;
+          Some (Tproto { ret = ty; name; params = List.map fst ps; varargs })
+        end
+        else begin
+          let body = block st in
+          Some (Tfunc { ret = ty; name; params = ps; varargs; body; fline = l })
+        end
+      end
+      else begin
+        let rec arrays ty =
+          if is_punct st "[" then begin
+            advance st;
+            let n =
+              match (next st).Clexer.tok with
+              | Clexer.INT n -> n
+              | _ -> fail st "expected array size"
+            in
+            eat_punct st "]";
+            Ctypes.Array (arrays ty, n)
+          end
+          else ty
+        in
+        let ty = arrays ty in
+        let init = global_init st ty in
+        eat_punct st ";";
+        Some (Tglobal { ty; name; init; gline = l })
+      end
+    end
+  end
+
+let parse source =
+  let st = { toks = Clexer.tokenize source } in
+  let rec go acc =
+    if (peek st).Clexer.tok = Clexer.EOF then List.rev acc
+    else
+      match top st with
+      | Some t -> go (t :: acc)
+      | None -> go acc
+  in
+  go []

@@ -1,0 +1,6 @@
+(** Mini-C recursive-descent parser. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Cast.program
+(** Raises {!Error} (or {!Clexer.Error}) on malformed input. *)

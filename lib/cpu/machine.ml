@@ -1,0 +1,307 @@
+open Ptaint_taint
+open Ptaint_isa
+
+type code = { base : int; insns : Insn.t array }
+
+type alert_kind = Jump_target | Load_address | Store_address | Guarded_store
+
+type alert = {
+  alert_pc : int;
+  alert_insn : Insn.t;
+  kind : alert_kind;
+  reg : Reg.t;
+  reg_value : Tword.t;
+  ea : int option;
+  stage : string;
+}
+
+type fault =
+  | Segfault of { addr : int; access : Ptaint_mem.Memory.access }
+  | Misaligned of { addr : int; width : int }
+  | Bad_pc of int
+
+type step =
+  | Normal
+  | Syscall
+  | Alert of alert
+  | Fault of fault
+  | Break_trap of int
+
+type t = {
+  regs : Regfile.t;
+  mem : Ptaint_mem.Memory.t;
+  code : code;
+  mutable policy : Policy.t;
+  mutable pc : int;
+  mutable icount : int;
+  mutable guard_ranges : (int * int) list;
+}
+
+let create ?(policy = Policy.default) ~code ~mem ~entry () =
+  { regs = Regfile.create (); mem; code; policy; pc = entry; icount = 0; guard_ranges = [] }
+
+let add_guard t ~addr ~len = t.guard_ranges <- (addr, len) :: t.guard_ranges
+let remove_guard t ~addr = t.guard_ranges <- List.filter (fun (a, _) -> a <> addr) t.guard_ranges
+let guards t = t.guard_ranges
+
+let guarded t ea width =
+  t.guard_ranges <> []
+  && List.exists (fun (lo, len) -> ea < lo + len && ea + width > lo) t.guard_ranges
+
+let fetch t pc =
+  let off = pc - t.code.base in
+  if off < 0 || off land 3 <> 0 || off / 4 >= Array.length t.code.insns then None
+  else Some t.code.insns.(off / 4)
+
+let alert_kind_name = function
+  | Jump_target -> "tainted jump target"
+  | Load_address -> "tainted load address"
+  | Store_address -> "tainted store address"
+  | Guarded_store -> "tainted write into guarded data"
+
+let pp_alert ppf a =
+  Format.fprintf ppf "%x: %a   %a=%a (%s, detected at %s)" a.alert_pc Insn.pp a.alert_insn
+    Reg.pp a.reg Tword.pp a.reg_value (alert_kind_name a.kind) a.stage
+
+let pp_fault ppf = function
+  | Segfault { addr; access } ->
+    Format.fprintf ppf "segmentation fault: %s at 0x%08x"
+      (match access with Ptaint_mem.Memory.Load -> "load" | Store -> "store")
+      addr
+  | Misaligned { addr; width } ->
+    Format.fprintf ppf "misaligned %d-byte access at 0x%08x" width addr
+  | Bad_pc pc -> Format.fprintf ppf "jump outside text segment to 0x%08x" pc
+
+(* --- ALU value semantics --- *)
+
+let rop_value op a b =
+  match (op : Insn.rop) with
+  | ADD | ADDU -> Word.add a b
+  | SUB | SUBU -> Word.sub a b
+  | AND -> a land b
+  | OR -> a lor b
+  | XOR -> a lxor b
+  | NOR -> Word.of_int (lnot (a lor b))
+  | SLT -> if Word.lt_signed a b then 1 else 0
+  | SLTU -> if Word.lt_unsigned a b then 1 else 0
+  | SLLV -> Word.sll a (b land 31)
+  | SRLV -> Word.srl a (b land 31)
+  | SRAV -> Word.sra a (b land 31)
+
+(* Taintedness of an R-type result, per Table 1 (the Figure 3 MUX). *)
+let rop_mask (pol : Policy.t) op ~rs ~rt ~(a : Tword.t) ~(b : Tword.t) =
+  if not pol.track then Mask.none
+  else
+    match (op : Insn.rop) with
+    | AND when pol.and_zero_untaints ->
+      Prop.and_bytes ~v1:(Tword.value a) ~m1:(Tword.mask a) ~v2:(Tword.value b)
+        ~m2:(Tword.mask b)
+    | OR when pol.or_ones_untaints ->
+      Prop.or_bytes ~v1:(Tword.value a) ~m1:(Tword.mask a) ~v2:(Tword.value b)
+        ~m2:(Tword.mask b)
+    | XOR when rs = rt && pol.xor_idiom_untaints -> Prop.xor_same
+    | SLT | SLTU -> if pol.compare_untaints then Mask.none else Prop.default (Tword.mask a) (Tword.mask b)
+    | SLLV -> Prop.shift Prop.Left ~amount:(Tword.value b) ~amount_mask:(Tword.mask b) (Tword.mask a)
+    | SRLV | SRAV ->
+      Prop.shift Prop.Right ~amount:(Tword.value b) ~amount_mask:(Tword.mask b) (Tword.mask a)
+    | ADD | ADDU | SUB | SUBU | AND | OR | XOR | NOR ->
+      Prop.default (Tword.mask a) (Tword.mask b)
+
+let width_of_load : Insn.load_op -> int = function LB | LBU -> 1 | LH | LHU -> 2 | LW -> 4
+let width_of_store : Insn.store_op -> int = function SB -> 1 | SH -> 2 | SW -> 4
+
+let step t =
+  match fetch t t.pc with
+  | None -> Fault (Bad_pc t.pc)
+  | Some insn ->
+    let pc = t.pc in
+    let regs = t.regs in
+    let pol = t.policy in
+    t.icount <- t.icount + 1;
+    let next = pc + 4 in
+    let get = Regfile.get regs in
+    let compare_untaint srcs =
+      if pol.track && pol.compare_untaints then List.iter (Regfile.untaint regs) srcs
+    in
+    let mem_alert kind base_reg ea =
+      { alert_pc = pc; alert_insn = insn; kind; reg = base_reg; reg_value = get base_reg;
+        ea = Some ea; stage = "EX/MEM" }
+    in
+    (match insn with
+     | Nop -> t.pc <- next; Normal
+     | R (op, rd, rs, rt) ->
+       let a = get rs and b = get rt in
+       let v = rop_value op (Tword.value a) (Tword.value b) in
+       let m = rop_mask pol op ~rs ~rt ~a ~b in
+       if Insn.uses_compare insn then compare_untaint [ rs; rt ];
+       Regfile.set regs rd (Tword.make ~v ~m);
+       t.pc <- next;
+       Normal
+     | I (op, rt, rs, imm) ->
+       let a = get rs in
+       let av = Tword.value a in
+       let v, m =
+         match op with
+         | ADDI | ADDIU ->
+           (Word.add av (Word.of_signed imm), if pol.track then Tword.mask a else Mask.none)
+         | ANDI ->
+           let iv = imm land 0xffff in
+           ( av land iv,
+             if pol.track then
+               if pol.and_zero_untaints then
+                 Prop.and_bytes ~v1:av ~m1:(Tword.mask a) ~v2:iv ~m2:Mask.none
+               else Tword.mask a
+             else Mask.none )
+         | ORI -> (av lor (imm land 0xffff), if pol.track then Tword.mask a else Mask.none)
+         | XORI -> (av lxor (imm land 0xffff), if pol.track then Tword.mask a else Mask.none)
+         | SLTI ->
+           ( (if Word.lt_signed av (Word.of_signed imm) then 1 else 0),
+             if pol.track && not pol.compare_untaints then Tword.mask a else Mask.none )
+         | SLTIU ->
+           ( (if Word.lt_unsigned av (Word.of_signed imm) then 1 else 0),
+             if pol.track && not pol.compare_untaints then Tword.mask a else Mask.none )
+       in
+       if Insn.uses_compare insn then compare_untaint [ rs ];
+       Regfile.set regs rt (Tword.make ~v ~m);
+       t.pc <- next;
+       Normal
+     | Shift (op, rd, rt, sh) ->
+       let a = get rt in
+       let v =
+         match op with
+         | SLL -> Word.sll (Tword.value a) sh
+         | SRL -> Word.srl (Tword.value a) sh
+         | SRA -> Word.sra (Tword.value a) sh
+       in
+       let m =
+         if not pol.track then Mask.none
+         else
+           let dir = match op with SLL -> Prop.Left | SRL | SRA -> Prop.Right in
+           Prop.shift dir ~amount:sh ~amount_mask:Mask.none (Tword.mask a)
+       in
+       Regfile.set regs rd (Tword.make ~v ~m);
+       t.pc <- next;
+       Normal
+     | Lui (rt, imm) ->
+       Regfile.set regs rt (Tword.untainted (Word.sll (imm land 0xffff) 16));
+       t.pc <- next;
+       Normal
+     | Load (op, rt, off, base) -> (
+       let a = get base in
+       let ea = Word.add (Tword.value a) (Word.of_signed off) in
+       let ea_mask = if pol.track then Tword.mask a else Mask.none in
+       let width = width_of_load op in
+       if Policy.detects_data_pointers pol && Mask.is_tainted ea_mask then
+         Alert (mem_alert Load_address base ea)
+       else if ea land (width - 1) <> 0 then Fault (Misaligned { addr = ea; width })
+       else
+         try
+           let result =
+             match op with
+             | LW -> Ptaint_mem.Memory.load_word t.mem ea
+             | LB | LBU ->
+               let b, ta = Ptaint_mem.Memory.load_byte t.mem ea in
+               let v = if op = LB then Word.sign_extend ~bits:8 b else b in
+               Tword.make ~v ~m:(Mask.of_byte ta)
+             | LH | LHU ->
+               let h, m = Ptaint_mem.Memory.load_half t.mem ea in
+               let v = if op = LH then Word.sign_extend ~bits:16 h else h in
+               Tword.make ~v ~m
+           in
+           let result = if pol.track then result else Tword.untainted (Tword.value result) in
+           Regfile.set regs rt result;
+           t.pc <- next;
+           Normal
+         with Ptaint_mem.Memory.Fault { addr; access } -> Fault (Segfault { addr; access }))
+     | Store (op, rt, off, base) -> (
+       let a = get base in
+       let ea = Word.add (Tword.value a) (Word.of_signed off) in
+       let ea_mask = if pol.track then Tword.mask a else Mask.none in
+       let width = width_of_store op in
+       if Policy.detects_data_pointers pol && Mask.is_tainted ea_mask then
+         Alert (mem_alert Store_address base ea)
+       else if ea land (width - 1) <> 0 then Fault (Misaligned { addr = ea; width })
+       else
+         let data = get rt in
+         let data = if pol.track then data else Tword.untainted (Tword.value data) in
+         if Policy.detects_data_pointers pol && Tword.is_tainted data && guarded t ea width then
+           Alert
+             { alert_pc = pc; alert_insn = insn; kind = Guarded_store; reg = rt;
+               reg_value = data; ea = Some ea; stage = "EX/MEM" }
+         else
+         try
+           (match op with
+            | SW -> Ptaint_mem.Memory.store_word t.mem ea data
+            | SB ->
+              Ptaint_mem.Memory.store_byte t.mem ea
+                (Tword.value data land 0xff)
+                ~taint:(Mask.byte (Tword.mask data) 0)
+            | SH -> Ptaint_mem.Memory.store_half t.mem ea (Tword.value data) ~m:(Tword.mask data));
+           t.pc <- next;
+           Normal
+         with Ptaint_mem.Memory.Fault { addr; access } -> Fault (Segfault { addr; access }))
+     | Branch2 (op, rs, rt, off) ->
+       let a = Regfile.value regs rs and b = Regfile.value regs rt in
+       compare_untaint [ rs; rt ];
+       let taken = match op with BEQ -> a = b | BNE -> a <> b in
+       t.pc <- (if taken then next + (off * 4) else next);
+       Normal
+     | Branch1 (op, rs, off) ->
+       let a = Word.to_signed (Regfile.value regs rs) in
+       compare_untaint [ rs ];
+       let taken =
+         match op with BLEZ -> a <= 0 | BGTZ -> a > 0 | BLTZ -> a < 0 | BGEZ -> a >= 0
+       in
+       t.pc <- (if taken then next + (off * 4) else next);
+       Normal
+     | J target -> t.pc <- target; Normal
+     | Jal target ->
+       Regfile.set regs Reg.ra (Tword.untainted next);
+       t.pc <- target;
+       Normal
+     | Jr rs ->
+       let a = get rs in
+       if Policy.detects_control pol && pol.track && Tword.is_tainted a then
+         Alert
+           { alert_pc = pc; alert_insn = insn; kind = Jump_target; reg = rs; reg_value = a;
+             ea = None; stage = "ID/EX" }
+       else begin
+         t.pc <- Tword.value a;
+         Normal
+       end
+     | Jalr (rd, rs) ->
+       let a = get rs in
+       if Policy.detects_control pol && pol.track && Tword.is_tainted a then
+         Alert
+           { alert_pc = pc; alert_insn = insn; kind = Jump_target; reg = rs; reg_value = a;
+             ea = None; stage = "ID/EX" }
+       else begin
+         Regfile.set regs rd (Tword.untainted next);
+         t.pc <- Tword.value a;
+         Normal
+       end
+     | Muldiv (op, rs, rt) ->
+       let a = get rs and b = get rt in
+       let av = Tword.value a and bv = Tword.value b in
+       let hi, lo =
+         match op with
+         | MULT -> (Word.mul_hi_signed av bv, Word.mul_lo av bv)
+         | MULTU -> (Word.mul_hi_unsigned av bv, Word.mul_lo av bv)
+         | DIV ->
+           let q, r = Word.div_signed av bv in
+           (r, q)
+         | DIVU ->
+           let q, r = Word.div_unsigned av bv in
+           (r, q)
+       in
+       let m = if pol.track then Prop.default (Tword.mask a) (Tword.mask b) else Mask.none in
+       Regfile.set_hi regs (Tword.make ~v:hi ~m);
+       Regfile.set_lo regs (Tword.make ~v:lo ~m);
+       t.pc <- next;
+       Normal
+     | Mfhi rd -> Regfile.set regs rd (Regfile.get_hi regs); t.pc <- next; Normal
+     | Mflo rd -> Regfile.set regs rd (Regfile.get_lo regs); t.pc <- next; Normal
+     | Mthi rs -> Regfile.set_hi regs (get rs); t.pc <- next; Normal
+     | Mtlo rs -> Regfile.set_lo regs (get rs); t.pc <- next; Normal
+     | Syscall -> t.pc <- next; Syscall
+     | Break code -> t.pc <- next; Break_trap code)

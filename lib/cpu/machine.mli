@@ -1,0 +1,72 @@
+(** The SIMIPS execution engine with pointer-taintedness detection.
+
+    A functional-level interpreter with the paper's three detectors
+    (section 4.3): the jump detector examines the target register of
+    [JR]/[JALR] (conceptually after ID/EX); the load/store detector
+    examines the effective address (after EX/MEM); a flagged
+    instruction raises a security exception at retirement.  The
+    {!Pipeline} module layers cycle-accurate timing on top. *)
+
+type code = { base : int; insns : Ptaint_isa.Insn.t array }
+
+type alert_kind =
+  | Jump_target
+  | Load_address
+  | Store_address
+  | Guarded_store
+      (** tainted data written into a range annotated via {!add_guard}
+          — the programmer-annotation extension of section 5.3 *)
+
+type alert = {
+  alert_pc : int;
+  alert_insn : Ptaint_isa.Insn.t;
+  kind : alert_kind;
+  reg : Ptaint_isa.Reg.t;       (** register holding the tainted pointer *)
+  reg_value : Ptaint_taint.Tword.t;
+  ea : int option;              (** effective address, for loads/stores *)
+  stage : string;               (** detector stage: "ID/EX" or "EX/MEM" *)
+}
+
+type fault =
+  | Segfault of { addr : int; access : Ptaint_mem.Memory.access }
+  | Misaligned of { addr : int; width : int }
+  | Bad_pc of int
+
+type step =
+  | Normal
+  | Syscall   (** the instruction was a SYSCALL; the OS layer handles it *)
+  | Alert of alert
+  | Fault of fault
+  | Break_trap of int
+
+type t = {
+  regs : Regfile.t;
+  mem : Ptaint_mem.Memory.t;
+  code : code;
+  mutable policy : Policy.t;
+  mutable pc : int;
+  mutable icount : int;
+  mutable guard_ranges : (int * int) list;
+      (** never-taint annotations: (address, length) — see {!add_guard} *)
+}
+
+val create : ?policy:Policy.t -> code:code -> mem:Ptaint_mem.Memory.t -> entry:int -> unit -> t
+val step : t -> step
+
+(** {1 Annotation guards (section 5.3 extension)}
+
+    The paper proposes trading some transparency for coverage by
+    letting the programmer annotate data that must never be tainted.
+    A guard covers [len] bytes at [addr]; any store of tainted data
+    into a guarded range raises a {!Guarded_store} alert even though
+    the store's {e address} is clean. *)
+
+val add_guard : t -> addr:int -> len:int -> unit
+val remove_guard : t -> addr:int -> unit
+val guards : t -> (int * int) list
+val fetch : t -> int -> Ptaint_isa.Insn.t option
+val pp_alert : Format.formatter -> alert -> unit
+(** Paper's alert style: ["44d7b0: sw $21,0($3)   $3=0x1002bc20"]. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val alert_kind_name : alert_kind -> string

@@ -1,0 +1,25 @@
+type mode = No_protection | Control_data_only | Pointer_taintedness
+
+type t = {
+  mode : mode;
+  track : bool;
+  compare_untaints : bool;
+  xor_idiom_untaints : bool;
+  and_zero_untaints : bool;
+  or_ones_untaints : bool;
+}
+
+let default =
+  { mode = Pointer_taintedness;
+    track = true;
+    compare_untaints = true;
+    xor_idiom_untaints = true;
+    and_zero_untaints = true;
+    or_ones_untaints = false }
+
+let control_only = { default with mode = Control_data_only }
+let unprotected = { default with mode = No_protection }
+let baseline_no_tracking = { unprotected with track = false }
+let with_mode t mode = { t with mode }
+let detects_data_pointers t = t.mode = Pointer_taintedness
+let detects_control t = t.mode = Control_data_only || t.mode = Pointer_taintedness

@@ -1,0 +1,36 @@
+(** Protection and propagation policy.
+
+    [mode] selects which detector fires (section 4.3 and the related
+    work comparison): [Pointer_taintedness] is the paper's mechanism;
+    [Control_data_only] models control-flow-integrity schemes such as
+    Minos / Secure Program Execution, which check only control
+    transfers; [No_protection] runs the program unchecked (attacks
+    succeed or crash).  The rule switches correspond to the Table 1
+    special cases and exist so the ablation experiments can measure
+    what each rule buys. *)
+
+type mode = No_protection | Control_data_only | Pointer_taintedness
+
+type t = {
+  mode : mode;
+  track : bool;            (** propagate taint at all (off = overhead baseline) *)
+  compare_untaints : bool; (** Table 1: compares untaint their operands *)
+  xor_idiom_untaints : bool; (** Table 1: [XOR R1,R2,R2] yields untainted 0 *)
+  and_zero_untaints : bool;  (** Table 1: AND with untainted zero byte *)
+  or_ones_untaints : bool;   (** extension (OR with untainted 0xff); off by default *)
+}
+
+val default : t
+(** Full pointer-taintedness detection, all Table 1 rules on. *)
+
+val control_only : t
+val unprotected : t
+(** [No_protection] with tracking still on (so "what would have been
+    tainted" remains observable). *)
+
+val baseline_no_tracking : t
+(** Tracking disabled entirely; used to measure tracking overhead. *)
+
+val with_mode : t -> mode -> t
+val detects_data_pointers : t -> bool
+val detects_control : t -> bool

@@ -1,0 +1,27 @@
+open Ptaint_taint
+
+type t = { regs : Tword.t array; mutable hi : Tword.t; mutable lo : Tword.t }
+
+let create () = { regs = Array.make 32 Tword.zero; hi = Tword.zero; lo = Tword.zero }
+let get t r = if r = 0 then Tword.zero else t.regs.(r)
+let set t r w = if r <> 0 then t.regs.(r) <- w
+let get_hi t = t.hi
+let set_hi t w = t.hi <- w
+let get_lo t = t.lo
+let set_lo t w = t.lo <- w
+let untaint t r = if r <> 0 then t.regs.(r) <- Tword.with_mask t.regs.(r) Mask.none
+let value t r = Tword.value (get t r)
+
+let tainted_registers t =
+  List.filter (fun r -> Tword.is_tainted (get t r)) (List.init 32 Fun.id)
+
+let reset t =
+  Array.fill t.regs 0 32 Tword.zero;
+  t.hi <- Tword.zero;
+  t.lo <- Tword.zero
+
+let pp ppf t =
+  for r = 0 to 31 do
+    if not (Tword.equal t.regs.(r) Tword.zero) then
+      Format.fprintf ppf "%a=%a@ " Ptaint_isa.Reg.pp_sym r Tword.pp t.regs.(r)
+  done

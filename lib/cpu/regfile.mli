@@ -1,0 +1,21 @@
+(** Taint-extended register file: 32 GPRs plus HI/LO, each byte of
+    each register carrying a taintedness bit (section 4.2).
+    Register 0 reads as untainted zero regardless of writes. *)
+
+type t
+
+val create : unit -> t
+val get : t -> Ptaint_isa.Reg.t -> Ptaint_taint.Tword.t
+val set : t -> Ptaint_isa.Reg.t -> Ptaint_taint.Tword.t -> unit
+val get_hi : t -> Ptaint_taint.Tword.t
+val set_hi : t -> Ptaint_taint.Tword.t -> unit
+val get_lo : t -> Ptaint_taint.Tword.t
+val set_lo : t -> Ptaint_taint.Tword.t -> unit
+
+val untaint : t -> Ptaint_isa.Reg.t -> unit
+(** Clear the register's taint mask in place (compare-untaint rule). *)
+
+val value : t -> Ptaint_isa.Reg.t -> int
+val tainted_registers : t -> Ptaint_isa.Reg.t list
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

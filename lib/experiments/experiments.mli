@@ -1,0 +1,59 @@
+(** Reproduction of every table and figure in the paper's evaluation.
+
+    Each function regenerates one artifact as plain text; {!all} runs
+    the full evaluation.  EXPERIMENTS.md records the outputs next to
+    the paper's numbers. *)
+
+val fig1 : unit -> string
+(** Figure 1: CERT advisory breakdown, 2000–2003. *)
+
+val fig2 : unit -> string
+(** Figure 2: anatomy of the three synthetic attacks (layouts and
+    what the overflow taints), demonstrated live. *)
+
+val fig3 : unit -> string
+(** Figure 3: the architecture — detector placement and taint-tracking
+    hardware activity measured by the pipeline model. *)
+
+val tab1 : unit -> string
+(** Table 1: each ALU taintedness-propagation rule executed on the
+    machine, with register taint masks before and after. *)
+
+val synthetic : unit -> string
+(** Section 5.1.1: detection of exp1/exp2/exp3 with the alert lines. *)
+
+val tab2 : unit -> string
+(** Table 2: the WU-FTPD attack/detection transcript. *)
+
+val real_world : unit -> string
+(** Section 5.1.2: NULL HTTPD, GHTTPD and traceroute attacks. *)
+
+val coverage : unit -> string
+(** Section 5.1: the security-coverage matrix — every attack under no
+    protection, control-data-only protection, and pointer
+    taintedness; plus benign-input runs. *)
+
+val tab3 : unit -> string
+(** Table 3: false-positive evaluation on the six SPEC-like
+    workloads. *)
+
+val tab4 : unit -> string
+(** Table 4: the three false-negative scenarios, plus the contrast
+    cases showing where detection resumes. *)
+
+val overhead : unit -> string
+(** Section 5.4: architectural overhead — pipeline timing with the
+    taint hardware accounted, storage overhead, and the
+    kernel-tainting software overhead (input bytes / instructions). *)
+
+val ablation : unit -> string
+(** Design-choice ablation: the compare-untaint rule (hardware) and
+    the register-residency write-back (compiler) toggled off. *)
+
+val extension : unit -> string
+(** Section 5.3's proposed future work, implemented: programmer
+    annotations ([guard]/[unguard]) that flag tainted writes into
+    critical data, turning the Table 4(B) false negative into a
+    detection. *)
+
+val all : unit -> string

@@ -1,0 +1,6 @@
+let text_base = 0x00400000
+let data_base = 0x10000000
+let stack_top = 0x7fff8000
+let default_stack_bytes = 1 lsl 20
+let default_heap_bytes = 1 lsl 20
+let page_bytes = 4096

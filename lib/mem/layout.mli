@@ -1,0 +1,16 @@
+(** Guest address-space layout.
+
+    Mirrors the SimpleScalar/MIPS convention used by the paper's
+    examples: text low, static data at 0x10000000 (the WU-FTPD uid
+    word in Table 2 lives at 0x1002bc20), heap above data, and a
+    downward-growing stack just under 0x80000000 (the GHTTPD attack
+    uses 0x7fff3e94). *)
+
+val text_base : int
+val data_base : int
+val stack_top : int
+(** First address {e above} the initial stack pointer region. *)
+
+val default_stack_bytes : int
+val default_heap_bytes : int
+val page_bytes : int

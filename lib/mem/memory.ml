@@ -1,0 +1,159 @@
+open Ptaint_taint
+
+type access = Load | Store
+
+exception Fault of { addr : int; access : access }
+
+type page = { data : Bytes.t; taint : Bytes.t }
+
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable tainted_loads : int;
+  mutable tainted_stores : int;
+  mutable mapped_bytes : int;
+}
+
+type t = { pages : (int, page) Hashtbl.t; st : stats }
+
+let page_bytes = Layout.page_bytes
+
+let create () =
+  { pages = Hashtbl.create 256;
+    st = { loads = 0; stores = 0; tainted_loads = 0; tainted_stores = 0; mapped_bytes = 0 } }
+
+let stats t = t.st
+
+let map_page t idx =
+  if not (Hashtbl.mem t.pages idx) then begin
+    Hashtbl.replace t.pages idx
+      { data = Bytes.make page_bytes '\000'; taint = Bytes.make page_bytes '\000' };
+    t.st.mapped_bytes <- t.st.mapped_bytes + page_bytes
+  end
+
+let map_range t ~lo ~bytes =
+  if bytes > 0 then
+    for idx = lo / page_bytes to (lo + bytes - 1) / page_bytes do
+      map_page t idx
+    done
+
+let is_mapped t addr = Hashtbl.mem t.pages ((addr land Ptaint_isa.Word.mask32) / page_bytes)
+
+let page_for t addr access =
+  match Hashtbl.find_opt t.pages (addr / page_bytes) with
+  | Some p -> p
+  | None -> raise (Fault { addr; access })
+
+let load_byte t addr =
+  let addr = addr land Ptaint_isa.Word.mask32 in
+  let p = page_for t addr Load in
+  let off = addr land (page_bytes - 1) in
+  t.st.loads <- t.st.loads + 1;
+  let taint = Bytes.get p.taint off <> '\000' in
+  if taint then t.st.tainted_loads <- t.st.tainted_loads + 1;
+  (Char.code (Bytes.get p.data off), taint)
+
+let store_byte t addr v ~taint =
+  let addr = addr land Ptaint_isa.Word.mask32 in
+  let p = page_for t addr Store in
+  let off = addr land (page_bytes - 1) in
+  t.st.stores <- t.st.stores + 1;
+  if taint then t.st.tainted_stores <- t.st.tainted_stores + 1;
+  Bytes.set p.data off (Char.chr (v land 0xff));
+  Bytes.set p.taint off (if taint then '\001' else '\000')
+
+(* Words may straddle a page boundary (unaligned loads are legal at
+   the memory level; the CPU enforces alignment), so the fast path
+   checks that all four bytes land in one page. *)
+let load_word t addr =
+  let addr = addr land Ptaint_isa.Word.mask32 in
+  let off = addr land (page_bytes - 1) in
+  if off <= page_bytes - 4 then begin
+    let p = page_for t addr Load in
+    t.st.loads <- t.st.loads + 1;
+    let b i = Char.code (Bytes.get p.data (off + i)) in
+    let ta i = Bytes.get p.taint (off + i) <> '\000' in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    let m = Mask.of_bools [ ta 0; ta 1; ta 2; ta 3 ] in
+    if Mask.is_tainted m then t.st.tainted_loads <- t.st.tainted_loads + 1;
+    Tword.make ~v ~m
+  end
+  else begin
+    let v = ref 0 and m = ref Mask.none in
+    for i = 3 downto 0 do
+      let b, ta = load_byte t (addr + i) in
+      v := (!v lsl 8) lor b;
+      if ta then m := Mask.set_byte !m i
+    done;
+    Tword.make ~v:!v ~m:!m
+  end
+
+let store_word t addr w =
+  let addr = addr land Ptaint_isa.Word.mask32 in
+  let off = addr land (page_bytes - 1) in
+  let v = Tword.value w and m = Tword.mask w in
+  if off <= page_bytes - 4 then begin
+    let p = page_for t addr Store in
+    t.st.stores <- t.st.stores + 1;
+    if Mask.is_tainted m then t.st.tainted_stores <- t.st.tainted_stores + 1;
+    for i = 0 to 3 do
+      Bytes.set p.data (off + i) (Char.chr ((v lsr (8 * i)) land 0xff));
+      Bytes.set p.taint (off + i) (if Mask.byte m i then '\001' else '\000')
+    done
+  end
+  else
+    for i = 0 to 3 do
+      store_byte t (addr + i) ((v lsr (8 * i)) land 0xff) ~taint:(Mask.byte m i)
+    done
+
+let load_half t addr =
+  let b0, t0 = load_byte t addr in
+  let b1, t1 = load_byte t (addr + 1) in
+  (b0 lor (b1 lsl 8), Mask.of_bools [ t0; t1 ])
+
+let store_half t addr v ~m =
+  store_byte t addr (v land 0xff) ~taint:(Mask.byte m 0);
+  store_byte t (addr + 1) ((v lsr 8) land 0xff) ~taint:(Mask.byte m 1)
+
+let write_string t addr s ~taint =
+  String.iteri (fun i c -> store_byte t (addr + i) (Char.code c) ~taint) s
+
+let read_string t addr len = String.init len (fun i -> Char.chr (fst (load_byte t (addr + i))))
+
+let read_cstring ?(limit = 65536) t addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i < limit then begin
+      let b, _ = load_byte t (addr + i) in
+      if b <> 0 then begin
+        Buffer.add_char buf (Char.chr b);
+        go (i + 1)
+      end
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let taint_range t addr len =
+  for i = 0 to len - 1 do
+    let a = addr + i in
+    let p = page_for t a Store in
+    Bytes.set p.taint (a land (page_bytes - 1)) '\001'
+  done
+
+let untaint_range t addr len =
+  for i = 0 to len - 1 do
+    let a = addr + i in
+    let p = page_for t a Store in
+    Bytes.set p.taint (a land (page_bytes - 1)) '\000'
+  done
+
+let tainted_in_range t addr len =
+  let count = ref 0 in
+  for i = 0 to len - 1 do
+    let a = addr + i in
+    match Hashtbl.find_opt t.pages (a / page_bytes) with
+    | Some p -> if Bytes.get p.taint (a land (page_bytes - 1)) <> '\000' then incr count
+    | None -> ()
+  done;
+  !count

@@ -1,0 +1,58 @@
+(** Taint-extended guest memory.
+
+    Sparse, paged, byte-addressable, little-endian memory in which
+    every byte carries a taintedness bit, implementing the extended
+    memory model of section 4.1.  Pages must be mapped (via
+    {!map_range}) before access; touching an unmapped address raises
+    {!Fault}, which the simulator reports as a segmentation fault —
+    this is what an undetected wild dereference does to the guest. *)
+
+type t
+
+type access = Load | Store
+
+exception Fault of { addr : int; access : access }
+
+val create : unit -> t
+
+val map_range : t -> lo:int -> bytes:int -> unit
+(** Map all pages covering [lo, lo+bytes).  Idempotent. *)
+
+val is_mapped : t -> int -> bool
+
+(** {1 Byte and word access}  All addresses are masked to 32 bits. *)
+
+val load_byte : t -> int -> int * bool
+val store_byte : t -> int -> int -> taint:bool -> unit
+val load_word : t -> int -> Ptaint_taint.Tword.t
+val store_word : t -> int -> Ptaint_taint.Tword.t -> unit
+
+val load_half : t -> int -> int * Ptaint_taint.Mask.t
+(** Zero-extended 16-bit load; mask occupies the two low byte-bits. *)
+
+val store_half : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
+
+(** {1 Bulk access (host/OS side)} *)
+
+val write_string : t -> int -> string -> taint:bool -> unit
+val read_string : t -> int -> int -> string
+val read_cstring : ?limit:int -> t -> int -> string
+(** Read a NUL-terminated string (NUL excluded); stops at [limit]
+    (default 65536) bytes. *)
+
+val taint_range : t -> int -> int -> unit
+val untaint_range : t -> int -> int -> unit
+val tainted_in_range : t -> int -> int -> int
+(** Number of tainted bytes in [addr, addr+len). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable tainted_loads : int;  (** loads returning >= 1 tainted byte *)
+  mutable tainted_stores : int;
+  mutable mapped_bytes : int;
+}
+
+val stats : t -> stats

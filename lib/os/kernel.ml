@@ -1,0 +1,182 @@
+open Ptaint_isa
+open Ptaint_cpu
+
+type fd_kind =
+  | Closed
+  | Stdin
+  | Stdout
+  | Stderr
+  | File_read of { path : string; mutable pos : int }
+  | File_write of { path : string }
+  | Listen_sock
+  | Conn_sock
+
+type t = {
+  mem : Ptaint_mem.Memory.t;
+  filesystem : Fs.t;
+  network : Socket.t;
+  fds : fd_kind array;
+  sources : Sources.t;
+  mutable current_uid : int;
+  mutable brk : int;
+  heap_limit : int;
+  stdout_buf : Buffer.t;
+  stdin_data : string;
+  mutable stdin_pos : int;
+  mutable execs_rev : string list;
+  mutable input_byte_count : int;
+  mutable syscalls : int;
+}
+
+let create ?(sources = Sources.all) ?(fs = Fs.create ()) ?(stdin = "") ?(sessions = [])
+    ?(uid = 1000) ~heap_base ~heap_limit ~mem () =
+  let fds = Array.make 64 Closed in
+  fds.(0) <- Stdin;
+  fds.(1) <- Stdout;
+  fds.(2) <- Stderr;
+  { mem;
+    filesystem = fs;
+    network = Socket.create ~sessions;
+    fds;
+    sources;
+    current_uid = uid;
+    brk = heap_base;
+    heap_limit;
+    stdout_buf = Buffer.create 256;
+    stdin_data = stdin;
+    stdin_pos = 0;
+    execs_rev = [];
+    input_byte_count = 0;
+    syscalls = 0 }
+
+let stdout_contents t = Buffer.contents t.stdout_buf
+let net t = t.network
+let fs t = t.filesystem
+let uid t = t.current_uid
+let execs t = List.rev t.execs_rev
+let input_bytes t = t.input_byte_count
+let syscall_count t = t.syscalls
+
+let alloc_fd t kind =
+  let rec go i =
+    if i >= Array.length t.fds then -1
+    else if t.fds.(i) = Closed then begin
+      t.fds.(i) <- kind;
+      i
+    end
+    else go (i + 1)
+  in
+  go 3
+
+let fd_kind t fd = if fd < 0 || fd >= Array.length t.fds then Closed else t.fds.(fd)
+
+(* Deliver [data] into the guest buffer, marking each byte tainted per
+   the source policy, and account it as external input. *)
+let deliver t ~buf ~data ~taint =
+  Ptaint_mem.Memory.write_string t.mem buf data ~taint;
+  t.input_byte_count <- t.input_byte_count + String.length data;
+  String.length data
+
+let do_read t ~fd ~buf ~len =
+  match fd_kind t fd with
+  | Stdin ->
+    let available = String.length t.stdin_data - t.stdin_pos in
+    let n = min len available in
+    let data = String.sub t.stdin_data t.stdin_pos n in
+    t.stdin_pos <- t.stdin_pos + n;
+    deliver t ~buf ~data ~taint:t.sources.stdin
+  | File_read f -> (
+    match Fs.read t.filesystem ~path:f.path with
+    | None -> -1
+    | Some content ->
+      let available = String.length content - f.pos in
+      let n = max 0 (min len available) in
+      let data = String.sub content f.pos n in
+      f.pos <- f.pos + n;
+      deliver t ~buf ~data ~taint:t.sources.file)
+  | Conn_sock ->
+    let data = Socket.recv t.network ~max:len in
+    deliver t ~buf ~data ~taint:t.sources.network
+  | Closed | Stdout | Stderr | File_write _ | Listen_sock -> -1
+
+let do_write t ~fd ~buf ~len =
+  let data = Ptaint_mem.Memory.read_string t.mem buf len in
+  match fd_kind t fd with
+  | Stdout | Stderr ->
+    Buffer.add_string t.stdout_buf data;
+    len
+  | File_write f ->
+    Fs.append t.filesystem ~path:f.path data;
+    len
+  | Conn_sock ->
+    Socket.send t.network data;
+    len
+  | Closed | Stdin | File_read _ | Listen_sock -> -1
+
+let do_open t ~path ~flags =
+  if flags land 1 <> 0 then begin
+    Fs.truncate t.filesystem ~path;
+    alloc_fd t (File_write { path })
+  end
+  else if Fs.exists t.filesystem ~path then alloc_fd t (File_read { path; pos = 0 })
+  else -1
+
+let do_sbrk t ~incr ~mem =
+  let old = t.brk in
+  if incr <= 0 then old
+  else if t.brk + incr > t.heap_limit then -1
+  else begin
+    Ptaint_mem.Memory.map_range mem ~lo:t.brk ~bytes:incr;
+    t.brk <- t.brk + incr;
+    old
+  end
+
+let handle t (m : Machine.t) =
+  t.syscalls <- t.syscalls + 1;
+  let regs = m.Machine.regs in
+  let arg r = Regfile.value regs r in
+  let num = arg Reg.v0 in
+  let a0 = arg Reg.a0 and a1 = arg Reg.a1 and a2 = arg Reg.a2 in
+  let return v =
+    Regfile.set regs Reg.v0 (Ptaint_taint.Tword.untainted (Word.of_signed v));
+    `Continue
+  in
+  let with_fault f = try f () with Ptaint_mem.Memory.Fault _ -> return (-1) in
+  if num = Sysnum.sys_exit then `Exit (Word.to_signed a0)
+  else if num = Sysnum.sys_read then with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_write then with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_open then
+    with_fault (fun () ->
+        return (do_open t ~path:(Ptaint_mem.Memory.read_cstring t.mem a0) ~flags:a1))
+  else if num = Sysnum.sys_close then begin
+    if a0 >= 3 && a0 < Array.length t.fds then t.fds.(a0) <- Closed;
+    return 0
+  end
+  else if num = Sysnum.sys_sbrk then return (do_sbrk t ~incr:(Word.to_signed a0) ~mem:t.mem)
+  else if num = Sysnum.sys_recv then with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_send then with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_socket then return (alloc_fd t Listen_sock)
+  else if num = Sysnum.sys_accept then
+    (match fd_kind t a0 with
+     | Listen_sock -> if Socket.accept t.network then return (alloc_fd t Conn_sock) else return (-1)
+     | _ -> return (-1))
+  else if num = Sysnum.sys_getuid then return t.current_uid
+  else if num = Sysnum.sys_setuid then begin
+    t.current_uid <- Word.to_signed a0;
+    return 0
+  end
+  else if num = Sysnum.sys_exec then
+    with_fault (fun () ->
+        t.execs_rev <- Ptaint_mem.Memory.read_cstring t.mem a0 :: t.execs_rev;
+        return 0)
+  else if num = Sysnum.sys_time then return (m.Machine.icount / 1000)
+  else if num = Sysnum.sys_getpid then return 42
+  else if num = Sysnum.sys_guard then begin
+    Machine.add_guard m ~addr:a0 ~len:a1;
+    return 0
+  end
+  else if num = Sysnum.sys_unguard then begin
+    Machine.remove_guard m ~addr:a0;
+    return 0
+  end
+  else return (-1)

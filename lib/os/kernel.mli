@@ -1,0 +1,40 @@
+(** Emulated operating system.
+
+    Implements the syscall surface the guest C library is built on and
+    performs {e taintedness initialisation} exactly as in section 4.4:
+    every byte delivered to user space by [SYS_READ] (local I/O,
+    keyboard, files) or [SYS_RECV] (network) is marked tainted,
+    subject to the {!Sources.t} policy. *)
+
+type t
+
+val create :
+  ?sources:Sources.t ->
+  ?fs:Fs.t ->
+  ?stdin:string ->
+  ?sessions:string list list ->
+  ?uid:int ->
+  heap_base:int ->
+  heap_limit:int ->
+  mem:Ptaint_mem.Memory.t ->
+  unit ->
+  t
+
+val handle : t -> Ptaint_cpu.Machine.t -> [ `Continue | `Exit of int ]
+(** Service the syscall currently requested by the machine (number in
+    [$v0]); writes the result to [$v0]. *)
+
+(** {1 Observation points for experiments} *)
+
+val stdout_contents : t -> string
+val net : t -> Socket.t
+val fs : t -> Fs.t
+val uid : t -> int
+val execs : t -> string list
+(** Paths passed to [SYS_EXEC], in order — a recorded
+    [exec "/bin/sh"] is the signature of a successful compromise. *)
+
+val input_bytes : t -> int
+(** Total bytes delivered from external sources (Table 3 column). *)
+
+val syscall_count : t -> int

@@ -1,0 +1,37 @@
+type t = {
+  mutable pending : string list list;
+  mutable current : string list;
+  mutable active : bool;
+  mutable sent_rev : string list;
+}
+
+let create ~sessions = { pending = sessions; current = []; active = false; sent_rev = [] }
+
+let accept t =
+  match t.pending with
+  | [] ->
+    t.active <- false;
+    false
+  | session :: rest ->
+    t.pending <- rest;
+    t.current <- session;
+    t.active <- true;
+    true
+
+let recv t ~max =
+  match t.current with
+  | [] -> ""
+  | msg :: rest ->
+    if String.length msg <= max then begin
+      t.current <- rest;
+      msg
+    end
+    else begin
+      t.current <- String.sub msg max (String.length msg - max) :: rest;
+      String.sub msg 0 max
+    end
+
+let send t s = t.sent_rev <- s :: t.sent_rev
+let sent t = List.rev t.sent_rev
+let session_active t = t.active
+let pending_sessions t = List.length t.pending

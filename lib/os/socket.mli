@@ -1,0 +1,22 @@
+(** Scripted network endpoint.
+
+    Experiments drive servers by providing {e sessions}: each session
+    is the sequence of messages one client connection delivers.
+    [accept] consumes the next pending session; [recv] yields bytes of
+    the current session's messages in order (one message per call at
+    most, like TCP segment arrival) and returns ["" ] at end of
+    session; [send] records the server's outbound traffic. *)
+
+type t
+
+val create : sessions:string list list -> t
+val accept : t -> bool
+(** Begin the next session; false when no sessions remain. *)
+
+val recv : t -> max:int -> string
+val send : t -> string -> unit
+val sent : t -> string list
+(** All outbound messages, in order. *)
+
+val session_active : t -> bool
+val pending_sessions : t -> int

@@ -1,0 +1,24 @@
+let sys_exit = 1
+let sys_read = 2
+let sys_write = 3
+let sys_open = 4
+let sys_close = 5
+let sys_sbrk = 6
+let sys_recv = 7
+let sys_send = 8
+let sys_socket = 9
+let sys_accept = 10
+let sys_getuid = 11
+let sys_setuid = 12
+let sys_exec = 13
+let sys_time = 14
+let sys_getpid = 15
+let sys_guard = 16
+let sys_unguard = 17
+
+let name = function
+  | 1 -> "exit" | 2 -> "read" | 3 -> "write" | 4 -> "open" | 5 -> "close"
+  | 6 -> "sbrk" | 7 -> "recv" | 8 -> "send" | 9 -> "socket" | 10 -> "accept"
+  | 11 -> "getuid" | 12 -> "setuid" | 13 -> "exec" | 14 -> "time" | 15 -> "getpid"
+  | 16 -> "guard" | 17 -> "unguard"
+  | n -> Printf.sprintf "sys#%d" n

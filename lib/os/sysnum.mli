@@ -1,0 +1,23 @@
+(** Syscall numbers (passed in [$v0], arguments in [$a0..$a2]). *)
+
+val sys_exit : int
+val sys_read : int
+val sys_write : int
+val sys_open : int
+val sys_close : int
+val sys_sbrk : int
+val sys_recv : int
+val sys_send : int
+val sys_socket : int
+val sys_accept : int
+val sys_getuid : int
+val sys_setuid : int
+val sys_exec : int
+val sys_time : int
+val sys_getpid : int
+val sys_guard : int
+(** Annotate [len] bytes at [addr] as never-tainted (section 5.3
+    extension); tainted writes into the range alert. *)
+
+val sys_unguard : int
+val name : int -> string

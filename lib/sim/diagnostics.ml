@@ -1,0 +1,103 @@
+let text_symbols (p : Ptaint_asm.Program.t) =
+  let text_end = p.Ptaint_asm.Program.text_base + (4 * Array.length p.Ptaint_asm.Program.insns) in
+  List.filter
+    (fun (_, addr) -> addr >= p.Ptaint_asm.Program.text_base && addr < text_end)
+    p.Ptaint_asm.Program.symbols
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let in_text (p : Ptaint_asm.Program.t) addr =
+  addr >= p.Ptaint_asm.Program.text_base
+  && addr < p.Ptaint_asm.Program.text_base + (4 * Array.length p.Ptaint_asm.Program.insns)
+
+let nearest_symbol p addr =
+  if not (in_text p addr) then None
+  else
+  List.fold_left
+    (fun best (name, saddr) ->
+      if saddr <= addr then
+        match best with
+        | Some (_, baddr) when baddr >= saddr -> best
+        | _ -> Some (name, saddr)
+      else best)
+    None (text_symbols p)
+  |> Option.map (fun (name, saddr) -> (name, addr - saddr))
+
+(* Generated local labels (_L12, _Lepi3, _Str4) are not useful frame
+   names; prefer the enclosing function symbol. *)
+let is_local_label name = String.length name > 1 && name.[0] = '_' && name.[1] = 'L'
+
+let nearest_function p addr =
+  if not (in_text p addr) then None
+  else
+  List.fold_left
+    (fun best (name, saddr) ->
+      if saddr <= addr && not (is_local_label name) then
+        match best with
+        | Some (_, baddr) when baddr >= saddr -> best
+        | _ -> Some (name, saddr)
+      else best)
+    None (text_symbols p)
+  |> Option.map (fun (name, saddr) -> (name, addr - saddr))
+
+let symbolize p addr =
+  match nearest_function p addr with
+  | Some (name, 0) -> name
+  | Some (name, off) -> Printf.sprintf "%s+0x%x" name off
+  | None -> Printf.sprintf "0x%08x" addr
+
+type frame = { pc : int; location : string }
+
+let backtrace ?(limit = 32) (p : Ptaint_asm.Program.t) (m : Ptaint_cpu.Machine.t) =
+  let mem = m.Ptaint_cpu.Machine.mem in
+  let frame_of pc = { pc; location = symbolize p pc } in
+  let rec walk acc fp n =
+    if n >= limit then List.rev acc
+    else if not (Ptaint_mem.Memory.is_mapped mem fp && Ptaint_mem.Memory.is_mapped mem (fp + 4))
+    then List.rev acc
+    else
+      let saved_fp = Ptaint_taint.Tword.value (Ptaint_mem.Memory.load_word mem fp) in
+      let ra = Ptaint_taint.Tword.value (Ptaint_mem.Memory.load_word mem (fp + 4)) in
+      if not (in_text p ra) then List.rev acc
+      else
+        let acc = frame_of ra :: acc in
+        (* frame pointers must strictly increase up the stack *)
+        if saved_fp <= fp then List.rev acc else walk acc saved_fp (n + 1)
+  in
+  let fp = Ptaint_cpu.Regfile.value m.Ptaint_cpu.Machine.regs Ptaint_isa.Reg.fp in
+  walk [ frame_of m.Ptaint_cpu.Machine.pc ] fp 1
+
+let tainted_registers (m : Ptaint_cpu.Machine.t) =
+  List.filter_map
+    (fun r ->
+      let w = Ptaint_cpu.Regfile.get m.Ptaint_cpu.Machine.regs r in
+      if Ptaint_taint.Tword.is_tainted w then Some (r, w) else None)
+    (List.init 32 Fun.id)
+
+let report (result : Sim.result) =
+  let buf = Buffer.create 512 in
+  let p = result.Sim.image.Ptaint_asm.Loader.program in
+  let m = result.Sim.machine in
+  (match result.Sim.outcome with
+   | Sim.Alert a ->
+     Buffer.add_string buf
+       (Format.asprintf "security alert: %a\n" Ptaint_cpu.Machine.pp_alert a);
+     Buffer.add_string buf
+       (Printf.sprintf "  in %s\n" (symbolize p a.Ptaint_cpu.Machine.alert_pc))
+   | Sim.Fault f ->
+     Buffer.add_string buf (Format.asprintf "fault: %a\n" Ptaint_cpu.Machine.pp_fault f);
+     Buffer.add_string buf (Printf.sprintf "  at %s\n" (symbolize p m.Ptaint_cpu.Machine.pc))
+   | o -> Buffer.add_string buf (Format.asprintf "outcome: %a\n" Sim.pp_outcome o));
+  Buffer.add_string buf "guest backtrace:\n";
+  List.iteri
+    (fun i f -> Buffer.add_string buf (Printf.sprintf "  #%d %08x %s\n" i f.pc f.location))
+    (backtrace p m);
+  (match tainted_registers m with
+   | [] -> ()
+   | regs ->
+     Buffer.add_string buf "tainted registers:\n";
+     List.iter
+       (fun (r, w) ->
+         Buffer.add_string buf
+           (Format.asprintf "  %a = %a\n" Ptaint_isa.Reg.pp_sym r Ptaint_taint.Tword.pp w))
+       regs);
+  Buffer.contents buf

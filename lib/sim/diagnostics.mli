@@ -1,0 +1,28 @@
+(** Post-mortem diagnostics for alerts and faults.
+
+    When the detector fires, the operator wants more than a PC: which
+    function, called from where, and what the tainted registers held.
+    The frame layout is fixed (saved FP at [fp+0], return address at
+    [fp+4]), so the guest call chain can be recovered by walking the
+    frame-pointer links — exactly what a debugger does. *)
+
+val nearest_symbol : Ptaint_asm.Program.t -> int -> (string * int) option
+(** [nearest_symbol p addr] is the closest text symbol at or below
+    [addr] and the offset into it. *)
+
+val symbolize : Ptaint_asm.Program.t -> int -> string
+(** ["function+0x1c"] or the bare hex address. *)
+
+type frame = { pc : int; location : string }
+
+val backtrace :
+  ?limit:int -> Ptaint_asm.Program.t -> Ptaint_cpu.Machine.t -> frame list
+(** Innermost frame first.  Stops at [main]/[_start], on a corrupt
+    frame chain, or after [limit] frames (default 32). *)
+
+val tainted_registers : Ptaint_cpu.Machine.t -> (Ptaint_isa.Reg.t * Ptaint_taint.Tword.t) list
+
+val report : Sim.result -> string
+(** A human-readable incident report for an [Alert]/[Fault] outcome:
+    the alert line, symbolized PC, guest backtrace, and the tainted
+    registers at the time of detection. *)

@@ -1,0 +1,148 @@
+open Ptaint_cpu
+open Ptaint_os
+
+type config = {
+  policy : Policy.t;
+  sources : Sources.t;
+  argv : string list;
+  env : (string * string) list;
+  stdin : string;
+  sessions : string list list;
+  fs_init : (string * string) list;
+  uid : int;
+  max_instructions : int;
+  timing : bool;
+  on_step : (Machine.t -> Ptaint_isa.Insn.t -> unit) option;
+}
+
+let default_config =
+  { policy = Policy.default;
+    sources = Sources.all;
+    argv = [ "prog" ];
+    env = [];
+    stdin = "";
+    sessions = [];
+    fs_init = [];
+    uid = 1000;
+    max_instructions = 200_000_000;
+    timing = false;
+    on_step = None }
+
+let config ?(policy = default_config.policy) ?(sources = default_config.sources)
+    ?(argv = default_config.argv) ?(env = default_config.env) ?(stdin = default_config.stdin)
+    ?(sessions = default_config.sessions) ?(fs_init = default_config.fs_init)
+    ?(uid = default_config.uid) ?(max_instructions = default_config.max_instructions)
+    ?(timing = default_config.timing) ?on_step () =
+  { policy; sources; argv; env; stdin; sessions; fs_init; uid; max_instructions; timing;
+    on_step }
+
+type outcome =
+  | Exited of int
+  | Alert of Machine.alert
+  | Fault of Machine.fault
+  | Trap of int
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  stdout : string;
+  net_sent : string list;
+  execs : string list;
+  final_uid : int;
+  instructions : int;
+  input_bytes : int;
+  syscalls : int;
+  cycles : int option;
+  pipeline : Pipeline.stats option;
+  kernel : Kernel.t;
+  machine : Machine.t;
+  image : Ptaint_asm.Loader.image;
+}
+
+let pp_outcome ppf = function
+  | Exited c -> Format.fprintf ppf "exited with status %d" c
+  | Alert a -> Format.fprintf ppf "SECURITY ALERT: %a" Machine.pp_alert a
+  | Fault f -> Format.fprintf ppf "fault: %a" Machine.pp_fault f
+  | Trap c -> Format.fprintf ppf "break trap %d" c
+  | Out_of_fuel -> Format.pp_print_string ppf "instruction budget exhausted"
+
+let detected r = match r.outcome with Alert _ -> true | _ -> false
+
+type session = {
+  s_machine : Machine.t;
+  s_kernel : Kernel.t;
+  s_image : Ptaint_asm.Loader.image;
+  s_config : config;
+  s_pipeline : Pipeline.t option;
+}
+
+type progress = Running | Finished of outcome
+
+let boot ?(config = default_config) program =
+  let image =
+    Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program
+  in
+  let machine =
+    Machine.create ~policy:config.policy ~code:image.Ptaint_asm.Loader.code
+      ~mem:image.Ptaint_asm.Loader.mem ~entry:image.Ptaint_asm.Loader.entry ()
+  in
+  Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
+    (Ptaint_taint.Tword.untainted image.Ptaint_asm.Loader.initial_sp);
+  let fs = Fs.create () in
+  List.iter (fun (path, contents) -> Fs.add fs ~path contents) config.fs_init;
+  let kernel =
+    Kernel.create ~sources:config.sources ~fs ~stdin:config.stdin ~sessions:config.sessions
+      ~uid:config.uid ~heap_base:image.Ptaint_asm.Loader.heap_base
+      ~heap_limit:image.Ptaint_asm.Loader.heap_limit ~mem:image.Ptaint_asm.Loader.mem ()
+  in
+  let pipe = if config.timing then Some (Pipeline.create machine) else None in
+  { s_machine = machine; s_kernel = kernel; s_image = image; s_config = config;
+    s_pipeline = pipe }
+
+let session_step s =
+  let machine = s.s_machine in
+  if machine.Machine.icount >= s.s_config.max_instructions then Finished Out_of_fuel
+  else begin
+    (match s.s_config.on_step with
+     | Some hook -> (
+       match Machine.fetch machine machine.Machine.pc with
+       | Some insn -> hook machine insn
+       | None -> ())
+     | None -> ());
+    match
+      (match s.s_pipeline with Some p -> Pipeline.step p | None -> Machine.step machine)
+    with
+    | Machine.Normal -> Running
+    | Machine.Syscall -> (
+      match Kernel.handle s.s_kernel machine with
+      | `Continue -> Running
+      | `Exit code -> Finished (Exited code))
+    | Machine.Alert a -> Finished (Alert a)
+    | Machine.Fault f -> Finished (Fault f)
+    | Machine.Break_trap c -> Finished (Trap c)
+  end
+
+let result_of s outcome =
+  { outcome;
+    stdout = Kernel.stdout_contents s.s_kernel;
+    net_sent = Socket.sent (Kernel.net s.s_kernel);
+    execs = Kernel.execs s.s_kernel;
+    final_uid = Kernel.uid s.s_kernel;
+    instructions = s.s_machine.Machine.icount;
+    input_bytes = Kernel.input_bytes s.s_kernel;
+    syscalls = Kernel.syscall_count s.s_kernel;
+    cycles = Option.map (fun p -> (Pipeline.stats p).Pipeline.cycles) s.s_pipeline;
+    pipeline = Option.map Pipeline.stats s.s_pipeline;
+    kernel = s.s_kernel;
+    machine = s.s_machine;
+    image = s.s_image }
+
+let finish s =
+  let rec loop () =
+    match session_step s with Running -> loop () | Finished outcome -> outcome
+  in
+  result_of s (loop ())
+
+let run ?config program = finish (boot ?config program)
+
+let run_asm ?config source = run ?config (Ptaint_asm.Assembler.assemble_exn source)

@@ -1,0 +1,83 @@
+(** Whole-system simulator: CPU + memory + OS + program.
+
+    This is the facade the examples and experiments drive: configure
+    the protection {!Ptaint_cpu.Policy.t}, the taint sources, and the
+    external world (argv, stdin, scripted network sessions, files),
+    run a program, and observe the outcome — a clean exit, a security
+    alert (detected attack), or a fault (the undetected attack
+    crashing or corrupting the guest). *)
+
+type config = {
+  policy : Ptaint_cpu.Policy.t;
+  sources : Ptaint_os.Sources.t;
+  argv : string list;
+  env : (string * string) list;
+  stdin : string;
+  sessions : string list list;  (** scripted inbound network sessions *)
+  fs_init : (string * string) list;  (** path, contents *)
+  uid : int;
+  max_instructions : int;
+  timing : bool;  (** run through the pipeline timing model *)
+  on_step : (Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) option;
+      (** called before each instruction executes — tracing hook *)
+}
+
+val default_config : config
+val config : ?policy:Ptaint_cpu.Policy.t -> ?sources:Ptaint_os.Sources.t ->
+  ?argv:string list -> ?env:(string * string) list -> ?stdin:string ->
+  ?sessions:string list list -> ?fs_init:(string * string) list -> ?uid:int ->
+  ?max_instructions:int -> ?timing:bool ->
+  ?on_step:(Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> unit -> config
+
+type outcome =
+  | Exited of int
+  | Alert of Ptaint_cpu.Machine.alert
+  | Fault of Ptaint_cpu.Machine.fault
+  | Trap of int
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  stdout : string;
+  net_sent : string list;
+  execs : string list;
+  final_uid : int;
+  instructions : int;
+  input_bytes : int;
+  syscalls : int;
+  cycles : int option;      (** when [timing] *)
+  pipeline : Ptaint_cpu.Pipeline.stats option;
+  kernel : Ptaint_os.Kernel.t;
+  machine : Ptaint_cpu.Machine.t;
+  image : Ptaint_asm.Loader.image;
+}
+
+(** {1 Steppable sessions}
+
+    {!run} drives a program to completion; a {!session} exposes the
+    same machinery one instruction at a time, for debuggers and
+    custom drivers. *)
+
+type session = {
+  s_machine : Ptaint_cpu.Machine.t;
+  s_kernel : Ptaint_os.Kernel.t;
+  s_image : Ptaint_asm.Loader.image;
+  s_config : config;
+  s_pipeline : Ptaint_cpu.Pipeline.t option;
+}
+
+type progress = Running | Finished of outcome
+
+val boot : ?config:config -> Ptaint_asm.Program.t -> session
+val session_step : session -> progress
+(** Execute one instruction (servicing syscalls transparently). *)
+
+val finish : session -> result
+(** Run the session to completion and collect the result. *)
+
+val run : ?config:config -> Ptaint_asm.Program.t -> result
+val run_asm : ?config:config -> string -> result
+(** Assemble (failing loudly on errors) and run. *)
+
+val detected : result -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

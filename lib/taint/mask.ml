@@ -1,0 +1,29 @@
+type t = int
+
+let none = 0
+let all ~bytes = (1 lsl bytes) - 1
+let word = all ~bytes:4
+let is_tainted m = m <> 0
+let byte m i = m land (1 lsl i) <> 0
+let set_byte m i = m lor (1 lsl i)
+let clear_byte m i = m land lnot (1 lsl i)
+let of_byte b = if b then 1 else 0
+let union = ( lor )
+let inter = ( land )
+let restrict m ~bytes = m land all ~bytes
+let equal = Int.equal
+
+let tainted_bytes m =
+  let rec count acc m = if m = 0 then acc else count (acc + (m land 1)) (m lsr 1) in
+  count 0 m
+
+let of_bools bs =
+  List.fold_left (fun (i, m) b -> (i + 1, if b then set_byte m i else m)) (0, none) bs
+  |> snd
+
+let to_bools ~bytes m = List.init bytes (byte m)
+
+let pp ?(bytes = 4) ppf m =
+  for i = bytes - 1 downto 0 do
+    Format.pp_print_char ppf (if byte m i then '1' else '0')
+  done

@@ -1,0 +1,17 @@
+type t = { v : int; m : Mask.t }
+
+let mask32 = 0xFFFFFFFF
+let make ~v ~m = { v = v land mask32; m = Mask.restrict m ~bytes:4 }
+let untainted v = make ~v ~m:Mask.none
+let tainted v = make ~v ~m:Mask.word
+let zero = untainted 0
+let value w = w.v
+let mask w = w.m
+let is_tainted w = Mask.is_tainted w.m
+let with_value w v = make ~v ~m:w.m
+let with_mask w m = make ~v:w.v ~m
+let equal a b = a.v = b.v && Mask.equal a.m b.m
+
+let pp ppf w =
+  if Mask.is_tainted w.m then Format.fprintf ppf "0x%08x[t:%a]" w.v (Mask.pp ?bytes:None) w.m
+  else Format.fprintf ppf "0x%08x" w.v

@@ -1,0 +1,26 @@
+(** Tainted 32-bit words: a machine word paired with its per-byte
+    taintedness mask.  This is the datum that flows through the
+    extended register file, pipeline latches, caches and memory of the
+    paper's architecture (section 4.1). *)
+
+type t = private { v : int; m : Mask.t }
+(** [v] is the 32-bit value (invariant: [0 <= v < 2^32]); [m] its
+    4-bit taint mask. *)
+
+val make : v:int -> m:Mask.t -> t
+(** Masks [v] to 32 bits and [m] to 4 byte-bits. *)
+
+val untainted : int -> t
+val tainted : int -> t
+(** [tainted v] marks all four bytes tainted. *)
+
+val zero : t
+val value : t -> int
+val mask : t -> Mask.t
+val is_tainted : t -> bool
+val with_value : t -> int -> t
+val with_mask : t -> Mask.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints as [0x<hex>[t:0011]]; the taint suffix is omitted when the
+    word is clean. *)

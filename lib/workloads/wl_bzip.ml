@@ -1,0 +1,199 @@
+(* "BZIP2": block compressor — Burrows-Wheeler transform +
+   move-to-front + run-length coding, with in-guest decompression and
+   verification.  Exercises the idioms bzip2 does: block sorting with
+   data-dependent comparisons, table-driven transforms, byte
+   shuffling of tainted input. *)
+
+let source =
+  {|
+char block[256];
+char last_col[256];
+int rot[256];
+char mtf_alpha[256];
+char coded[256];
+char rle[600];
+char decoded_rle[256];
+char decoded_mtf[256];
+char recovered[256];
+int counts[256];
+int starts[256];
+int tvec[256];
+
+/* compare rotations a and b of block[0..n-1] cyclically */
+int rot_cmp(int a, int b, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int ca = block[(a + i) % n];
+    int cb = block[(b + i) % n];
+    if (ca != cb) return ca - cb;
+  }
+  return 0;
+}
+
+/* returns the primary index */
+int bwt_encode(int n) {
+  int i;
+  for (i = 0; i < n; i++) rot[i] = i;
+  /* insertion sort of rotation start indices */
+  for (i = 1; i < n; i++) {
+    int v = rot[i];
+    int j = i - 1;
+    while (j >= 0 && rot_cmp(rot[j], v, n) > 0) {
+      rot[j + 1] = rot[j];
+      j--;
+    }
+    rot[j + 1] = v;
+  }
+  int primary = -1;
+  for (i = 0; i < n; i++) {
+    last_col[i] = block[(rot[i] + n - 1) % n];
+    if (rot[i] == 0) primary = i;
+  }
+  return primary;
+}
+
+void bwt_decode(int n, int primary) {
+  int i;
+  for (i = 0; i < 256; i++) counts[i] = 0;
+  for (i = 0; i < n; i++) {
+    int c = last_col[i];
+    if (c < 0 || c > 255) return;   /* range check before indexing */
+    counts[c]++;
+  }
+  int total = 0;
+  for (i = 0; i < 256; i++) {
+    starts[i] = total;
+    total += counts[i];
+  }
+  for (i = 0; i < 256; i++) counts[i] = 0;
+  for (i = 0; i < n; i++) {
+    int c = last_col[i];
+    if (c < 0 || c > 255) return;
+    tvec[starts[c] + counts[c]] = i;
+    counts[c]++;
+  }
+  int p = tvec[primary];
+  for (i = 0; i < n; i++) {
+    recovered[i] = last_col[p];
+    p = tvec[p];
+  }
+}
+
+void mtf_init(void) {
+  int i;
+  for (i = 0; i < 256; i++) mtf_alpha[i] = i;
+}
+
+void mtf_encode(int n) {
+  mtf_init();
+  int i;
+  for (i = 0; i < n; i++) {
+    int c = last_col[i];
+    int j = 0;
+    while (mtf_alpha[j] != c) j++;
+    coded[i] = j;
+    while (j > 0) {
+      mtf_alpha[j] = mtf_alpha[j - 1];
+      j--;
+    }
+    mtf_alpha[0] = c;
+  }
+}
+
+void mtf_decode(int n) {
+  mtf_init();
+  int i;
+  for (i = 0; i < n; i++) {
+    int j = decoded_rle[i];
+    int c = mtf_alpha[j];
+    decoded_mtf[i] = c;
+    while (j > 0) {
+      mtf_alpha[j] = mtf_alpha[j - 1];
+      j--;
+    }
+    mtf_alpha[0] = c;
+  }
+}
+
+/* run-length code the MTF stream: (count, byte) pairs */
+int rle_encode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    int c = coded[i];
+    int run = 1;
+    while (i + run < n && coded[i + run] == c && run < 255) run++;
+    rle[out] = run;
+    rle[out + 1] = c;
+    out += 2;
+    i += run;
+  }
+  return out;
+}
+
+int rle_decode(int m) {
+  int out = 0;
+  int i = 0;
+  while (i < m) {
+    int run = rle[i];
+    int c = rle[i + 1];
+    int k;
+    for (k = 0; k < run; k++) {
+      decoded_rle[out] = c;
+      out++;
+    }
+    i += 2;
+  }
+  return out;
+}
+
+int main(void) {
+  int total_in = 0;
+  int total_out = 0;
+  int blocks = 0;
+  int n;
+  while ((n = read(0, block, 96)) > 0) {
+    int primary = bwt_encode(n);
+    mtf_encode(n);
+    int m = rle_encode(n);
+    /* decompress and verify */
+    int r = rle_decode(m);
+    if (r != n) {
+      puts("RLE LENGTH MISMATCH");
+      return 1;
+    }
+    mtf_decode(n);
+    int i;
+    for (i = 0; i < n; i++) last_col[i] = decoded_mtf[i];
+    bwt_decode(n, primary);
+    for (i = 0; i < n; i++) {
+      if (recovered[i] != block[i]) {
+        printf("VERIFY FAILED at block %d offset %d\n", blocks, i);
+        return 1;
+      }
+    }
+    total_in += n;
+    total_out += m + 4;
+    blocks++;
+  }
+  printf("bzip: %d blocks, %d bytes in, %d bytes coded, verify OK\n",
+         blocks, total_in, total_out);
+  return 0;
+}
+|}
+
+(* Deterministic pseudo-text input: compressible but nontrivial. *)
+let input ?(bytes = 1152) () =
+  let state = ref 123456789 in
+  let rand () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 16
+  in
+  let words = [| "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog";
+                 "pack"; "my"; "box"; "with"; "five"; "dozen"; "liquor"; "jugs" |] in
+  let buf = Buffer.create bytes in
+  while Buffer.length buf < bytes do
+    Buffer.add_string buf words.(rand () mod Array.length words);
+    Buffer.add_char buf (if rand () mod 13 = 0 then '\n' else ' ')
+  done;
+  Buffer.sub buf 0 bytes

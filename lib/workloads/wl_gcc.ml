@@ -1,0 +1,247 @@
+(* "GCC": a compiler workload — parses assignment/expression source,
+   emits code for a small stack VM, runs a constant-folding
+   optimisation pass over the instruction stream, then executes both
+   versions and checks they agree.  Exercises compiler idioms:
+   recursive-descent parsing, instruction buffers, peephole passes. *)
+
+let source =
+  {|
+char src[6000];
+int srclen = 0;
+int pos = 0;
+
+/* VM opcodes */
+int OP_PUSH = 1;
+int OP_LOAD = 2;
+int OP_STORE = 3;
+int OP_ADD = 4;
+int OP_SUB = 5;
+int OP_MUL = 6;
+int OP_DIV = 7;
+int OP_NEG = 8;
+
+int code_op[2000];
+int code_arg[2000];
+int ncode = 0;
+
+int opt_op[2000];
+int opt_arg[2000];
+int nopt = 0;
+
+int vars[26];
+int stack[64];
+
+void emit(int op, int arg) {
+  if (ncode < 2000) {
+    code_op[ncode] = op;
+    code_arg[ncode] = arg;
+    ncode++;
+  }
+}
+
+void skip_ws(void) {
+  while (pos < srclen && (src[pos] == ' ' || src[pos] == '\t')) pos++;
+}
+
+int parse_expr(void);
+
+int parse_primary(void) {
+  skip_ws();
+  if (pos >= srclen) return -1;
+  char c = src[pos];
+  if (c >= '0' && c <= '9') {
+    int v = 0;
+    while (pos < srclen) {
+      char d = src[pos];
+      if (d < '0' || d > '9') break;
+      v = v * 10 + (d - '0');
+      pos++;
+    }
+    emit(OP_PUSH, v);
+    return 0;
+  }
+  if (c >= 'a' && c <= 'z') {
+    pos++;
+    emit(OP_LOAD, c - 'a');
+    return 0;
+  }
+  if (c == '(') {
+    pos++;
+    if (parse_expr()) return -1;
+    skip_ws();
+    if (pos >= srclen || src[pos] != ')') return -1;
+    pos++;
+    return 0;
+  }
+  if (c == '-') {
+    pos++;
+    if (parse_primary()) return -1;
+    emit(OP_NEG, 0);
+    return 0;
+  }
+  return -1;
+}
+
+int parse_term(void) {
+  if (parse_primary()) return -1;
+  while (1) {
+    skip_ws();
+    if (pos < srclen && src[pos] == '*') {
+      pos++;
+      if (parse_primary()) return -1;
+      emit(OP_MUL, 0);
+    } else if (pos < srclen && src[pos] == '/') {
+      pos++;
+      if (parse_primary()) return -1;
+      emit(OP_DIV, 0);
+    } else return 0;
+  }
+  return 0;
+}
+
+int parse_expr(void) {
+  if (parse_term()) return -1;
+  while (1) {
+    skip_ws();
+    if (pos < srclen && src[pos] == '+') {
+      pos++;
+      if (parse_term()) return -1;
+      emit(OP_ADD, 0);
+    } else if (pos < srclen && src[pos] == '-') {
+      pos++;
+      if (parse_term()) return -1;
+      emit(OP_SUB, 0);
+    } else return 0;
+  }
+  return 0;
+}
+
+/* statement: <var> = <expr> \n */
+int parse_stmt(void) {
+  skip_ws();
+  while (pos < srclen && src[pos] == '\n') { pos++; skip_ws(); }
+  if (pos >= srclen) return 1;
+  char v = src[pos];
+  if (v < 'a' || v > 'z') return -1;
+  pos++;
+  skip_ws();
+  if (pos >= srclen || src[pos] != '=') return -1;
+  pos++;
+  if (parse_expr()) return -1;
+  emit(OP_STORE, v - 'a');
+  return 0;
+}
+
+/* constant folding: PUSH a; PUSH b; <binop>  ->  PUSH (a op b) */
+void optimize(void) {
+  nopt = 0;
+  int i;
+  for (i = 0; i < ncode; i++) {
+    int op = code_op[i];
+    int folded = 0;
+    if (nopt >= 2 && opt_op[nopt - 1] == OP_PUSH && opt_op[nopt - 2] == OP_PUSH) {
+      int b = opt_arg[nopt - 1];
+      int a = opt_arg[nopt - 2];
+      int v = 0;
+      if (op == OP_ADD) { v = a + b; folded = 1; }
+      else if (op == OP_SUB) { v = a - b; folded = 1; }
+      else if (op == OP_MUL) { v = a * b; folded = 1; }
+      else if (op == OP_DIV && b != 0) { v = a / b; folded = 1; }
+      if (folded) {
+        nopt--;
+        opt_arg[nopt - 1] = v;
+      }
+    }
+    if (!folded) {
+      if (nopt >= 1 && op == OP_NEG && opt_op[nopt - 1] == OP_PUSH) {
+        opt_arg[nopt - 1] = 0 - opt_arg[nopt - 1];
+      } else {
+        opt_op[nopt] = op;
+        opt_arg[nopt] = code_arg[i];
+        nopt++;
+      }
+    }
+  }
+}
+
+int execute(int *ops, int *args, int n) {
+  int sp = 0;
+  int i;
+  for (i = 0; i < 26; i++) vars[i] = 0;
+  for (i = 0; i < n; i++) {
+    int op = ops[i];
+    int a = args[i];
+    if (op == OP_PUSH) { stack[sp] = a; sp++; }
+    else if (op == OP_LOAD) { stack[sp] = vars[a]; sp++; }
+    else if (op == OP_STORE) { sp--; vars[a] = stack[sp]; }
+    else if (op == OP_NEG) { stack[sp - 1] = 0 - stack[sp - 1]; }
+    else {
+      sp--;
+      int b = stack[sp];
+      int x = stack[sp - 1];
+      if (op == OP_ADD) stack[sp - 1] = x + b;
+      else if (op == OP_SUB) stack[sp - 1] = x - b;
+      else if (op == OP_MUL) stack[sp - 1] = x * b;
+      else if (op == OP_DIV && b != 0) stack[sp - 1] = x / b;
+      else stack[sp - 1] = 0;
+    }
+    if (sp < 0 || sp > 60) return -1;
+  }
+  int sum = 0;
+  for (i = 0; i < 26; i++) sum += vars[i] * (i + 1);
+  return sum;
+}
+
+int main(void) {
+  int r;
+  while (srclen < 5400 && (r = read(0, src + srclen, 512)) > 0) srclen += r;
+  int statements = 0;
+  while (1) {
+    int s = parse_stmt();
+    if (s == 1) break;
+    if (s == -1) {
+      puts("PARSE ERROR");
+      return 1;
+    }
+    statements++;
+  }
+  int plain = execute(code_op, code_arg, ncode);
+  optimize();
+  int opt = execute(opt_op, opt_arg, nopt);
+  if (plain != opt) {
+    printf("MISCOMPILE: %d != %d\n", plain, opt);
+    return 1;
+  }
+  printf("gcc: %d statements, %d ops, %d after folding, checksum %d\n",
+         statements, ncode, nopt, plain);
+  return 0;
+}
+|}
+
+(* Deterministic random program text. *)
+let input ?(statements = 150) () =
+  let state = ref 987654321 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 7 mod n
+  in
+  let buf = Buffer.create 2048 in
+  let rec expr depth =
+    if depth > 2 || rand 3 = 0 then
+      if rand 2 = 0 then Buffer.add_string buf (string_of_int (rand 100))
+      else Buffer.add_char buf (Char.chr (Char.code 'a' + rand 26))
+    else begin
+      Buffer.add_char buf '(';
+      expr (depth + 1);
+      Buffer.add_char buf [| '+'; '-'; '*' |].(rand 3);
+      expr (depth + 1);
+      Buffer.add_char buf ')'
+    end
+  in
+  for _ = 1 to statements do
+    Buffer.add_char buf (Char.chr (Char.code 'a' + rand 26));
+    Buffer.add_char buf '=';
+    expr 0;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,105 @@
+(* "GZIP": LZ77 with a brute-force sliding-window match finder,
+   in-guest decompression and verification.  Exercises gzip's idioms:
+   window scanning with data-dependent loop exits, copy loops,
+   length/distance token streams. *)
+
+let source =
+  {|
+char text[6000];
+char packed[9000];
+char unpacked[6000];
+
+int min_match = 3;
+int max_match = 18;
+int window = 64;
+
+/* find the longest match for text[pos..] in the preceding window;
+   returns length, stores distance through *dist */
+int find_match(int pos, int n, int *dist) {
+  int best_len = 0;
+  int best_dist = 0;
+  int start = pos - window;
+  if (start < 0) start = 0;
+  int cand;
+  for (cand = start; cand < pos; cand++) {
+    int len = 0;
+    while (len < max_match && pos + len < n && text[cand + len] == text[pos + len]) len++;
+    if (len > best_len) {
+      best_len = len;
+      best_dist = pos - cand;
+    }
+  }
+  *dist = best_dist;
+  return best_len;
+}
+
+/* token stream: 0 <char>  |  1 <len> <dist> */
+int compress(int n) {
+  int out = 0;
+  int pos = 0;
+  while (pos < n) {
+    int dist = 0;
+    int len = find_match(pos, n, &dist);
+    if (len >= min_match) {
+      packed[out] = 1;
+      packed[out + 1] = len;
+      packed[out + 2] = dist;
+      out += 3;
+      pos += len;
+    } else {
+      packed[out] = 0;
+      packed[out + 1] = text[pos];
+      out += 2;
+      pos++;
+    }
+  }
+  return out;
+}
+
+int decompress(int m) {
+  int out = 0;
+  int i = 0;
+  while (i < m) {
+    if (packed[i] == 1) {
+      int len = packed[i + 1];
+      int dist = packed[i + 2];
+      if (len < 0 || len > 18) return -1;      /* corrupt stream guard */
+      if (dist < 1 || dist > out) return -1;
+      int k;
+      for (k = 0; k < len; k++) {
+        unpacked[out] = unpacked[out - dist];
+        out++;
+      }
+      i += 3;
+    } else {
+      unpacked[out] = packed[i + 1];
+      out++;
+      i += 2;
+    }
+  }
+  return out;
+}
+
+int main(void) {
+  int n = 0;
+  int r;
+  while (n < 5400 && (r = read(0, text + n, 512)) > 0) n += r;
+  int m = compress(n);
+  int u = decompress(m);
+  if (u != n) {
+    printf("LENGTH MISMATCH %d != %d\n", u, n);
+    return 1;
+  }
+  int i;
+  for (i = 0; i < n; i++) {
+    if (unpacked[i] != text[i]) {
+      printf("VERIFY FAILED at %d\n", i);
+      return 1;
+    }
+  }
+  printf("gzip: %d bytes in, %d bytes packed, verify OK\n", n, m);
+  return 0;
+}
+|}
+
+let input ?(bytes = 2000) () = Wl_bzip.input ~bytes ()

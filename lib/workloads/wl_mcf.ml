@@ -1,0 +1,109 @@
+(* "MCF": network optimisation — single-source shortest paths by
+   Bellman-Ford over an edge list read from input, plus a relaxation
+   fixpoint check.  Exercises MCF's idioms: pointer-free graph arrays,
+   repeated relaxation sweeps, arithmetic on parsed quantities. *)
+
+let source =
+  {|
+char buf[8000];
+int buflen = 0;
+int rpos = 0;
+
+int eu[3000];
+int ev[3000];
+int ew[3000];
+int dist[400];
+
+/* parse a non-negative integer from the input buffer */
+int read_int(void) {
+  while (rpos < buflen) {
+    char c = buf[rpos];
+    if (c >= '0' && c <= '9') break;
+    rpos++;
+  }
+  int v = 0;
+  int any = 0;
+  while (rpos < buflen) {
+    char c = buf[rpos];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + (c - '0');
+    any = 1;
+    rpos++;
+  }
+  if (!any) return -1;
+  return v;
+}
+
+int main(void) {
+  int r;
+  while (buflen < 7400 && (r = read(0, buf + buflen, 512)) > 0) buflen += r;
+  int n = read_int();
+  int m = read_int();
+  if (n <= 0 || n > 400 || m <= 0 || m > 3000) {
+    puts("BAD GRAPH");
+    return 1;
+  }
+  int i;
+  for (i = 0; i < m; i++) {
+    int u = read_int();
+    int v = read_int();
+    int w = read_int();
+    if (u < 0 || u >= n || v < 0 || v >= n || w < 0) {
+      puts("BAD EDGE");
+      return 1;
+    }
+    eu[i] = u;
+    ev[i] = v;
+    ew[i] = w;
+  }
+  int inf = 0x3FFFFFFF;
+  for (i = 0; i < n; i++) dist[i] = inf;
+  dist[0] = 0;
+  int pass;
+  int changed = 1;
+  for (pass = 0; pass < n && changed; pass++) {
+    changed = 0;
+    for (i = 0; i < m; i++) {
+      int du = dist[eu[i]];
+      if (du < inf && du + ew[i] < dist[ev[i]]) {
+        dist[ev[i]] = du + ew[i];
+        changed = 1;
+      }
+    }
+  }
+  /* fixpoint verification: no edge can still relax */
+  for (i = 0; i < m; i++) {
+    if (dist[eu[i]] < inf && dist[eu[i]] + ew[i] < dist[ev[i]]) {
+      puts("RELAXATION NOT AT FIXPOINT");
+      return 1;
+    }
+  }
+  int reach = 0;
+  int total = 0;
+  for (i = 0; i < n; i++) {
+    if (dist[i] < inf) {
+      reach++;
+      total += dist[i];
+    }
+  }
+  printf("mcf: %d nodes, %d edges, %d reachable, distance sum %d\n", n, m, reach, total);
+  return 0;
+}
+|}
+
+let input ?(nodes = 100) ?(edges = 700) () =
+  let state = ref 55555 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 5 mod n
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" nodes edges);
+  for i = 0 to edges - 1 do
+    (* a connected backbone plus random chords *)
+    let u, v =
+      if i < nodes - 1 then (i, i + 1) else (rand nodes, rand nodes)
+    in
+    Buffer.add_string buf (Printf.sprintf "%d %d %d\n" u v (1 + rand 50))
+  done;
+  Buffer.contents buf

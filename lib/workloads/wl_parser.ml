@@ -1,0 +1,129 @@
+(* "PARSER": natural-language-flavoured text processing — tokenizer,
+   open-addressing hash table of word frequencies, and per-sentence
+   statistics.  Exercises PARSER's idioms: string hashing, table
+   probing, dictionary-driven dispatch on tainted text. *)
+
+let source =
+  {|
+char text[8000];
+int textlen = 0;
+
+int HASHSIZE = 509;
+char table_words[509][16];
+int table_counts[509];
+int distinct = 0;
+
+int hash_word(char *w, int len) {
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i++) {
+    char c = w[i];
+    if (c < 0) return 0;           /* range-validate before arithmetic */
+    h = (h * 33 + c) % 1000003;
+  }
+  h = h % 509;
+  if (h < 0) h = h + 509;
+  return h;
+}
+
+int is_letter(int c) {
+  if (c >= 'a' && c <= 'z') return 1;
+  if (c >= 'A' && c <= 'Z') return 1;
+  return 0;
+}
+
+void record(char *w, int len) {
+  if (len > 15) len = 15;
+  char key[16];
+  int i;
+  for (i = 0; i < len; i++) {
+    char c = w[i];
+    if (c >= 'A' && c <= 'Z') c = c + 32;   /* lowercase */
+    key[i] = c;
+  }
+  key[len] = 0;
+  int h = hash_word(key, len);
+  int probes = 0;
+  while (probes < 509) {
+    if (table_counts[h] == 0) {
+      strcpy(table_words[h], key);
+      table_counts[h] = 1;
+      distinct++;
+      return;
+    }
+    if (strcmp(table_words[h], key) == 0) {
+      table_counts[h]++;
+      return;
+    }
+    h = (h + 1) % 509;
+    probes++;
+  }
+}
+
+int main(void) {
+  int r;
+  while (textlen < 7400 && (r = read(0, text + textlen, 512)) > 0) textlen += r;
+  int words = 0;
+  int sentences = 0;
+  int longest_sentence = 0;
+  int current = 0;
+  int i = 0;
+  while (i < textlen) {
+    int c = text[i];
+    if (is_letter(c)) {
+      int start = i;
+      while (i < textlen && is_letter(text[i])) i++;
+      record(text + start, i - start);
+      words++;
+      current++;
+    } else {
+      if (c == '.' || c == '!' || c == '?') {
+        sentences++;
+        if (current > longest_sentence) longest_sentence = current;
+        current = 0;
+      }
+      i++;
+    }
+  }
+  /* frequency statistics */
+  int maxcount = 0;
+  int maxslot = -1;
+  int total = 0;
+  for (i = 0; i < 509; i++) {
+    total += table_counts[i];
+    if (table_counts[i] > maxcount) {
+      maxcount = table_counts[i];
+      maxslot = i;
+    }
+  }
+  if (total != words) {
+    puts("COUNT MISMATCH");
+    return 1;
+  }
+  printf("parser: %d words, %d distinct, %d sentences, longest %d, top '%s' x%d\n",
+         words, distinct, sentences, longest_sentence, table_words[maxslot], maxcount);
+  return 0;
+}
+|}
+
+let input ?(bytes = 4000) () =
+  let state = ref 24680 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 9 mod n
+  in
+  let words =
+    [| "time"; "person"; "year"; "way"; "day"; "thing"; "man"; "world"; "life";
+       "hand"; "part"; "child"; "eye"; "woman"; "place"; "work"; "week"; "case";
+       "point"; "government"; "company"; "number"; "group"; "problem"; "fact" |]
+  in
+  let buf = Buffer.create bytes in
+  while Buffer.length buf < bytes do
+    let sentence_len = 4 + rand 12 in
+    for i = 0 to sentence_len - 1 do
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf words.(rand (Array.length words))
+    done;
+    Buffer.add_string buf ". "
+  done;
+  Buffer.sub buf 0 bytes

@@ -1,0 +1,164 @@
+(* "VPR": FPGA place-and-route flavour — reads a netlist, places cells
+   on a grid, then improves the placement by simulated annealing with
+   random pairwise swaps.  Exercises VPR's idioms: cost evaluation
+   over a netlist, randomised perturbation, monotone convergence
+   bookkeeping. *)
+
+let source =
+  {|
+char buf[8000];
+int buflen = 0;
+int rpos = 0;
+
+int cell_x[200];
+int cell_y[200];
+int net_a[600];
+int net_b[600];
+int grid = 16;
+
+int read_int(void) {
+  while (rpos < buflen) {
+    char c = buf[rpos];
+    if (c >= '0' && c <= '9') break;
+    rpos++;
+  }
+  int v = 0;
+  int any = 0;
+  while (rpos < buflen) {
+    char c = buf[rpos];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + (c - '0');
+    any = 1;
+    rpos++;
+  }
+  if (!any) return -1;
+  return v;
+}
+
+int net_cost(int i) {
+  int a = net_a[i];
+  int b = net_b[i];
+  return abs(cell_x[a] - cell_x[b]) + abs(cell_y[a] - cell_y[b]);
+}
+
+int total_cost(int nnets) {
+  int c = 0;
+  int i;
+  for (i = 0; i < nnets; i++) c += net_cost(i);
+  return c;
+}
+
+/* incidence lists so swap deltas are evaluated incrementally, as the
+   real VPR does */
+int incident[200][16];
+int nincident[200];
+
+void build_incidence(int nnets) {
+  int i;
+  for (i = 0; i < 200; i++) nincident[i] = 0;
+  for (i = 0; i < nnets; i++) {
+    int a = net_a[i];
+    int b = net_b[i];
+    if (nincident[a] < 16) {
+      incident[a][nincident[a]] = i;
+      nincident[a]++;
+    }
+    if (b != a && nincident[b] < 16) {
+      incident[b][nincident[b]] = i;
+      nincident[b]++;
+    }
+  }
+}
+
+int local_cost(int cell) {
+  int c = 0;
+  int k;
+  for (k = 0; k < nincident[cell]; k++) c += net_cost(incident[cell][k]);
+  return c;
+}
+
+int main(void) {
+  int r;
+  while (buflen < 7400 && (r = read(0, buf + buflen, 512)) > 0) buflen += r;
+  int ncells = read_int();
+  int nnets = read_int();
+  if (ncells <= 1 || ncells > 200 || nnets <= 0 || nnets > 600) {
+    puts("BAD NETLIST");
+    return 1;
+  }
+  int i;
+  for (i = 0; i < nnets; i++) {
+    int a = read_int();
+    int b = read_int();
+    if (a < 0 || a >= ncells || b < 0 || b >= ncells) {
+      puts("BAD NET");
+      return 1;
+    }
+    net_a[i] = a;
+    net_b[i] = b;
+  }
+  /* initial placement: row major */
+  for (i = 0; i < ncells; i++) {
+    cell_x[i] = i % grid;
+    cell_y[i] = i / grid;
+  }
+  build_incidence(nnets);
+  int before = total_cost(nnets);
+  /* annealing: accept improving swaps, and worsening ones while hot;
+     deltas come from the incidence lists (nets shared by both cells
+     contribute equally before and after, so the double count cancels) */
+  srand(42);
+  int temperature = 100;
+  int sweep;
+  int cost = before;
+  for (sweep = 0; sweep < 15; sweep++) {
+    int trial;
+    for (trial = 0; trial < 200; trial++) {
+      int a = rand() % ncells;
+      int b = rand() % ncells;
+      if (a == b) continue;
+      int old_local = local_cost(a) + local_cost(b);
+      int tx = cell_x[a]; int ty = cell_y[a];
+      cell_x[a] = cell_x[b]; cell_y[a] = cell_y[b];
+      cell_x[b] = tx; cell_y[b] = ty;
+      int delta = local_cost(a) + local_cost(b) - old_local;
+      if (delta <= 0 || (rand() % 100) < temperature) {
+        cost += delta;
+      } else {
+        /* revert */
+        tx = cell_x[a]; ty = cell_y[a];
+        cell_x[a] = cell_x[b]; cell_y[a] = cell_y[b];
+        cell_x[b] = tx; cell_y[b] = ty;
+      }
+    }
+    temperature = temperature * 4 / 5;
+  }
+  int after = total_cost(nnets);
+  if (after != cost) {
+    puts("COST BOOKKEEPING BROKEN");
+    return 1;
+  }
+  if (after > before * 2) {
+    puts("ANNEALING DIVERGED");
+    return 1;
+  }
+  printf("vpr: %d cells, %d nets, wirelength %d -> %d\n", ncells, nnets, before, after);
+  return 0;
+}
+|}
+
+let input ?(cells = 150) ?(nets = 450) () =
+  let state = ref 13579 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 11 mod n
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" cells nets);
+  for _ = 1 to nets do
+    (* locality-biased nets, as real netlists have *)
+    let a = rand cells in
+    let b = (a + 1 + rand 20) mod cells in
+    Buffer.add_string buf (Printf.sprintf "%d %d\n" a b)
+  done;
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  input : unit -> string;
+}
+
+let bzip2 =
+  { name = "BZIP2";
+    description = "block compressor: Burrows-Wheeler + move-to-front + run-length, self-verifying";
+    source = Wl_bzip.source;
+    input = (fun () -> Wl_bzip.input ()) }
+
+let gcc =
+  { name = "GCC";
+    description = "expression compiler: recursive-descent parse, stack-VM codegen, constant folding";
+    source = Wl_gcc.source;
+    input = (fun () -> Wl_gcc.input ()) }
+
+let gzip =
+  { name = "GZIP";
+    description = "LZ77 sliding-window compressor with in-guest decompression check";
+    source = Wl_gzip.source;
+    input = (fun () -> Wl_gzip.input ()) }
+
+let mcf =
+  { name = "MCF";
+    description = "network optimisation: Bellman-Ford shortest paths with fixpoint verification";
+    source = Wl_mcf.source;
+    input = (fun () -> Wl_mcf.input ()) }
+
+let parser =
+  { name = "PARSER";
+    description = "text analysis: tokenizer, hashed dictionary, sentence statistics";
+    source = Wl_parser.source;
+    input = (fun () -> Wl_parser.input ()) }
+
+let vpr =
+  { name = "VPR";
+    description = "placement: simulated-annealing swap optimisation of netlist wirelength";
+    source = Wl_vpr.source;
+    input = (fun () -> Wl_vpr.input ()) }
+
+let all = [ bzip2; gcc; gzip; mcf; parser; vpr ]
+
+type row = {
+  workload : t;
+  program_bytes : int;
+  input_bytes : int;
+  instructions : int;
+  alerts : int;
+  outcome : Ptaint_sim.Sim.outcome;
+  stdout : string;
+}
+
+let cache : (string * bool, Ptaint_asm.Program.t) Hashtbl.t = Hashtbl.create 12
+
+let program_with ~untaint_writeback w =
+  match Hashtbl.find_opt cache (w.name, untaint_writeback) with
+  | Some p -> p
+  | None ->
+    let p =
+      Ptaint_cc.Cc.compile ~untaint_writeback
+        ~extra_asm:
+          [ Ptaint_runtime.Runtime.crt0_asm; Ptaint_runtime.Runtime.syscalls_asm ]
+        (String.concat "\n"
+           [ Ptaint_runtime.Runtime.prototypes; w.source; Ptaint_runtime.Runtime.libc_c;
+             Ptaint_runtime.Runtime.malloc_c ])
+    in
+    Hashtbl.replace cache (w.name, untaint_writeback) p;
+    p
+
+let program w = program_with ~untaint_writeback:true w
+
+let run ?(policy = Ptaint_cpu.Policy.default) ?(untaint_writeback = true) w =
+  let p = program_with ~untaint_writeback w in
+  let config = Ptaint_sim.Sim.config ~policy ~stdin:(w.input ()) ~argv:[ w.name ] () in
+  let result = Ptaint_sim.Sim.run ~config p in
+  { workload = w;
+    program_bytes = Ptaint_asm.Program.text_bytes p + Ptaint_asm.Program.data_bytes p;
+    input_bytes = result.Ptaint_sim.Sim.input_bytes;
+    instructions = result.Ptaint_sim.Sim.instructions;
+    alerts = (match result.Ptaint_sim.Sim.outcome with Ptaint_sim.Sim.Alert _ -> 1 | _ -> 0);
+    outcome = result.Ptaint_sim.Sim.outcome;
+    stdout = result.Ptaint_sim.Sim.stdout }

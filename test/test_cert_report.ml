@@ -1,0 +1,89 @@
+(* CERT survey data (Figure 1) and the report-rendering helpers. *)
+
+let test_totals () =
+  Alcotest.(check int) "107 advisories" 107 (List.length Ptaint_cert.Cert.advisories);
+  let mem, total, share = Ptaint_cert.Cert.memory_corruption_share () in
+  Alcotest.(check int) "total" 107 total;
+  Alcotest.(check int) "memory corruption count" 72 mem;
+  Alcotest.(check bool) "~67%" true (share > 66.0 && share < 68.0)
+
+let test_breakdown () =
+  let b = Ptaint_cert.Cert.breakdown () in
+  Alcotest.(check int) "six categories" 6 (List.length b);
+  Alcotest.(check int) "counts sum to total" 107 (List.fold_left (fun a (_, n) -> a + n) 0 b);
+  (* buffer overflow leads, and memory-corruption categories come first *)
+  (match b with
+   | (Ptaint_cert.Cert.Buffer_overflow, n) :: _ ->
+     Alcotest.(check bool) "buffer overflow dominates" true (n >= 40)
+   | _ -> Alcotest.fail "buffer overflow should sort first");
+  match List.rev b with
+  | (Ptaint_cert.Cert.Other, _) :: _ -> ()
+  | _ -> Alcotest.fail "non-memory-corruption category should sort last"
+
+let test_years () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s year in range" a.Ptaint_cert.Cert.id)
+        true
+        (a.Ptaint_cert.Cert.year >= 2000 && a.Ptaint_cert.Cert.year <= 2003))
+    Ptaint_cert.Cert.advisories
+
+(* --- report rendering --- *)
+
+let test_table () =
+  let t =
+    Ptaint_report.Report.table ~headers:[ "a"; "bb" ] [ [ "x"; "y" ]; [ "long"; "z" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim t) in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (match lines with
+   | header :: rule :: _ ->
+     Alcotest.(check bool) "header first" true (String.length header >= 5);
+     Alcotest.(check bool) "rule dashes" true (String.for_all (fun c -> c = '-') rule)
+   | _ -> Alcotest.fail "table shape");
+  (* column alignment: "y" starts at the same column as "bb" *)
+  match lines with
+  | header :: _ :: row1 :: _ ->
+    Alcotest.(check int) "aligned columns" (String.index header 'b') (String.index row1 'y')
+  | _ -> Alcotest.fail "table shape"
+
+let test_bar_chart () =
+  let c = Ptaint_report.Report.bar_chart ~width:10 [ ("big", 100); ("half", 50); ("none", 0) ] in
+  let lines = String.split_on_char '\n' (String.trim c) in
+  Alcotest.(check int) "3 bars" 3 (List.length lines);
+  let count_hashes s = String.fold_left (fun a ch -> if ch = '#' then a + 1 else a) 0 s in
+  match lines with
+  | [ big; half; none ] ->
+    Alcotest.(check int) "full bar" 10 (count_hashes big);
+    Alcotest.(check int) "half bar" 5 (count_hashes half);
+    Alcotest.(check int) "empty bar" 0 (count_hashes none)
+  | _ -> Alcotest.fail "chart shape"
+
+let test_commas () =
+  Alcotest.(check string) "small" "7" (Ptaint_report.Report.commas 7);
+  Alcotest.(check string) "thousands" "15,139" (Ptaint_report.Report.commas 15139);
+  Alcotest.(check string) "millions" "1,234,567" (Ptaint_report.Report.commas 1234567);
+  Alcotest.(check string) "negative" "-1,000" (Ptaint_report.Report.commas (-1000))
+
+let test_kv_section () =
+  let s = Ptaint_report.Report.kv [ ("key", "v"); ("longer key", "w") ] in
+  Alcotest.(check bool) "aligned colons" true
+    (String.split_on_char '\n' s
+     |> List.filter (fun l -> l <> "")
+     |> List.map (fun l -> String.index l ':')
+     |> fun idxs -> List.for_all (( = ) (List.hd idxs)) idxs);
+  Alcotest.(check bool) "section banner" true
+    (String.length (Ptaint_report.Report.section "T") > 10)
+
+let () =
+  Alcotest.run "cert+report"
+    [ ( "cert (Figure 1)",
+        [ Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "breakdown" `Quick test_breakdown;
+          Alcotest.test_case "years" `Quick test_years ] );
+      ( "report",
+        [ Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+          Alcotest.test_case "commas" `Quick test_commas;
+          Alcotest.test_case "kv + section" `Quick test_kv_section ] ) ]

@@ -1,0 +1,365 @@
+(* Machine semantics: ALU, taint propagation per Table 1, and the
+   three pointer-taintedness detectors. *)
+
+open Ptaint_isa
+open Ptaint_taint
+open Ptaint_cpu
+
+let data = Ptaint_mem.Layout.data_base
+let text = Ptaint_mem.Layout.text_base
+
+let machine ?(policy = Policy.default) insns =
+  let mem = Ptaint_mem.Memory.create () in
+  Ptaint_mem.Memory.map_range mem ~lo:data ~bytes:65536;
+  Machine.create ~policy ~code:{ Machine.base = text; insns = Array.of_list insns } ~mem
+    ~entry:text ()
+
+let set m r w = Regfile.set m.Machine.regs r w
+let get m r = Regfile.get m.Machine.regs r
+
+let step_ok m =
+  match Machine.step m with
+  | Machine.Normal -> ()
+  | s ->
+    Alcotest.failf "expected Normal, got %s"
+      (match s with
+       | Machine.Alert a -> Format.asprintf "Alert (%a)" Machine.pp_alert a
+       | Machine.Fault f -> Format.asprintf "Fault (%a)" Machine.pp_fault f
+       | Machine.Syscall -> "Syscall"
+       | Machine.Break_trap c -> Printf.sprintf "Break %d" c
+       | Machine.Normal -> assert false)
+
+let run_all m = Array.iter (fun _ -> step_ok m) m.Machine.code.Machine.insns
+
+let check_tword name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %s got %s" name
+       (Format.asprintf "%a" Tword.pp expected)
+       (Format.asprintf "%a" Tword.pp actual))
+    true (Tword.equal expected actual)
+
+(* --- ALU semantics and default propagation --- *)
+
+let test_add_taint_or () =
+  let m = machine [ R (ADD, 1, 2, 3) ] in
+  set m 2 (Tword.make ~v:5 ~m:0b0001);
+  set m 3 (Tword.make ~v:7 ~m:0b0100);
+  run_all m;
+  (* "after executing ADD R1,R2,R3, R1 is tainted iff R2 or R3 is" *)
+  check_tword "add" (Tword.make ~v:12 ~m:0b0101) (get m 1)
+
+let test_reg0_immutable () =
+  let m = machine [ R (ADD, 0, 2, 2) ] in
+  set m 2 (Tword.tainted 21);
+  run_all m;
+  check_tword "$0 unchanged" Tword.zero (get m 0)
+
+let test_xor_idiom () =
+  let m = machine [ R (XOR, 1, 2, 2) ] in
+  set m 2 (Tword.tainted 0xABCD);
+  run_all m;
+  check_tword "xor same untaints" (Tword.untainted 0) (get m 1);
+  (* but XOR of two different tainted registers keeps taint *)
+  let m = machine [ R (XOR, 1, 2, 3) ] in
+  set m 2 (Tword.tainted 0xF0);
+  set m 3 (Tword.untainted 0x0F);
+  run_all m;
+  check_tword "xor diff" (Tword.tainted 0xFF) (get m 1)
+
+let test_and_zero_untaints () =
+  let m = machine [ R (AND, 1, 2, 3) ] in
+  set m 2 (Tword.tainted 0x11223344);
+  set m 3 (Tword.untainted 0x0000FFFF);
+  run_all m;
+  check_tword "and masks high bytes" (Tword.make ~v:0x3344 ~m:0b0011) (get m 1)
+
+let test_andi_untaints () =
+  let m = machine [ I (ANDI, 1, 2, 0xFF) ] in
+  set m 2 (Tword.tainted 0x11223344);
+  run_all m;
+  check_tword "andi" (Tword.make ~v:0x44 ~m:0b0001) (get m 1)
+
+let test_compare_untaints_operands () =
+  (* Table 1: "Untaint every byte in the operands of the compare". *)
+  let m = machine [ R (SLT, 1, 2, 3) ] in
+  set m 2 (Tword.tainted 3);
+  set m 3 (Tword.untainted 10);
+  run_all m;
+  check_tword "slt result" (Tword.untainted 1) (get m 1);
+  check_tword "rs untainted" (Tword.untainted 3) (get m 2);
+  (* Branch compares untaint too. *)
+  let m = machine [ Branch2 (BNE, 2, 3, 1); Nop; Nop ] in
+  set m 2 (Tword.tainted 1);
+  set m 3 (Tword.untainted 1);
+  step_ok m;
+  check_tword "bne untaints" (Tword.untainted 1) (get m 2)
+
+let test_compare_rule_disabled () =
+  let policy = { Policy.default with Policy.compare_untaints = false } in
+  let m = machine ~policy [ R (SLT, 1, 2, 3) ] in
+  set m 2 (Tword.tainted 3);
+  set m 3 (Tword.untainted 10);
+  run_all m;
+  check_tword "rs stays tainted" (Tword.tainted 3) (get m 2);
+  check_tword "result tainted" (Tword.tainted 1) (get m 1)
+
+let test_shift_propagation () =
+  let m = machine [ Shift (SLL, 1, 2, 8) ] in
+  set m 2 (Tword.make ~v:0xAB ~m:0b0001);
+  run_all m;
+  check_tword "sll 8 moves taint" (Tword.make ~v:0xAB00 ~m:0b0010) (get m 1);
+  let m = machine [ Shift (SRL, 1, 2, 4) ] in
+  set m 2 (Tword.make ~v:0xAB0 ~m:0b0010);
+  run_all m;
+  (* partial shift smears into the adjacent byte along shift direction *)
+  check_tword "srl 4 smears" (Tword.make ~v:0xAB ~m:0b0011) (get m 1)
+
+let test_lui_untainted () =
+  let m = machine [ Lui (1, 0x1002) ] in
+  set m 1 (Tword.tainted 99);
+  run_all m;
+  check_tword "lui constant" (Tword.untainted 0x10020000) (get m 1)
+
+let test_muldiv_taint () =
+  let m = machine [ Muldiv (MULT, 2, 3); Mflo 1; Mfhi 4 ] in
+  set m 2 (Tword.tainted 6);
+  set m 3 (Tword.untainted 7);
+  run_all m;
+  check_tword "mflo" (Tword.tainted 42) (get m 1);
+  check_tword "mfhi" (Tword.tainted 0) (get m 4)
+
+(* --- Memory instructions carry taint --- *)
+
+let test_load_store_taint () =
+  let m =
+    machine
+      [ Store (SW, 2, 0, 3);   (* store tainted word *)
+        Load (LW, 4, 0, 3);    (* load it back *)
+        Load (LBU, 5, 0, 3) ]
+  in
+  set m 2 (Tword.make ~v:0xCAFEBABE ~m:0b0110);
+  set m 3 (Tword.untainted data);
+  run_all m;
+  check_tword "lw" (Tword.make ~v:0xCAFEBABE ~m:0b0110) (get m 4);
+  (* byte 0 of the stored word was untainted *)
+  check_tword "lbu" (Tword.untainted 0xBE) (get m 5)
+
+let test_byte_store_taint () =
+  let m = machine [ Store (SB, 2, 0, 3); Load (LB, 4, 0, 3) ] in
+  set m 2 (Tword.make ~v:0x80 ~m:0b0001);
+  set m 3 (Tword.untainted data);
+  run_all m;
+  (* LB sign-extends the value; the taint bit stays on byte 0 *)
+  check_tword "lb sign extension" (Tword.make ~v:0xFFFFFF80 ~m:0b0001) (get m 4)
+
+(* --- Detection (section 4.3) --- *)
+
+let expect_alert m kind reg =
+  match Machine.step m with
+  | Machine.Alert a ->
+    Alcotest.(check bool) "kind" true (a.Machine.kind = kind);
+    Alcotest.(check int) "register" reg a.Machine.reg
+  | s ->
+    Alcotest.failf "expected alert, got %s"
+      (match s with
+       | Machine.Normal -> "Normal"
+       | Machine.Fault f -> Format.asprintf "Fault (%a)" Machine.pp_fault f
+       | _ -> "other")
+
+let test_detect_tainted_load () =
+  let m = machine [ Load (LW, 3, 0, 3) ] in
+  set m 3 (Tword.tainted 0x61616161);
+  expect_alert m Machine.Load_address 3
+
+let test_detect_tainted_store () =
+  let m = machine [ Store (SW, 21, 0, 3) ] in
+  set m 3 (Tword.tainted 0x64636261);
+  expect_alert m Machine.Store_address 3
+
+let test_detect_partial_taint () =
+  (* "Anytime a data word that has tainted bytes is used for memory
+     access ... an alert is raised" — one tainted byte suffices. *)
+  let m = machine [ Load (LW, 4, 0, 3) ] in
+  set m 3 (Tword.make ~v:data ~m:0b0010);
+  expect_alert m Machine.Load_address 3
+
+let test_detect_tainted_jr () =
+  let m = machine [ Jr 31 ] in
+  set m 31 (Tword.tainted 0x61616161);
+  expect_alert m Machine.Jump_target 31
+
+let test_detect_tainted_jalr () =
+  let m = machine [ Jalr (31, 25) ] in
+  set m 25 (Tword.tainted 0x41414141);
+  expect_alert m Machine.Jump_target 25
+
+let test_untainted_no_alert () =
+  let m = machine [ Load (LW, 4, 0, 3); Store (SW, 4, 4, 3) ] in
+  set m 3 (Tword.untainted data);
+  run_all m
+
+let test_control_only_misses_data_attack () =
+  (* A Minos-style policy does not check load/store addresses. *)
+  let m = machine ~policy:Policy.control_only [ Store (SW, 21, 0, 3) ] in
+  set m 3 (Tword.make ~v:data ~m:0b1111);
+  step_ok m;
+  (* ...but still catches tainted jump targets. *)
+  let m = machine ~policy:Policy.control_only [ Jr 31 ] in
+  set m 31 (Tword.tainted 0x61616161);
+  expect_alert m Machine.Jump_target 31
+
+let test_no_protection_faults () =
+  let m = machine ~policy:Policy.unprotected [ Load (LW, 3, 0, 3) ] in
+  set m 3 (Tword.tainted 0x61616161);
+  (match Machine.step m with
+   | Machine.Fault (Machine.Segfault _) -> ()
+   | Machine.Fault (Machine.Misaligned _) -> ()
+   | s ->
+     Alcotest.failf "expected fault, got %s"
+       (match s with Machine.Normal -> "Normal" | Machine.Alert _ -> "Alert" | _ -> "other"));
+  let m = machine ~policy:Policy.unprotected [ Jr 31 ] in
+  set m 31 (Tword.tainted 0x61616161);
+  step_ok m;
+  (* the wild jump faults on the next fetch *)
+  match Machine.step m with
+  | Machine.Fault (Machine.Bad_pc pc) -> Alcotest.(check int) "pc" 0x61616161 pc
+  | _ -> Alcotest.fail "expected Bad_pc"
+
+let test_misaligned_fault () =
+  let m = machine [ Load (LW, 4, 1, 3) ] in
+  set m 3 (Tword.untainted data);
+  match Machine.step m with
+  | Machine.Fault (Machine.Misaligned { addr; width }) ->
+    Alcotest.(check int) "addr" (data + 1) addr;
+    Alcotest.(check int) "width" 4 width
+  | _ -> Alcotest.fail "expected misaligned fault"
+
+let test_alert_format () =
+  (* Table 2's alert line formatting. *)
+  let m = machine [ Store (SW, 21, 0, 3) ] in
+  set m 3 (Tword.tainted 0x1002bc20);
+  match Machine.step m with
+  | Machine.Alert a ->
+    let s = Format.asprintf "%a" Machine.pp_alert a in
+    let affix = "sw $21,0($3)" in
+    let rec contains i =
+      i + String.length affix <= String.length s
+      && (String.sub s i (String.length affix) = affix || contains (i + 1))
+    in
+    Alcotest.(check bool) ("contains sw $21,0($3): " ^ s) true (contains 0)
+  | _ -> Alcotest.fail "expected alert"
+
+(* --- Control flow --- *)
+
+let test_branch_and_jump () =
+  let m =
+    machine
+      [ Branch2 (BEQ, 0, 0, 1);     (* skip next *)
+        I (ADDIU, 1, 0, 99);        (* skipped *)
+        I (ADDIU, 2, 0, 7);
+        J (text + 16);
+        Jal (text + 20) ]           (* jumped over — wait, target is next anyway *)
+  in
+  step_ok m;
+  Alcotest.(check int) "pc after taken branch" (text + 8) m.Machine.pc;
+  step_ok m;
+  check_tword "r2" (Tword.untainted 7) (get m 2);
+  step_ok m;
+  Alcotest.(check int) "pc after j" (text + 16) m.Machine.pc;
+  step_ok m;
+  check_tword "ra" (Tword.untainted (text + 20)) (get m 31);
+  check_tword "r1 never set" Tword.zero (get m 1)
+
+let test_jr_return () =
+  let m = machine [ Jr 31; Nop; Nop; Nop ] in
+  set m 31 (Tword.untainted (text + 12));
+  step_ok m;
+  Alcotest.(check int) "pc" (text + 12) m.Machine.pc
+
+(* --- Pipeline timing model --- *)
+
+let test_pipeline_counts () =
+  let m =
+    machine
+      [ I (ADDIU, 3, 0, 0);
+        R (ADD, 1, 2, 3);
+        Load (LW, 4, 0, 5);
+        R (ADD, 6, 4, 4);  (* load-use hazard *)
+        Jr 31 ]
+  in
+  set m 5 (Tword.untainted data);
+  set m 31 (Tword.untainted (text + 20));
+  let p = Pipeline.create m in
+  for _ = 1 to 5 do
+    match Pipeline.step p with
+    | Machine.Normal -> ()
+    | _ -> Alcotest.fail "pipeline step failed"
+  done;
+  let st = Pipeline.stats p in
+  Alcotest.(check int) "instructions" 5 st.Pipeline.instructions;
+  Alcotest.(check int) "one load-use stall" 1 st.Pipeline.load_use_stalls;
+  Alcotest.(check bool) "cycles counted" true (st.Pipeline.cycles > 5);
+  Alcotest.(check bool) "taint gates counted" true (st.Pipeline.taint_gate_ops > 0);
+  Alcotest.(check int) "detector checks: lw + jr" 2 st.Pipeline.detector_checks
+
+(* --- Properties --- *)
+
+let prop_alu_taint_monotone =
+  (* Default-rule ops never invent taint from clean operands. *)
+  let open QCheck2.Gen in
+  let gen = tup4 (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF) (int_bound 15) (int_bound 15) in
+  QCheck2.Test.make ~name:"ALU ops on clean inputs give clean outputs" gen
+    (fun (v2, v3, _, _) ->
+      List.for_all
+        (fun op ->
+          let m = machine [ R (op, 1, 2, 3) ] in
+          set m 2 (Tword.untainted v2);
+          set m 3 (Tword.untainted v3);
+          (match Machine.step m with Machine.Normal -> () | _ -> failwith "step");
+          not (Tword.is_tainted (get m 1)))
+        [ Insn.ADD; ADDU; SUB; SUBU; AND; OR; XOR; NOR; SLT; SLTU ])
+
+let prop_add_matches_semantics =
+  QCheck2.Test.make ~name:"ADD matches 32-bit semantics"
+    QCheck2.Gen.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (a, b) ->
+      let m = machine [ R (ADD, 1, 2, 3) ] in
+      set m 2 (Tword.untainted a);
+      set m 3 (Tword.untainted b);
+      (match Machine.step m with Machine.Normal -> () | _ -> failwith "step");
+      Tword.value (get m 1) = (a + b) land 0xFFFFFFFF)
+
+let () =
+  Alcotest.run "cpu"
+    [ ( "taint propagation",
+        [ Alcotest.test_case "ADD ORs taint" `Quick test_add_taint_or;
+          Alcotest.test_case "$0 immutable" `Quick test_reg0_immutable;
+          Alcotest.test_case "XOR idiom" `Quick test_xor_idiom;
+          Alcotest.test_case "AND with untainted zero" `Quick test_and_zero_untaints;
+          Alcotest.test_case "ANDI" `Quick test_andi_untaints;
+          Alcotest.test_case "compare untaints" `Quick test_compare_untaints_operands;
+          Alcotest.test_case "compare rule off (ablation)" `Quick test_compare_rule_disabled;
+          Alcotest.test_case "shift" `Quick test_shift_propagation;
+          Alcotest.test_case "LUI constant" `Quick test_lui_untainted;
+          Alcotest.test_case "MULT/DIV" `Quick test_muldiv_taint ] );
+      ( "memory taint",
+        [ Alcotest.test_case "load/store word" `Quick test_load_store_taint;
+          Alcotest.test_case "byte store + sign extension" `Quick test_byte_store_taint ] );
+      ( "detection",
+        [ Alcotest.test_case "tainted load address" `Quick test_detect_tainted_load;
+          Alcotest.test_case "tainted store address" `Quick test_detect_tainted_store;
+          Alcotest.test_case "single tainted byte" `Quick test_detect_partial_taint;
+          Alcotest.test_case "tainted JR" `Quick test_detect_tainted_jr;
+          Alcotest.test_case "tainted JALR" `Quick test_detect_tainted_jalr;
+          Alcotest.test_case "clean pointers silent" `Quick test_untainted_no_alert;
+          Alcotest.test_case "control-only baseline" `Quick test_control_only_misses_data_attack;
+          Alcotest.test_case "no protection faults" `Quick test_no_protection_faults;
+          Alcotest.test_case "misaligned" `Quick test_misaligned_fault;
+          Alcotest.test_case "alert format" `Quick test_alert_format ] );
+      ( "control flow",
+        [ Alcotest.test_case "branch/jump" `Quick test_branch_and_jump;
+          Alcotest.test_case "jr" `Quick test_jr_return ] );
+      ("pipeline", [ Alcotest.test_case "timing counters" `Quick test_pipeline_counts ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_alu_taint_monotone; prop_add_matches_semantics ] ) ]

@@ -1,0 +1,78 @@
+(* Post-mortem diagnostics: symbolization and frame-chain backtraces
+   recovered from the guest at detection time. *)
+
+open Ptaint_attacks
+
+let contains haystack needle =
+  let rec go i =
+    i + String.length needle <= String.length haystack
+    && (String.sub haystack i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let test_symbolize () =
+  let p =
+    Ptaint_asm.Assembler.assemble_exn
+      ".text\nmain:   nop\n        nop\nhelper: nop\n        jr $ra\n"
+  in
+  Alcotest.(check string) "exact" "main" (Ptaint_sim.Diagnostics.symbolize p 0x400000);
+  Alcotest.(check string) "offset" "main+0x4" (Ptaint_sim.Diagnostics.symbolize p 0x400004);
+  Alcotest.(check string) "second symbol" "helper" (Ptaint_sim.Diagnostics.symbolize p 0x400008);
+  Alcotest.(check string) "outside text" "0x10000000"
+    (Ptaint_sim.Diagnostics.symbolize p 0x10000000);
+  match Ptaint_sim.Diagnostics.nearest_symbol p 0x40000c with
+  | Some (name, off) ->
+    Alcotest.(check string) "name" "helper" name;
+    Alcotest.(check int) "off" 4 off
+  | None -> Alcotest.fail "expected symbol"
+
+let test_backtrace_format_attack () =
+  let _, result = Scenario.run Catalog.exp3_format in
+  let p = result.Ptaint_sim.Sim.image.Ptaint_asm.Loader.program in
+  let frames = Ptaint_sim.Diagnostics.backtrace p result.Ptaint_sim.Sim.machine in
+  let locations = List.map (fun f -> f.Ptaint_sim.Diagnostics.location) frames in
+  let has name = List.exists (fun l -> contains l name) locations in
+  Alcotest.(check bool) (Printf.sprintf "vformat in %s" (String.concat "," locations)) true
+    (has "vformat");
+  Alcotest.(check bool) "printf frame" true (has "printf");
+  Alcotest.(check bool) "exp3 frame" true (has "exp3");
+  Alcotest.(check bool) "main frame" true (has "main");
+  (* innermost first *)
+  match locations with
+  | first :: _ -> Alcotest.(check bool) "vformat innermost" true (contains first "vformat")
+  | [] -> Alcotest.fail "empty backtrace"
+
+let test_report_contents () =
+  let _, result = Scenario.run Catalog.wuftpd_format_uid in
+  let report = Ptaint_sim.Diagnostics.report result in
+  Alcotest.(check bool) "alert line" true (contains report "security alert");
+  Alcotest.(check bool) "backtrace section" true (contains report "guest backtrace:");
+  Alcotest.(check bool) "handler frame" true (contains report "do_site_exec");
+  Alcotest.(check bool) "session loop frame" true (contains report "handle_session");
+  Alcotest.(check bool) "tainted registers listed" true (contains report "tainted registers:")
+
+let test_tainted_registers () =
+  let _, result = Scenario.run Catalog.exp1_stack_smash in
+  let tainted = Ptaint_sim.Diagnostics.tainted_registers result.Ptaint_sim.Sim.machine in
+  Alcotest.(check bool) "ra tainted" true
+    (List.exists
+       (fun (r, w) -> r = Ptaint_isa.Reg.ra && Ptaint_taint.Tword.value w = 0x61616161)
+       tainted)
+
+let test_backtrace_survives_smashed_frame () =
+  (* after exp1's overflow the frame chain is corrupt; the walk must
+     stop cleanly rather than loop or crash *)
+  let _, result = Scenario.run Catalog.exp1_stack_smash in
+  let p = result.Ptaint_sim.Sim.image.Ptaint_asm.Loader.program in
+  let frames = Ptaint_sim.Diagnostics.backtrace p result.Ptaint_sim.Sim.machine in
+  Alcotest.(check bool) "bounded" true (List.length frames <= 32 && List.length frames >= 1)
+
+let () =
+  Alcotest.run "diagnostics"
+    [ ( "symbolize",
+        [ Alcotest.test_case "nearest symbol" `Quick test_symbolize ] );
+      ( "backtrace",
+        [ Alcotest.test_case "format attack chain" `Quick test_backtrace_format_attack;
+          Alcotest.test_case "incident report" `Quick test_report_contents;
+          Alcotest.test_case "tainted registers" `Quick test_tainted_registers;
+          Alcotest.test_case "corrupt frame chain" `Quick test_backtrace_survives_smashed_frame ] ) ]

@@ -1,0 +1,146 @@
+(* Word arithmetic and instruction codec tests. *)
+
+open Ptaint_isa
+
+let check_int = Alcotest.(check int)
+
+let test_word_arith () =
+  check_int "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  check_int "to_signed" (-1) (Word.to_signed 0xFFFFFFFF);
+  check_int "of_signed" 0xFFFFFFFF (Word.of_signed (-1));
+  check_int "sll" 0x10 (Word.sll 1 4);
+  check_int "sll wraps" 0x80000000 (Word.sll 1 31);
+  check_int "srl" 1 (Word.srl 0x80000000 31);
+  check_int "sra negative" 0xFFFFFFFF (Word.sra 0x80000000 31);
+  check_int "sign_extend byte" 0xFFFFFF80 (Word.sign_extend ~bits:8 0x80);
+  check_int "sign_extend positive" 0x7F (Word.sign_extend ~bits:8 0x7F);
+  check_int "byte extract" 0x34 (Word.byte 0x12345678 2);
+  check_int "set_byte" 0x12AB5678 (Word.set_byte 0x12345678 2 0xAB);
+  Alcotest.(check bool) "lt_signed" true (Word.lt_signed 0xFFFFFFFF 0);
+  Alcotest.(check bool) "lt_unsigned" false (Word.lt_unsigned 0xFFFFFFFF 0);
+  check_int "mul_lo" (Word.of_int (123 * 456)) (Word.mul_lo 123 456);
+  check_int "mul_hi_signed -1*-1" 0 (Word.mul_hi_signed 0xFFFFFFFF 0xFFFFFFFF);
+  check_int "mul_hi_unsigned max" 0xFFFFFFFE (Word.mul_hi_unsigned 0xFFFFFFFF 0xFFFFFFFF);
+  (* MIPS DIV truncates toward zero: -7 / 4 = -1 rem -3. *)
+  Alcotest.(check (pair int int)) "div_signed"
+    (Word.of_signed (-1), Word.of_signed (-3))
+    (Word.div_signed (Word.of_signed (-7)) 4);
+  Alcotest.(check (pair int int)) "div by zero" (0, 7) (Word.div_signed 7 0)
+
+let test_disassembly () =
+  let check s i = Alcotest.(check string) s s (Insn.to_string i) in
+  check "sw $21,0($3)" (Insn.Store (SW, 21, 0, 3));
+  check "lw $3,0($3)" (Insn.Load (LW, 3, 0, 3));
+  check "jr $31" (Insn.Jr 31);
+  check "add $1,$2,$3" (Insn.R (ADD, 1, 2, 3));
+  check "addiu $29,$29,-8" (Insn.I (ADDIU, 29, 29, -8));
+  check "sll $4,$5,2" (Insn.Shift (SLL, 4, 5, 2))
+
+let test_reg_names () =
+  Alcotest.(check (option int)) "sp" (Some 29) (Reg.of_name "sp");
+  Alcotest.(check (option int)) "$sp" (Some 29) (Reg.of_name "$sp");
+  Alcotest.(check (option int)) "numeric" (Some 3) (Reg.of_name "3");
+  Alcotest.(check (option int)) "bad" None (Reg.of_name "xy");
+  Alcotest.(check (option int)) "out of range" None (Reg.of_name "32");
+  Alcotest.(check string) "name" "ra" (Reg.name 31)
+
+let test_roundtrip_cases () =
+  let cases =
+    [ Insn.R (ADD, 1, 2, 3); Insn.R (SLTU, 31, 0, 15); Insn.R (SLLV, 4, 5, 6);
+      Insn.R (SRAV, 7, 8, 9);
+      Insn.I (ADDIU, 29, 29, -8); Insn.I (ANDI, 4, 5, 0xffff); Insn.I (SLTI, 1, 2, -1);
+      Insn.Shift (SLL, 4, 5, 31); Insn.Shift (SRA, 6, 7, 1);
+      Insn.Lui (8, 0x1002);
+      Insn.Load (LW, 3, 0, 3); Insn.Load (LB, 2, -4, 30); Insn.Load (LHU, 9, 18, 4);
+      Insn.Store (SW, 21, 0, 3); Insn.Store (SB, 2, 100, 29);
+      Insn.Branch2 (BEQ, 4, 5, -10); Insn.Branch2 (BNE, 0, 2, 100);
+      Insn.Branch1 (BLEZ, 3, 5); Insn.Branch1 (BGEZ, 3, -5); Insn.Branch1 (BLTZ, 7, 7);
+      Insn.J 0x400100; Insn.Jal 0x400008; Insn.Jr 31; Insn.Jalr (31, 25);
+      Insn.Muldiv (MULT, 4, 5); Insn.Muldiv (DIVU, 6, 7);
+      Insn.Mfhi 2; Insn.Mflo 3; Insn.Mthi 4; Insn.Mtlo 5;
+      Insn.Syscall; Insn.Break 7; Insn.Nop ]
+  in
+  List.iter
+    (fun i ->
+      let w = Encode.encode i in
+      match Encode.decode ~pc:0x400000 w with
+      | Ok i' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %s" (Insn.to_string i))
+          true (Insn.equal i i')
+      | Error e -> Alcotest.failf "decode error for %s: %s" (Insn.to_string i) e)
+    cases
+
+let test_decode_errors () =
+  (match Encode.decode 0xFC000000 with
+   | Error _ -> ()
+   | Ok i -> Alcotest.failf "expected decode error, got %s" (Insn.to_string i));
+  match Encode.decode 0x0000003F with
+  | Error _ -> ()
+  | Ok i -> Alcotest.failf "expected funct error, got %s" (Insn.to_string i)
+
+(* Random instruction generator for the round-trip property. *)
+let insn_gen =
+  let open QCheck2.Gen in
+  let reg = int_range 0 31 in
+  let nonzero_shift_triple =
+    (* Avoid SLL $0,$0,0 which canonically decodes to NOP. *)
+    triple reg reg (int_range 0 31) >|= fun (rd, rt, sh) ->
+    if rd = 0 && rt = 0 && sh = 0 then Insn.Shift (SLL, 1, 0, 0) else Insn.Shift (SLL, rd, rt, sh)
+  in
+  let imm16 = int_range (-32768) 32767 in
+  let uimm16 = int_range 0 65535 in
+  let rop =
+    oneofl
+      [ Insn.ADD; ADDU; SUB; SUBU; AND; OR; XOR; NOR; SLT; SLTU; SLLV; SRLV; SRAV ]
+  in
+  let iop = oneofl [ Insn.ADDI; ADDIU; SLTI; SLTIU ] in
+  let lop = oneofl [ Insn.LB; LBU; LH; LHU; LW ] in
+  let sop = oneofl [ Insn.SB; SH; SW ] in
+  oneof
+    [ (rop >>= fun op -> triple reg reg reg >|= fun (a, b, c) -> Insn.R (op, a, b, c));
+      (iop >>= fun op -> triple reg reg imm16 >|= fun (a, b, i) -> Insn.I (op, a, b, i));
+      (oneofl [ Insn.ANDI; ORI; XORI ] >>= fun op ->
+       triple reg reg uimm16 >|= fun (a, b, i) -> Insn.I (op, a, b, i));
+      nonzero_shift_triple;
+      (triple reg reg (int_range 0 31) >|= fun (rd, rt, sh) -> Insn.Shift (SRL, rd, rt, sh));
+      (pair reg uimm16 >|= fun (r, i) -> Insn.Lui (r, i));
+      (lop >>= fun op -> triple reg imm16 reg >|= fun (a, o, b) -> Insn.Load (op, a, o, b));
+      (sop >>= fun op -> triple reg imm16 reg >|= fun (a, o, b) -> Insn.Store (op, a, o, b));
+      (triple reg reg imm16 >|= fun (a, b, o) -> Insn.Branch2 (BEQ, a, b, o));
+      (pair reg imm16 >|= fun (a, o) -> Insn.Branch1 (BGEZ, a, o));
+      (int_range 0 0x3FFFFFF >|= fun t -> Insn.J (t lsl 2));
+      (reg >|= fun r -> Insn.Jr r);
+      (pair reg reg >|= fun (a, b) -> Insn.Jalr (a, b));
+      (pair reg reg >|= fun (a, b) -> Insn.Muldiv (MULT, a, b));
+      return Insn.Syscall; return Insn.Nop ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:2000 ~name:"encode/decode roundtrip" insn_gen (fun i ->
+      match Encode.decode ~pc:0 (Encode.encode i) with
+      | Ok i' -> Insn.equal i i'
+      | Error _ -> false)
+
+let prop_word_add_assoc =
+  QCheck2.Test.make ~name:"32-bit add associative"
+    QCheck2.Gen.(triple (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (a, b, c) -> Word.add (Word.add a b) c = Word.add a (Word.add b c))
+
+let prop_signed_roundtrip =
+  QCheck2.Test.make ~name:"to_signed/of_signed roundtrip"
+    QCheck2.Gen.(int_range (-0x80000000) 0x7FFFFFFF)
+    (fun v -> Word.to_signed (Word.of_signed v) = v)
+
+let () =
+  Alcotest.run "isa"
+    [ ("word", [ Alcotest.test_case "arithmetic" `Quick test_word_arith ]);
+      ( "insn",
+        [ Alcotest.test_case "disassembly" `Quick test_disassembly;
+          Alcotest.test_case "registers" `Quick test_reg_names ] );
+      ( "encode",
+        [ Alcotest.test_case "roundtrip cases" `Quick test_roundtrip_cases;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_word_add_assoc; prop_signed_roundtrip ] ) ]

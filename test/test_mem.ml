@@ -1,0 +1,175 @@
+(* Taint-extended memory and cache model tests. *)
+
+open Ptaint_mem
+open Ptaint_taint
+
+let base = Layout.data_base
+
+let fresh ?(bytes = 64 * 1024) () =
+  let m = Memory.create () in
+  Memory.map_range m ~lo:base ~bytes;
+  m
+
+let test_byte_roundtrip () =
+  let m = fresh () in
+  Memory.store_byte m base 0xAB ~taint:true;
+  let v, t = Memory.load_byte m base in
+  Alcotest.(check int) "value" 0xAB v;
+  Alcotest.(check bool) "taint" true t;
+  Memory.store_byte m base 0xCD ~taint:false;
+  let v, t = Memory.load_byte m base in
+  Alcotest.(check int) "overwritten" 0xCD v;
+  Alcotest.(check bool) "untainted now" false t
+
+let test_word_roundtrip () =
+  let m = fresh () in
+  let w = Tword.make ~v:0x12345678 ~m:0b0101 in
+  Memory.store_word m (base + 8) w;
+  Alcotest.(check bool) "roundtrip" true (Tword.equal w (Memory.load_word m (base + 8)));
+  (* Little-endian byte order *)
+  Alcotest.(check int) "lsb" 0x78 (fst (Memory.load_byte m (base + 8)));
+  Alcotest.(check int) "msb" 0x12 (fst (Memory.load_byte m (base + 11)));
+  Alcotest.(check bool) "byte0 tainted" true (snd (Memory.load_byte m (base + 8)));
+  Alcotest.(check bool) "byte1 clean" false (snd (Memory.load_byte m (base + 9)))
+
+let test_cross_page_word () =
+  let m = fresh () in
+  let addr = base + Layout.page_bytes - 2 in
+  let w = Tword.make ~v:0xAABBCCDD ~m:0b1001 in
+  Memory.store_word m addr w;
+  Alcotest.(check bool) "cross-page roundtrip" true (Tword.equal w (Memory.load_word m addr))
+
+let test_unaligned_word () =
+  let m = fresh () in
+  let w = Tword.tainted 0xDEADBEEF in
+  Memory.store_word m (base + 1) w;
+  Alcotest.(check bool) "unaligned roundtrip" true (Tword.equal w (Memory.load_word m (base + 1)))
+
+let test_unmapped_fault () =
+  let m = fresh () in
+  (try
+     ignore (Memory.load_byte m 0x61616161);
+     Alcotest.fail "expected fault"
+   with Memory.Fault { addr; access } ->
+     Alcotest.(check int) "addr" 0x61616161 addr;
+     Alcotest.(check bool) "kind" true (access = Memory.Load));
+  try
+    Memory.store_byte m 0x200 0 ~taint:false;
+    Alcotest.fail "expected store fault"
+  with Memory.Fault { access; _ } -> Alcotest.(check bool) "store" true (access = Memory.Store)
+
+let test_bulk_and_cstring () =
+  let m = fresh () in
+  Memory.write_string m base "hello\000world" ~taint:true;
+  Alcotest.(check string) "read_string" "hello" (Memory.read_string m base 5);
+  Alcotest.(check string) "read_cstring stops at NUL" "hello" (Memory.read_cstring m base);
+  Alcotest.(check int) "tainted count" 11 (Memory.tainted_in_range m base 11);
+  Memory.untaint_range m base 5;
+  Alcotest.(check int) "after untaint" 6 (Memory.tainted_in_range m base 11);
+  Memory.taint_range m base 2;
+  Alcotest.(check int) "after retaint" 8 (Memory.tainted_in_range m base 11)
+
+let test_half () =
+  let m = fresh () in
+  Memory.store_half m base 0xBEEF ~m:0b10;
+  let v, mask = Memory.load_half m base in
+  Alcotest.(check int) "half value" 0xBEEF v;
+  Alcotest.(check int) "half mask" 0b10 mask
+
+let test_stats () =
+  let m = fresh () in
+  let s = Memory.stats m in
+  let loads0 = s.Memory.loads in
+  Memory.store_byte m base 1 ~taint:true;
+  ignore (Memory.load_byte m base);
+  Alcotest.(check int) "loads counted" (loads0 + 1) s.Memory.loads;
+  Alcotest.(check int) "tainted stores" 1 s.Memory.tainted_stores;
+  Alcotest.(check int) "tainted loads" 1 s.Memory.tainted_loads
+
+(* --- Cache model --- *)
+
+let test_cache_basics () =
+  let c = Cache.create { Cache.sets = 4; ways = 1; line_bytes = 16; hit_latency = 1 } in
+  Alcotest.(check bool) "first is miss" true (Cache.access c ~addr:0x1000 ~write:false ~tainted:false = Cache.Miss);
+  Alcotest.(check bool) "second is hit" true (Cache.access c ~addr:0x1008 ~write:false ~tainted:false = Cache.Hit);
+  (* Same set, different tag evicts in a direct-mapped cache. *)
+  Alcotest.(check bool) "conflict miss" true (Cache.access c ~addr:0x1040 ~write:false ~tainted:false = Cache.Miss);
+  Alcotest.(check bool) "evicted" true (Cache.access c ~addr:0x1000 ~write:false ~tainted:false = Cache.Miss);
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Cache.hits;
+  Alcotest.(check int) "misses" 3 st.Cache.misses
+
+let test_cache_taint_summary () =
+  let c = Cache.create Cache.l1_config in
+  ignore (Cache.access c ~addr:0x2000 ~write:true ~tainted:true);
+  Alcotest.(check bool) "line tainted" true (Cache.line_tainted c ~addr:0x2004);
+  ignore (Cache.access c ~addr:0x3000 ~write:false ~tainted:false);
+  Alcotest.(check bool) "other line clean" false (Cache.line_tainted c ~addr:0x3000)
+
+let test_cache_lru () =
+  let c = Cache.create { Cache.sets = 1; ways = 2; line_bytes = 16; hit_latency = 1 } in
+  ignore (Cache.access c ~addr:0x000 ~write:false ~tainted:false);
+  ignore (Cache.access c ~addr:0x010 ~write:false ~tainted:false);
+  ignore (Cache.access c ~addr:0x000 ~write:false ~tainted:false);
+  (* 0x010 is now LRU; filling a third line evicts it. *)
+  ignore (Cache.access c ~addr:0x020 ~write:false ~tainted:false);
+  Alcotest.(check bool) "0x000 still resident" true (Cache.access c ~addr:0x000 ~write:false ~tainted:false = Cache.Hit);
+  Alcotest.(check bool) "0x010 evicted" true (Cache.access c ~addr:0x010 ~write:false ~tainted:false = Cache.Miss)
+
+let test_hierarchy_latency () =
+  let h = Cache.Hierarchy.create ~memory_latency:100 () in
+  let cold = Cache.Hierarchy.access h ~addr:0x4000 ~write:false ~tainted:false in
+  let warm = Cache.Hierarchy.access h ~addr:0x4000 ~write:false ~tainted:false in
+  Alcotest.(check int) "cold = l1+l2+mem" (1 + 8 + 100) cold;
+  Alcotest.(check int) "warm = l1" 1 warm
+
+(* --- Properties --- *)
+
+let addr_gen = QCheck2.Gen.(int_range base (base + 60000))
+
+let prop_byte_roundtrip =
+  QCheck2.Test.make ~name:"byte write/read roundtrip"
+    QCheck2.Gen.(triple addr_gen (int_bound 255) bool)
+    (fun (addr, v, taint) ->
+      let m = fresh () in
+      Memory.store_byte m addr v ~taint;
+      Memory.load_byte m addr = (v, taint))
+
+let prop_word_roundtrip =
+  QCheck2.Test.make ~name:"word write/read roundtrip at any offset"
+    QCheck2.Gen.(triple addr_gen (int_bound 0xFFFFFFFF) (int_bound 15))
+    (fun (addr, v, mask) ->
+      let m = fresh () in
+      let w = Tword.make ~v ~m:mask in
+      Memory.store_word m addr w;
+      Tword.equal (Memory.load_word m addr) w)
+
+let prop_neighbours_untouched =
+  QCheck2.Test.make ~name:"word store leaves neighbours untouched"
+    QCheck2.Gen.(pair (int_range (base + 8) (base + 50000)) (int_bound 0xFFFFFFFF))
+    (fun (addr, v) ->
+      let m = fresh () in
+      Memory.store_byte m (addr - 1) 0x5A ~taint:true;
+      Memory.store_byte m (addr + 4) 0xA5 ~taint:false;
+      Memory.store_word m addr (Tword.tainted v);
+      Memory.load_byte m (addr - 1) = (0x5A, true) && Memory.load_byte m (addr + 4) = (0xA5, false))
+
+let () =
+  Alcotest.run "mem"
+    [ ( "memory",
+        [ Alcotest.test_case "byte roundtrip" `Quick test_byte_roundtrip;
+          Alcotest.test_case "word roundtrip" `Quick test_word_roundtrip;
+          Alcotest.test_case "cross-page word" `Quick test_cross_page_word;
+          Alcotest.test_case "unaligned word" `Quick test_unaligned_word;
+          Alcotest.test_case "unmapped fault" `Quick test_unmapped_fault;
+          Alcotest.test_case "bulk + cstring" `Quick test_bulk_and_cstring;
+          Alcotest.test_case "half word" `Quick test_half;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss" `Quick test_cache_basics;
+          Alcotest.test_case "taint summary" `Quick test_cache_taint_summary;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
+          Alcotest.test_case "hierarchy latency" `Quick test_hierarchy_latency ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_byte_roundtrip; prop_word_roundtrip; prop_neighbours_untouched ] ) ]
