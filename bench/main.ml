@@ -50,7 +50,7 @@ let fig1_bench =
 
 let attack_bench prefix ((s : Ptaint_attacks.Scenario.t), short) =
   let program = s.Ptaint_attacks.Scenario.build () in
-  let config = s.Ptaint_attacks.Scenario.attack_config program in
+  let config = Ptaint_attacks.Scenario.attack_config s program in
   Test.make ~name:(prefix ^ "/" ^ short)
     (Staged.stage (fun () -> ignore (Ptaint_sim.Sim.run ~config program)))
 
@@ -78,7 +78,7 @@ let real_world_benches =
 let coverage_benches =
   let s = Ptaint_attacks.Catalog.ghttpd_url_pointer in
   let program = s.Ptaint_attacks.Scenario.build () in
-  let config = s.Ptaint_attacks.Scenario.attack_config program in
+  let config = Ptaint_attacks.Scenario.attack_config s program in
   List.map
     (fun (name, policy) ->
       let config = { config with Ptaint_sim.Sim.policy = policy } in
@@ -139,12 +139,35 @@ let ablation_bench =
   Test.make ~name:"ablation/no-compare-untaint"
     (Staged.stage (fun () -> ignore (run_program ~policy ~stdin program)))
 
+(* --- campaign engine: batch submission of the synthetic matrix ------------- *)
+
+let campaign_benches =
+  let jobs domains_label =
+    List.concat_map
+      (fun (s : Ptaint_attacks.Scenario.t) ->
+        let program = s.Ptaint_attacks.Scenario.build () in
+        let config = Ptaint_attacks.Scenario.attack_config s program in
+        List.map
+          (fun (pname, policy) ->
+            Ptaint_campaign.Campaign.job
+              ~name:(domains_label ^ "/" ^ s.Ptaint_attacks.Scenario.name ^ "/" ^ pname)
+              ~config:{ config with Ptaint_sim.Sim.policy } program)
+          Ptaint_attacks.Scenario.coverage_policies)
+      [ Ptaint_attacks.Catalog.exp1_stack_smash; Ptaint_attacks.Catalog.exp2_heap;
+        Ptaint_attacks.Catalog.exp3_format ]
+  in
+  [ Test.make ~name:"campaign/synthetic-matrix-j1"
+      (Staged.stage (fun () -> ignore (Ptaint_campaign.Campaign.run ~domains:1 (jobs "j1"))));
+    Test.make ~name:"campaign/synthetic-matrix-jN"
+      (Staged.stage (fun () -> ignore (Ptaint_campaign.Campaign.run (jobs "jN")))) ]
+
 (* --- driver ----------------------------------------------------------------- *)
 
 let tests =
   Test.make_grouped ~name:"ptaint"
     ([ fig1_bench; tab1_bench ] @ synthetic_benches @ [ tab2_bench ] @ real_world_benches
-     @ coverage_benches @ tab3_benches @ [ tab4_bench ] @ overhead_benches @ [ ablation_bench ])
+     @ coverage_benches @ tab3_benches @ [ tab4_bench ] @ overhead_benches @ [ ablation_bench ]
+     @ campaign_benches)
 
 let () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true () in
@@ -173,4 +196,27 @@ let () =
               else Printf.sprintf "%.0f ns" ns
             in
             [ name; pretty ])
-          rows))
+          rows));
+  (* machine-readable mirror of the table so the perf trajectory can
+     be diffed across PRs: { "benchmark-name": ns_per_run, ... } *)
+  let json_escape s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '"' -> "\\\""
+           | '\\' -> "\\\\"
+           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  \"%s\": %.3f%s\n" (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d results to BENCH_results.json\n" (List.length rows)

@@ -1,32 +1,47 @@
 (* Regenerate the paper's tables and figures.  `experiments all`
-   reproduces the full evaluation. *)
+   reproduces the full evaluation; `-j N` runs the batch sections
+   (coverage, tab3, tab4) as campaigns on N domains. *)
 
 open Cmdliner
 
 let sections =
-  [ ("fig1", "Figure 1: CERT advisory breakdown", Ptaint_experiments.Experiments.fig1);
-    ("tab1", "Table 1: taint propagation rules", Ptaint_experiments.Experiments.tab1);
-    ("fig2", "Figure 2: attack anatomies", Ptaint_experiments.Experiments.fig2);
-    ("fig3", "Figure 3: architecture / pipeline", Ptaint_experiments.Experiments.fig3);
-    ("syn", "Section 5.1.1: synthetic detections", Ptaint_experiments.Experiments.synthetic);
-    ("tab2", "Table 2: WU-FTPD transcript", Ptaint_experiments.Experiments.tab2);
-    ("real", "Section 5.1.2: real-world attacks", Ptaint_experiments.Experiments.real_world);
-    ("coverage", "Section 5.1: coverage matrix", Ptaint_experiments.Experiments.coverage);
-    ("tab3", "Table 3: false positives", Ptaint_experiments.Experiments.tab3);
-    ("tab4", "Table 4: false negatives", Ptaint_experiments.Experiments.tab4);
-    ("overhead", "Section 5.4: overhead", Ptaint_experiments.Experiments.overhead);
-    ("ablation", "design-choice ablation", Ptaint_experiments.Experiments.ablation);
-    ("ext", "section 5.3 annotation extension", Ptaint_experiments.Experiments.extension);
-    ("all", "everything", Ptaint_experiments.Experiments.all) ]
+  [ ("fig1", "Figure 1: CERT advisory breakdown",
+     fun _ -> Ptaint_experiments.Experiments.fig1 ());
+    ("tab1", "Table 1: taint propagation rules",
+     fun _ -> Ptaint_experiments.Experiments.tab1 ());
+    ("fig2", "Figure 2: attack anatomies",
+     fun _ -> Ptaint_experiments.Experiments.fig2 ());
+    ("fig3", "Figure 3: architecture / pipeline",
+     fun _ -> Ptaint_experiments.Experiments.fig3 ());
+    ("syn", "Section 5.1.1: synthetic detections",
+     fun _ -> Ptaint_experiments.Experiments.synthetic ());
+    ("tab2", "Table 2: WU-FTPD transcript",
+     fun _ -> Ptaint_experiments.Experiments.tab2 ());
+    ("real", "Section 5.1.2: real-world attacks",
+     fun _ -> Ptaint_experiments.Experiments.real_world ());
+    ("coverage", "Section 5.1: coverage matrix",
+     fun domains -> Ptaint_experiments.Experiments.coverage ?domains ());
+    ("tab3", "Table 3: false positives",
+     fun domains -> Ptaint_experiments.Experiments.tab3 ?domains ());
+    ("tab4", "Table 4: false negatives",
+     fun domains -> Ptaint_experiments.Experiments.tab4 ?domains ());
+    ("overhead", "Section 5.4: overhead",
+     fun _ -> Ptaint_experiments.Experiments.overhead ());
+    ("ablation", "design-choice ablation",
+     fun _ -> Ptaint_experiments.Experiments.ablation ());
+    ("ext", "section 5.3 annotation extension",
+     fun _ -> Ptaint_experiments.Experiments.extension ());
+    ("all", "everything",
+     fun domains -> Ptaint_experiments.Experiments.all ?domains ()) ]
 
-let run names =
+let run domains names =
   let names = if names = [] then [ "all" ] else names in
   let ok =
     List.for_all
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) sections with
         | Some (_, _, f) ->
-          print_string (f ());
+          print_string (f domains);
           print_newline ();
           true
         | None ->
@@ -37,6 +52,14 @@ let run names =
   in
   if ok then 0 else 1
 
+let domains_arg =
+  let doc =
+    "Execute the batch sections (coverage, tab3, tab4) on $(docv) domains. \
+     Defaults to the machine's recommended domain count; -j 1 forces the \
+     sequential reference run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let names_arg =
   let doc =
     "Sections to regenerate: " ^ String.concat ", " (List.map (fun (n, d, _) -> n ^ " (" ^ d ^ ")") sections)
@@ -45,6 +68,6 @@ let names_arg =
 
 let cmd =
   let doc = "regenerate the tables and figures of the pointer-taintedness paper" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ names_arg)
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ domains_arg $ names_arg)
 
 let () = exit (Cmd.eval' cmd)

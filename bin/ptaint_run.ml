@@ -1,10 +1,11 @@
-(* Run a guest program (Mini-C `.c`/`.mc` or SIMIPS assembly `.s`)
+(* Run guest programs (Mini-C `.c`/`.mc` or SIMIPS assembly `.s`)
    under the pointer-taintedness architecture.
 
    Examples:
      ptaint-run victim.c --stdin-data "$(python exploit.py)"
      ptaint-run server.c --session "GET / HTTP/1.0" --policy control-only
      ptaint-run prog.s --policy none --trace-alerts
+     ptaint-run -j 4 a.c b.c c.c d.c       # batch on 4 domains
 *)
 
 open Cmdliner
@@ -15,12 +16,6 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
-
-let policy_of_string = function
-  | "full" | "pointer-taintedness" -> Ok Ptaint_cpu.Policy.default
-  | "control-only" | "minos" -> Ok Ptaint_cpu.Policy.control_only
-  | "none" | "unprotected" -> Ok Ptaint_cpu.Policy.unprotected
-  | s -> Error (Printf.sprintf "unknown policy %S (full | control-only | none)" s)
 
 (* Per-instruction trace: pc, disassembly, and the source-register
    values (with taint masks) the instruction is about to read. *)
@@ -46,59 +41,103 @@ let tracer limit =
       Printf.eprintf "  ... trace truncated after %d instructions\n" limit
     end
 
-let run path policy_name stdin_data sessions args disasm timing trace trace_limit =
-  match policy_of_string policy_name with
+exception Guest_error of string
+
+let load_program path =
+  let source = read_file path in
+  try
+    if Filename.check_suffix path ".s" then Ptaint_asm.Assembler.assemble_exn source
+    else Ptaint_runtime.Runtime.compile source
+  with Ptaint_cc.Cc.Error { line; message; phase } ->
+    raise (Guest_error (Printf.sprintf "%s:%d: %s error: %s" path line phase message))
+
+let exit_code_of (r : Ptaint_sim.Sim.result) =
+  match r.Ptaint_sim.Sim.outcome with
+  | Ptaint_sim.Sim.Exited c -> c
+  | Ptaint_sim.Sim.Alert _ -> 3
+  | _ -> 4
+
+(* Single-program mode: full guest output, diagnostics on alert. *)
+let run_one path config disasm =
+  let program = load_program path in
+  if disasm then print_string (Ptaint_asm.Program.disassemble program);
+  let r = Ptaint_sim.Sim.run ~config program in
+  print_string r.Ptaint_sim.Sim.stdout;
+  List.iteri
+    (fun i m -> Printf.printf "[net reply %d] %s\n" (i + 1) (String.escaped m))
+    r.Ptaint_sim.Sim.net_sent;
+  Format.printf "--- %a (%s instructions%s)@."
+    Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
+    (string_of_int r.Ptaint_sim.Sim.instructions)
+    (match r.Ptaint_sim.Sim.cycles with
+     | Some c -> Printf.sprintf ", %d cycles" c
+     | None -> "");
+  (match r.Ptaint_sim.Sim.outcome with
+   | Ptaint_sim.Sim.Alert _ | Ptaint_sim.Sim.Fault _ ->
+     print_string (Ptaint_sim.Diagnostics.report r)
+   | _ -> ());
+  exit_code_of r
+
+(* Batch mode: each program becomes one simulation on the domain
+   pool; one summary line per program, in command-line order. *)
+let run_batch paths config domains =
+  let batch =
+    List.map
+      (fun path ->
+        ({ config with Ptaint_sim.Sim.argv = [ Filename.basename path ] }, load_program path))
+      paths
+  in
+  let results = Ptaint_sim.Sim.run_many ?domains batch in
+  List.iter2
+    (fun path (r : Ptaint_sim.Sim.result) ->
+      Format.printf "%-32s %a (%d instructions, %d syscalls)@." path
+        Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
+        r.Ptaint_sim.Sim.instructions r.Ptaint_sim.Sim.syscalls)
+    paths results;
+  List.fold_left (fun acc r -> max acc (exit_code_of r)) 0 results
+
+let run paths policy_name stdin_data sessions args disasm timing trace trace_limit domains =
+  match Ptaint_sim.Sim.policy_of_label policy_name with
   | Error e ->
     prerr_endline e;
     2
   | Ok policy -> (
     try
-      let source = read_file path in
-      let program =
-        if Filename.check_suffix path ".s" then Ptaint_asm.Assembler.assemble_exn source
-        else Ptaint_runtime.Runtime.compile source
-      in
-      if disasm then print_string (Ptaint_asm.Program.disassemble program);
-      let config =
-        Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
-          ~sessions:(List.map (fun s -> [ s ]) sessions)
-          ~argv:(Filename.basename path :: args)
-          ~timing
-          ?on_step:(if trace then Some (tracer trace_limit) else None)
-          ()
-      in
-      let r = Ptaint_sim.Sim.run ~config program in
-      print_string r.Ptaint_sim.Sim.stdout;
-      List.iteri
-        (fun i m -> Printf.printf "[net reply %d] %s\n" (i + 1) (String.escaped m))
-        r.Ptaint_sim.Sim.net_sent;
-      Format.printf "--- %a (%s instructions%s)@."
-        Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
-        (string_of_int r.Ptaint_sim.Sim.instructions)
-        (match r.Ptaint_sim.Sim.cycles with
-         | Some c -> Printf.sprintf ", %d cycles" c
-         | None -> "");
-      (match r.Ptaint_sim.Sim.outcome with
-       | Ptaint_sim.Sim.Alert _ | Ptaint_sim.Sim.Fault _ ->
-         print_string (Ptaint_sim.Diagnostics.report r)
-       | _ -> ());
-      match r.Ptaint_sim.Sim.outcome with
-      | Ptaint_sim.Sim.Exited c -> c
-      | Ptaint_sim.Sim.Alert _ -> 3
-      | _ -> 4
+      match paths with
+      | [] ->
+        prerr_endline "no guest program given";
+        2
+      | [ path ] ->
+        let config =
+          Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
+            ~sessions:(List.map (fun s -> [ s ]) sessions)
+            ~argv:(Filename.basename path :: args)
+            ~timing
+            ?on_step:(if trace then Some (tracer trace_limit) else None)
+            ()
+        in
+        run_one path config disasm
+      | paths ->
+        if trace then prerr_endline "note: --trace is ignored in batch (-j) mode";
+        let config =
+          Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
+            ~sessions:(List.map (fun s -> [ s ]) sessions)
+            ~timing ()
+        in
+        run_batch paths config domains
     with
-    | Ptaint_cc.Cc.Error { line; message; phase } ->
-      Printf.eprintf "%s:%d: %s error: %s\n" path line phase message;
+    | Guest_error e ->
+      prerr_endline e;
       2
     | Sys_error e ->
       prerr_endline e;
       2)
 
-let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM")
+let paths_arg = Arg.(value & pos_all file [] & info [] ~docv:"PROGRAM")
 
 let policy_arg =
   Arg.(value & opt string "full" & info [ "policy"; "p" ] ~docv:"POLICY"
-         ~doc:"Protection policy: full, control-only, or none.")
+         ~doc:"Protection policy: full, control-only, none, or baseline.")
 
 let stdin_arg =
   Arg.(value & opt string "" & info [ "stdin-data" ] ~docv:"DATA" ~doc:"Guest standard input.")
@@ -120,10 +159,14 @@ let trace_limit_arg =
   Arg.(value & opt int 200 & info [ "trace-limit" ] ~docv:"N"
          ~doc:"Stop tracing after N instructions (default 200).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"With several PROGRAMs: run the batch on N domains (default: all cores).")
+
 let cmd =
-  let doc = "run a guest program on the pointer-taintedness architecture" in
+  let doc = "run guest programs on the pointer-taintedness architecture" in
   Cmd.v (Cmd.info "ptaint-run" ~doc)
-    Term.(const run $ path_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
-          $ timing_arg $ trace_arg $ trace_limit_arg)
+    Term.(const run $ paths_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
+          $ timing_arg $ trace_arg $ trace_limit_arg $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,6 +16,9 @@ let never_compromised (_ : Ptaint_sim.Sim.result) = None
 let stdin_config input _program = Ptaint_sim.Sim.config ~stdin:input ()
 let sessions_config sessions _program = Ptaint_sim.Sim.config ~sessions ()
 
+let attack_benign attack benign =
+  [ Scenario.attack_case attack; Scenario.benign_case benign ]
+
 (* --- synthetic (Figure 2) --- *)
 
 let exp1_program = compiled Synthetic.exp1
@@ -27,8 +30,7 @@ let exp1_stack_smash =
       "Figure 2 stack buffer overflow: 24 input bytes overrun buf[10], tainting the \
        saved frame pointer and return address (0x61616161).";
     build = build exp1_program;
-    attack_config = stdin_config (Payload.fill 24 ^ "\n");
-    benign_config = Some (stdin_config "hi\n");
+    cases = attack_benign (stdin_config (Payload.fill 24 ^ "\n")) (stdin_config "hi\n");
     compromised = never_compromised }
 
 let exp1_ret2libc =
@@ -38,13 +40,14 @@ let exp1_ret2libc =
       "The same overflow with a targeted payload: the return address is replaced by \
        the address of root_shell(), which exec's /bin/sh.";
     build = build exp1_program;
-    attack_config =
-      (fun program ->
-        let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
-        Ptaint_sim.Sim.config
-          ~stdin:(Payload.overflow_word ~pad:Synthetic.exp1_buffer_to_ra target ^ "\n")
-          ());
-    benign_config = Some (stdin_config "hi\n");
+    cases =
+      attack_benign
+        (fun program ->
+          let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
+          Ptaint_sim.Sim.config
+            ~stdin:(Payload.overflow_word ~pad:Synthetic.exp1_buffer_to_ra target ^ "\n")
+            ())
+        (stdin_config "hi\n");
     compromised = exec_bin_sh }
 
 let exp2_heap =
@@ -55,12 +58,13 @@ let exp2_heap =
        chunk behind it, forging its size/fd/bk; free()'s unlink then dereferences the \
        tainted fd (0x61616161).";
     build = build (compiled Synthetic.exp2);
-    attack_config =
-      stdin_config
-        (Payload.fill Synthetic.exp2_user_to_next_header
-         ^ Payload.fake_chunk ~size:0x40 ~fd:0x61616161 ~bk:0x61616161
-         ^ "\n");
-    benign_config = Some (stdin_config "ok\n");
+    cases =
+      attack_benign
+        (stdin_config
+           (Payload.fill Synthetic.exp2_user_to_next_header
+            ^ Payload.fake_chunk ~size:0x40 ~fd:0x61616161 ~bk:0x61616161
+            ^ "\n"))
+        (stdin_config "ok\n");
     compromised = never_compromised }
 
 let exp3_format =
@@ -70,8 +74,10 @@ let exp3_format =
       "Figure 2 format string: recv'd data used as printf format; %n dereferences the \
        tainted word 0x64636261 ('abcd').";
     build = build (compiled Synthetic.exp3);
-    attack_config = sessions_config [ [ "abcd%x%x%x%n" ] ];
-    benign_config = Some (sessions_config [ [ "hello from a polite client" ] ]);
+    cases =
+      attack_benign
+        (sessions_config [ [ "abcd%x%x%x%n" ] ])
+        (sessions_config [ [ "hello from a polite client" ] ]);
     compromised = never_compromised }
 
 let exp4_program = compiled Synthetic.exp4_fnptr
@@ -83,13 +89,14 @@ let exp4_fnptr =
       "Overflow into an adjacent stack function pointer; the corrupted JALR target is \
        control data, so even control-flow-integrity baselines catch it.";
     build = build exp4_program;
-    attack_config =
-      (fun program ->
-        let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
-        Ptaint_sim.Sim.config
-          ~stdin:(Payload.overflow_word ~pad:Synthetic.exp4_buffer_to_fnptr target ^ "\n")
-          ());
-    benign_config = Some (stdin_config "hello\n");
+    cases =
+      attack_benign
+        (fun program ->
+          let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
+          Ptaint_sim.Sim.config
+            ~stdin:(Payload.overflow_word ~pad:Synthetic.exp4_buffer_to_fnptr target ^ "\n")
+            ())
+        (stdin_config "hello\n");
     compromised = exec_bin_sh }
 
 (* --- real-world applications (section 5.1.2) --- *)
@@ -105,18 +112,17 @@ let wuftpd_format_uid =
        word with 0, then STOR rewrites /etc/passwd with a root backdoor.  No control \
        data is touched.";
     build = build wuftpd_program;
-    attack_config =
-      (fun program ->
-        let uid_addr = Ptaint_asm.Program.symbol_exn program Wuftpd.uid_symbol in
-        let payload = Payload.format_write_word ~ap_skip_words:0 ~target:uid_addr ~value:0 in
-        Ptaint_sim.Sim.config
-          ~sessions:
-            [ Wuftpd.login_session
-              @ [ Wuftpd.site_exec payload; Wuftpd.stor_passwd; "quit\n" ] ]
-          ~fs_init:[ (Wuftpd.passwd_path, initial_passwd) ]
-          ());
-    benign_config =
-      Some
+    cases =
+      attack_benign
+        (fun program ->
+          let uid_addr = Ptaint_asm.Program.symbol_exn program Wuftpd.uid_symbol in
+          let payload = Payload.format_write_word ~ap_skip_words:0 ~target:uid_addr ~value:0 in
+          Ptaint_sim.Sim.config
+            ~sessions:
+              [ Wuftpd.login_session
+                @ [ Wuftpd.site_exec payload; Wuftpd.stor_passwd; "quit\n" ] ]
+            ~fs_init:[ (Wuftpd.passwd_path, initial_passwd) ]
+            ())
         (fun _ ->
           Ptaint_sim.Sim.config
             ~sessions:
@@ -143,32 +149,31 @@ let nullhttpd_cgi_root =
        body forges the next chunk so that free()'s unlink write repoints cgi_root at \
        \"/bin\", and a follow-up GET /cgi-bin/sh runs /bin/sh.";
     build = build nullhttpd_program;
-    attack_config =
-      (fun program ->
-        let image = Ptaint_asm.Loader.load ~argv:[ "nullhttpd" ] program in
-        let cgi_root = Ptaint_asm.Program.symbol_exn program Nullhttpd.cgi_root_symbol in
-        let body_user = image.Ptaint_asm.Loader.heap_base + 4 in
-        let alloc = 1024 - 800 in
-        (* unlink performs FD->bk = BK then BK->fd = FD.  Aim the
-           second write at cgi_root (bk = &cgi_root - 4); the first
-           write clobbers FD+8, and free's closing bin-insert clobbers
-           body[0..7], so the "/bin" string is planted at offset 12:
-           insert hits 0..7, the mirror write hits 20..23, both
-           harmless. *)
-        let bin_string = body_user + 12 in
-        let body =
-          Payload.fill 12
-          ^ "/bin\000"
-          ^ Payload.fill (alloc - 17)
-          ^ Payload.fake_chunk ~size:0x40 ~fd:bin_string ~bk:(cgi_root - 4)
-        in
-        Ptaint_sim.Sim.config ~argv:[ "nullhttpd" ]
-          ~sessions:
-            [ Nullhttpd.post_request ~content_length:(-800) ~body;
-              [ Nullhttpd.get_cgi "sh" ] ]
-          ());
-    benign_config =
-      Some
+    cases =
+      attack_benign
+        (fun program ->
+          let image = Ptaint_asm.Loader.load ~argv:[ "nullhttpd" ] program in
+          let cgi_root = Ptaint_asm.Program.symbol_exn program Nullhttpd.cgi_root_symbol in
+          let body_user = image.Ptaint_asm.Loader.heap_base + 4 in
+          let alloc = 1024 - 800 in
+          (* unlink performs FD->bk = BK then BK->fd = FD.  Aim the
+             second write at cgi_root (bk = &cgi_root - 4); the first
+             write clobbers FD+8, and free's closing bin-insert clobbers
+             body[0..7], so the "/bin" string is planted at offset 12:
+             insert hits 0..7, the mirror write hits 20..23, both
+             harmless. *)
+          let bin_string = body_user + 12 in
+          let body =
+            Payload.fill 12
+            ^ "/bin\000"
+            ^ Payload.fill (alloc - 17)
+            ^ Payload.fake_chunk ~size:0x40 ~fd:bin_string ~bk:(cgi_root - 4)
+          in
+          Ptaint_sim.Sim.config ~argv:[ "nullhttpd" ]
+            ~sessions:
+              [ Nullhttpd.post_request ~content_length:(-800) ~body;
+                [ Nullhttpd.get_cgi "sh" ] ]
+            ())
         (fun _ ->
           Ptaint_sim.Sim.config ~argv:[ "nullhttpd" ]
             ~sessions:
@@ -187,22 +192,21 @@ let ghttpd_url_pointer =
        pointer local — after the /.. policy check — with the stack address of a \
        second fragment naming /cgi-bin/../../../../bin/sh.";
     build = build ghttpd_program;
-    attack_config =
-      (fun program ->
-        let image = Ptaint_asm.Loader.load ~argv:[ "ghttpd" ] program in
-        let fp_main = Scenario.main_frame_pointer image in
-        let request_base = fp_main - 4096 in
-        let line1_len = Ghttpd.overflow_to_url + 4 in
-        let tail_addr = request_base + line1_len + 2 in
-        let line1 =
-          "GET /"
-          ^ Payload.fill ~byte:'A' (Ghttpd.overflow_to_url - 5)
-          ^ Payload.le_word tail_addr
-        in
-        let request = line1 ^ "\n\n" ^ Ghttpd.attack_tail in
-        Ptaint_sim.Sim.config ~argv:[ "ghttpd" ] ~sessions:[ [ request ] ] ());
-    benign_config =
-      Some
+    cases =
+      attack_benign
+        (fun program ->
+          let image = Ptaint_asm.Loader.load ~argv:[ "ghttpd" ] program in
+          let fp_main = Scenario.main_frame_pointer image in
+          let request_base = fp_main - 4096 in
+          let line1_len = Ghttpd.overflow_to_url + 4 in
+          let tail_addr = request_base + line1_len + 2 in
+          let line1 =
+            "GET /"
+            ^ Payload.fill ~byte:'A' (Ghttpd.overflow_to_url - 5)
+            ^ Payload.le_word tail_addr
+          in
+          let request = line1 ^ "\n\n" ^ Ghttpd.attack_tail in
+          Ptaint_sim.Sim.config ~argv:[ "ghttpd" ] ~sessions:[ [ request ] ] ())
         (fun _ ->
           Ptaint_sim.Sim.config ~argv:[ "ghttpd" ]
             ~sessions:[ [ "GET /index.html\n\n" ] ]
@@ -220,10 +224,10 @@ let traceroute_double_free =
        string (\"123\\0\" = 0x00333231) as a size field and dereferences an address \
        built from those command-line bytes.";
     build = build traceroute_program;
-    attack_config =
-      (fun _ -> Ptaint_sim.Sim.config ~argv:Traceroute.attack_argv ());
-    benign_config =
-      Some (fun _ -> Ptaint_sim.Sim.config ~argv:Traceroute.benign_argv ());
+    cases =
+      attack_benign
+        (fun _ -> Ptaint_sim.Sim.config ~argv:Traceroute.attack_argv ())
+        (fun _ -> Ptaint_sim.Sim.config ~argv:Traceroute.benign_argv ());
     compromised = never_compromised }
 
 (* --- remaining taint sources: environment and file system --- *)
@@ -239,18 +243,19 @@ let env_login =
        supplies the address's high zero byte, the classic trick).  Environment \
        variables are tainted input, so the corrupted return is caught at JR.";
     build = build login_program;
-    attack_config =
-      (fun program ->
-        let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
-        (* environment values travel as C strings: the three low bytes
-           must be NUL-free (strcpy's terminator supplies the high
-           zero byte of the 0x004xxxxx address) *)
-        let addr3 = String.sub (Payload.le_word target) 0 3 in
-        assert (not (String.contains addr3 '\000'));
-        Ptaint_sim.Sim.config
-          ~env:[ ("HOME", Payload.fill Cli.login_buffer_to_ra ^ addr3) ]
-          ());
-    benign_config = Some (fun _ -> Ptaint_sim.Sim.config ~env:[ ("HOME", "/home/alice") ] ());
+    cases =
+      attack_benign
+        (fun program ->
+          let target = Ptaint_asm.Program.symbol_exn program Synthetic.root_shell_symbol in
+          (* environment values travel as C strings: the three low bytes
+             must be NUL-free (strcpy's terminator supplies the high
+             zero byte of the 0x004xxxxx address) *)
+          let addr3 = String.sub (Payload.le_word target) 0 3 in
+          assert (not (String.contains addr3 '\000'));
+          Ptaint_sim.Sim.config
+            ~env:[ ("HOME", Payload.fill Cli.login_buffer_to_ra ^ addr3) ]
+            ())
+        (fun _ -> Ptaint_sim.Sim.config ~env:[ ("HOME", "/home/alice") ] ());
     compromised = exec_bin_sh }
 
 let logd_program = compiled Cli.logd
@@ -263,11 +268,11 @@ let logd_config =
        printf format.  File contents are tainted input; a %n in the template \
        dereferences a word assembled from the (tainted) log line itself.";
     build = build logd_program;
-    attack_config =
-      (fun _ ->
-        Ptaint_sim.Sim.config ~fs_init:[ (Cli.logd_conf_path, "AAAA%x%n\n") ] ());
-    benign_config =
-      Some (fun _ -> Ptaint_sim.Sim.config ~fs_init:[ (Cli.logd_conf_path, "logd[%s]\n") ] ());
+    cases =
+      attack_benign
+        (fun _ ->
+          Ptaint_sim.Sim.config ~fs_init:[ (Cli.logd_conf_path, "AAAA%x%n\n") ] ())
+        (fun _ -> Ptaint_sim.Sim.config ~fs_init:[ (Cli.logd_conf_path, "logd[%s]\n") ] ());
     compromised = never_compromised }
 
 let synthetic = [ exp1_stack_smash; exp1_ret2libc; exp2_heap; exp3_format; exp4_fnptr ]

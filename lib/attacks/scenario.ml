@@ -6,15 +6,31 @@ type verdict =
   | Crashed of string
   | Survived
 
+type case = {
+  case_name : string;
+  malicious : bool;
+  config : Ptaint_asm.Program.t -> Ptaint_sim.Sim.config;
+}
+
 type t = {
   name : string;
   kind : kind;
   description : string;
   build : unit -> Ptaint_asm.Program.t;
-  attack_config : Ptaint_asm.Program.t -> Ptaint_sim.Sim.config;
-  benign_config : (Ptaint_asm.Program.t -> Ptaint_sim.Sim.config) option;
+  cases : case list;
   compromised : Ptaint_sim.Sim.result -> string option;
 }
+
+let attack_case ?(name = "attack") config = { case_name = name; malicious = true; config }
+let benign_case ?(name = "benign") config = { case_name = name; malicious = false; config }
+
+let attack scenario =
+  match List.find_opt (fun c -> c.malicious) scenario.cases with
+  | Some c -> c
+  | None -> invalid_arg ("scenario " ^ scenario.name ^ " has no attack case")
+
+let benign scenario = List.find_opt (fun c -> not c.malicious) scenario.cases
+let attack_config scenario = (attack scenario).config
 
 let kind_name = function
   | Control_data -> "control data"
@@ -34,20 +50,19 @@ let verdict_of scenario (result : Ptaint_sim.Sim.result) =
     | None -> Crashed (Format.asprintf "%a" Ptaint_cpu.Machine.pp_fault f))
   | Ptaint_sim.Sim.Trap c -> Crashed (Printf.sprintf "break trap %d" c)
 
-let run ?(policy = Ptaint_cpu.Policy.default) scenario =
+let run_case scenario case policy =
   let program = scenario.build () in
-  let config = { (scenario.attack_config program) with Ptaint_sim.Sim.policy = policy } in
+  let config = { (case.config program) with Ptaint_sim.Sim.policy } in
   let result = Ptaint_sim.Sim.run ~config program in
   (verdict_of scenario result, result)
 
+let run ?(policy = Ptaint_cpu.Policy.default) scenario =
+  run_case scenario (attack scenario) policy
+
 let run_benign ?(policy = Ptaint_cpu.Policy.default) scenario =
-  match scenario.benign_config with
+  match benign scenario with
   | None -> invalid_arg ("no benign workload for scenario " ^ scenario.name)
-  | Some benign ->
-    let program = scenario.build () in
-    let config = { (benign program) with Ptaint_sim.Sim.policy = policy } in
-    let result = Ptaint_sim.Sim.run ~config program in
-    (verdict_of scenario result, result)
+  | Some case -> run_case scenario case policy
 
 let verdict_name = function
   | Detected _ -> "DETECTED"

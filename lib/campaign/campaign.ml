@@ -1,0 +1,115 @@
+module Pool = Ptaint_pool.Pool
+
+type job = {
+  j_name : string;
+  j_policy_label : string;
+  j_expect : (Ptaint_sim.Sim.result -> string option) option;
+  j_run : unit -> Ptaint_sim.Sim.result;
+}
+
+let label_of_policy (p : Ptaint_cpu.Policy.t) =
+  match p.Ptaint_cpu.Policy.mode with
+  | Ptaint_cpu.Policy.No_protection -> "no protection"
+  | Ptaint_cpu.Policy.Control_data_only -> "control-data only"
+  | Ptaint_cpu.Policy.Pointer_taintedness -> "pointer taintedness"
+
+let job ~name ?policy_label ?expect ~config program =
+  { j_name = name;
+    j_policy_label =
+      (match policy_label with
+       | Some l -> l
+       | None -> label_of_policy config.Ptaint_sim.Sim.policy);
+    j_expect = expect;
+    j_run = (fun () -> Ptaint_sim.Sim.run ~config program) }
+
+let job_thunk ~name ?(policy_label = "unlabelled") ?expect thunk =
+  { j_name = name; j_policy_label = policy_label; j_expect = expect; j_run = thunk }
+
+let job_name j = j.j_name
+
+type failure = { exn : string; backtrace : string }
+
+type status =
+  | Finished of Ptaint_sim.Sim.result
+  | Crashed of failure
+
+type job_result = {
+  name : string;
+  policy_label : string;
+  status : status;
+  violation : string option;
+}
+
+let result_exn r =
+  match r.status with
+  | Finished result -> result
+  | Crashed f -> invalid_arg (Printf.sprintf "job %s crashed: %s" r.name f.exn)
+
+type stats = {
+  jobs : int;
+  crashed : int;
+  violations : int;
+  wall_seconds : float;
+  instructions : int;
+  syscalls : int;
+  detections : (string * int) list;
+}
+
+let exec j =
+  match j.j_run () with
+  | result ->
+    let violation = match j.j_expect with None -> None | Some f -> f result in
+    { name = j.j_name; policy_label = j.j_policy_label; status = Finished result; violation }
+  | exception e ->
+    let backtrace = Printexc.get_backtrace () in
+    { name = j.j_name;
+      policy_label = j.j_policy_label;
+      status = Crashed { exn = Printexc.to_string e; backtrace };
+      violation = None }
+
+let stats_of ~wall_seconds results =
+  let detections = ref [] (* label -> count, reverse first-seen order *) in
+  let bump label by =
+    match List.assoc_opt label !detections with
+    | Some n -> detections := (label, n + by) :: List.remove_assoc label !detections
+    | None -> detections := (label, by) :: !detections
+  in
+  let crashed = ref 0 and violations = ref 0 and insns = ref 0 and sys = ref 0 in
+  let seen_order = ref [] in
+  List.iter
+    (fun r ->
+      if not (List.mem r.policy_label !seen_order) then
+        seen_order := r.policy_label :: !seen_order;
+      if r.violation <> None then incr violations;
+      match r.status with
+      | Crashed _ -> incr crashed
+      | Finished res ->
+        insns := !insns + res.Ptaint_sim.Sim.instructions;
+        sys := !sys + res.Ptaint_sim.Sim.syscalls;
+        bump r.policy_label
+          (match res.Ptaint_sim.Sim.outcome with Ptaint_sim.Sim.Alert _ -> 1 | _ -> 0))
+    results;
+  { jobs = List.length results;
+    crashed = !crashed;
+    violations = !violations;
+    wall_seconds;
+    instructions = !insns;
+    syscalls = !sys;
+    detections =
+      List.rev_map (fun l -> (l, Option.value ~default:0 (List.assoc_opt l !detections)))
+        !seen_order }
+
+let run ?domains jobs =
+  let t0 = Unix.gettimeofday () in
+  let results = Pool.map ?domains exec jobs in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  (results, stats_of ~wall_seconds results)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "campaign: %d jobs (%d crashed, %d violations), %d guest instructions, %d syscalls; detections: %s [%.2fs wall]"
+    s.jobs s.crashed s.violations s.instructions s.syscalls
+    (if s.detections = [] then "-"
+     else
+       String.concat ", "
+         (List.map (fun (l, n) -> Printf.sprintf "%s=%d" l n) s.detections))
+    s.wall_seconds

@@ -1,0 +1,92 @@
+(** Multicore batch simulation engine.
+
+    The paper's evaluation is an embarrassingly parallel matrix —
+    attacks × policies × (attack, benign) plus the SPEC-like
+    false-positive workloads — and every future scaling direction
+    (larger corpora, fuzzing campaigns, sharded sweeps) has the same
+    shape.  A {!job} names one simulation: a pre-built guest program,
+    the {!Ptaint_sim.Sim.config} to run it under, and an optional
+    expectation on the result.  {!run} executes a batch on a
+    fixed-size domain pool ({!Pool}) and returns one {!job_result} per
+    job, in submission order regardless of scheduling, together with
+    aggregate {!stats}.
+
+    Isolation guarantees:
+    - {b fuel}: each job's instruction budget is its config's
+      [max_instructions]; a guest that spins exhausts only its own
+      fuel, never the campaign's.
+    - {b exceptions}: a job whose execution raises (a guest tripping
+      an unhandled [Memory.Fault] path, an assembler error, a broken
+      expectation function) is reported as {!Crashed} and the
+      remaining jobs run to completion.
+
+    Determinism: simulations share no mutable state — every job boots
+    a fresh machine, memory image and kernel — so results are
+    byte-identical whatever [~domains] is.  Build programs {e before}
+    submission (jobs carry a built [Program.t], not a builder) so
+    compilation caches and lazies are only touched from the
+    submitting domain. *)
+
+type job
+
+val job :
+  name:string ->
+  ?policy_label:string ->
+  ?expect:(Ptaint_sim.Sim.result -> string option) ->
+  config:Ptaint_sim.Sim.config ->
+  Ptaint_asm.Program.t ->
+  job
+(** One simulation of [program] under [config].  [policy_label]
+    (default: derived from [config.policy]) buckets the job in
+    {!stats} detection counts.  [expect] inspects the result and
+    returns a violation message when the job did not do what the
+    campaign expected — violations are counted but do not fail the
+    job. *)
+
+val job_thunk :
+  name:string ->
+  ?policy_label:string ->
+  ?expect:(Ptaint_sim.Sim.result -> string option) ->
+  (unit -> Ptaint_sim.Sim.result) ->
+  job
+(** Escape hatch for work that is not a plain [Sim.run] (custom
+    drivers, steppable sessions).  The thunk runs on a worker domain:
+    it must not touch shared mutable state. *)
+
+val job_name : job -> string
+
+type failure = { exn : string; backtrace : string }
+
+type status =
+  | Finished of Ptaint_sim.Sim.result
+  | Crashed of failure  (** the job raised; the campaign continued *)
+
+type job_result = {
+  name : string;
+  policy_label : string;
+  status : status;
+  violation : string option;  (** [expect]'s verdict, when given *)
+}
+
+val result_exn : job_result -> Ptaint_sim.Sim.result
+(** The simulation result of a {!Finished} job; raises
+    [Invalid_argument] (with the job's failure) on {!Crashed}. *)
+
+type stats = {
+  jobs : int;
+  crashed : int;
+  violations : int;
+  wall_seconds : float;
+  instructions : int;  (** guest instructions, summed over finished jobs *)
+  syscalls : int;
+  detections : (string * int) list;
+      (** alerts per policy label, in first-submission order *)
+}
+
+val run : ?domains:int -> job list -> job_result list * stats
+(** Execute the batch on [domains] workers (default
+    {!Pool.recommended_domains}).  Results are in submission order. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line: deterministic aggregates first, wall time bracketed last
+    so batch outputs can be compared "modulo timings". *)

@@ -1,0 +1,38 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b slot = Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let mapi ?(domains = recommended_domains ()) f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let slot =
+            match f i arr.(i) with
+            | v -> Value v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          out.(i) <- Some slot;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (max 0 (domains - 1)) (n - 1) in
+    let spawned = List.init helpers (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list out
+    |> List.map (function
+         | Some (Value v) -> v
+         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index < n is claimed exactly once *))
+  end
+
+let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs

@@ -1,0 +1,25 @@
+(** Fixed-size domain pool for order-preserving parallel maps.
+
+    The pool underpins every batch runner in the tree
+    ({!Ptaint_sim.Sim.run_many}, [Campaign.run]): workers are OCaml 5
+    domains pulling indices from a shared atomic cursor, so work is
+    balanced dynamically while results land in an array slot per input
+    — output order always matches input order, whatever the
+    scheduling.
+
+    [?domains] counts the calling domain: [~domains:1] runs entirely
+    inline (no domain is spawned), [~domains:n] spawns at most [n - 1]
+    helpers and has the caller work alongside them.  The pool never
+    spawns more helpers than there are items. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed on the pool.  If
+    any application raises, the pool still drains, then the exception
+    of the smallest-index failing item is re-raised (with its
+    backtrace) on the calling domain. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map] with the item's submission index. *)

@@ -1,4 +1,5 @@
 open Ptaint_attacks
+module Campaign = Ptaint_campaign.Campaign
 
 let buf_add = Buffer.add_string
 
@@ -236,47 +237,111 @@ let real_world () =
 (* ------------------------------------------------------------------ *)
 (* Coverage matrix                                                     *)
 
-let coverage () =
+let coverage ?domains () =
   let buf = Buffer.create 4096 in
   buf_add buf (Ptaint_report.Report.section "Section 5.1: security coverage matrix");
   let headers =
     "attack" :: "class" :: List.map fst Scenario.coverage_policies @ [ "benign run (PT)" ]
   in
-  let rows =
+  (* the whole matrix — scenario × policy × case — as one campaign *)
+  let per_scenario =
     List.map
       (fun (s : Scenario.t) ->
-        let cells =
+        let program = s.Scenario.build () in
+        let atk = Scenario.attack s in
+        let jobs =
           List.map
-            (fun (_, policy) ->
-              let verdict, _ = Scenario.run ~policy s in
-              Scenario.verdict_name verdict)
+            (fun (pname, policy) ->
+              Campaign.job
+                ~name:(Printf.sprintf "%s / %s / %s" s.Scenario.name atk.Scenario.case_name pname)
+                ~policy_label:pname
+                ~config:{ (atk.Scenario.config program) with Ptaint_sim.Sim.policy }
+                program)
             Scenario.coverage_policies
+          @
+          match Scenario.benign s with
+          | None -> []
+          | Some c ->
+            [ Campaign.job
+                ~name:(Printf.sprintf "%s / %s" s.Scenario.name c.Scenario.case_name)
+                ~policy_label:"benign (PT)"
+                ~expect:(fun r ->
+                  match Scenario.verdict_of s r with
+                  | Scenario.Survived -> None
+                  | v -> Some ("false positive: " ^ Scenario.verdict_name v))
+                ~config:(c.Scenario.config program) program ]
         in
-        let benign =
-          match s.Scenario.benign_config with
-          | None -> "-"
-          | Some _ ->
-            let v, _ = Scenario.run_benign s in
-            Scenario.verdict_name v
-        in
-        (s.Scenario.name :: Scenario.kind_name s.Scenario.kind :: cells) @ [ benign ])
+        (s, jobs))
       Catalog.all
+  in
+  let results, stats = Campaign.run ?domains (List.concat_map snd per_scenario) in
+  let cell (s : Scenario.t) (r : Campaign.job_result) =
+    match r.Campaign.status with
+    | Campaign.Finished res -> Scenario.verdict_name (Scenario.verdict_of s res)
+    | Campaign.Crashed f -> "job error: " ^ f.Campaign.exn
+  in
+  let remaining = ref results in
+  let take n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !remaining with
+        | [] -> invalid_arg "coverage: result list shorter than job list"
+        | r :: rest ->
+          remaining := rest;
+          go (n - 1) (r :: acc)
+    in
+    go n []
+  in
+  let rows =
+    List.map
+      (fun ((s : Scenario.t), jobs) ->
+        let cells, benign =
+          match take (List.length jobs) with
+          | [ a; b; c ] -> ([ a; b; c ], "-")
+          | [ a; b; c; bn ] -> ([ a; b; c ], cell s bn)
+          | _ -> invalid_arg "coverage: unexpected job shape"
+        in
+        (s.Scenario.name :: Scenario.kind_name s.Scenario.kind :: List.map (cell s) cells)
+        @ [ benign ])
+      per_scenario
   in
   buf_add buf (Ptaint_report.Report.table ~headers rows);
   buf_add buf
     "\nPointer taintedness detects every attack; the control-data-only baseline\n\
      (Minos / Secure Program Execution style) misses all non-control-data attacks\n\
      and the corruptions that crash before any control transfer.\n";
+  buf_add buf (Format.asprintf "\n%a\n" Campaign.pp_stats stats);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                             *)
 
-let tab3 () =
+let tab3 ?domains () =
   let buf = Buffer.create 2048 in
   buf_add buf
     (Ptaint_report.Report.section "Table 3: false positives on SPEC2000-like workloads");
-  let rows = List.map Ptaint_workloads.Workload.run Ptaint_workloads.Workload.all in
+  (* compile on the submitting domain (shared cache), simulate on the pool *)
+  let prepared =
+    List.map (fun w -> (w, Ptaint_workloads.Workload.program w)) Ptaint_workloads.Workload.all
+  in
+  let jobs =
+    List.map
+      (fun ((w : Ptaint_workloads.Workload.t), p) ->
+        Campaign.job ~name:("tab3/" ^ w.Ptaint_workloads.Workload.name)
+          ~expect:(fun r ->
+            match r.Ptaint_sim.Sim.outcome with
+            | Ptaint_sim.Sim.Exited 0 -> None
+            | o -> Some (Format.asprintf "expected clean exit, got %a" Ptaint_sim.Sim.pp_outcome o))
+          ~config:(Ptaint_workloads.Workload.config_for w) p)
+      prepared
+  in
+  let results, stats = Campaign.run ?domains jobs in
+  let rows =
+    List.map2
+      (fun (w, p) r -> Ptaint_workloads.Workload.row_of w p (Campaign.result_exn r))
+      prepared results
+  in
   let kb n = Printf.sprintf "%.1fKB" (float_of_int n /. 1024.) in
   buf_add buf
     (Ptaint_report.Report.table
@@ -304,6 +369,7 @@ let tab3 () =
        (kb total_prog) (kb total_in)
        (Ptaint_report.Report.commas total_insn)
        total_alerts);
+  buf_add buf (Format.asprintf "\n%a\n" Campaign.pp_stats stats);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -313,70 +379,80 @@ let run_fn ?(policy = Ptaint_cpu.Policy.default) source config =
   let program = Ptaint_runtime.Runtime.compile source in
   Ptaint_sim.Sim.run ~config:{ config with Ptaint_sim.Sim.policy } program
 
-let tab4 () =
+let tab4 ?domains () =
   let buf = Buffer.create 4096 in
   buf_add buf (Ptaint_report.Report.section "Table 4: false-negative scenarios");
   (* (A) integer overflow: `admin` is emitted immediately before
-     `array`, so the out-of-range store needs index -1 *)
+     `array`, so the out-of-range store needs index -1.  (B) auth
+     flag: one byte past the buffer sets the flag's low byte; gets()'s
+     terminating NUL then lands inside `auth`, never reaching the
+     saved frame pointer.  (C) info leak: reads need no tainted
+     dereference.  All five runs go out as one campaign batch. *)
+  let int_ovf = Ptaint_runtime.Runtime.compile Ptaint_apps.Synthetic.fn_integer_overflow in
+  let auth = Ptaint_runtime.Runtime.compile Ptaint_apps.Synthetic.fn_auth_flag in
+  let leak = Ptaint_runtime.Runtime.compile Ptaint_apps.Synthetic.fn_info_leak in
   let admin_index = -1 in
   let a_input = Payload.le_word (Ptaint_isa.Word.of_signed admin_index) in
-  let r = run_fn Ptaint_apps.Synthetic.fn_integer_overflow (Ptaint_sim.Sim.config ~stdin:a_input ()) in
-  buf_add buf
-    (Printf.sprintf
-       "(A) integer overflow, flawed upper-bound-only check\n\
-       \    input: unsigned index 0x%08x (= -1 signed)\n\
-       \    outcome: %s; guest output: %s\n\
-       \    -> the bounds compare untaints the index, the negative-index store\n\
-       \       corrupts `admin`, and no alert fires: a false negative, as in the paper.\n\n"
-       (Ptaint_isa.Word.of_signed admin_index)
-       (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
-       (String.escaped r.Ptaint_sim.Sim.stdout));
-  (* (A') the correct check *)
-  let r = run_fn Ptaint_apps.Synthetic.fn_integer_overflow
-      (Ptaint_sim.Sim.config ~stdin:(Payload.le_word 2) ()) in
-  buf_add buf
-    (Printf.sprintf "(A, benign) in-range index 2: %s / %s\n\n"
-       (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
-       (String.escaped r.Ptaint_sim.Sim.stdout));
-  (* (B) auth flag: one byte past the buffer sets the flag's low byte;
-     gets()'s terminating NUL then lands inside `auth`, never reaching
-     the saved frame pointer *)
-  let payload = Payload.fill 16 ^ "\x01" ^ "\n" in
-  let r = run_fn Ptaint_apps.Synthetic.fn_auth_flag (Ptaint_sim.Sim.config ~stdin:payload ()) in
-  buf_add buf
-    (Printf.sprintf
-       "(B) buffer overflow corrupting the authentication flag\n\
-       \    input: 16 filler bytes + 0x01 over `auth`\n\
-       \    outcome: %s; guest output: %s\n\
-       \    -> no pointer was tainted; access granted without the password: false negative.\n\n"
-       (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
-       (String.escaped r.Ptaint_sim.Sim.stdout));
-  (* (C) info leak *)
-  let r = run_fn Ptaint_apps.Synthetic.fn_info_leak
-      (Ptaint_sim.Sim.config ~sessions:[ [ "%x%x%x%x" ] ] ()) in
-  let leaked =
-    List.exists
-      (fun m ->
-        let rec has i =
-          i + 8 <= String.length m && (String.sub m i 8 = "12345678" || has (i + 1))
-        in
-        has 0)
-      r.Ptaint_sim.Sim.net_sent
+  let b_payload = Payload.fill 16 ^ "\x01" ^ "\n" in
+  let jobs =
+    [ Campaign.job ~name:"tab4/A integer overflow"
+        ~config:(Ptaint_sim.Sim.config ~stdin:a_input ()) int_ovf;
+      Campaign.job ~name:"tab4/A benign index"
+        ~config:(Ptaint_sim.Sim.config ~stdin:(Payload.le_word 2) ()) int_ovf;
+      Campaign.job ~name:"tab4/B auth flag"
+        ~config:(Ptaint_sim.Sim.config ~stdin:b_payload ()) auth;
+      Campaign.job ~name:"tab4/C info leak"
+        ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "%x%x%x%x" ] ] ()) leak;
+      Campaign.job ~name:"tab4/C write contrast"
+        ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "abcd%x%x%x%n" ] ] ()) leak ]
   in
-  buf_add buf
-    (Printf.sprintf
-       "(C) format-string information leak (%%x%%x%%x%%x)\n\
-       \    outcome: %s; secret 0x12345678 leaked to the client: %b\n\
-       \    -> reads need no tainted dereference, so the leak is invisible: false negative.\n"
-       (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
-       leaked);
-  let r = run_fn Ptaint_apps.Synthetic.fn_info_leak
-      (Ptaint_sim.Sim.config ~sessions:[ [ "abcd%x%x%x%n" ] ] ()) in
-  buf_add buf
-    (Printf.sprintf
-       "(C, contrast) the same bug driven with %%n: %s\n\
-       \    -> the moment the attack tries to WRITE, the tainted dereference is caught.\n"
-       (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome));
+  let results, _ = Campaign.run ?domains jobs in
+  (match List.map Campaign.result_exn results with
+   | [ r_a; r_a_benign; r_b; r_c; r_c_n ] ->
+     buf_add buf
+       (Printf.sprintf
+          "(A) integer overflow, flawed upper-bound-only check\n\
+          \    input: unsigned index 0x%08x (= -1 signed)\n\
+          \    outcome: %s; guest output: %s\n\
+          \    -> the bounds compare untaints the index, the negative-index store\n\
+          \       corrupts `admin`, and no alert fires: a false negative, as in the paper.\n\n"
+          (Ptaint_isa.Word.of_signed admin_index)
+          (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r_a.Ptaint_sim.Sim.outcome)
+          (String.escaped r_a.Ptaint_sim.Sim.stdout));
+     buf_add buf
+       (Printf.sprintf "(A, benign) in-range index 2: %s / %s\n\n"
+          (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r_a_benign.Ptaint_sim.Sim.outcome)
+          (String.escaped r_a_benign.Ptaint_sim.Sim.stdout));
+     buf_add buf
+       (Printf.sprintf
+          "(B) buffer overflow corrupting the authentication flag\n\
+          \    input: 16 filler bytes + 0x01 over `auth`\n\
+          \    outcome: %s; guest output: %s\n\
+          \    -> no pointer was tainted; access granted without the password: false negative.\n\n"
+          (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r_b.Ptaint_sim.Sim.outcome)
+          (String.escaped r_b.Ptaint_sim.Sim.stdout));
+     let leaked =
+       List.exists
+         (fun m ->
+           let rec has i =
+             i + 8 <= String.length m && (String.sub m i 8 = "12345678" || has (i + 1))
+           in
+           has 0)
+         r_c.Ptaint_sim.Sim.net_sent
+     in
+     buf_add buf
+       (Printf.sprintf
+          "(C) format-string information leak (%%x%%x%%x%%x)\n\
+          \    outcome: %s; secret 0x12345678 leaked to the client: %b\n\
+          \    -> reads need no tainted dereference, so the leak is invisible: false negative.\n"
+          (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r_c.Ptaint_sim.Sim.outcome)
+          leaked);
+     buf_add buf
+       (Printf.sprintf
+          "(C, contrast) the same bug driven with %%n: %s\n\
+          \    -> the moment the attack tries to WRITE, the tainted dereference is caught.\n"
+          (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r_c_n.Ptaint_sim.Sim.outcome))
+   | _ -> invalid_arg "tab4: unexpected campaign shape");
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -530,7 +606,8 @@ let extension () =
      the trade-off the paper describes.\n";
   Buffer.contents buf
 
-let all () =
+let all ?domains () =
   String.concat "\n"
-    [ fig1 (); tab1 (); fig2 (); fig3 (); synthetic (); tab2 (); real_world (); coverage ();
-      tab3 (); tab4 (); overhead (); ablation (); extension () ]
+    [ fig1 (); tab1 (); fig2 (); fig3 (); synthetic (); tab2 (); real_world ();
+      coverage ?domains (); tab3 ?domains (); tab4 ?domains (); overhead (); ablation ();
+      extension () ]

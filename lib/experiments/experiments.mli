@@ -28,18 +28,22 @@ val tab2 : unit -> string
 val real_world : unit -> string
 (** Section 5.1.2: NULL HTTPD, GHTTPD and traceroute attacks. *)
 
-val coverage : unit -> string
+val coverage : ?domains:int -> unit -> string
 (** Section 5.1: the security-coverage matrix — every attack under no
     protection, control-data-only protection, and pointer
-    taintedness; plus benign-input runs. *)
+    taintedness; plus benign-input runs.  The whole matrix is
+    submitted as one [Campaign] batch executed on [domains] workers
+    (default: all cores); the rendered table is identical whatever
+    [domains] is, modulo the bracketed wall time. *)
 
-val tab3 : unit -> string
+val tab3 : ?domains:int -> unit -> string
 (** Table 3: false-positive evaluation on the six SPEC-like
-    workloads. *)
+    workloads, run as a campaign batch. *)
 
-val tab4 : unit -> string
+val tab4 : ?domains:int -> unit -> string
 (** Table 4: the three false-negative scenarios, plus the contrast
-    cases showing where detection resumes. *)
+    cases showing where detection resumes — five simulations batched
+    as one campaign. *)
 
 val overhead : unit -> string
 (** Section 5.4: architectural overhead — pipeline timing with the
@@ -56,4 +60,4 @@ val extension : unit -> string
     critical data, turning the Table 4(B) false negative into a
     detection. *)
 
-val all : unit -> string
+val all : ?domains:int -> unit -> string

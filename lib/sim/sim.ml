@@ -36,6 +36,30 @@ let config ?(policy = default_config.policy) ?(sources = default_config.sources)
   { policy; sources; argv; env; stdin; sessions; fs_init; uid; max_instructions; timing;
     on_step }
 
+let policy_labels =
+  [ ("full", Policy.default);
+    ("control-only", Policy.control_only);
+    ("none", Policy.unprotected);
+    ("baseline", Policy.baseline_no_tracking) ]
+
+let policy_of_label = function
+  | "full" | "pointer-taintedness" -> Ok Policy.default
+  | "control-only" | "minos" -> Ok Policy.control_only
+  | "none" | "unprotected" -> Ok Policy.unprotected
+  | "baseline" | "no-tracking" -> Ok Policy.baseline_no_tracking
+  | s ->
+    Error
+      (Printf.sprintf "unknown policy %S (%s)" s
+         (String.concat " | " (List.map fst policy_labels)))
+
+let config_of ~label ?sources ?argv ?env ?stdin ?sessions ?fs_init ?uid
+    ?max_instructions ?timing ?on_step () =
+  match policy_of_label label with
+  | Error e -> invalid_arg ("Sim.config_of: " ^ e)
+  | Ok policy ->
+    config ~policy ?sources ?argv ?env ?stdin ?sessions ?fs_init ?uid
+      ?max_instructions ?timing ?on_step ()
+
 type outcome =
   | Exited of int
   | Alert of Machine.alert
@@ -146,3 +170,6 @@ let finish s =
 let run ?config program = finish (boot ?config program)
 
 let run_asm ?config source = run ?config (Ptaint_asm.Assembler.assemble_exn source)
+
+let run_many ?domains batch =
+  Ptaint_pool.Pool.map ?domains (fun (config, program) -> run ~config program) batch

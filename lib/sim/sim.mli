@@ -29,6 +29,29 @@ val config : ?policy:Ptaint_cpu.Policy.t -> ?sources:Ptaint_os.Sources.t ->
   ?max_instructions:int -> ?timing:bool ->
   ?on_step:(Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> unit -> config
 
+(** {1 Named configurations}
+
+    Protection policies have stable textual names so drivers,
+    campaign job generators and command lines stop hand-rolling their
+    own policy plumbing against the 11-field {!config} record. *)
+
+val policy_labels : (string * Ptaint_cpu.Policy.t) list
+(** Canonical label for each policy: ["full"], ["control-only"],
+    ["none"], ["baseline"] (tracking disabled). *)
+
+val policy_of_label : string -> (Ptaint_cpu.Policy.t, string) Stdlib.result
+(** Accepts the canonical labels plus their aliases
+    (["pointer-taintedness"], ["minos"], ["unprotected"]); [Error]
+    carries a human-readable message listing the known labels. *)
+
+val config_of : label:string -> ?sources:Ptaint_os.Sources.t ->
+  ?argv:string list -> ?env:(string * string) list -> ?stdin:string ->
+  ?sessions:string list list -> ?fs_init:(string * string) list -> ?uid:int ->
+  ?max_instructions:int -> ?timing:bool ->
+  ?on_step:(Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> unit -> config
+(** {!config} with the policy chosen by name.  Raises
+    [Invalid_argument] on an unknown label. *)
+
 type outcome =
   | Exited of int
   | Alert of Ptaint_cpu.Machine.alert
@@ -78,6 +101,17 @@ val finish : session -> result
 val run : ?config:config -> Ptaint_asm.Program.t -> result
 val run_asm : ?config:config -> string -> result
 (** Assemble (failing loudly on errors) and run. *)
+
+val run_many :
+  ?domains:int -> (config * Ptaint_asm.Program.t) list -> result list
+(** Run a batch of simulations on a fixed-size domain pool, one
+    worker per domain (default [Pool.recommended_domains ()]), and
+    return the results in submission order.  Each simulation boots a
+    fresh machine/kernel, so results are identical to a sequential
+    [List.map (fun (c, p) -> run ~config:c p)] whatever [~domains]
+    is.  This is the same engine behind [Campaign.run] — use the
+    campaign API when you need per-job crash isolation, expectations
+    or aggregate statistics. *)
 
 val detected : result -> bool
 val pp_outcome : Format.formatter -> outcome -> unit

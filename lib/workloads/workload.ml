@@ -53,10 +53,14 @@ type row = {
   stdout : string;
 }
 
+(* compile results are shared across batch jobs, so the cache must be
+   safe to hit from concurrent domains *)
 let cache : (string * bool, Ptaint_asm.Program.t) Hashtbl.t = Hashtbl.create 12
+let cache_lock = Mutex.create ()
 
 let program_with ~untaint_writeback w =
-  match Hashtbl.find_opt cache (w.name, untaint_writeback) with
+  let cached () = Hashtbl.find_opt cache (w.name, untaint_writeback) in
+  match Mutex.protect cache_lock cached with
   | Some p -> p
   | None ->
     let p =
@@ -67,15 +71,18 @@ let program_with ~untaint_writeback w =
            [ Ptaint_runtime.Runtime.prototypes; w.source; Ptaint_runtime.Runtime.libc_c;
              Ptaint_runtime.Runtime.malloc_c ])
     in
-    Hashtbl.replace cache (w.name, untaint_writeback) p;
-    p
+    Mutex.protect cache_lock (fun () ->
+        match cached () with
+        | Some p -> p (* another domain compiled it first; keep one copy *)
+        | None ->
+          Hashtbl.replace cache (w.name, untaint_writeback) p;
+          p)
 
 let program w = program_with ~untaint_writeback:true w
 
-let run ?(policy = Ptaint_cpu.Policy.default) ?(untaint_writeback = true) w =
-  let p = program_with ~untaint_writeback w in
-  let config = Ptaint_sim.Sim.config ~policy ~stdin:(w.input ()) ~argv:[ w.name ] () in
-  let result = Ptaint_sim.Sim.run ~config p in
+let config_for w = Ptaint_sim.Sim.config ~stdin:(w.input ()) ~argv:[ w.name ] ()
+
+let row_of w p (result : Ptaint_sim.Sim.result) =
   { workload = w;
     program_bytes = Ptaint_asm.Program.text_bytes p + Ptaint_asm.Program.data_bytes p;
     input_bytes = result.Ptaint_sim.Sim.input_bytes;
@@ -83,3 +90,8 @@ let run ?(policy = Ptaint_cpu.Policy.default) ?(untaint_writeback = true) w =
     alerts = (match result.Ptaint_sim.Sim.outcome with Ptaint_sim.Sim.Alert _ -> 1 | _ -> 0);
     outcome = result.Ptaint_sim.Sim.outcome;
     stdout = result.Ptaint_sim.Sim.stdout }
+
+let run ?(policy = Ptaint_cpu.Policy.default) ?(untaint_writeback = true) w =
+  let p = program_with ~untaint_writeback w in
+  let config = { (config_for w) with Ptaint_sim.Sim.policy } in
+  row_of w p (Ptaint_sim.Sim.run ~config p)

@@ -35,3 +35,14 @@ val run : ?policy:Ptaint_cpu.Policy.t -> ?untaint_writeback:bool -> t -> row
     completion, and collect the Table 3 measurements. *)
 
 val program : t -> Ptaint_asm.Program.t
+(** The compiled guest (cached; safe to call from concurrent
+    domains). *)
+
+val config_for : t -> Ptaint_sim.Sim.config
+(** The workload's standard run configuration — its input on stdin,
+    its name as argv — under the default policy.  Batch drivers pair
+    this with {!program} to submit workloads as campaign jobs. *)
+
+val row_of : t -> Ptaint_asm.Program.t -> Ptaint_sim.Sim.result -> row
+(** Collect the Table 3 measurements from an already-run
+    simulation. *)

@@ -129,7 +129,7 @@ let test_logd_config () =
   expect_crashed "logd/none" Catalog.logd_config np;
   (* trusting the file system (sources policy) blinds the detector *)
   let program = Catalog.logd_config.Scenario.build () in
-  let config = Catalog.logd_config.Scenario.attack_config program in
+  let config = Scenario.attack_config Catalog.logd_config program in
   let config =
     { config with
       Ptaint_sim.Sim.sources = { Ptaint_os.Sources.all with Ptaint_os.Sources.file = false } }

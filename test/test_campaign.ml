@@ -1,0 +1,184 @@
+(* The multicore campaign engine: parallel execution must be
+   observationally identical to the sequential reference run
+   (determinism), a crashing job must not take down the batch (fault
+   isolation), and results must come back in submission order
+   regardless of scheduling. *)
+
+open Ptaint_attacks
+module Campaign = Ptaint_campaign.Campaign
+module Pool = Ptaint_pool.Pool
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- the generic pool --- *)
+
+let test_pool_map () =
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int))
+    "parallel map = sequential map"
+    (List.map (fun x -> (x * x) + 1) xs)
+    (Pool.map ~domains:4 (fun x -> (x * x) + 1) xs);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int))
+    "more domains than items" [ 10 ]
+    (Pool.map ~domains:8 (fun x -> 10 * x) [ 1 ])
+
+let test_pool_raise () =
+  match Pool.map ~domains:3 (fun x -> if x = 2 then failwith "pool boom" else x) [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure m -> Alcotest.(check string) "first failing item's exception" "pool boom" m
+
+(* --- determinism: the full coverage matrix, 1 domain vs many --- *)
+
+let coverage_jobs () =
+  List.concat_map
+    (fun (s : Scenario.t) ->
+      let program = s.Scenario.build () in
+      List.concat_map
+        (fun (c : Scenario.case) ->
+          List.map
+            (fun (pname, policy) ->
+              Campaign.job
+                ~name:(Printf.sprintf "%s/%s/%s" s.Scenario.name c.Scenario.case_name pname)
+                ~policy_label:pname
+                ~config:{ (c.Scenario.config program) with Ptaint_sim.Sim.policy }
+                program)
+            Scenario.coverage_policies)
+        (s.Scenario.cases))
+    Catalog.all
+
+let fingerprint (r : Campaign.job_result) =
+  match r.Campaign.status with
+  | Campaign.Finished res ->
+    Printf.sprintf "%s | %s | out:%s | net:%s | %d insns | %d sys | uid %d"
+      r.Campaign.name
+      (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome res.Ptaint_sim.Sim.outcome)
+      (String.escaped res.Ptaint_sim.Sim.stdout)
+      (String.escaped (String.concat "&" res.Ptaint_sim.Sim.net_sent))
+      res.Ptaint_sim.Sim.instructions res.Ptaint_sim.Sim.syscalls
+      res.Ptaint_sim.Sim.final_uid
+  | Campaign.Crashed f -> Printf.sprintf "%s | CRASHED %s" r.Campaign.name f.Campaign.exn
+
+let test_determinism () =
+  let jobs = coverage_jobs () in
+  let sequential, seq_stats = Campaign.run ~domains:1 jobs in
+  let parallel, par_stats = Campaign.run ~domains:4 jobs in
+  Alcotest.(check (list string))
+    "parallel results identical to the sequential reference"
+    (List.map fingerprint sequential)
+    (List.map fingerprint parallel);
+  Alcotest.(check int) "same instruction totals" seq_stats.Campaign.instructions
+    par_stats.Campaign.instructions;
+  Alcotest.(check int) "same syscall totals" seq_stats.Campaign.syscalls
+    par_stats.Campaign.syscalls;
+  Alcotest.(check (list (pair string int)))
+    "same per-policy detection counts" seq_stats.Campaign.detections
+    par_stats.Campaign.detections;
+  (* sanity: pointer taintedness detects every attack case in the matrix *)
+  let pt_detections = List.assoc "pointer taintedness" par_stats.Campaign.detections in
+  Alcotest.(check int) "PT detects all attacks" (List.length Catalog.all) pt_detections
+
+(* --- fault isolation: a crashing job is contained --- *)
+
+let test_fault_isolation () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let benign =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c
+    | None -> Alcotest.fail "exp1 should have a benign case"
+  in
+  let ok name =
+    Campaign.job ~name ~config:(benign.Scenario.config program) program
+  in
+  let boom =
+    Campaign.job_thunk ~name:"boom" (fun () -> raise (Failure "guest exploded"))
+  in
+  let results, stats = Campaign.run ~domains:3 [ ok "before"; boom; ok "after" ] in
+  (match results with
+   | [ before; crashed; after ] ->
+     (match before.Campaign.status, after.Campaign.status with
+      | Campaign.Finished _, Campaign.Finished _ -> ()
+      | _ -> Alcotest.fail "jobs around the crash must still finish");
+     (match crashed.Campaign.status with
+      | Campaign.Crashed f ->
+        Alcotest.(check bool) "failure message preserved" true
+          (contains f.Campaign.exn "guest exploded")
+      | _ -> Alcotest.fail "raising job must be reported as Crashed")
+   | _ -> Alcotest.fail "expected three results");
+  Alcotest.(check int) "one crash counted" 1 stats.Campaign.crashed;
+  Alcotest.(check int) "all jobs accounted for" 3 stats.Campaign.jobs;
+  (* result_exn surfaces the failure as an exception *)
+  match List.nth results 1 |> Campaign.result_exn with
+  | _ -> Alcotest.fail "result_exn on a crashed job must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- submission order --- *)
+
+let test_order () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let atk = Scenario.attack Catalog.exp1_stack_smash in
+  let jobs =
+    List.init 16 (fun i ->
+        Campaign.job ~name:(Printf.sprintf "job-%02d" i)
+          ~config:(atk.Scenario.config program) program)
+  in
+  let results, _ = Campaign.run ~domains:8 jobs in
+  Alcotest.(check (list string))
+    "results in submission order"
+    (List.init 16 (Printf.sprintf "job-%02d"))
+    (List.map (fun (r : Campaign.job_result) -> r.Campaign.name) results)
+
+(* --- Sim conveniences --- *)
+
+let test_run_many () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let atk = Scenario.attack Catalog.exp1_stack_smash in
+  let benign =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c
+    | None -> Alcotest.fail "exp1 should have a benign case"
+  in
+  let configs = [ atk.Scenario.config program; benign.Scenario.config program ] in
+  let batch = List.map (fun c -> (c, program)) configs in
+  let parallel = Ptaint_sim.Sim.run_many ~domains:2 batch in
+  let sequential = List.map (fun c -> Ptaint_sim.Sim.run ~config:c program) configs in
+  List.iter2
+    (fun (a : Ptaint_sim.Sim.result) (b : Ptaint_sim.Sim.result) ->
+      Alcotest.(check string) "same outcome"
+        (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome a.Ptaint_sim.Sim.outcome)
+        (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome b.Ptaint_sim.Sim.outcome);
+      Alcotest.(check int) "same instructions" a.Ptaint_sim.Sim.instructions
+        b.Ptaint_sim.Sim.instructions)
+    sequential parallel
+
+let test_config_of () =
+  let mode label =
+    (Ptaint_sim.Sim.config_of ~label ()).Ptaint_sim.Sim.policy.Ptaint_cpu.Policy.mode
+  in
+  Alcotest.(check bool) "full = pointer taintedness" true
+    (mode "full" = Ptaint_cpu.Policy.Pointer_taintedness);
+  Alcotest.(check bool) "minos alias" true
+    (mode "minos" = Ptaint_cpu.Policy.Control_data_only);
+  Alcotest.(check bool) "none" true (mode "none" = Ptaint_cpu.Policy.No_protection);
+  (match Ptaint_sim.Sim.config_of ~label:"bogus" () with
+   | _ -> Alcotest.fail "unknown label must be rejected"
+   | exception Invalid_argument _ -> ());
+  match Ptaint_sim.Sim.policy_of_label "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "policy_of_label must reject unknown labels"
+
+let () =
+  Alcotest.run "campaign"
+    [ ( "pool",
+        [ Alcotest.test_case "order-preserving map" `Quick test_pool_map;
+          Alcotest.test_case "exception propagation" `Quick test_pool_raise ] );
+      ( "engine",
+        [ Alcotest.test_case "determinism: full coverage matrix" `Slow test_determinism;
+          Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
+          Alcotest.test_case "submission order" `Quick test_order ] );
+      ( "sim API",
+        [ Alcotest.test_case "run_many" `Quick test_run_many;
+          Alcotest.test_case "config_of labels" `Quick test_config_of ] ) ]
