@@ -1,9 +1,17 @@
 (* Benchmark harness: one Bechamel test (or group) per table/figure of
    the paper, so each experiment's cost is measured and simulator
-   regressions show up.  Run with: dune exec bench/main.exe *)
+   regressions show up.  Run with: dune exec bench/main.exe
+
+   Flags:
+     --quick     reduced iteration counts (the CI smoke job)
+     --ips-only  skip the bechamel suite; only measure the
+                 whole-simulator instructions-per-second numbers *)
 
 open Bechamel
 open Toolkit
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let ips_only = Array.exists (( = ) "--ips-only") Sys.argv
 
 (* --- helpers ------------------------------------------------------- *)
 
@@ -161,44 +169,148 @@ let campaign_benches =
     Test.make ~name:"campaign/synthetic-matrix-jN"
       (Staged.stage (fun () -> ignore (Ptaint_campaign.Campaign.run (jobs "jN")))) ]
 
+(* --- whole-simulator throughput: guest instructions per second -------------- *)
+
+(* Measured directly (not through bechamel) so the number is the
+   plain, interpretable ratio guest-instructions / wall-second on the
+   real gzip/bzip workloads — the ROADMAP "as fast as the hardware
+   allows" trajectory number. *)
+
+let ips_workloads =
+  [ (Ptaint_workloads.Workload.gzip, Wl_input.gzip);
+    (Ptaint_workloads.Workload.bzip2, Wl_input.bzip) ]
+
+let measure_ips () =
+  (* Shed whatever heap the bechamel suite built up, so the throughput
+     number does not depend on which benches ran before it. *)
+  Gc.compact ();
+  let reps = if quick then 1 else 3 in
+  List.map
+    (fun ((w : Ptaint_workloads.Workload.t), stdin) ->
+      let program = Ptaint_workloads.Workload.program w in
+      let run () =
+        let t0 = Unix.gettimeofday () in
+        let r = run_program ~stdin program in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match r.Ptaint_sim.Sim.outcome with
+         | Ptaint_sim.Sim.Exited 0 -> ()
+         | o ->
+           Format.eprintf "ips/%s: unexpected outcome %a@."
+             w.Ptaint_workloads.Workload.name Ptaint_sim.Sim.pp_outcome o);
+        float_of_int r.Ptaint_sim.Sim.instructions /. dt
+      in
+      ignore (run ());
+      (* warm-up: compile cache, page tables *)
+      let best = ref 0. in
+      for _ = 1 to reps do
+        let ips = run () in
+        if ips > !best then best := ips
+      done;
+      let name = "ips/" ^ String.lowercase_ascii w.Ptaint_workloads.Workload.name in
+      Printf.printf "%-12s %.0f guest instructions/second\n%!" name !best;
+      (name, !best))
+    ips_workloads
+
+(* --- hot-path microbenchmarks: memory words, regfile, snapshots ------------- *)
+
+let micro_mem_bench =
+  Test.make ~name:"micro/mem-word-rw-4k"
+    (Staged.stage (fun () ->
+         let m = Ptaint_mem.Memory.create () in
+         Ptaint_mem.Memory.map_range m ~lo:Ptaint_mem.Layout.data_base ~bytes:(64 * 1024);
+         let base = Ptaint_mem.Layout.data_base in
+         for i = 0 to 1023 do
+           Ptaint_mem.Memory.store_word m
+             (base + (i * 4))
+             (Ptaint_taint.Tword.make ~v:i ~m:(i land 0xF))
+         done;
+         let acc = ref 0 in
+         for i = 0 to 1023 do
+           acc := !acc + Ptaint_taint.Tword.value (Ptaint_mem.Memory.load_word m (base + (i * 4)))
+         done;
+         ignore !acc))
+
+let micro_regfile_bench =
+  Test.make ~name:"micro/regfile-rw-10k"
+    (Staged.stage (fun () ->
+         let rf = Ptaint_cpu.Regfile.create () in
+         for i = 1 to 10_000 do
+           let r = 1 + (i land 30) in
+           Ptaint_cpu.Regfile.set rf r (Ptaint_taint.Tword.make ~v:i ~m:(i land 0xF));
+           ignore (Ptaint_cpu.Regfile.get rf r)
+         done))
+
+let micro_snapshot_bench =
+  (* restore + dirty a handful of pages: the per-job cost the campaign
+     engine pays instead of a full reload *)
+  let m = Ptaint_mem.Memory.create () in
+  let base = Ptaint_mem.Layout.data_base in
+  Ptaint_mem.Memory.map_range m ~lo:base ~bytes:(64 * 1024);
+  for i = 0 to (64 * 1024 / 4) - 1 do
+    Ptaint_mem.Memory.store_word m (base + (i * 4)) (Ptaint_taint.Tword.make ~v:i ~m:(i land 0xF))
+  done;
+  let snap = Ptaint_mem.Memory.snapshot m in
+  Test.make ~name:"micro/snapshot-restore-64k"
+    (Staged.stage (fun () ->
+         let r = Ptaint_mem.Memory.restore snap in
+         for p = 0 to 3 do
+           Ptaint_mem.Memory.store_word r
+             (base + (p * Ptaint_mem.Layout.page_bytes))
+             (Ptaint_taint.Tword.untainted p)
+         done))
+
+let micro_benches = [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench ]
+
 (* --- driver ----------------------------------------------------------------- *)
 
 let tests =
   Test.make_grouped ~name:"ptaint"
-    ([ fig1_bench; tab1_bench ] @ synthetic_benches @ [ tab2_bench ] @ real_world_benches
-     @ coverage_benches @ tab3_benches @ [ tab4_bench ] @ overhead_benches @ [ ablation_bench ]
-     @ campaign_benches)
+    (micro_benches @ [ fig1_bench; tab1_bench ] @ synthetic_benches @ [ tab2_bench ]
+     @ real_world_benches @ coverage_benches @ tab3_benches @ [ tab4_bench ]
+     @ overhead_benches @ [ ablation_bench ] @ campaign_benches)
 
 let () =
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  let bechamel_rows =
+    if ips_only then []
+    else begin
+      let quota = if quick then Time.second 0.05 else Time.second 0.5 in
+      let limit = if quick then 20 else 200 in
+      let cfg = Benchmark.cfg ~limit ~quota ~stabilize:true () in
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let clock = Analyze.all ols Instance.monotonic_clock raw in
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | _ -> ())
+        clock;
+      let rows = List.sort compare !rows in
+      print_endline "benchmark results (wall time per run, monotonic clock):\n";
+      print_string
+        (Ptaint_report.Report.table ~headers:[ "benchmark"; "time per run" ]
+           (List.map
+              (fun (name, ns) ->
+                let pretty =
+                  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+                  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                  else Printf.sprintf "%.0f ns" ns
+                in
+                [ name; pretty ])
+              rows));
+      rows
+    end
   in
-  let clock = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> rows := (name, est) :: !rows
-      | _ -> ())
-    clock;
-  let rows = List.sort compare !rows in
-  print_endline "benchmark results (wall time per run, monotonic clock):\n";
-  print_string
-    (Ptaint_report.Report.table ~headers:[ "benchmark"; "time per run" ]
-       (List.map
-          (fun (name, ns) ->
-            let pretty =
-              if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-              else Printf.sprintf "%.0f ns" ns
-            in
-            [ name; pretty ])
-          rows));
-  (* machine-readable mirror of the table so the perf trajectory can
-     be diffed across PRs: { "benchmark-name": ns_per_run, ... } *)
+  print_endline "\nwhole-simulator throughput:";
+  let ips_rows = measure_ips () in
+  (* machine-readable mirror so the perf trajectory can be diffed
+     across PRs: bechamel rows are ns-per-run, ips/* rows are guest
+     instructions per wall second. *)
+  let json_rows = bechamel_rows @ ips_rows in
   let json_escape s =
     String.concat ""
       (List.map
@@ -215,8 +327,8 @@ let () =
   List.iteri
     (fun i (name, ns) ->
       Printf.fprintf oc "  \"%s\": %.3f%s\n" (json_escape name) ns
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
+        (if i = List.length json_rows - 1 then "" else ","))
+    json_rows;
   output_string oc "}\n";
   close_out oc;
-  Printf.printf "\nwrote %d results to BENCH_results.json\n" (List.length rows)
+  Printf.printf "\nwrote %d results to BENCH_results.json\n" (List.length json_rows)

@@ -1,10 +1,18 @@
 module Pool = Ptaint_pool.Pool
 
+(* A job built from a (config, program) pair keeps both visible so
+   the campaign can share one loaded image (a Sim snapshot template)
+   across every job running that image; opaque thunks always run
+   as-is. *)
+type work =
+  | Sim_run of Ptaint_sim.Sim.config * Ptaint_asm.Program.t
+  | Thunk of (unit -> Ptaint_sim.Sim.result)
+
 type job = {
   j_name : string;
   j_policy_label : string;
   j_expect : (Ptaint_sim.Sim.result -> string option) option;
-  j_run : unit -> Ptaint_sim.Sim.result;
+  j_work : work;
 }
 
 let label_of_policy (p : Ptaint_cpu.Policy.t) =
@@ -20,10 +28,10 @@ let job ~name ?policy_label ?expect ~config program =
        | Some l -> l
        | None -> label_of_policy config.Ptaint_sim.Sim.policy);
     j_expect = expect;
-    j_run = (fun () -> Ptaint_sim.Sim.run ~config program) }
+    j_work = Sim_run (config, program) }
 
 let job_thunk ~name ?(policy_label = "unlabelled") ?expect thunk =
-  { j_name = name; j_policy_label = policy_label; j_expect = expect; j_run = thunk }
+  { j_name = name; j_policy_label = policy_label; j_expect = expect; j_work = Thunk thunk }
 
 let job_name j = j.j_name
 
@@ -55,8 +63,12 @@ type stats = {
   detections : (string * int) list;
 }
 
-let exec j =
-  match j.j_run () with
+let exec run_sim j =
+  match
+    (match j.j_work with
+     | Sim_run (config, program) -> run_sim config program
+     | Thunk f -> f ())
+  with
   | result ->
     let violation = match j.j_expect with None -> None | Some f -> f result in
     { name = j.j_name; policy_label = j.j_policy_label; status = Finished result; violation }
@@ -101,7 +113,17 @@ let stats_of ~wall_seconds results =
 
 let run ?domains jobs =
   let t0 = Unix.gettimeofday () in
-  let results = Pool.map ?domains exec jobs in
+  (* Load each distinct image once up front; workers restore the
+     copy-on-write snapshot per run.  Template building never brings a
+     job down: a program the loader rejects simply has no template and
+     crashes on its own worker, where [exec] contains it. *)
+  let templates =
+    Ptaint_sim.Sim.templates_of
+      (List.filter_map
+         (fun j -> match j.j_work with Sim_run (c, p) -> Some (c, p) | Thunk _ -> None)
+         jobs)
+  in
+  let results = Pool.map ?domains (exec (Ptaint_sim.Sim.run_with templates)) jobs in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   (results, stats_of ~wall_seconds results)
 

@@ -25,7 +25,15 @@
     byte-identical whatever [~domains] is.  Build programs {e before}
     submission (jobs carry a built [Program.t], not a builder) so
     compilation caches and lazies are only touched from the
-    submitting domain. *)
+    submitting domain.
+
+    Image sharing: {!run} loads each distinct image (same program,
+    argv, env, taint sources) once via {!Ptaint_sim.Sim.prepare} and
+    every job running it restores the copy-on-write memory snapshot
+    instead of re-assembling and re-loading.  Snapshot pages are
+    immutable, so concurrent restores from many domains are safe, and
+    a restored boot is observationally identical to a fresh load —
+    the sharing never changes results. *)
 
 type job
 

@@ -110,63 +110,65 @@ let rop_mask (pol : Policy.t) op ~rs ~rt ~(a : Tword.t) ~(b : Tword.t) =
 let width_of_load : Insn.load_op -> int = function LB | LBU -> 1 | LH | LHU -> 2 | LW -> 4
 let width_of_store : Insn.store_op -> int = function SB -> 1 | SH -> 2 | SW -> 4
 
+(* The hot loop below is deliberately allocation-free on the Normal
+   path: packed Twords are immediates, register/memory traffic goes
+   through int fast paths, and records (alerts, faults) are only built
+   in the branches that end the run. *)
+
 let step t =
-  match fetch t t.pc with
-  | None -> Fault (Bad_pc t.pc)
-  | Some insn ->
-    let pc = t.pc in
+  let pc = t.pc in
+  let off = pc - t.code.base in
+  if off < 0 || off land 3 <> 0 || off lsr 2 >= Array.length t.code.insns then
+    Fault (Bad_pc pc)
+  else begin
+    let insn = Array.unsafe_get t.code.insns (off lsr 2) in
     let regs = t.regs in
     let pol = t.policy in
     t.icount <- t.icount + 1;
     let next = pc + 4 in
-    let get = Regfile.get regs in
-    let compare_untaint srcs =
-      if pol.track && pol.compare_untaints then List.iter (Regfile.untaint regs) srcs
-    in
-    let mem_alert kind base_reg ea =
-      { alert_pc = pc; alert_insn = insn; kind; reg = base_reg; reg_value = get base_reg;
-        ea = Some ea; stage = "EX/MEM" }
-    in
     (match insn with
      | Nop -> t.pc <- next; Normal
      | R (op, rd, rs, rt) ->
-       let a = get rs and b = get rt in
+       let a = Regfile.get regs rs and b = Regfile.get regs rt in
        let v = rop_value op (Tword.value a) (Tword.value b) in
        let m = rop_mask pol op ~rs ~rt ~a ~b in
-       if Insn.uses_compare insn then compare_untaint [ rs; rt ];
+       if Insn.uses_compare insn && pol.track && pol.compare_untaints then begin
+         Regfile.untaint regs rs;
+         Regfile.untaint regs rt
+       end;
        Regfile.set regs rd (Tword.make ~v ~m);
        t.pc <- next;
        Normal
      | I (op, rt, rs, imm) ->
-       let a = get rs in
+       let a = Regfile.get regs rs in
        let av = Tword.value a in
-       let v, m =
+       let v =
          match op with
-         | ADDI | ADDIU ->
-           (Word.add av (Word.of_signed imm), if pol.track then Tword.mask a else Mask.none)
-         | ANDI ->
-           let iv = imm land 0xffff in
-           ( av land iv,
-             if pol.track then
-               if pol.and_zero_untaints then
-                 Prop.and_bytes ~v1:av ~m1:(Tword.mask a) ~v2:iv ~m2:Mask.none
-               else Tword.mask a
-             else Mask.none )
-         | ORI -> (av lor (imm land 0xffff), if pol.track then Tword.mask a else Mask.none)
-         | XORI -> (av lxor (imm land 0xffff), if pol.track then Tword.mask a else Mask.none)
-         | SLTI ->
-           ( (if Word.lt_signed av (Word.of_signed imm) then 1 else 0),
-             if pol.track && not pol.compare_untaints then Tword.mask a else Mask.none )
-         | SLTIU ->
-           ( (if Word.lt_unsigned av (Word.of_signed imm) then 1 else 0),
-             if pol.track && not pol.compare_untaints then Tword.mask a else Mask.none )
+         | ADDI | ADDIU -> Word.add av (Word.of_signed imm)
+         | ANDI -> av land (imm land 0xffff)
+         | ORI -> av lor (imm land 0xffff)
+         | XORI -> av lxor (imm land 0xffff)
+         | SLTI -> if Word.lt_signed av (Word.of_signed imm) then 1 else 0
+         | SLTIU -> if Word.lt_unsigned av (Word.of_signed imm) then 1 else 0
        in
-       if Insn.uses_compare insn then compare_untaint [ rs ];
+       let m =
+         if not pol.track then Mask.none
+         else
+           match op with
+           | ADDI | ADDIU | ORI | XORI -> Tword.mask a
+           | ANDI ->
+             if pol.and_zero_untaints then
+               Prop.and_bytes ~v1:av ~m1:(Tword.mask a) ~v2:(imm land 0xffff) ~m2:Mask.none
+             else Tword.mask a
+           | SLTI | SLTIU -> if pol.compare_untaints then Mask.none else Tword.mask a
+       in
+       if Insn.uses_compare insn && pol.track && pol.compare_untaints then
+         Regfile.untaint regs rs;
        Regfile.set regs rt (Tword.make ~v ~m);
        t.pc <- next;
        Normal
      | Shift (op, rd, rt, sh) ->
-       let a = get rt in
+       let a = Regfile.get regs rt in
        let v =
          match op with
          | SLL -> Word.sll (Tword.value a) sh
@@ -187,26 +189,27 @@ let step t =
        t.pc <- next;
        Normal
      | Load (op, rt, off, base) -> (
-       let a = get base in
+       let a = Regfile.get regs base in
        let ea = Word.add (Tword.value a) (Word.of_signed off) in
-       let ea_mask = if pol.track then Tword.mask a else Mask.none in
        let width = width_of_load op in
-       if Policy.detects_data_pointers pol && Mask.is_tainted ea_mask then
-         Alert (mem_alert Load_address base ea)
+       if Policy.detects_data_pointers pol && pol.track && Tword.is_tainted a then
+         Alert
+           { alert_pc = pc; alert_insn = insn; kind = Load_address; reg = base;
+             reg_value = a; ea = Some ea; stage = "EX/MEM" }
        else if ea land (width - 1) <> 0 then Fault (Misaligned { addr = ea; width })
        else
          try
            let result =
              match op with
              | LW -> Ptaint_mem.Memory.load_word t.mem ea
-             | LB | LBU ->
-               let b, ta = Ptaint_mem.Memory.load_byte t.mem ea in
-               let v = if op = LB then Word.sign_extend ~bits:8 b else b in
-               Tword.make ~v ~m:(Mask.of_byte ta)
-             | LH | LHU ->
-               let h, m = Ptaint_mem.Memory.load_half t.mem ea in
-               let v = if op = LH then Word.sign_extend ~bits:16 h else h in
-               Tword.make ~v ~m
+             | LB ->
+               let w = Ptaint_mem.Memory.load_byte_t t.mem ea in
+               Tword.with_value w (Word.sign_extend ~bits:8 (Tword.value w))
+             | LBU -> Ptaint_mem.Memory.load_byte_t t.mem ea
+             | LH ->
+               let w = Ptaint_mem.Memory.load_half_t t.mem ea in
+               Tword.with_value w (Word.sign_extend ~bits:16 (Tword.value w))
+             | LHU -> Ptaint_mem.Memory.load_half_t t.mem ea
            in
            let result = if pol.track then result else Tword.untainted (Tword.value result) in
            Regfile.set regs rt result;
@@ -214,15 +217,16 @@ let step t =
            Normal
          with Ptaint_mem.Memory.Fault { addr; access } -> Fault (Segfault { addr; access }))
      | Store (op, rt, off, base) -> (
-       let a = get base in
+       let a = Regfile.get regs base in
        let ea = Word.add (Tword.value a) (Word.of_signed off) in
-       let ea_mask = if pol.track then Tword.mask a else Mask.none in
        let width = width_of_store op in
-       if Policy.detects_data_pointers pol && Mask.is_tainted ea_mask then
-         Alert (mem_alert Store_address base ea)
+       if Policy.detects_data_pointers pol && pol.track && Tword.is_tainted a then
+         Alert
+           { alert_pc = pc; alert_insn = insn; kind = Store_address; reg = base;
+             reg_value = a; ea = Some ea; stage = "EX/MEM" }
        else if ea land (width - 1) <> 0 then Fault (Misaligned { addr = ea; width })
        else
-         let data = get rt in
+         let data = Regfile.get regs rt in
          let data = if pol.track then data else Tword.untainted (Tword.value data) in
          if Policy.detects_data_pointers pol && Tword.is_tainted data && guarded t ea width then
            Alert
@@ -242,13 +246,16 @@ let step t =
          with Ptaint_mem.Memory.Fault { addr; access } -> Fault (Segfault { addr; access }))
      | Branch2 (op, rs, rt, off) ->
        let a = Regfile.value regs rs and b = Regfile.value regs rt in
-       compare_untaint [ rs; rt ];
+       if pol.track && pol.compare_untaints then begin
+         Regfile.untaint regs rs;
+         Regfile.untaint regs rt
+       end;
        let taken = match op with BEQ -> a = b | BNE -> a <> b in
        t.pc <- (if taken then next + (off * 4) else next);
        Normal
      | Branch1 (op, rs, off) ->
        let a = Word.to_signed (Regfile.value regs rs) in
-       compare_untaint [ rs ];
+       if pol.track && pol.compare_untaints then Regfile.untaint regs rs;
        let taken =
          match op with BLEZ -> a <= 0 | BGTZ -> a > 0 | BLTZ -> a < 0 | BGEZ -> a >= 0
        in
@@ -260,7 +267,7 @@ let step t =
        t.pc <- target;
        Normal
      | Jr rs ->
-       let a = get rs in
+       let a = Regfile.get regs rs in
        if Policy.detects_control pol && pol.track && Tword.is_tainted a then
          Alert
            { alert_pc = pc; alert_insn = insn; kind = Jump_target; reg = rs; reg_value = a;
@@ -270,7 +277,7 @@ let step t =
          Normal
        end
      | Jalr (rd, rs) ->
-       let a = get rs in
+       let a = Regfile.get regs rs in
        if Policy.detects_control pol && pol.track && Tword.is_tainted a then
          Alert
            { alert_pc = pc; alert_insn = insn; kind = Jump_target; reg = rs; reg_value = a;
@@ -281,7 +288,7 @@ let step t =
          Normal
        end
      | Muldiv (op, rs, rt) ->
-       let a = get rs and b = get rt in
+       let a = Regfile.get regs rs and b = Regfile.get regs rt in
        let av = Tword.value a and bv = Tword.value b in
        let hi, lo =
          match op with
@@ -301,7 +308,8 @@ let step t =
        Normal
      | Mfhi rd -> Regfile.set regs rd (Regfile.get_hi regs); t.pc <- next; Normal
      | Mflo rd -> Regfile.set regs rd (Regfile.get_lo regs); t.pc <- next; Normal
-     | Mthi rs -> Regfile.set_hi regs (get rs); t.pc <- next; Normal
-     | Mtlo rs -> Regfile.set_lo regs (get rs); t.pc <- next; Normal
+     | Mthi rs -> Regfile.set_hi regs (Regfile.get regs rs); t.pc <- next; Normal
+     | Mtlo rs -> Regfile.set_lo regs (Regfile.get regs rs); t.pc <- next; Normal
      | Syscall -> t.pc <- next; Syscall
      | Break code -> t.pc <- next; Break_trap code)
+  end

@@ -49,6 +49,12 @@ let step t =
       Some (Word.add (Regfile.value t.machine.Machine.regs b) (Word.of_signed off))
     | Some _ | None -> None
   in
+  let mem_width =
+    match insn with
+    | Some (Load ((LB | LBU), _, _, _) | Store (SB, _, _, _)) -> 1
+    | Some (Load ((LH | LHU), _, _, _) | Store (SH, _, _, _)) -> 2
+    | _ -> 4
+  in
   let before = pc in
   let result = Machine.step t.machine in
   (match insn with
@@ -76,7 +82,12 @@ let step t =
      (match (mem_addr, result) with
       | Some addr, Machine.Normal ->
         let write = match insn with Store _ -> true | _ -> false in
-        let lat = Ptaint_mem.Cache.Hierarchy.access t.dhier ~addr ~write ~tainted:false in
+        (* The line's tag summary mirrors the tagged store's taint
+           plane for the bytes this access touched. *)
+        let tainted =
+          Ptaint_mem.Memory.taint_summary t.machine.Machine.mem addr mem_width
+        in
+        let lat = Ptaint_mem.Cache.Hierarchy.access t.dhier ~addr ~write ~tainted in
         st.cycles <- st.cycles + (lat - 1)
       | _ -> ());
      (match result with

@@ -1,27 +1,33 @@
 open Ptaint_taint
 
-type t = { regs : Tword.t array; mutable hi : Tword.t; mutable lo : Tword.t }
+(* The 32 GPRs plus HI/LO as one flat int array of packed Tword bits
+   (indices 32/33 are HI/LO) — no per-register boxing, and reset is a
+   single fill. *)
+type t = { regs : int array }
 
-let create () = { regs = Array.make 32 Tword.zero; hi = Tword.zero; lo = Tword.zero }
-let get t r = if r = 0 then Tword.zero else t.regs.(r)
-let set t r w = if r <> 0 then t.regs.(r) <- w
-let get_hi t = t.hi
-let set_hi t w = t.hi <- w
-let get_lo t = t.lo
-let set_lo t w = t.lo <- w
-let untaint t r = if r <> 0 then t.regs.(r) <- Tword.with_mask t.regs.(r) Mask.none
-let value t r = Tword.value (get t r)
+let hi_idx = 32
+let lo_idx = 33
+
+let create () = { regs = Array.make 34 (Tword.to_bits Tword.zero) }
+let get t r = if r = 0 then Tword.zero else Tword.of_bits t.regs.(r)
+let set t r w = if r <> 0 then t.regs.(r) <- Tword.to_bits w
+let get_hi t = Tword.of_bits t.regs.(hi_idx)
+let set_hi t w = t.regs.(hi_idx) <- Tword.to_bits w
+let get_lo t = Tword.of_bits t.regs.(lo_idx)
+let set_lo t w = t.regs.(lo_idx) <- Tword.to_bits w
+
+let untaint t r =
+  if r <> 0 then t.regs.(r) <- Tword.to_bits (Tword.untainted (t.regs.(r) land 0xFFFFFFFF))
+
+let value t r = if r = 0 then 0 else t.regs.(r) land 0xFFFFFFFF
 
 let tainted_registers t =
   List.filter (fun r -> Tword.is_tainted (get t r)) (List.init 32 Fun.id)
 
-let reset t =
-  Array.fill t.regs 0 32 Tword.zero;
-  t.hi <- Tword.zero;
-  t.lo <- Tword.zero
+let reset t = Array.fill t.regs 0 34 (Tword.to_bits Tword.zero)
 
 let pp ppf t =
   for r = 0 to 31 do
-    if not (Tword.equal t.regs.(r) Tword.zero) then
-      Format.fprintf ppf "%a=%a@ " Ptaint_isa.Reg.pp_sym r Tword.pp t.regs.(r)
+    if not (Tword.equal (get t r) Tword.zero) then
+      Format.fprintf ppf "%a=%a@ " Ptaint_isa.Reg.pp_sym r Tword.pp (get t r)
   done

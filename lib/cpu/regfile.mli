@@ -1,6 +1,9 @@
 (** Taint-extended register file: 32 GPRs plus HI/LO, each byte of
     each register carrying a taintedness bit (section 4.2).
-    Register 0 reads as untainted zero regardless of writes. *)
+    Register 0 reads as untainted zero regardless of writes.
+
+    Stored as one flat [int] array of packed {!Ptaint_taint.Tword}
+    bits, so get/set/untaint never allocate. *)
 
 type t
 

@@ -34,7 +34,9 @@ let find_way set tag =
 let victim_way set =
   Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
 
-let access t ~addr ~write ~tainted =
+(* The internal access returns the touched line so the hierarchy can
+   propagate tag summaries between levels on refills. *)
+let access_line t ~addr ~write ~tainted =
   t.tick <- t.tick + 1;
   let set_idx, tag = set_and_tag t addr in
   let set = t.lines.(set_idx) in
@@ -43,7 +45,7 @@ let access t ~addr ~write ~tainted =
     t.st.hits <- t.st.hits + 1;
     line.lru <- t.tick;
     if write && tainted then line.tainted <- true;
-    Hit
+    (Hit, line)
   | None ->
     t.st.misses <- t.st.misses + 1;
     let line = victim_way set in
@@ -52,7 +54,17 @@ let access t ~addr ~write ~tainted =
     line.lru <- t.tick;
     line.tainted <- tainted;
     if tainted then t.st.tainted_lines_filled <- t.st.tainted_lines_filled + 1;
-    Miss
+    (Miss, line)
+
+let access t ~addr ~write ~tainted = fst (access_line t ~addr ~write ~tainted)
+
+(* Late taint propagation into a line filled this access: flips the
+   summary and counts the fill as tainted exactly once. *)
+let taint_filled_line t line =
+  if not line.tainted then begin
+    line.tainted <- true;
+    t.st.tainted_lines_filled <- t.st.tainted_lines_filled + 1
+  end
 
 let line_tainted t ~addr =
   let set_idx, tag = set_and_tag t addr in
@@ -73,12 +85,16 @@ module Hierarchy = struct
     { l1 = create l1; l2 = create l2; memory_latency }
 
   let access h ~addr ~write ~tainted =
-    match access h.l1 ~addr ~write ~tainted with
-    | Hit -> h.l1.cfg.hit_latency
-    | Miss -> (
-      match access h.l2 ~addr ~write ~tainted with
-      | Hit -> h.l1.cfg.hit_latency + h.l2.cfg.hit_latency
-      | Miss -> h.l1.cfg.hit_latency + h.l2.cfg.hit_latency + h.memory_latency)
+    match access_line h.l1 ~addr ~write ~tainted with
+    | Hit, _ -> h.l1.cfg.hit_latency
+    | Miss, l1_line -> (
+      match access_line h.l2 ~addr ~write ~tainted with
+      | Hit, l2_line ->
+        (* The refill brings the L2 line's bytes — and therefore its
+           tag summary — into L1, not just the taint of this access. *)
+        if l2_line.tainted then taint_filled_line h.l1 l1_line;
+        h.l1.cfg.hit_latency + h.l2.cfg.hit_latency
+      | Miss, _ -> h.l1.cfg.hit_latency + h.l2.cfg.hit_latency + h.memory_latency)
 
   let l1 h = h.l1
   let l2 h = h.l2

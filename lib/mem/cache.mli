@@ -44,7 +44,9 @@ module Hierarchy : sig
 
   val access : t -> addr:int -> write:bool -> tainted:bool -> int
   (** Returns the access latency in cycles: L1 hit latency, plus L2 on
-      an L1 miss, plus memory latency on an L2 miss. *)
+      an L1 miss, plus memory latency on an L2 miss.  An L1 refill
+      served from L2 inherits the L2 line's taint summary, so the L1
+      summary never understates the tag plane it caches. *)
 
   val l1 : t -> cache
   val l2 : t -> cache

@@ -4,8 +4,6 @@ type access = Load | Store
 
 exception Fault of { addr : int; access : access }
 
-type page = { data : Bytes.t; taint : Bytes.t }
-
 type stats = {
   mutable loads : int;
   mutable stores : int;
@@ -14,22 +12,22 @@ type stats = {
   mutable mapped_bytes : int;
 }
 
-type t = { pages : (int, page) Hashtbl.t; st : stats }
+type t = { store : Tagged_store.t; st : stats }
+
+type snapshot = { s_store : Tagged_store.snapshot; s_stats : stats }
 
 let page_bytes = Layout.page_bytes
+let mask32 = Ptaint_isa.Word.mask32
 
 let create () =
-  { pages = Hashtbl.create 256;
+  { store = Tagged_store.create ();
     st = { loads = 0; stores = 0; tainted_loads = 0; tainted_stores = 0; mapped_bytes = 0 } }
 
 let stats t = t.st
 
 let map_page t idx =
-  if not (Hashtbl.mem t.pages idx) then begin
-    Hashtbl.replace t.pages idx
-      { data = Bytes.make page_bytes '\000'; taint = Bytes.make page_bytes '\000' };
+  if Tagged_store.map_page t.store idx then
     t.st.mapped_bytes <- t.st.mapped_bytes + page_bytes
-  end
 
 let map_range t ~lo ~bytes =
   if bytes > 0 then
@@ -37,83 +35,86 @@ let map_range t ~lo ~bytes =
       map_page t idx
     done
 
-let is_mapped t addr = Hashtbl.mem t.pages ((addr land Ptaint_isa.Word.mask32) / page_bytes)
+let is_mapped t addr = Tagged_store.is_mapped t.store ((addr land mask32) / page_bytes)
 
-let page_for t addr access =
-  match Hashtbl.find_opt t.pages (addr / page_bytes) with
-  | Some p -> p
-  | None -> raise (Fault { addr; access })
+let fault a access = raise (Fault { addr = a; access })
 
 let load_byte t addr =
-  let addr = addr land Ptaint_isa.Word.mask32 in
-  let p = page_for t addr Load in
-  let off = addr land (page_bytes - 1) in
-  t.st.loads <- t.st.loads + 1;
-  let taint = Bytes.get p.taint off <> '\000' in
-  if taint then t.st.tainted_loads <- t.st.tainted_loads + 1;
-  (Char.code (Bytes.get p.data off), taint)
+  let addr = addr land mask32 in
+  match Tagged_store.load_byte t.store addr with
+  | (_, taint) as r ->
+    t.st.loads <- t.st.loads + 1;
+    if taint then t.st.tainted_loads <- t.st.tainted_loads + 1;
+    r
+  | exception Tagged_store.Unmapped a -> fault a Load
 
 let store_byte t addr v ~taint =
-  let addr = addr land Ptaint_isa.Word.mask32 in
-  let p = page_for t addr Store in
-  let off = addr land (page_bytes - 1) in
-  t.st.stores <- t.st.stores + 1;
-  if taint then t.st.tainted_stores <- t.st.tainted_stores + 1;
-  Bytes.set p.data off (Char.chr (v land 0xff));
-  Bytes.set p.taint off (if taint then '\001' else '\000')
+  let addr = addr land mask32 in
+  match Tagged_store.store_byte t.store addr v ~taint with
+  | () ->
+    t.st.stores <- t.st.stores + 1;
+    if taint then t.st.tainted_stores <- t.st.tainted_stores + 1
+  | exception Tagged_store.Unmapped a -> fault a Store
 
-(* Words may straddle a page boundary (unaligned loads are legal at
-   the memory level; the CPU enforces alignment), so the fast path
-   checks that all four bytes land in one page. *)
 let load_word t addr =
-  let addr = addr land Ptaint_isa.Word.mask32 in
-  let off = addr land (page_bytes - 1) in
-  if off <= page_bytes - 4 then begin
-    let p = page_for t addr Load in
+  let addr = addr land mask32 in
+  match Tagged_store.load_word t.store addr with
+  | w ->
     t.st.loads <- t.st.loads + 1;
-    let b i = Char.code (Bytes.get p.data (off + i)) in
-    let ta i = Bytes.get p.taint (off + i) <> '\000' in
-    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
-    let m = Mask.of_bools [ ta 0; ta 1; ta 2; ta 3 ] in
-    if Mask.is_tainted m then t.st.tainted_loads <- t.st.tainted_loads + 1;
-    Tword.make ~v ~m
-  end
-  else begin
-    let v = ref 0 and m = ref Mask.none in
-    for i = 3 downto 0 do
-      let b, ta = load_byte t (addr + i) in
-      v := (!v lsl 8) lor b;
-      if ta then m := Mask.set_byte !m i
-    done;
-    Tword.make ~v:!v ~m:!m
-  end
+    if Tword.is_tainted w then t.st.tainted_loads <- t.st.tainted_loads + 1;
+    w
+  | exception Tagged_store.Unmapped a -> fault a Load
 
 let store_word t addr w =
-  let addr = addr land Ptaint_isa.Word.mask32 in
-  let off = addr land (page_bytes - 1) in
-  let v = Tword.value w and m = Tword.mask w in
-  if off <= page_bytes - 4 then begin
-    let p = page_for t addr Store in
+  let addr = addr land mask32 in
+  match Tagged_store.store_word t.store addr w with
+  | () ->
     t.st.stores <- t.st.stores + 1;
-    if Mask.is_tainted m then t.st.tainted_stores <- t.st.tainted_stores + 1;
-    for i = 0 to 3 do
-      Bytes.set p.data (off + i) (Char.chr ((v lsr (8 * i)) land 0xff));
-      Bytes.set p.taint (off + i) (if Mask.byte m i then '\001' else '\000')
-    done
-  end
-  else
-    for i = 0 to 3 do
-      store_byte t (addr + i) ((v lsr (8 * i)) land 0xff) ~taint:(Mask.byte m i)
-    done
+    if Tword.is_tainted w then t.st.tainted_stores <- t.st.tainted_stores + 1
+  | exception Tagged_store.Unmapped a -> fault a Store
 
+(* Half accesses are one logical access, like the byte and word paths,
+   so Diagnostics/Report load/store counts are width-independent. *)
 let load_half t addr =
-  let b0, t0 = load_byte t addr in
-  let b1, t1 = load_byte t (addr + 1) in
-  (b0 lor (b1 lsl 8), Mask.of_bools [ t0; t1 ])
+  let addr = addr land mask32 in
+  match Tagged_store.load_half t.store addr with
+  | (_, m) as r ->
+    t.st.loads <- t.st.loads + 1;
+    if Mask.is_tainted m then t.st.tainted_loads <- t.st.tainted_loads + 1;
+    r
+  | exception Tagged_store.Unmapped a -> fault a Load
 
 let store_half t addr v ~m =
-  store_byte t addr (v land 0xff) ~taint:(Mask.byte m 0);
-  store_byte t (addr + 1) ((v lsr 8) land 0xff) ~taint:(Mask.byte m 1)
+  let addr = addr land mask32 in
+  match Tagged_store.store_half t.store addr v ~m with
+  | () ->
+    t.st.stores <- t.st.stores + 1;
+    if Mask.is_tainted m then t.st.tainted_stores <- t.st.tainted_stores + 1
+  | exception Tagged_store.Unmapped a -> fault a Store
+
+(* Packed variants for the CPU hot path: same semantics, result in a
+   single immediate Tword (no tuple allocation). *)
+
+let load_byte_t t addr =
+  let addr = addr land mask32 in
+  match Tagged_store.load_byte t.store addr with
+  | b, taint ->
+    t.st.loads <- t.st.loads + 1;
+    if taint then begin
+      t.st.tainted_loads <- t.st.tainted_loads + 1;
+      Tword.make ~v:b ~m:1
+    end
+    else Tword.untainted b
+  | exception Tagged_store.Unmapped a -> fault a Load
+
+let load_half_t t addr =
+  let addr = addr land mask32 in
+  match Tagged_store.load_half t.store addr with
+  | v, m ->
+    t.st.loads <- t.st.loads + 1;
+    if Mask.is_tainted m then t.st.tainted_loads <- t.st.tainted_loads + 1;
+    Tword.make ~v ~m
+  | exception Tagged_store.Unmapped a -> fault a Load
 
 let write_string t addr s ~taint =
   String.iteri (fun i c -> store_byte t (addr + i) (Char.code c) ~taint) s
@@ -135,25 +136,29 @@ let read_cstring ?(limit = 65536) t addr =
   Buffer.contents buf
 
 let taint_range t addr len =
-  for i = 0 to len - 1 do
-    let a = addr + i in
-    let p = page_for t a Store in
-    Bytes.set p.taint (a land (page_bytes - 1)) '\001'
-  done
+  let addr = addr land mask32 in
+  try Tagged_store.taint_range t.store addr len
+  with Tagged_store.Unmapped a -> fault a Store
 
 let untaint_range t addr len =
-  for i = 0 to len - 1 do
-    let a = addr + i in
-    let p = page_for t a Store in
-    Bytes.set p.taint (a land (page_bytes - 1)) '\000'
-  done
+  let addr = addr land mask32 in
+  try Tagged_store.untaint_range t.store addr len
+  with Tagged_store.Unmapped a -> fault a Store
 
 let tainted_in_range t addr len =
-  let count = ref 0 in
-  for i = 0 to len - 1 do
-    let a = addr + i in
-    match Hashtbl.find_opt t.pages (a / page_bytes) with
-    | Some p -> if Bytes.get p.taint (a land (page_bytes - 1)) <> '\000' then incr count
-    | None -> ()
-  done;
-  !count
+  let addr = addr land mask32 in
+  try Tagged_store.tainted_in_range t.store addr len
+  with Tagged_store.Unmapped a -> fault a Load
+
+let taint_summary t addr len = Tagged_store.taint_summary t.store (addr land mask32) len
+
+let copy_stats st =
+  { loads = st.loads;
+    stores = st.stores;
+    tainted_loads = st.tainted_loads;
+    tainted_stores = st.tainted_stores;
+    mapped_bytes = st.mapped_bytes }
+
+let snapshot t = { s_store = Tagged_store.snapshot t.store; s_stats = copy_stats t.st }
+
+let restore snap = { store = Tagged_store.restore snap.s_store; st = copy_stats snap.s_stats }

@@ -2,10 +2,13 @@
 
     Sparse, paged, byte-addressable, little-endian memory in which
     every byte carries a taintedness bit, implementing the extended
-    memory model of section 4.1.  Pages must be mapped (via
-    {!map_range}) before access; touching an unmapped address raises
-    {!Fault}, which the simulator reports as a segmentation fault —
-    this is what an undetected wild dereference does to the guest. *)
+    memory model of section 4.1.  Pages live in a {!Tagged_store} —
+    one flat buffer per page holding the data plane and the taint
+    plane side by side — with word-granularity fast paths.  Pages must
+    be mapped (via {!map_range}) before access; touching an unmapped
+    address raises {!Fault}, which the simulator reports as a
+    segmentation fault — this is what an undetected wild dereference
+    does to the guest. *)
 
 type t
 
@@ -20,7 +23,9 @@ val map_range : t -> lo:int -> bytes:int -> unit
 
 val is_mapped : t -> int -> bool
 
-(** {1 Byte and word access}  All addresses are masked to 32 bits. *)
+(** {1 Byte and word access}  All addresses are masked to 32 bits.
+    Each call counts as one logical access in {!stats}, whatever its
+    width. *)
 
 val load_byte : t -> int -> int * bool
 val store_byte : t -> int -> int -> taint:bool -> unit
@@ -32,6 +37,13 @@ val load_half : t -> int -> int * Ptaint_taint.Mask.t
 
 val store_half : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
 
+val load_byte_t : t -> int -> Ptaint_taint.Tword.t
+(** [load_byte] packed into an immediate word (zero-extended, mask in
+    bit 0) — the CPU's allocation-free byte-load path. *)
+
+val load_half_t : t -> int -> Ptaint_taint.Tword.t
+(** [load_half] packed into an immediate word. *)
+
 (** {1 Bulk access (host/OS side)} *)
 
 val write_string : t -> int -> string -> taint:bool -> unit
@@ -40,10 +52,33 @@ val read_cstring : ?limit:int -> t -> int -> string
 (** Read a NUL-terminated string (NUL excluded); stops at [limit]
     (default 65536) bytes. *)
 
+(** {1 Taint ranges}  All three range operations raise {!Fault} on the
+    first unmapped address they touch — including {!tainted_in_range},
+    so a range probe cannot silently under-count an unmapped hole. *)
+
 val taint_range : t -> int -> int -> unit
 val untaint_range : t -> int -> int -> unit
 val tainted_in_range : t -> int -> int -> int
 (** Number of tainted bytes in [addr, addr+len). *)
+
+val taint_summary : t -> int -> int -> bool
+(** Whether any byte of [addr, addr+len) is tainted; unmapped bytes
+    count as clean instead of faulting.  This is the probe hardware
+    models (cache per-line tag summaries) use. *)
+
+(** {1 Copy-on-write snapshots}
+
+    A {!snapshot} freezes the full state (both planes plus {!stats})
+    without copying page data; {!restore} rebuilds an independent
+    memory from it, sharing pages copy-on-write.  Restoring and then
+    re-running a deterministic guest is bit-identical to reloading
+    from scratch.  One snapshot may be restored concurrently from
+    several domains. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
 
 (** {1 Statistics} *)
 

@@ -1,0 +1,235 @@
+open Ptaint_taint
+
+type plane =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type page = { mutable plane : plane; mutable shared : bool }
+
+type t = { pages : (int, page) Hashtbl.t }
+
+type snapshot = { snap_pages : (int * plane) array }
+
+exception Unmapped of int
+
+let page_bytes = Layout.page_bytes
+let page_mask = page_bytes - 1
+
+(* One flat buffer per page: data plane in [0, page_bytes), taint
+   plane (one 0/1 byte per data byte) in [page_bytes, 2*page_bytes). *)
+let alloc_plane () =
+  let p = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (2 * page_bytes) in
+  Bigarray.Array1.fill p 0;
+  p
+
+let create () = { pages = Hashtbl.create 256 }
+
+let map_page t idx =
+  if Hashtbl.mem t.pages idx then false
+  else begin
+    Hashtbl.replace t.pages idx { plane = alloc_plane (); shared = false };
+    true
+  end
+
+let is_mapped t idx = Hashtbl.mem t.pages idx
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let page_for t addr =
+  match Hashtbl.find_opt t.pages (addr lsr 12) with
+  | Some p -> p
+  | None -> raise (Unmapped addr)
+
+let () = assert (page_bytes = 1 lsl 12)
+
+(* Reads never copy; the first write to a page shared with a snapshot
+   clones its plane so snapshot holders keep the original bytes. *)
+let read_plane t addr = (page_for t addr).plane
+
+let write_plane t addr =
+  let p = page_for t addr in
+  if p.shared then begin
+    let fresh = alloc_plane () in
+    Bigarray.Array1.blit p.plane fresh;
+    p.plane <- fresh;
+    p.shared <- false
+  end;
+  p.plane
+
+(* NB: [Bigarray.Array1.unsafe_get]/[unsafe_set] must be fully
+   applied at each call site — aliasing the externals would compile
+   every plane access into an out-of-line call instead of a single
+   load/store. *)
+
+(* --- byte --- *)
+
+let load_byte t addr =
+  let pl = read_plane t addr in
+  let off = addr land page_mask in
+  (Bigarray.Array1.unsafe_get pl off, Bigarray.Array1.unsafe_get pl (page_bytes + off) <> 0)
+
+let store_byte t addr v ~taint =
+  let pl = write_plane t addr in
+  let off = addr land page_mask in
+  Bigarray.Array1.unsafe_set pl off (v land 0xff);
+  Bigarray.Array1.unsafe_set pl (page_bytes + off) (if taint then 1 else 0)
+
+(* --- word (any alignment; the slow path walks bytes across the page
+   boundary) --- *)
+
+let load_word t addr =
+  let off = addr land page_mask in
+  if off <= page_bytes - 4 then begin
+    let pl = read_plane t addr in
+    let v =
+      Bigarray.Array1.unsafe_get pl off
+      lor (Bigarray.Array1.unsafe_get pl (off + 1) lsl 8)
+      lor (Bigarray.Array1.unsafe_get pl (off + 2) lsl 16)
+      lor (Bigarray.Array1.unsafe_get pl (off + 3) lsl 24)
+    in
+    let toff = page_bytes + off in
+    let m =
+      Bigarray.Array1.unsafe_get pl toff
+      lor (Bigarray.Array1.unsafe_get pl (toff + 1) lsl 1)
+      lor (Bigarray.Array1.unsafe_get pl (toff + 2) lsl 2)
+      lor (Bigarray.Array1.unsafe_get pl (toff + 3) lsl 3)
+    in
+    Tword.of_bits ((m lsl 32) lor v)
+  end
+  else begin
+    let v = ref 0 and m = ref 0 in
+    for i = 3 downto 0 do
+      let b, ta = load_byte t (addr + i) in
+      v := (!v lsl 8) lor b;
+      if ta then m := !m lor (1 lsl i)
+    done;
+    Tword.make ~v:!v ~m:!m
+  end
+
+let store_word t addr w =
+  let off = addr land page_mask in
+  let v = Tword.value w and m = Tword.mask w in
+  if off <= page_bytes - 4 then begin
+    let pl = write_plane t addr in
+    Bigarray.Array1.unsafe_set pl off (v land 0xff);
+    Bigarray.Array1.unsafe_set pl (off + 1) ((v lsr 8) land 0xff);
+    Bigarray.Array1.unsafe_set pl (off + 2) ((v lsr 16) land 0xff);
+    Bigarray.Array1.unsafe_set pl (off + 3) ((v lsr 24) land 0xff);
+    let toff = page_bytes + off in
+    Bigarray.Array1.unsafe_set pl toff (m land 1);
+    Bigarray.Array1.unsafe_set pl (toff + 1) ((m lsr 1) land 1);
+    Bigarray.Array1.unsafe_set pl (toff + 2) ((m lsr 2) land 1);
+    Bigarray.Array1.unsafe_set pl (toff + 3) ((m lsr 3) land 1)
+  end
+  else
+    for i = 0 to 3 do
+      store_byte t (addr + i) ((v lsr (8 * i)) land 0xff) ~taint:(m land (1 lsl i) <> 0)
+    done
+
+(* --- half-word --- *)
+
+let load_half t addr =
+  let off = addr land page_mask in
+  if off <= page_bytes - 2 then begin
+    let pl = read_plane t addr in
+    let v = Bigarray.Array1.unsafe_get pl off lor (Bigarray.Array1.unsafe_get pl (off + 1) lsl 8) in
+    let toff = page_bytes + off in
+    (v, Bigarray.Array1.unsafe_get pl toff lor (Bigarray.Array1.unsafe_get pl (toff + 1) lsl 1))
+  end
+  else begin
+    let b0, t0 = load_byte t addr in
+    let b1, t1 = load_byte t (addr + 1) in
+    (b0 lor (b1 lsl 8), (if t0 then 1 else 0) lor if t1 then 2 else 0)
+  end
+
+let store_half t addr v ~m =
+  let off = addr land page_mask in
+  if off <= page_bytes - 2 then begin
+    let pl = write_plane t addr in
+    Bigarray.Array1.unsafe_set pl off (v land 0xff);
+    Bigarray.Array1.unsafe_set pl (off + 1) ((v lsr 8) land 0xff);
+    let toff = page_bytes + off in
+    Bigarray.Array1.unsafe_set pl toff (m land 1);
+    Bigarray.Array1.unsafe_set pl (toff + 1) ((m lsr 1) land 1)
+  end
+  else begin
+    store_byte t addr (v land 0xff) ~taint:(m land 1 <> 0);
+    store_byte t (addr + 1) ((v lsr 8) land 0xff) ~taint:(m land 2 <> 0)
+  end
+
+(* --- ranges (page-at-a-time over the taint plane) --- *)
+
+let fill_taint t addr len fill =
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_bytes - off) in
+    let pl = write_plane t a in
+    Bigarray.Array1.fill
+      (Bigarray.Array1.sub pl (page_bytes + off) chunk)
+      fill;
+    i := !i + chunk
+  done
+
+let taint_range t addr len = if len > 0 then fill_taint t addr len 1
+let untaint_range t addr len = if len > 0 then fill_taint t addr len 0
+
+let tainted_in_range t addr len =
+  let count = ref 0 and i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_bytes - off) in
+    let pl = read_plane t a in
+    for j = page_bytes + off to page_bytes + off + chunk - 1 do
+      count := !count + Bigarray.Array1.unsafe_get pl j
+    done;
+    i := !i + chunk
+  done;
+  !count
+
+(* Fault-free taint summary, for hardware models (cache line tag
+   summaries) that probe addresses the guest never mapped. *)
+let taint_summary t addr len =
+  let tainted = ref false and i = ref 0 in
+  while (not !tainted) && !i < len do
+    let a = addr + !i in
+    let off = a land page_mask in
+    let chunk = min (len - !i) (page_bytes - off) in
+    (match Hashtbl.find_opt t.pages (a lsr 12) with
+     | None -> ()
+     | Some p ->
+       let pl = p.plane in
+       for j = page_bytes + off to page_bytes + off + chunk - 1 do
+         if Bigarray.Array1.unsafe_get pl j <> 0 then tainted := true
+       done);
+    i := !i + chunk
+  done;
+  !tainted
+
+(* --- snapshots ---
+
+   [snapshot] marks every live page shared and hands out references to
+   the same planes; [restore] builds a fresh store whose pages alias
+   the snapshot's planes, again shared.  Because every writer clones a
+   shared plane first, snapshot planes are immutable after creation —
+   which also makes a snapshot safe to restore concurrently from
+   multiple domains (each restored store clones privately on write). *)
+
+let snapshot t =
+  let snap_pages =
+    Hashtbl.fold
+      (fun idx p acc ->
+        p.shared <- true;
+        (idx, p.plane) :: acc)
+      t.pages []
+    |> Array.of_list
+  in
+  { snap_pages }
+
+let restore snap =
+  let t = create () in
+  Array.iter
+    (fun (idx, plane) -> Hashtbl.replace t.pages idx { plane; shared = true })
+    snap.snap_pages;
+  t

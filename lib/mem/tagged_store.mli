@@ -1,0 +1,71 @@
+(** The unified tagged page store backing {!Memory}.
+
+    Each 4 KiB guest page is one flat [Bigarray] of [2 * page_bytes]
+    unsigned bytes: the data plane in [0, page_bytes) and the taint
+    plane — one 0/1 byte per data byte — in [page_bytes,
+    2*page_bytes).  Keeping both planes in one buffer gives the word
+    fast paths a single bounds-checked base and keeps a page's tags on
+    the same cache lines as its data, the way the paper's extended
+    memory carries taint bits alongside each word (section 4.1).
+
+    Addresses are guest-physical, already masked to 32 bits by the
+    caller; accessing an unmapped page raises {!Unmapped} (the
+    {!Memory} wrapper turns this into its [Fault]).
+
+    Pages support copy-on-write sharing: {!snapshot} freezes the
+    current contents, {!restore} builds a new store aliasing the
+    snapshot's pages, and the first write to a shared page clones it.
+    Snapshot planes are never written after creation, so one snapshot
+    may be restored concurrently from many domains. *)
+
+type t
+
+exception Unmapped of int
+
+val create : unit -> t
+
+val map_page : t -> int -> bool
+(** [map_page t idx] maps page [idx] (zero-filled, untainted);
+    returns [true] iff the page was not already mapped. *)
+
+val is_mapped : t -> int -> bool
+(** By page index. *)
+
+val mapped_pages : t -> int
+
+(** {1 Access}  [load_word]/[store_word] and the half-word pair take
+    any alignment; accesses crossing into an unmapped page raise
+    {!Unmapped} with the first unmapped address. *)
+
+val load_byte : t -> int -> int * bool
+val store_byte : t -> int -> int -> taint:bool -> unit
+val load_word : t -> int -> Ptaint_taint.Tword.t
+val store_word : t -> int -> Ptaint_taint.Tword.t -> unit
+val load_half : t -> int -> int * Ptaint_taint.Mask.t
+val store_half : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
+
+(** {1 Taint plane ranges} *)
+
+val taint_range : t -> int -> int -> unit
+val untaint_range : t -> int -> int -> unit
+
+val tainted_in_range : t -> int -> int -> int
+(** Number of tainted bytes in [addr, addr+len); raises {!Unmapped}
+    like the accessors. *)
+
+val taint_summary : t -> int -> int -> bool
+(** Whether any byte of [addr, addr+len) is tainted, treating
+    unmapped bytes as clean — the fault-free probe cache models use
+    to derive per-line tag summaries. *)
+
+(** {1 Copy-on-write snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Freeze the current contents.  O(pages), copies no page data; the
+    live store keeps working and clones pages as it writes them. *)
+
+val restore : snapshot -> t
+(** A fresh store with the snapshot's contents, sharing pages
+    copy-on-write.  Safe to call concurrently from multiple domains. *)

@@ -102,10 +102,7 @@ type session = {
 
 type progress = Running | Finished of outcome
 
-let boot ?(config = default_config) program =
-  let image =
-    Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program
-  in
+let boot_image config (image : Ptaint_asm.Loader.image) =
   let machine =
     Machine.create ~policy:config.policy ~code:image.Ptaint_asm.Loader.code
       ~mem:image.Ptaint_asm.Loader.mem ~entry:image.Ptaint_asm.Loader.entry ()
@@ -122,6 +119,47 @@ let boot ?(config = default_config) program =
   let pipe = if config.timing then Some (Pipeline.create machine) else None in
   { s_machine = machine; s_kernel = kernel; s_image = image; s_config = config;
     s_pipeline = pipe }
+
+let boot ?(config = default_config) program =
+  boot_image config
+    (Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program)
+
+(* --- snapshot templates ---
+
+   Loading a guest image writes every data/stack/argument byte through
+   the tagged store; jobs that run the same image only differ in
+   machine and kernel state.  A template loads once, snapshots the
+   memory, and every subsequent boot restores the snapshot
+   copy-on-write — which is safe to do concurrently from many domains
+   because snapshot pages are immutable (writers clone). *)
+
+type template = {
+  t_image : Ptaint_asm.Loader.image;
+  t_snapshot : Ptaint_mem.Memory.snapshot;
+  t_argv : string list;
+  t_env : (string * string) list;
+  t_sources : Sources.t;
+}
+
+let prepare ?(config = default_config) program =
+  let image =
+    Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program
+  in
+  { t_image = image;
+    t_snapshot = Ptaint_mem.Memory.snapshot image.Ptaint_asm.Loader.mem;
+    t_argv = config.argv;
+    t_env = config.env;
+    t_sources = config.sources }
+
+let template_matches (config : config) program tpl =
+  tpl.t_image.Ptaint_asm.Loader.program == program
+  && tpl.t_argv = config.argv && tpl.t_env = config.env && tpl.t_sources = config.sources
+
+let boot_template ?(config = default_config) tpl =
+  if not (config.argv = tpl.t_argv && config.env = tpl.t_env && config.sources = tpl.t_sources)
+  then invalid_arg "Sim.boot_template: argv/env/sources differ from the template image";
+  let mem = Ptaint_mem.Memory.restore tpl.t_snapshot in
+  boot_image config { tpl.t_image with Ptaint_asm.Loader.mem }
 
 let session_step s =
   let machine = s.s_machine in
@@ -171,5 +209,30 @@ let run ?config program = finish (boot ?config program)
 
 let run_asm ?config source = run ?config (Ptaint_asm.Assembler.assemble_exn source)
 
+let run_template ?config tpl = finish (boot_template ?config tpl)
+
+let templates_of batch =
+  List.fold_left
+    (fun acc (config, program) ->
+      if List.exists (template_matches config program) acc then acc
+      else
+        match prepare ~config program with
+        | tpl -> tpl :: acc
+        | exception _ ->
+          (* A program the loader rejects gets no template; running it
+             directly reproduces the same failure on the worker. *)
+          acc)
+    [] batch
+
+let run_with templates config program =
+  match List.find_opt (template_matches config program) templates with
+  | Some tpl -> run_template ~config tpl
+  | None -> run ~config program
+
 let run_many ?domains batch =
-  Ptaint_pool.Pool.map ?domains (fun (config, program) -> run ~config program) batch
+  (* Build one template per distinct image in the parent, then let the
+     workers restore the snapshot instead of re-loading. *)
+  let templates = templates_of batch in
+  Ptaint_pool.Pool.map ?domains
+    (fun (config, program) -> run_with templates config program)
+    batch

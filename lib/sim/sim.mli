@@ -102,12 +102,62 @@ val run : ?config:config -> Ptaint_asm.Program.t -> result
 val run_asm : ?config:config -> string -> result
 (** Assemble (failing loudly on errors) and run. *)
 
+(** {1 Snapshot templates}
+
+    Loading a guest image is the expensive part of booting: the
+    loader assembles argv/env/stack and writes every initial byte
+    (data and taint) through the tagged store.  A {!template}
+    performs that load once and captures a copy-on-write
+    {!Ptaint_mem.Memory.snapshot}; each {!boot_template} then
+    restores the snapshot — sharing the unmodified pages — instead of
+    re-loading.  Snapshot pages are immutable (writers clone before
+    mutating), so any number of sessions, on any number of domains,
+    can be booted concurrently from one template.
+
+    The memory image depends on [argv], [env] and [sources] (they
+    shape the initial stack and its taint), so a template is only
+    valid for configs that agree with the one it was prepared under;
+    everything else — policy, stdin, sessions, fs, uid, fuel, timing
+    — may vary freely between boots. *)
+
+type template
+
+val prepare : ?config:config -> Ptaint_asm.Program.t -> template
+(** Load [program] once and snapshot its initial memory.  Only
+    [config.argv]/[env]/[sources] matter here. *)
+
+val template_matches : config -> Ptaint_asm.Program.t -> template -> bool
+(** [true] when the template was prepared from this program (physical
+    equality) under the same argv/env/sources. *)
+
+val boot_template : ?config:config -> template -> session
+(** Boot from the snapshot instead of re-loading.  Raises
+    [Invalid_argument] if [config] disagrees with the template on
+    argv/env/sources. *)
+
+val run_template : ?config:config -> template -> result
+(** [finish (boot_template ?config tpl)] — bit-identical to
+    [run ?config program] on the template's program. *)
+
+val templates_of :
+  (config * Ptaint_asm.Program.t) list -> template list
+(** One template per distinct image in the batch (grouping by program
+    physical equality + argv/env/sources).  Programs the loader
+    rejects are skipped — running them reproduces the failure. *)
+
+val run_with : template list -> config -> Ptaint_asm.Program.t -> result
+(** Run via the matching template when there is one, falling back to
+    a plain {!run}. *)
+
 val run_many :
   ?domains:int -> (config * Ptaint_asm.Program.t) list -> result list
 (** Run a batch of simulations on a fixed-size domain pool, one
     worker per domain (default [Pool.recommended_domains ()]), and
-    return the results in submission order.  Each simulation boots a
-    fresh machine/kernel, so results are identical to a sequential
+    return the results in submission order.  Jobs that share an image
+    (same program, argv, env, sources) are loaded once via
+    {!templates_of} and each run restores the snapshot.  Each
+    simulation still gets a fresh machine/kernel/memory, so results
+    are identical to a sequential
     [List.map (fun (c, p) -> run ~config:c p)] whatever [~domains]
     is.  This is the same engine behind [Campaign.run] — use the
     campaign API when you need per-job crash isolation, expectations

@@ -1,17 +1,26 @@
-type t = { v : int; m : Mask.t }
+(* A tainted word is a single immediate [int]: value in bits 0-31,
+   per-byte taint mask in bits 32-35.  Nothing here allocates. *)
+
+type t = int
 
 let mask32 = 0xFFFFFFFF
-let make ~v ~m = { v = v land mask32; m = Mask.restrict m ~bytes:4 }
-let untainted v = make ~v ~m:Mask.none
-let tainted v = make ~v ~m:Mask.word
-let zero = untainted 0
-let value w = w.v
-let mask w = w.m
-let is_tainted w = Mask.is_tainted w.m
-let with_value w v = make ~v ~m:w.m
-let with_mask w m = make ~v:w.v ~m
-let equal a b = a.v = b.v && Mask.equal a.m b.m
+let tag_bits = 0xF lsl 32
+
+let make ~v ~m = (Mask.restrict m ~bytes:4 lsl 32) lor (v land mask32)
+let untainted v = v land mask32
+let tainted v = tag_bits lor (v land mask32)
+let zero = 0
+let value w = w land mask32
+let mask w = w lsr 32
+let is_tainted w = w lsr 32 <> 0
+let with_value w v = (w land tag_bits) lor (v land mask32)
+let with_mask w m = (Mask.restrict m ~bytes:4 lsl 32) lor (w land mask32)
+let equal = Int.equal
+
+let to_bits w = w
+let of_bits b = b land (tag_bits lor mask32)
 
 let pp ppf w =
-  if Mask.is_tainted w.m then Format.fprintf ppf "0x%08x[t:%a]" w.v (Mask.pp ?bytes:None) w.m
-  else Format.fprintf ppf "0x%08x" w.v
+  if is_tainted w then
+    Format.fprintf ppf "0x%08x[t:%a]" (value w) (Mask.pp ?bytes:None) (mask w)
+  else Format.fprintf ppf "0x%08x" (value w)

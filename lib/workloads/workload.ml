@@ -82,6 +82,24 @@ let program w = program_with ~untaint_writeback:true w
 
 let config_for w = Ptaint_sim.Sim.config ~stdin:(w.input ()) ~argv:[ w.name ] ()
 
+(* one loaded image per workload; runs restore the snapshot
+   copy-on-write instead of re-loading (policy/stdin may vary freely,
+   only argv/env/sources are baked into the image) *)
+let template_cache : (string, Ptaint_sim.Sim.template) Hashtbl.t = Hashtbl.create 12
+
+let template w =
+  let cached () = Hashtbl.find_opt template_cache w.name in
+  match Mutex.protect cache_lock cached with
+  | Some t -> t
+  | None ->
+    let t = Ptaint_sim.Sim.prepare ~config:(config_for w) (program w) in
+    Mutex.protect cache_lock (fun () ->
+        match cached () with
+        | Some t -> t
+        | None ->
+          Hashtbl.replace template_cache w.name t;
+          t)
+
 let row_of w p (result : Ptaint_sim.Sim.result) =
   { workload = w;
     program_bytes = Ptaint_asm.Program.text_bytes p + Ptaint_asm.Program.data_bytes p;
@@ -92,6 +110,9 @@ let row_of w p (result : Ptaint_sim.Sim.result) =
     stdout = result.Ptaint_sim.Sim.stdout }
 
 let run ?(policy = Ptaint_cpu.Policy.default) ?(untaint_writeback = true) w =
-  let p = program_with ~untaint_writeback w in
   let config = { (config_for w) with Ptaint_sim.Sim.policy } in
-  row_of w p (Ptaint_sim.Sim.run ~config p)
+  if untaint_writeback then
+    row_of w (program w) (Ptaint_sim.Sim.run_template ~config (template w))
+  else
+    let p = program_with ~untaint_writeback w in
+    row_of w p (Ptaint_sim.Sim.run ~config p)

@@ -38,6 +38,13 @@ val program : t -> Ptaint_asm.Program.t
 (** The compiled guest (cached; safe to call from concurrent
     domains). *)
 
+val template : t -> Ptaint_sim.Sim.template
+(** The loaded image as a copy-on-write snapshot template (cached,
+    domain-safe).  {!run} boots from this, so only the first run of a
+    workload pays the assemble + load cost; the policy and stdin may
+    differ between runs, since only argv/env/sources shape the
+    image. *)
+
 val config_for : t -> Ptaint_sim.Sim.config
 (** The workload's standard run configuration — its input on stdin,
     its name as argv — under the default policy.  Batch drivers pair

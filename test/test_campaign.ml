@@ -131,6 +131,51 @@ let test_order () =
     (List.init 16 (Printf.sprintf "job-%02d"))
     (List.map (fun (r : Campaign.job_result) -> r.Campaign.name) results)
 
+(* --- snapshot templates: restore must equal reload --- *)
+
+let result_fingerprint (r : Ptaint_sim.Sim.result) =
+  Printf.sprintf "%s | out:%s | net:%s | %d insns | %d sys | uid %d"
+    (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
+    (String.escaped r.Ptaint_sim.Sim.stdout)
+    (String.escaped (String.concat "&" r.Ptaint_sim.Sim.net_sent))
+    r.Ptaint_sim.Sim.instructions r.Ptaint_sim.Sim.syscalls r.Ptaint_sim.Sim.final_uid
+
+let test_template_restore_determinism () =
+  let module Sim = Ptaint_sim.Sim in
+  let s = Catalog.exp1_stack_smash in
+  let program = s.Scenario.build () in
+  let atk_config = (Scenario.attack s).Scenario.config program in
+  let tpl = Sim.prepare ~config:atk_config program in
+  let reference = Sim.run ~config:atk_config program in
+  (* Restoring the same snapshot repeatedly must reproduce the
+     reference run bit for bit. *)
+  let r1 = Sim.run_template ~config:atk_config tpl in
+  let r2 = Sim.run_template ~config:atk_config tpl in
+  Alcotest.(check string) "restore = reload"
+    (result_fingerprint reference) (result_fingerprint r1);
+  Alcotest.(check string) "second restore identical"
+    (result_fingerprint r1) (result_fingerprint r2);
+  (* The same template serves any policy (only argv/env/sources are
+     baked into the image)... *)
+  let unprotected =
+    { atk_config with Ptaint_sim.Sim.policy = Ptaint_cpu.Policy.unprotected }
+  in
+  Alcotest.(check string) "other policy via same template"
+    (result_fingerprint (Sim.run ~config:unprotected program))
+    (result_fingerprint (Sim.run_template ~config:unprotected tpl));
+  (* ...but a config disagreeing on the image-shaping fields is refused. *)
+  match Sim.boot_template ~config:{ atk_config with Ptaint_sim.Sim.argv = [ "other" ] } tpl with
+  | _ -> Alcotest.fail "boot_template must reject a mismatched argv"
+  | exception Invalid_argument _ -> ()
+
+let test_campaign_rerun_identical () =
+  let jobs = coverage_jobs () in
+  let first, _ = Campaign.run ~domains:4 jobs in
+  let second, _ = Campaign.run ~domains:4 jobs in
+  Alcotest.(check (list string))
+    "re-running the campaign (fresh snapshots) is bit-identical"
+    (List.map fingerprint first) (List.map fingerprint second)
+
 (* --- Sim conveniences --- *)
 
 let test_run_many () =
@@ -179,6 +224,11 @@ let () =
         [ Alcotest.test_case "determinism: full coverage matrix" `Slow test_determinism;
           Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
           Alcotest.test_case "submission order" `Quick test_order ] );
+      ( "snapshots",
+        [ Alcotest.test_case "template restore = reload" `Quick
+            test_template_restore_determinism;
+          Alcotest.test_case "campaign rerun bit-identical" `Slow
+            test_campaign_rerun_identical ] );
       ( "sim API",
         [ Alcotest.test_case "run_many" `Quick test_run_many;
           Alcotest.test_case "config_of labels" `Quick test_config_of ] ) ]

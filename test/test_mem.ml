@@ -86,6 +86,52 @@ let test_stats () =
   Alcotest.(check int) "tainted stores" 1 s.Memory.tainted_stores;
   Alcotest.(check int) "tainted loads" 1 s.Memory.tainted_loads
 
+(* A logical access counts once whatever its width: lh/sh must not be
+   billed as two byte accesses. *)
+let test_stats_width_independent () =
+  let m = fresh () in
+  let s = Memory.stats m in
+  Memory.store_half m base 0xBEEF ~m:0;
+  Alcotest.(check int) "one store per sh" 1 s.Memory.stores;
+  ignore (Memory.load_half m base);
+  Alcotest.(check int) "one load per lh" 1 s.Memory.loads;
+  Memory.store_word m (base + 4) (Tword.untainted 42);
+  Alcotest.(check int) "one store per sw" 2 s.Memory.stores;
+  ignore (Memory.load_word m (base + 4));
+  Alcotest.(check int) "one load per lw" 2 s.Memory.loads
+
+(* tainted_in_range must fault on unmapped holes like the other range
+   ops, not silently report them as clean. *)
+let test_tainted_in_range_unmapped () =
+  let m = fresh ~bytes:(64 * 1024) () in
+  let last_mapped = base + (64 * 1024) - 8 in
+  match Memory.tainted_in_range m last_mapped 16 with
+  | _ -> Alcotest.fail "expected a fault on the unmapped tail"
+  | exception Memory.Fault { addr; access } ->
+    Alcotest.(check int) "first unmapped byte" (base + (64 * 1024)) addr;
+    Alcotest.(check bool) "reported as load" true (access = Memory.Load)
+
+let test_snapshot_restore () =
+  let m = fresh () in
+  Memory.write_string m base "frozen" ~taint:true;
+  Memory.store_word m (base + 16) (Tword.make ~v:0xCAFEF00D ~m:0b0011);
+  let snap = Memory.snapshot m in
+  (* Mutating the origin after the snapshot must not leak into it. *)
+  Memory.write_string m base "thawed" ~taint:false;
+  Memory.store_word m (base + 16) (Tword.untainted 0);
+  let r1 = Memory.restore snap and r2 = Memory.restore snap in
+  Alcotest.(check string) "restored data" "frozen" (Memory.read_string r1 base 6);
+  Alcotest.(check int) "restored taint" 6 (Memory.tainted_in_range r1 base 6);
+  Alcotest.(check bool) "restored word" true
+    (Tword.equal (Tword.make ~v:0xCAFEF00D ~m:0b0011) (Memory.load_word r1 (base + 16)));
+  (* Two restores are independent: writes to one never reach the other. *)
+  Memory.store_byte r1 base 0xEE ~taint:false;
+  Alcotest.(check int) "sibling restore unaffected" 0x66 (fst (Memory.load_byte r2 base));
+  Alcotest.(check string) "origin keeps its own writes" "thawed" (Memory.read_string m base 6);
+  (* Restored stats match the snapshot point, not the origin's later history. *)
+  Alcotest.(check int) "snapshot-time mapped bytes" (Memory.stats m).Memory.mapped_bytes
+    (Memory.stats r2).Memory.mapped_bytes
+
 (* --- Cache model --- *)
 
 let test_cache_basics () =
@@ -123,6 +169,34 @@ let test_hierarchy_latency () =
   Alcotest.(check int) "cold = l1+l2+mem" (1 + 8 + 100) cold;
   Alcotest.(check int) "warm = l1" 1 warm
 
+(* An L1 refill served from L2 must inherit the L2 line's taint
+   summary: a tainted line evicted from L1 and later re-fetched is
+   still tainted.  Tiny direct-mapped L1 (one set) so a second access
+   forces the eviction; 4-set L2 keeps both lines resident. *)
+let test_l2_taint_inherited_on_refill () =
+  let l1 = { Cache.sets = 1; ways = 1; line_bytes = 16; hit_latency = 1 } in
+  let l2 = { Cache.sets = 4; ways = 2; line_bytes = 16; hit_latency = 8 } in
+  let h = Cache.Hierarchy.create ~l1 ~l2 ~memory_latency:100 () in
+  let a = 0x1000 and b = 0x1010 in
+  ignore (Cache.Hierarchy.access h ~addr:a ~write:true ~tainted:true);
+  Alcotest.(check bool) "L2 line tainted after fill" true
+    (Cache.line_tainted (Cache.Hierarchy.l2 h) ~addr:a);
+  ignore (Cache.Hierarchy.access h ~addr:b ~write:false ~tainted:false);
+  Alcotest.(check bool) "tainted line evicted from L1" false
+    (Cache.line_tainted (Cache.Hierarchy.l1 h) ~addr:a);
+  (* Clean re-access: the access itself carries no taint, but the
+     refill comes from a tainted L2 line. *)
+  ignore (Cache.Hierarchy.access h ~addr:a ~write:false ~tainted:false);
+  Alcotest.(check bool) "L1 refill inherits L2 taint" true
+    (Cache.line_tainted (Cache.Hierarchy.l1 h) ~addr:a);
+  (* Control: a clean line evicted and re-fetched stays clean. *)
+  let h2 = Cache.Hierarchy.create ~l1 ~l2 ~memory_latency:100 () in
+  ignore (Cache.Hierarchy.access h2 ~addr:a ~write:true ~tainted:false);
+  ignore (Cache.Hierarchy.access h2 ~addr:b ~write:false ~tainted:false);
+  ignore (Cache.Hierarchy.access h2 ~addr:a ~write:false ~tainted:false);
+  Alcotest.(check bool) "clean refill stays clean" false
+    (Cache.line_tainted (Cache.Hierarchy.l1 h2) ~addr:a)
+
 (* --- Properties --- *)
 
 let addr_gen = QCheck2.Gen.(int_range base (base + 60000))
@@ -154,6 +228,51 @@ let prop_neighbours_untouched =
       Memory.store_word m addr (Tword.tainted v);
       Memory.load_byte m (addr - 1) = (0x5A, true) && Memory.load_byte m (addr + 4) = (0xA5, false))
 
+(* Seeded sweep of the page-straddling slow path: every word/half
+   store whose bytes span two pages must round-trip value and taint
+   exactly and leave the neighbouring bytes alone.  A fixed seed keeps
+   failures reproducible. *)
+let test_cross_page_sweep () =
+  let rng = Random.State.make [| 0x9E3779B9 |] in
+  let m = fresh () in
+  let rand32 () =
+    (Random.State.bits rng lor (Random.State.bits rng lsl 30)) land 0xFFFFFFFF
+  in
+  for _ = 1 to 2_000 do
+    (* A boundary inside the mapped 16-page window, approached so the
+       access straddles it. *)
+    let boundary = base + ((1 + Random.State.int rng 14) * Layout.page_bytes) in
+    let sentinel_lo = Random.State.int rng 256 and sentinel_hi = Random.State.int rng 256 in
+    if Random.State.bool rng then begin
+      let addr = boundary - (1 + Random.State.int rng 2) in
+      Memory.store_byte m (addr - 1) sentinel_lo ~taint:false;
+      Memory.store_byte m (addr + 4) sentinel_hi ~taint:true;
+      let w = Tword.make ~v:(rand32 ()) ~m:(Random.State.int rng 16) in
+      Memory.store_word m addr w;
+      if not (Tword.equal w (Memory.load_word m addr)) then
+        Alcotest.failf "word roundtrip at %#x: got %s want %s" addr
+          (Format.asprintf "%a" Tword.pp (Memory.load_word m addr))
+          (Format.asprintf "%a" Tword.pp w);
+      Alcotest.(check (pair int bool)) "low neighbour" (sentinel_lo, false)
+        (Memory.load_byte m (addr - 1));
+      Alcotest.(check (pair int bool)) "high neighbour" (sentinel_hi, true)
+        (Memory.load_byte m (addr + 4))
+    end
+    else begin
+      let addr = boundary - 1 in
+      Memory.store_byte m (addr - 1) sentinel_lo ~taint:true;
+      Memory.store_byte m (addr + 2) sentinel_hi ~taint:false;
+      let v = Random.State.int rng 0x10000 and mask = Random.State.int rng 4 in
+      Memory.store_half m addr v ~m:mask;
+      let v', m' = Memory.load_half m addr in
+      Alcotest.(check (pair int int)) "half roundtrip" (v, mask) (v', m');
+      Alcotest.(check (pair int bool)) "low neighbour" (sentinel_lo, true)
+        (Memory.load_byte m (addr - 1));
+      Alcotest.(check (pair int bool)) "high neighbour" (sentinel_hi, false)
+        (Memory.load_byte m (addr + 2))
+    end
+  done
+
 let () =
   Alcotest.run "mem"
     [ ( "memory",
@@ -164,12 +283,19 @@ let () =
           Alcotest.test_case "unmapped fault" `Quick test_unmapped_fault;
           Alcotest.test_case "bulk + cstring" `Quick test_bulk_and_cstring;
           Alcotest.test_case "half word" `Quick test_half;
-          Alcotest.test_case "stats" `Quick test_stats ] );
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "stats width-independent" `Quick test_stats_width_independent;
+          Alcotest.test_case "tainted_in_range faults on unmapped" `Quick
+            test_tainted_in_range_unmapped;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore ] );
       ( "cache",
         [ Alcotest.test_case "hit/miss" `Quick test_cache_basics;
           Alcotest.test_case "taint summary" `Quick test_cache_taint_summary;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
-          Alcotest.test_case "hierarchy latency" `Quick test_hierarchy_latency ] );
+          Alcotest.test_case "hierarchy latency" `Quick test_hierarchy_latency;
+          Alcotest.test_case "L2 taint inherited on L1 refill" `Quick
+            test_l2_taint_inherited_on_refill ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_byte_roundtrip; prop_word_roundtrip; prop_neighbours_untouched ] ) ]
+        Alcotest.test_case "seeded cross-page word/half sweep" `Quick test_cross_page_sweep
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_byte_roundtrip; prop_word_roundtrip; prop_neighbours_untouched ] ) ]

@@ -36,6 +36,21 @@ let test_tword () =
   Alcotest.(check string) "pp tainted" "0x00000005[t:1111]"
     (Format.asprintf "%a" Tword.pp (Tword.tainted 5))
 
+(* The packed representation is an OCaml immediate: building and
+   transforming taint words must never allocate a heap block (the
+   interpreter's hot path depends on it). *)
+let test_tword_immediate () =
+  let imm what w = Alcotest.(check bool) (what ^ " is immediate") true (Obj.is_int (Obj.repr w)) in
+  imm "make" (Tword.make ~v:0xDEADBEEF ~m:0b1010);
+  imm "untainted" (Tword.untainted 0xFFFFFFFF);
+  imm "tainted" (Tword.tainted 0x80000000);
+  imm "with_value" (Tword.with_value (Tword.tainted 1) 0x7FFFFFFF);
+  imm "with_mask" (Tword.with_mask (Tword.untainted 3) 0b0110);
+  (* Round-trip through the raw bits used by Regfile/Tagged_store. *)
+  let w = Tword.make ~v:0xCAFEBABE ~m:0b1001 in
+  Alcotest.(check bool) "of_bits/to_bits roundtrip" true
+    (Tword.equal w (Tword.of_bits (Tword.to_bits w)))
+
 (* --- Table 1 rules --- *)
 
 let test_default_rule () =
@@ -137,7 +152,9 @@ let () =
     [ ( "mask",
         [ Alcotest.test_case "basics" `Quick test_mask_basics;
           Alcotest.test_case "pp" `Quick test_mask_pp ] );
-      ("tword", [ Alcotest.test_case "basics" `Quick test_tword ]);
+      ( "tword",
+        [ Alcotest.test_case "basics" `Quick test_tword;
+          Alcotest.test_case "immediate representation" `Quick test_tword_immediate ] );
       ( "prop (Table 1)",
         [ Alcotest.test_case "default OR rule" `Quick test_default_rule;
           Alcotest.test_case "shift rule" `Quick test_shift_rule;
