@@ -259,7 +259,29 @@ let micro_snapshot_bench =
              (Ptaint_taint.Tword.untainted p)
          done))
 
-let micro_benches = [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench ]
+(* tracing overhead: the same interpreter loop with the event bus
+   detached (the production default — must stay on the allocation-free
+   path) and attached (ring pushes + milestone scans per step) *)
+let micro_trace_off_bench =
+  Test.make ~name:"micro/trace-off-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         for _ = 1 to 10_000 do
+           ignore (Ptaint_cpu.Machine.step m)
+         done))
+
+let micro_trace_on_bench =
+  Test.make ~name:"micro/trace-on-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         Ptaint_cpu.Machine.attach_obs m (Ptaint_obs.Trace.create ());
+         for _ = 1 to 10_000 do
+           ignore (Ptaint_cpu.Machine.step m)
+         done))
+
+let micro_benches =
+  [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
+    micro_trace_on_bench ]
 
 (* --- driver ----------------------------------------------------------------- *)
 

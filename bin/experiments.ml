@@ -1,47 +1,49 @@
 (* Regenerate the paper's tables and figures.  `experiments all`
    reproduces the full evaluation; `-j N` runs the batch sections
-   (coverage, tab3, tab4) as campaigns on N domains. *)
+   (coverage, tab3, tab4) as campaigns on N domains; `--trace FILE`
+   writes a Chrome trace_event timeline of the campaign jobs. *)
 
 open Cmdliner
 
 let sections =
   [ ("fig1", "Figure 1: CERT advisory breakdown",
-     fun _ -> Ptaint_experiments.Experiments.fig1 ());
+     fun _ _ -> Ptaint_experiments.Experiments.fig1 ());
     ("tab1", "Table 1: taint propagation rules",
-     fun _ -> Ptaint_experiments.Experiments.tab1 ());
+     fun _ _ -> Ptaint_experiments.Experiments.tab1 ());
     ("fig2", "Figure 2: attack anatomies",
-     fun _ -> Ptaint_experiments.Experiments.fig2 ());
+     fun _ _ -> Ptaint_experiments.Experiments.fig2 ());
     ("fig3", "Figure 3: architecture / pipeline",
-     fun _ -> Ptaint_experiments.Experiments.fig3 ());
+     fun _ _ -> Ptaint_experiments.Experiments.fig3 ());
     ("syn", "Section 5.1.1: synthetic detections",
-     fun _ -> Ptaint_experiments.Experiments.synthetic ());
+     fun _ _ -> Ptaint_experiments.Experiments.synthetic ());
     ("tab2", "Table 2: WU-FTPD transcript",
-     fun _ -> Ptaint_experiments.Experiments.tab2 ());
+     fun _ _ -> Ptaint_experiments.Experiments.tab2 ());
     ("real", "Section 5.1.2: real-world attacks",
-     fun _ -> Ptaint_experiments.Experiments.real_world ());
+     fun _ _ -> Ptaint_experiments.Experiments.real_world ());
     ("coverage", "Section 5.1: coverage matrix",
-     fun domains -> Ptaint_experiments.Experiments.coverage ?domains ());
+     fun domains trace -> Ptaint_experiments.Experiments.coverage ?domains ?trace ());
     ("tab3", "Table 3: false positives",
-     fun domains -> Ptaint_experiments.Experiments.tab3 ?domains ());
+     fun domains trace -> Ptaint_experiments.Experiments.tab3 ?domains ?trace ());
     ("tab4", "Table 4: false negatives",
-     fun domains -> Ptaint_experiments.Experiments.tab4 ?domains ());
+     fun domains trace -> Ptaint_experiments.Experiments.tab4 ?domains ?trace ());
     ("overhead", "Section 5.4: overhead",
-     fun _ -> Ptaint_experiments.Experiments.overhead ());
+     fun _ _ -> Ptaint_experiments.Experiments.overhead ());
     ("ablation", "design-choice ablation",
-     fun _ -> Ptaint_experiments.Experiments.ablation ());
+     fun _ _ -> Ptaint_experiments.Experiments.ablation ());
     ("ext", "section 5.3 annotation extension",
-     fun _ -> Ptaint_experiments.Experiments.extension ());
+     fun _ _ -> Ptaint_experiments.Experiments.extension ());
     ("all", "everything",
-     fun domains -> Ptaint_experiments.Experiments.all ?domains ()) ]
+     fun domains trace -> Ptaint_experiments.Experiments.all ?domains ?trace ()) ]
 
-let run domains names =
+let run domains trace_file names =
   let names = if names = [] then [ "all" ] else names in
+  let trace = Option.map (fun _ -> Ptaint_obs.Trace.create ()) trace_file in
   let ok =
     List.for_all
       (fun name ->
         match List.find_opt (fun (n, _, _) -> n = name) sections with
         | Some (_, _, f) ->
-          print_string (f domains);
+          print_string (f domains trace);
           print_newline ();
           true
         | None ->
@@ -50,6 +52,13 @@ let run domains names =
           false)
       names
   in
+  (match (trace_file, trace) with
+   | Some file, Some tr ->
+     let ch = Ptaint_obs.Chrome.create () in
+     Ptaint_obs.Chrome.add_events ch (Ptaint_obs.Trace.events tr);
+     Ptaint_obs.Chrome.write_file ch file;
+     Printf.eprintf "wrote %d trace events to %s\n" (Ptaint_obs.Chrome.event_count ch) file
+   | _ -> ());
   if ok then 0 else 1
 
 let domains_arg =
@@ -60,6 +69,14 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON timeline of the campaign jobs run by the \
+     batch sections to $(docv) (one span per job, one track per worker domain). \
+     Load it in chrome://tracing or ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let names_arg =
   let doc =
     "Sections to regenerate: " ^ String.concat ", " (List.map (fun (n, d, _) -> n ^ " (" ^ d ^ ")") sections)
@@ -68,6 +85,6 @@ let names_arg =
 
 let cmd =
   let doc = "regenerate the tables and figures of the pointer-taintedness paper" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ domains_arg $ names_arg)
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ domains_arg $ trace_arg $ names_arg)
 
 let () = exit (Cmd.eval' cmd)

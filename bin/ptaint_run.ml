@@ -4,11 +4,13 @@
    Examples:
      ptaint-run victim.c --stdin-data "$(python exploit.py)"
      ptaint-run server.c --session "GET / HTTP/1.0" --policy control-only
-     ptaint-run prog.s --policy none --trace-alerts
-     ptaint-run -j 4 a.c b.c c.c d.c       # batch on 4 domains
+     ptaint-run prog.s --policy none --trace-insns
+     ptaint-run victim.c --trace out.json     # Chrome/Perfetto timeline
+     ptaint-run -j 4 a.c b.c c.c d.c          # batch on 4 domains
 *)
 
 open Cmdliner
+module Campaign = Ptaint_campaign.Campaign
 
 let read_file path =
   let ic = open_in_bin path in
@@ -57,8 +59,14 @@ let exit_code_of (r : Ptaint_sim.Sim.result) =
   | Ptaint_sim.Sim.Alert _ -> 3
   | _ -> 4
 
-(* Single-program mode: full guest output, diagnostics on alert. *)
-let run_one path config disasm =
+let write_chrome ch file =
+  Ptaint_obs.Chrome.write_file ch file;
+  Printf.eprintf "wrote %d trace events to %s\n" (Ptaint_obs.Chrome.event_count ch) file
+
+(* Single-program mode: full guest output, diagnostics on alert, and
+   the session's structured events exported on request.  Observation
+   is always on here — one interactive run never notices the cost. *)
+let run_one path config disasm trace_file metrics =
   let program = load_program path in
   if disasm then print_string (Ptaint_asm.Program.disassemble program);
   let r = Ptaint_sim.Sim.run ~config program in
@@ -76,27 +84,63 @@ let run_one path config disasm =
    | Ptaint_sim.Sim.Alert _ | Ptaint_sim.Sim.Fault _ ->
      print_string (Ptaint_sim.Diagnostics.report r)
    | _ -> ());
+  if metrics then begin
+    let ms = Ptaint_mem.Memory.stats r.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
+    Format.printf "metrics: %d loads (%d tainted), %d stores (%d tainted), %d syscalls@."
+      ms.Ptaint_mem.Memory.loads ms.Ptaint_mem.Memory.tainted_loads
+      ms.Ptaint_mem.Memory.stores ms.Ptaint_mem.Memory.tainted_stores
+      r.Ptaint_sim.Sim.syscalls
+  end;
+  (match trace_file with
+   | Some file ->
+     let ch = Ptaint_obs.Chrome.create () in
+     (* one span for the whole run (1 guest cycle = 1 µs), then the
+        cycle-stamped point events on the same track *)
+     Ptaint_obs.Chrome.complete ch ~name:(Filename.basename path) ~cat:"run" ~tid:0
+       ~ts_us:0. ~dur_us:(float_of_int r.Ptaint_sim.Sim.instructions) ();
+     Ptaint_obs.Chrome.add_events ch (Ptaint_sim.Sim.events r);
+     write_chrome ch file
+   | None -> ());
   exit_code_of r
 
-(* Batch mode: each program becomes one simulation on the domain
+(* Batch mode: each program becomes one campaign job on the domain
    pool; one summary line per program, in command-line order. *)
-let run_batch paths config domains =
-  let batch =
+let run_batch paths config domains trace_file metrics =
+  let jobs =
     List.map
       (fun path ->
-        ({ config with Ptaint_sim.Sim.argv = [ Filename.basename path ] }, load_program path))
+        Campaign.job ~name:path
+          ~config:{ config with Ptaint_sim.Sim.argv = [ Filename.basename path ] }
+          (load_program path))
       paths
   in
-  let results = Ptaint_sim.Sim.run_many ?domains batch in
-  List.iter2
-    (fun path (r : Ptaint_sim.Sim.result) ->
-      Format.printf "%-32s %a (%d instructions, %d syscalls)@." path
-        Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
-        r.Ptaint_sim.Sim.instructions r.Ptaint_sim.Sim.syscalls)
-    paths results;
-  List.fold_left (fun acc r -> max acc (exit_code_of r)) 0 results
+  let trace = Option.map (fun _ -> Ptaint_obs.Trace.create ()) trace_file in
+  let results, stats = Campaign.run ?domains ?trace jobs in
+  let code =
+    List.fold_left
+      (fun acc (jr : Campaign.job_result) ->
+        match jr.Campaign.status with
+        | Campaign.Finished r ->
+          Format.printf "%-32s %a (%d instructions, %d syscalls)@." jr.Campaign.name
+            Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
+            r.Ptaint_sim.Sim.instructions r.Ptaint_sim.Sim.syscalls;
+          max acc (exit_code_of r)
+        | Campaign.Crashed f ->
+          Format.printf "%-32s job crashed: %s@." jr.Campaign.name f.Campaign.exn;
+          max acc 4)
+      0 results
+  in
+  if metrics then print_string (Campaign.metrics_table ~timings:true stats);
+  (match (trace_file, trace) with
+   | Some file, Some tr ->
+     let ch = Ptaint_obs.Chrome.create () in
+     Ptaint_obs.Chrome.add_events ch (Ptaint_obs.Trace.events tr);
+     write_chrome ch file
+   | _ -> ());
+  code
 
-let run paths policy_name stdin_data sessions args disasm timing trace trace_limit domains =
+let run paths policy_name stdin_data sessions args disasm timing trace_file trace_insns
+    trace_limit metrics domains =
   match Ptaint_sim.Sim.policy_of_label policy_name with
   | Error e ->
     prerr_endline e;
@@ -112,19 +156,19 @@ let run paths policy_name stdin_data sessions args disasm timing trace trace_lim
           Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
             ~sessions:(List.map (fun s -> [ s ]) sessions)
             ~argv:(Filename.basename path :: args)
-            ~timing
-            ?on_step:(if trace then Some (tracer trace_limit) else None)
+            ~timing ~obs:true
+            ?on_step:(if trace_insns then Some (tracer trace_limit) else None)
             ()
         in
-        run_one path config disasm
+        run_one path config disasm trace_file metrics
       | paths ->
-        if trace then prerr_endline "note: --trace is ignored in batch (-j) mode";
+        if trace_insns then prerr_endline "note: --trace-insns is ignored in batch (-j) mode";
         let config =
           Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
             ~sessions:(List.map (fun s -> [ s ]) sessions)
             ~timing ()
         in
-        run_batch paths config domains
+        run_batch paths config domains trace_file metrics
     with
     | Guest_error e ->
       prerr_endline e;
@@ -153,11 +197,24 @@ let disasm_arg = Arg.(value & flag & info [ "disasm" ] ~doc:"Print the disassemb
 let timing_arg = Arg.(value & flag & info [ "timing" ] ~doc:"Run through the pipeline timing model.")
 
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Trace executed instructions (to stderr).")
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON timeline to $(docv): taint introductions, \
+               propagation milestones, syscalls and alerts for a single run; one span per \
+               job (per worker domain) in batch mode.  Load it in chrome://tracing or \
+               ui.perfetto.dev.")
+
+let trace_insns_arg =
+  Arg.(value & flag & info [ "trace-insns" ]
+         ~doc:"Trace executed instructions to stderr (the pre-observability tracer).")
 
 let trace_limit_arg =
   Arg.(value & opt int 200 & info [ "trace-limit" ] ~docv:"N"
-         ~doc:"Stop tracing after N instructions (default 200).")
+         ~doc:"Stop the --trace-insns trace after N instructions (default 200).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print taint-activity counters after the run (full per-policy table in \
+               batch mode).")
 
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -167,6 +224,7 @@ let cmd =
   let doc = "run guest programs on the pointer-taintedness architecture" in
   Cmd.v (Cmd.info "ptaint-run" ~doc)
     Term.(const run $ paths_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
-          $ timing_arg $ trace_arg $ trace_limit_arg $ domains_arg)
+          $ timing_arg $ trace_arg $ trace_insns_arg $ trace_limit_arg $ metrics_arg
+          $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,7 +52,10 @@ let verdict_of scenario (result : Ptaint_sim.Sim.result) =
 
 let run_case scenario case policy =
   let program = scenario.build () in
-  let config = { (case.config program) with Ptaint_sim.Sim.policy } in
+  (* Observation is on for attack cases: their reports must carry the
+     taint-provenance narrative, and attack workloads are short enough
+     that the tracing cost is irrelevant. *)
+  let config = { (case.config program) with Ptaint_sim.Sim.policy; obs = true } in
   let result = Ptaint_sim.Sim.run ~config program in
   (verdict_of scenario result, result)
 

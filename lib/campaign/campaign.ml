@@ -41,11 +41,14 @@ type status =
   | Finished of Ptaint_sim.Sim.result
   | Crashed of failure
 
+type timing = { started : float; finished : float; domain : int }
+
 type job_result = {
   name : string;
   policy_label : string;
   status : status;
   violation : string option;
+  timing : timing;
 }
 
 let result_exn r =
@@ -61,9 +64,21 @@ type stats = {
   instructions : int;
   syscalls : int;
   detections : (string * int) list;
+  metrics : (string * Ptaint_obs.Metrics.t) list;
 }
 
 let exec run_sim j =
+  let started = Unix.gettimeofday () in
+  let close status violation =
+    { name = j.j_name;
+      policy_label = j.j_policy_label;
+      status;
+      violation;
+      timing =
+        { started;
+          finished = Unix.gettimeofday ();
+          domain = (Domain.self () :> int) } }
+  in
   match
     (match j.j_work with
      | Sim_run (config, program) -> run_sim config program
@@ -71,13 +86,54 @@ let exec run_sim j =
   with
   | result ->
     let violation = match j.j_expect with None -> None | Some f -> f result in
-    { name = j.j_name; policy_label = j.j_policy_label; status = Finished result; violation }
+    close (Finished result) violation
   | exception e ->
     let backtrace = Printexc.get_backtrace () in
-    { name = j.j_name;
-      policy_label = j.j_policy_label;
-      status = Crashed { exn = Printexc.to_string e; backtrace };
-      violation = None }
+    close (Crashed { exn = Printexc.to_string e; backtrace }) None
+
+(* Per-label registry: deterministic counters from the simulation
+   results plus wall-clock and concurrency histograms from the job
+   timings (the non-deterministic rows are kept apart so batch outputs
+   can still be diffed "modulo timings"). *)
+let metrics_of results =
+  let module M = Ptaint_obs.Metrics in
+  let regs = ref [] (* label -> registry, reverse first-seen order *) in
+  let registry label =
+    match List.assoc_opt label !regs with
+    | Some m -> m
+    | None ->
+      let m = M.create () in
+      regs := (label, m) :: !regs;
+      m
+  in
+  let concurrency_at t =
+    List.fold_left
+      (fun n r -> if r.timing.started <= t && t < r.timing.finished then n + 1 else n)
+      0 results
+  in
+  List.iter
+    (fun r ->
+      let m = registry r.policy_label in
+      M.inc (M.counter m "jobs");
+      (match r.status with
+       | Crashed _ -> M.inc (M.counter m "crashed")
+       | Finished res ->
+         M.inc ~by:res.Ptaint_sim.Sim.instructions (M.counter m "instructions");
+         M.inc ~by:res.Ptaint_sim.Sim.syscalls (M.counter m "syscalls");
+         let ms = Ptaint_mem.Memory.stats res.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
+         M.inc ~by:ms.Ptaint_mem.Memory.tainted_loads (M.counter m "tainted loads");
+         M.inc ~by:ms.Ptaint_mem.Memory.tainted_stores (M.counter m "tainted stores");
+         (match res.Ptaint_sim.Sim.outcome with
+          | Ptaint_sim.Sim.Alert _ -> M.inc (M.counter m "alerts")
+          | _ -> ()));
+      M.observe (M.histogram m "job wall ms")
+        ((r.timing.finished -. r.timing.started) *. 1000.);
+      (* Queue depth, post-hoc: how many jobs were in flight when this
+         one started — the pool's effective concurrency. *)
+      M.observe (M.histogram m "concurrent jobs")
+        (float_of_int (concurrency_at r.timing.started)))
+    results;
+  List.rev !regs
 
 let stats_of ~wall_seconds results =
   let detections = ref [] (* label -> count, reverse first-seen order *) in
@@ -109,9 +165,21 @@ let stats_of ~wall_seconds results =
     syscalls = !sys;
     detections =
       List.rev_map (fun l -> (l, Option.value ~default:0 (List.assoc_opt l !detections)))
-        !seen_order }
+        !seen_order;
+    metrics = metrics_of results }
 
-let run ?domains jobs =
+let outcome_name r =
+  match r.status with
+  | Crashed _ -> "crashed"
+  | Finished res -> (
+    match res.Ptaint_sim.Sim.outcome with
+    | Ptaint_sim.Sim.Exited _ -> "exited"
+    | Ptaint_sim.Sim.Alert _ -> "alert"
+    | Ptaint_sim.Sim.Fault _ -> "fault"
+    | Ptaint_sim.Sim.Trap _ -> "trap"
+    | Ptaint_sim.Sim.Out_of_fuel -> "out-of-fuel")
+
+let run ?domains ?trace jobs =
   let t0 = Unix.gettimeofday () in
   (* Load each distinct image once up front; workers restore the
      copy-on-write snapshot per run.  Template building never brings a
@@ -125,7 +193,48 @@ let run ?domains jobs =
   in
   let results = Pool.map ?domains (exec (Ptaint_sim.Sim.run_with templates)) jobs in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  (* Job spans are emitted from the submitting domain only, after the
+     pool has drained — the trace is single-domain mutable state. *)
+  (match trace with
+   | Some tr ->
+     List.iter
+       (fun r ->
+         Ptaint_obs.Trace.emit tr
+           (Ptaint_obs.Event.Job
+              { name = r.name;
+                label = r.policy_label;
+                t0_us = (r.timing.started -. t0) *. 1e6;
+                dur_us = (r.timing.finished -. r.timing.started) *. 1e6;
+                domain = r.timing.domain;
+                outcome = outcome_name r }))
+       results
+   | None -> ());
   (results, stats_of ~wall_seconds results)
+
+let metrics_table ?(timings = false) stats =
+  let module M = Ptaint_obs.Metrics in
+  let fmt_f v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+  in
+  let rows =
+    List.concat_map
+      (fun (label, m) ->
+        List.filter_map
+          (fun (r : M.row) ->
+            match r.M.kind with
+            | "counter" -> Some [ label; r.M.name; string_of_int r.M.count ]
+            | _ when timings ->
+              Some
+                [ label;
+                  r.M.name;
+                  Printf.sprintf "n=%d mean=%s min=%s max=%s" r.M.count (fmt_f r.M.mean)
+                    (fmt_f r.M.min) (fmt_f r.M.max) ]
+            | _ -> None)
+          (M.rows m))
+      stats.metrics
+  in
+  Ptaint_report.Report.table ~headers:[ "policy"; "metric"; "value" ] rows
 
 let pp_stats ppf s =
   Format.fprintf ppf "campaign: %d jobs (%d crashed, %d violations), %d guest instructions, %d syscalls; detections: %s [%.2fs wall]"

@@ -69,11 +69,18 @@ type status =
   | Finished of Ptaint_sim.Sim.result
   | Crashed of failure  (** the job raised; the campaign continued *)
 
+type timing = {
+  started : float;   (** [Unix.gettimeofday] at job start, on the worker *)
+  finished : float;
+  domain : int;      (** worker domain id the job ran on *)
+}
+
 type job_result = {
   name : string;
   policy_label : string;
   status : status;
   violation : string option;  (** [expect]'s verdict, when given *)
+  timing : timing;
 }
 
 val result_exn : job_result -> Ptaint_sim.Sim.result
@@ -89,11 +96,27 @@ type stats = {
   syscalls : int;
   detections : (string * int) list;
       (** alerts per policy label, in first-submission order *)
+  metrics : (string * Ptaint_obs.Metrics.t) list;
+      (** per-policy-label registries, in first-submission order:
+          counters ([jobs], [crashed], [alerts], [instructions],
+          [syscalls], [tainted loads], [tainted stores]) plus
+          wall-clock and pool-concurrency histograms *)
 }
 
-val run : ?domains:int -> job list -> job_result list * stats
+val run :
+  ?domains:int -> ?trace:Ptaint_obs.Trace.t -> job list -> job_result list * stats
 (** Execute the batch on [domains] workers (default
-    {!Pool.recommended_domains}).  Results are in submission order. *)
+    {!Pool.recommended_domains}).  Results are in submission order.
+    With [trace], one {!Ptaint_obs.Event.Job} span per job (start
+    offset, duration, worker domain, outcome) is emitted — from the
+    submitting domain, after the pool drains — ready for the Chrome
+    trace exporter. *)
+
+val metrics_table : ?timings:bool -> stats -> string
+(** Render {!stats.metrics} as an aligned table.  By default only the
+    deterministic counter rows appear, so the output is identical
+    across [~domains] settings and can be diffed in CI;
+    [~timings:true] adds the wall-clock/concurrency histogram rows. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One line: deterministic aggregates first, wall time bracketed last

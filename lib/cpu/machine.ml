@@ -27,6 +27,13 @@ type step =
   | Fault of fault
   | Break_trap of int
 
+type obs = {
+  obs_trace : Ptaint_obs.Trace.t;
+  obs_ring : Insn.t Ptaint_obs.Ring.t;
+  mutable obs_regs_seen : int;
+  mutable obs_stores_seen : int;
+}
+
 type t = {
   regs : Regfile.t;
   mem : Ptaint_mem.Memory.t;
@@ -35,10 +42,23 @@ type t = {
   mutable pc : int;
   mutable icount : int;
   mutable guard_ranges : (int * int) list;
+  mutable obs : obs option;
 }
 
 let create ?(policy = Policy.default) ~code ~mem ~entry () =
-  { regs = Regfile.create (); mem; code; policy; pc = entry; icount = 0; guard_ranges = [] }
+  { regs = Regfile.create (); mem; code; policy; pc = entry; icount = 0; guard_ranges = [];
+    obs = None }
+
+let attach_obs ?(ring = 48) t trace =
+  t.obs <-
+    Some
+      { obs_trace = trace;
+        obs_ring = Ptaint_obs.Ring.create ~dummy:Insn.Nop ring;
+        obs_regs_seen = 0;
+        obs_stores_seen = 0 }
+
+let trace t = match t.obs with None -> None | Some o -> Some o.obs_trace
+let ring_window t = match t.obs with None -> [] | Some o -> Ptaint_obs.Ring.to_list o.obs_ring
 
 let add_guard t ~addr ~len = t.guard_ranges <- (addr, len) :: t.guard_ranges
 let remove_guard t ~addr = t.guard_ranges <- List.filter (fun (a, _) -> a <> addr) t.guard_ranges
@@ -113,9 +133,11 @@ let width_of_store : Insn.store_op -> int = function SB -> 1 | SH -> 2 | SW -> 4
 (* The hot loop below is deliberately allocation-free on the Normal
    path: packed Twords are immediates, register/memory traffic goes
    through int fast paths, and records (alerts, faults) are only built
-   in the branches that end the run. *)
+   in the branches that end the run.  Observation never intrudes here:
+   [step] dispatches on [t.obs] once, and the traced variant wraps
+   this untouched core. *)
 
-let step t =
+let step_core t =
   let pc = t.pc in
   let off = pc - t.code.base in
   if off < 0 || off land 3 <> 0 || off lsr 2 >= Array.length t.code.insns then
@@ -313,3 +335,58 @@ let step t =
      | Syscall -> t.pc <- next; Syscall
      | Break code -> t.pc <- next; Break_trap code)
   end
+
+(* --- observation (only reached when a trace is attached) --- *)
+
+(* Coarse region classification for taint-milestone narratives.  The
+   machine does not know the image's exact heap bounds, so everything
+   between the data base and the stack region reads as "heap/data". *)
+let obs_region ea =
+  if ea >= 0x7000_0000 then ("stack", 1)
+  else if ea >= Ptaint_mem.Layout.data_base then ("heap/data", 2)
+  else ("low memory", 4)
+
+let step_traced t o =
+  let pc = t.pc in
+  (match fetch t pc with
+   | Some insn -> Ptaint_obs.Ring.push o.obs_ring pc insn
+   | None -> ());
+  let r = step_core t in
+  let tr = o.obs_trace in
+  let cycle = t.icount in
+  (* propagation milestone: first taint of each architectural slot *)
+  for s = 1 to Regfile.slots - 1 do
+    if o.obs_regs_seen land (1 lsl s) = 0 && Tword.is_tainted (Regfile.slot t.regs s) then begin
+      o.obs_regs_seen <- o.obs_regs_seen lor (1 lsl s);
+      Ptaint_obs.Trace.emit tr
+        (Ptaint_obs.Event.Reg_taint { cycle; pc; reg = Regfile.slot_name s })
+    end
+  done;
+  (* propagation milestone: first tainted store into each region *)
+  (match (fetch t pc, r) with
+   | Some (Store (op, rt, off, base)), Normal ->
+     let data = Regfile.get t.regs rt in
+     if Tword.is_tainted data then begin
+       let ea = Word.add (Regfile.value t.regs base) (Word.of_signed off) in
+       let region, bit = obs_region ea in
+       if o.obs_stores_seen land bit = 0 then begin
+         o.obs_stores_seen <- o.obs_stores_seen lor bit;
+         Ptaint_obs.Trace.emit tr
+           (Ptaint_obs.Event.Tainted_store
+              { cycle; pc; addr = ea; len = width_of_store op; region })
+       end
+     end
+   | _ -> ());
+  (match r with
+   | Alert a ->
+     Ptaint_obs.Trace.emit tr
+       (Ptaint_obs.Event.Alert
+          { cycle; pc = a.alert_pc; kind = alert_kind_name a.kind; reg = Reg.name a.reg;
+            value = Tword.value a.reg_value })
+   | Fault f ->
+     Ptaint_obs.Trace.emit tr
+       (Ptaint_obs.Event.Fault { cycle; pc; desc = Format.asprintf "%a" pp_fault f })
+   | Normal | Syscall | Break_trap _ -> ());
+  r
+
+let step t = match t.obs with None -> step_core t | Some o -> step_traced t o

@@ -39,6 +39,14 @@ type step =
   | Fault of fault
   | Break_trap of int
 
+type obs = {
+  obs_trace : Ptaint_obs.Trace.t;
+  obs_ring : Ptaint_isa.Insn.t Ptaint_obs.Ring.t;
+      (** last-N (pc, insn) window, dumped into incident reports *)
+  mutable obs_regs_seen : int;  (** slot bitmask: first-taint already reported *)
+  mutable obs_stores_seen : int;  (** region bitmask: tainted store already reported *)
+}
+
 type t = {
   regs : Regfile.t;
   mem : Ptaint_mem.Memory.t;
@@ -48,10 +56,31 @@ type t = {
   mutable icount : int;
   mutable guard_ranges : (int * int) list;
       (** never-taint annotations: (address, length) — see {!add_guard} *)
+  mutable obs : obs option;
+      (** observation state; [None] (the default) keeps {!step} on the
+          allocation-free fast path — tracing costs one physical
+          comparison per instruction when off *)
 }
 
 val create : ?policy:Policy.t -> code:code -> mem:Ptaint_mem.Memory.t -> entry:int -> unit -> t
 val step : t -> step
+
+(** {1 Observability}
+
+    With a trace attached, {!step} additionally records every fetched
+    instruction in a bounded ring (the "last N instructions" window of
+    an incident report) and emits {!Ptaint_obs.Event.t} values for
+    propagation milestones (first taint of each register slot, first
+    tainted store into each memory region), alerts and faults. *)
+
+val attach_obs : ?ring:int -> t -> Ptaint_obs.Trace.t -> unit
+(** Attach an event bus (and a [ring]-entry instruction window,
+    default 48).  Resets the milestone state. *)
+
+val trace : t -> Ptaint_obs.Trace.t option
+val ring_window : t -> (int * Ptaint_isa.Insn.t) list
+(** The recorded instruction window, oldest first; [[]] when
+    observation is off. *)
 
 (** {1 Annotation guards (section 5.3 extension)}
 

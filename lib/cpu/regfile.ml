@@ -24,6 +24,12 @@ let value t r = if r = 0 then 0 else t.regs.(r) land 0xFFFFFFFF
 let tainted_registers t =
   List.filter (fun r -> Tword.is_tainted (get t r)) (List.init 32 Fun.id)
 
+let slots = 34
+let slot t i = if i = 0 then Tword.zero else Tword.of_bits t.regs.(i)
+
+let slot_name i =
+  if i = hi_idx then "hi" else if i = lo_idx then "lo" else Ptaint_isa.Reg.name i
+
 let reset t = Array.fill t.regs 0 34 (Tword.to_bits Tword.zero)
 
 let pp ppf t =

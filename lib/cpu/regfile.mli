@@ -22,3 +22,19 @@ val value : t -> Ptaint_isa.Reg.t -> int
 val tainted_registers : t -> Ptaint_isa.Reg.t list
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Architectural slots}
+
+    The regfile holds more than the 32 GPRs; diagnostics that want
+    "every register the file actually holds" (HI/LO included) iterate
+    [0 .. slots-1] with these accessors instead of hard-coding 32. *)
+
+val slots : int
+(** Number of architectural slots: 32 GPRs + HI + LO = 34. *)
+
+val slot : t -> int -> Ptaint_taint.Tword.t
+(** Read slot [i]; slot 0 is the hardwired zero register, slots 32/33
+    are HI/LO. *)
+
+val slot_name : int -> string
+(** ["v0"], ..., ["hi"], ["lo"]. *)

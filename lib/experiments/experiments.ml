@@ -168,6 +168,13 @@ let synthetic () =
        \  unlink store through FD, base register 0x61616169 = FD+8)");
       (Catalog.exp3_format,
        "paper: alert at SW $21,0($3) in vfprintf with $3 = 0x64636261") ];
+  (* The full incident report for exp1 — what the operator actually
+     sees on an alert: backtrace, tainted registers, the instruction
+     window and the taint-provenance narrative back to the syscall
+     that delivered the bytes. *)
+  let _, result = Scenario.run Catalog.exp1_stack_smash in
+  buf_add buf "incident report for exp1:\n\n";
+  buf_add buf (Ptaint_sim.Diagnostics.report result);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -237,7 +244,7 @@ let real_world () =
 (* ------------------------------------------------------------------ *)
 (* Coverage matrix                                                     *)
 
-let coverage ?domains () =
+let coverage ?domains ?trace () =
   let buf = Buffer.create 4096 in
   buf_add buf (Ptaint_report.Report.section "Section 5.1: security coverage matrix");
   let headers =
@@ -274,7 +281,7 @@ let coverage ?domains () =
         (s, jobs))
       Catalog.all
   in
-  let results, stats = Campaign.run ?domains (List.concat_map snd per_scenario) in
+  let results, stats = Campaign.run ?domains ?trace (List.concat_map snd per_scenario) in
   let cell (s : Scenario.t) (r : Campaign.job_result) =
     match r.Campaign.status with
     | Campaign.Finished res -> Scenario.verdict_name (Scenario.verdict_of s res)
@@ -311,13 +318,15 @@ let coverage ?domains () =
     "\nPointer taintedness detects every attack; the control-data-only baseline\n\
      (Minos / Secure Program Execution style) misses all non-control-data attacks\n\
      and the corruptions that crash before any control transfer.\n";
+  buf_add buf "\ncampaign metrics by policy:\n\n";
+  buf_add buf (Campaign.metrics_table stats);
   buf_add buf (Format.asprintf "\n%a\n" Campaign.pp_stats stats);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                             *)
 
-let tab3 ?domains () =
+let tab3 ?domains ?trace () =
   let buf = Buffer.create 2048 in
   buf_add buf
     (Ptaint_report.Report.section "Table 3: false positives on SPEC2000-like workloads");
@@ -336,7 +345,7 @@ let tab3 ?domains () =
           ~config:(Ptaint_workloads.Workload.config_for w) p)
       prepared
   in
-  let results, stats = Campaign.run ?domains jobs in
+  let results, stats = Campaign.run ?domains ?trace jobs in
   let rows =
     List.map2
       (fun (w, p) r -> Ptaint_workloads.Workload.row_of w p (Campaign.result_exn r))
@@ -379,7 +388,7 @@ let run_fn ?(policy = Ptaint_cpu.Policy.default) source config =
   let program = Ptaint_runtime.Runtime.compile source in
   Ptaint_sim.Sim.run ~config:{ config with Ptaint_sim.Sim.policy } program
 
-let tab4 ?domains () =
+let tab4 ?domains ?trace () =
   let buf = Buffer.create 4096 in
   buf_add buf (Ptaint_report.Report.section "Table 4: false-negative scenarios");
   (* (A) integer overflow: `admin` is emitted immediately before
@@ -406,7 +415,7 @@ let tab4 ?domains () =
       Campaign.job ~name:"tab4/C write contrast"
         ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "abcd%x%x%x%n" ] ] ()) leak ]
   in
-  let results, _ = Campaign.run ?domains jobs in
+  let results, _ = Campaign.run ?domains ?trace jobs in
   (match List.map Campaign.result_exn results with
    | [ r_a; r_a_benign; r_b; r_c; r_c_n ] ->
      buf_add buf
@@ -606,8 +615,8 @@ let extension () =
      the trade-off the paper describes.\n";
   Buffer.contents buf
 
-let all ?domains () =
+let all ?domains ?trace () =
   String.concat "\n"
     [ fig1 (); tab1 (); fig2 (); fig3 (); synthetic (); tab2 (); real_world ();
-      coverage ?domains (); tab3 ?domains (); tab4 ?domains (); overhead (); ablation ();
-      extension () ]
+      coverage ?domains ?trace (); tab3 ?domains ?trace (); tab4 ?domains ?trace ();
+      overhead (); ablation (); extension () ]

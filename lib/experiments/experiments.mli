@@ -20,7 +20,9 @@ val tab1 : unit -> string
     machine, with register taint masks before and after. *)
 
 val synthetic : unit -> string
-(** Section 5.1.1: detection of exp1/exp2/exp3 with the alert lines. *)
+(** Section 5.1.1: detection of exp1/exp2/exp3 with the alert lines,
+    plus the full incident report for exp1 — backtrace, tainted
+    registers, last-instructions window and taint provenance. *)
 
 val tab2 : unit -> string
 (** Table 2: the WU-FTPD attack/detection transcript. *)
@@ -28,19 +30,22 @@ val tab2 : unit -> string
 val real_world : unit -> string
 (** Section 5.1.2: NULL HTTPD, GHTTPD and traceroute attacks. *)
 
-val coverage : ?domains:int -> unit -> string
+val coverage : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string
 (** Section 5.1: the security-coverage matrix — every attack under no
     protection, control-data-only protection, and pointer
     taintedness; plus benign-input runs.  The whole matrix is
     submitted as one [Campaign] batch executed on [domains] workers
     (default: all cores); the rendered table is identical whatever
-    [domains] is, modulo the bracketed wall time. *)
+    [domains] is, modulo the bracketed wall time.  The report includes
+    the per-policy campaign metrics (deterministic counters only).
+    [trace] receives one Job span per campaign job, for the Chrome
+    exporter. *)
 
-val tab3 : ?domains:int -> unit -> string
+val tab3 : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string
 (** Table 3: false-positive evaluation on the six SPEC-like
     workloads, run as a campaign batch. *)
 
-val tab4 : ?domains:int -> unit -> string
+val tab4 : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string
 (** Table 4: the three false-negative scenarios, plus the contrast
     cases showing where detection resumes — five simulations batched
     as one campaign. *)
@@ -60,4 +65,4 @@ val extension : unit -> string
     critical data, turning the Table 4(B) false negative into a
     detection. *)
 
-val all : ?domains:int -> unit -> string
+val all : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string

@@ -1,0 +1,92 @@
+type t = { buf : Buffer.t; mutable count : int }
+
+let create () = { buf = Buffer.create 4096; count = 0 }
+let event_count t = t.count
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf args =
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+    args;
+  Buffer.add_char buf '}'
+
+let raw_event t ~ph ~name ~cat ~pid ~tid ~ts ?dur ~args () =
+  if t.count > 0 then Buffer.add_string t.buf ",\n";
+  t.count <- t.count + 1;
+  Buffer.add_string t.buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f" (escape name)
+       (escape cat) ph ts);
+  (match dur with Some d -> Buffer.add_string t.buf (Printf.sprintf ",\"dur\":%.3f" d) | None -> ());
+  Buffer.add_string t.buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+  (* Perfetto scopes instants to the thread track *)
+  if ph = "i" then Buffer.add_string t.buf ",\"s\":\"t\"";
+  if args <> [] then add_args t.buf args;
+  Buffer.add_char t.buf '}'
+
+let complete t ~name ?(cat = "ptaint") ?(pid = 1) ~tid ~ts_us ~dur_us ?(args = []) () =
+  raw_event t ~ph:"X" ~name ~cat ~pid ~tid ~ts:ts_us ~dur:dur_us ~args ()
+
+let instant t ~name ?(cat = "ptaint") ?(pid = 1) ~tid ~ts_us ?(args = []) () =
+  raw_event t ~ph:"i" ~name ~cat ~pid ~tid ~ts:ts_us ~args ()
+
+(* One guest cycle renders as one microsecond: the timeline stays
+   proportional and deterministic, whatever the host clock did. *)
+let add_event t ?(tid = 0) ev =
+  let us cycle = float_of_int cycle in
+  match (ev : Event.t) with
+  | Event.Taint_in { cycle; source; addr; len; offset } ->
+    instant t ~name:("taint-in " ^ source) ~cat:"taint" ~tid ~ts_us:(us cycle)
+      ~args:
+        [ ("addr", Printf.sprintf "0x%08x" addr); ("len", string_of_int len);
+          ("input-offset", string_of_int offset) ]
+      ()
+  | Event.Reg_taint { cycle; pc; reg } ->
+    instant t ~name:("first taint $" ^ reg) ~cat:"taint" ~tid ~ts_us:(us cycle)
+      ~args:[ ("pc", Printf.sprintf "0x%08x" pc) ] ()
+  | Event.Tainted_store { cycle; pc; addr; len; region } ->
+    instant t ~name:("tainted store to " ^ region) ~cat:"taint" ~tid ~ts_us:(us cycle)
+      ~args:
+        [ ("pc", Printf.sprintf "0x%08x" pc); ("addr", Printf.sprintf "0x%08x" addr);
+          ("len", string_of_int len) ]
+      ()
+  | Event.Alert { cycle; pc; kind; reg; value } ->
+    instant t ~name:("ALERT: " ^ kind) ~cat:"alert" ~tid ~ts_us:(us cycle)
+      ~args:
+        [ ("pc", Printf.sprintf "0x%08x" pc); ("reg", "$" ^ reg);
+          ("value", Printf.sprintf "0x%08x" value) ]
+      ()
+  | Event.Fault { cycle; pc; desc } ->
+    instant t ~name:"fault" ~cat:"alert" ~tid ~ts_us:(us cycle)
+      ~args:[ ("pc", Printf.sprintf "0x%08x" pc); ("desc", desc) ] ()
+  | Event.Syscall { cycle; pc; name } ->
+    instant t ~name:("sys " ^ name) ~cat:"syscall" ~tid ~ts_us:(us cycle)
+      ~args:[ ("pc", Printf.sprintf "0x%08x" pc) ] ()
+  | Event.Restore { cycle } -> instant t ~name:"snapshot restore" ~cat:"sim" ~tid ~ts_us:(us cycle) ()
+  | Event.Job { name; label; t0_us; dur_us; domain; outcome } ->
+    complete t ~name ~cat:"campaign" ~tid:domain ~ts_us:t0_us ~dur_us
+      ~args:[ ("policy", label); ("outcome", outcome) ] ()
+
+let add_events t ?tid evs = List.iter (add_event t ?tid) evs
+
+let contents t =
+  Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n" (Buffer.contents t.buf)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

@@ -1,0 +1,31 @@
+(** Chrome [trace_event] JSON exporter.
+
+    Emits the JSON-array format that [chrome://tracing] and Perfetto
+    load directly: complete events ([ph:"X"]) for spans such as
+    campaign jobs (one track per worker domain) and instant events
+    ([ph:"i"]) for the simulator's point events.  {!add_event} maps
+    the {!Event.t} taxonomy onto tracks; cycle-stamped events render
+    one guest cycle as one microsecond so single-run timelines are
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val complete :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts_us:float -> dur_us:float ->
+  ?args:(string * string) list -> unit -> unit
+
+val instant :
+  t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts_us:float ->
+  ?args:(string * string) list -> unit -> unit
+
+val add_event : t -> ?tid:int -> Event.t -> unit
+val add_events : t -> ?tid:int -> Event.t list -> unit
+
+val event_count : t -> int
+
+val contents : t -> string
+(** The complete JSON document. *)
+
+val write_file : t -> string -> unit

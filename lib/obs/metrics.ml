@@ -1,0 +1,98 @@
+type counter = { c_name : string; mutable count : int }
+
+(* Histograms bucket by floor(log2 v) — 63 buckets cover any
+   non-negative int-sized observation, and the fixed array keeps
+   [observe] allocation-free. *)
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = { mutable metrics : metric list (* newest first *) }
+
+let create () = { metrics = [] }
+
+let metric_name = function Counter c -> c.c_name | Histogram h -> h.h_name
+
+let find t name = List.find_opt (fun m -> metric_name m = name) t.metrics
+
+let counter t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    t.metrics <- Counter c :: t.metrics;
+    c
+
+let histogram t name =
+  match find t name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | None ->
+    let h =
+      { h_name = name; buckets = Array.make 63 0; h_count = 0; sum = 0.;
+        minv = infinity; maxv = neg_infinity }
+    in
+    t.metrics <- Histogram h :: t.metrics;
+    h
+
+let inc ?(by = 1) c = c.count <- c.count + by
+
+let bucket_of v =
+  let v = int_of_float (Float.max v 0.) in
+  let rec log2 v acc = if v <= 0 then acc else log2 (v lsr 1) (acc + 1) in
+  min 62 (log2 v 0)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let mean h = if h.h_count = 0 then 0. else h.sum /. float_of_int h.h_count
+
+type row = {
+  name : string;
+  kind : string;  (** ["counter"] or ["histogram"] *)
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+let row_of = function
+  | Counter c ->
+    { name = c.c_name; kind = "counter"; count = c.count; sum = float_of_int c.count;
+      min = 0.; max = 0.; mean = 0. }
+  | Histogram h ->
+    { name = h.h_name; kind = "histogram"; count = h.h_count; sum = h.sum;
+      min = (if h.h_count = 0 then 0. else h.minv);
+      max = (if h.h_count = 0 then 0. else h.maxv);
+      mean = mean h }
+
+(* Registration order (metrics is newest-first). *)
+let rows t = List.rev_map row_of t.metrics
+
+let merge ~into src =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c -> inc ~by:c.count (counter into c.c_name)
+      | Histogram h ->
+        let dst = histogram into h.h_name in
+        dst.h_count <- dst.h_count + h.h_count;
+        dst.sum <- dst.sum +. h.sum;
+        if h.minv < dst.minv then dst.minv <- h.minv;
+        if h.maxv > dst.maxv then dst.maxv <- h.maxv;
+        Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
+    (List.rev src.metrics)

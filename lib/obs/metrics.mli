@@ -1,0 +1,43 @@
+(** Metrics registry: named counters and histograms.
+
+    A registry is cheap single-domain state: look a metric up once
+    (get-or-create by name), then bump it allocation-free.  Histograms
+    bucket observations by power of two and track count/sum/min/max,
+    which is enough to render a latency distribution without keeping
+    samples.  {!merge} folds one registry into another, so per-job or
+    per-worker registries can be aggregated by the parent. *)
+
+type t
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create; raises [Invalid_argument] if [name] is already a
+    histogram. *)
+
+val histogram : t -> string -> histogram
+
+val inc : ?by:int -> counter -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+type row = {
+  name : string;
+  kind : string;  (** ["counter"] or ["histogram"] *)
+  count : int;  (** counter value, or number of observations *)
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+val rows : t -> row list
+(** One row per metric, in registration order. *)
+
+val merge : into:t -> t -> unit
+(** Add every metric of the source registry into [into], creating
+    names as needed. *)

@@ -26,10 +26,12 @@ type t = {
   mutable execs_rev : string list;
   mutable input_byte_count : int;
   mutable syscalls : int;
+  trace : Ptaint_obs.Trace.t option;
+  mutable cycle : int;  (* machine icount at the current syscall, for event stamps *)
 }
 
 let create ?(sources = Sources.all) ?(fs = Fs.create ()) ?(stdin = "") ?(sessions = [])
-    ?(uid = 1000) ~heap_base ~heap_limit ~mem () =
+    ?(uid = 1000) ?trace ~heap_base ~heap_limit ~mem () =
   let fds = Array.make 64 Closed in
   fds.(0) <- Stdin;
   fds.(1) <- Stdout;
@@ -47,7 +49,9 @@ let create ?(sources = Sources.all) ?(fs = Fs.create ()) ?(stdin = "") ?(session
     stdin_pos = 0;
     execs_rev = [];
     input_byte_count = 0;
-    syscalls = 0 }
+    syscalls = 0;
+    trace;
+    cycle = 0 }
 
 let stdout_contents t = Buffer.contents t.stdout_buf
 let net t = t.network
@@ -71,11 +75,20 @@ let alloc_fd t kind =
 let fd_kind t fd = if fd < 0 || fd >= Array.length t.fds then Closed else t.fds.(fd)
 
 (* Deliver [data] into the guest buffer, marking each byte tainted per
-   the source policy, and account it as external input. *)
-let deliver t ~buf ~data ~taint =
+   the source policy, and account it as external input.  [source]
+   names the delivering syscall for the taint-introduction event — the
+   provenance anchor of every incident narrative. *)
+let deliver t ~buf ~data ~taint ~source =
   Ptaint_mem.Memory.write_string t.mem buf data ~taint;
-  t.input_byte_count <- t.input_byte_count + String.length data;
-  String.length data
+  let len = String.length data in
+  (match t.trace with
+   | Some tr when taint && len > 0 ->
+     Ptaint_obs.Trace.emit tr
+       (Ptaint_obs.Event.Taint_in
+          { cycle = t.cycle; source; addr = buf; len; offset = t.input_byte_count })
+   | _ -> ());
+  t.input_byte_count <- t.input_byte_count + len;
+  len
 
 let do_read t ~fd ~buf ~len =
   match fd_kind t fd with
@@ -84,7 +97,7 @@ let do_read t ~fd ~buf ~len =
     let n = min len available in
     let data = String.sub t.stdin_data t.stdin_pos n in
     t.stdin_pos <- t.stdin_pos + n;
-    deliver t ~buf ~data ~taint:t.sources.stdin
+    deliver t ~buf ~data ~taint:t.sources.stdin ~source:"read(stdin)"
   | File_read f -> (
     match Fs.read t.filesystem ~path:f.path with
     | None -> -1
@@ -93,10 +106,10 @@ let do_read t ~fd ~buf ~len =
       let n = max 0 (min len available) in
       let data = String.sub content f.pos n in
       f.pos <- f.pos + n;
-      deliver t ~buf ~data ~taint:t.sources.file)
+      deliver t ~buf ~data ~taint:t.sources.file ~source:("read(" ^ f.path ^ ")"))
   | Conn_sock ->
     let data = Socket.recv t.network ~max:len in
-    deliver t ~buf ~data ~taint:t.sources.network
+    deliver t ~buf ~data ~taint:t.sources.network ~source:"recv(network)"
   | Closed | Stdout | Stderr | File_write _ | Listen_sock -> -1
 
 let do_write t ~fd ~buf ~len =
@@ -136,6 +149,13 @@ let handle t (m : Machine.t) =
   let regs = m.Machine.regs in
   let arg r = Regfile.value regs r in
   let num = arg Reg.v0 in
+  (match t.trace with
+   | Some tr ->
+     t.cycle <- m.Machine.icount;
+     Ptaint_obs.Trace.emit tr
+       (Ptaint_obs.Event.Syscall
+          { cycle = m.Machine.icount; pc = m.Machine.pc; name = Sysnum.name num })
+   | None -> ());
   let a0 = arg Reg.a0 and a1 = arg Reg.a1 and a2 = arg Reg.a2 in
   let return v =
     Regfile.set regs Reg.v0 (Ptaint_taint.Tword.untainted (Word.of_signed v));

@@ -14,11 +14,17 @@ val create :
   ?stdin:string ->
   ?sessions:string list list ->
   ?uid:int ->
+  ?trace:Ptaint_obs.Trace.t ->
   heap_base:int ->
   heap_limit:int ->
   mem:Ptaint_mem.Memory.t ->
   unit ->
   t
+(** With [trace], the kernel emits a {!Ptaint_obs.Event.Syscall} event
+    for every serviced syscall and a {!Ptaint_obs.Event.Taint_in}
+    event for every delivery of tainted bytes to user space, recording
+    the source syscall, destination range and input-stream offset —
+    the provenance anchors for incident reports. *)
 
 val handle : t -> Ptaint_cpu.Machine.t -> [ `Continue | `Exit of int ]
 (** Service the syscall currently requested by the machine (number in

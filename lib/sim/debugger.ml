@@ -92,9 +92,9 @@ let show_taint t =
    | [] -> Buffer.add_string buf "  no tainted registers\n"
    | regs ->
      List.iter
-       (fun (r, w) ->
+       (fun (name, w) ->
          Buffer.add_string buf
-           (Format.asprintf "  %-5s %a\n" (Format.asprintf "%a" Ptaint_isa.Reg.pp_sym r) Ptaint_taint.Tword.pp w))
+           (Format.asprintf "  %-5s %a\n" ("$" ^ name) Ptaint_taint.Tword.pp w))
        regs);
   (match Ptaint_cpu.Machine.guards (machine t) with
    | [] -> ()

@@ -9,35 +9,28 @@ let in_text (p : Ptaint_asm.Program.t) addr =
   addr >= p.Ptaint_asm.Program.text_base
   && addr < p.Ptaint_asm.Program.text_base + (4 * Array.length p.Ptaint_asm.Program.insns)
 
-let nearest_symbol p addr =
+(* Closest text symbol at or below [addr] among those passing [keep],
+   as (name, offset-into-symbol). *)
+let nearest ?(keep = fun _ -> true) p addr =
   if not (in_text p addr) then None
   else
-  List.fold_left
-    (fun best (name, saddr) ->
-      if saddr <= addr then
-        match best with
-        | Some (_, baddr) when baddr >= saddr -> best
-        | _ -> Some (name, saddr)
-      else best)
-    None (text_symbols p)
-  |> Option.map (fun (name, saddr) -> (name, addr - saddr))
+    List.fold_left
+      (fun best (name, saddr) ->
+        if saddr <= addr && keep name then
+          match best with
+          | Some (_, baddr) when baddr >= saddr -> best
+          | _ -> Some (name, saddr)
+        else best)
+      None (text_symbols p)
+    |> Option.map (fun (name, saddr) -> (name, addr - saddr))
+
+let nearest_symbol p addr = nearest p addr
 
 (* Generated local labels (_L12, _Lepi3, _Str4) are not useful frame
    names; prefer the enclosing function symbol. *)
 let is_local_label name = String.length name > 1 && name.[0] = '_' && name.[1] = 'L'
 
-let nearest_function p addr =
-  if not (in_text p addr) then None
-  else
-  List.fold_left
-    (fun best (name, saddr) ->
-      if saddr <= addr && not (is_local_label name) then
-        match best with
-        | Some (_, baddr) when baddr >= saddr -> best
-        | _ -> Some (name, saddr)
-      else best)
-    None (text_symbols p)
-  |> Option.map (fun (name, saddr) -> (name, addr - saddr))
+let nearest_function p addr = nearest ~keep:(fun name -> not (is_local_label name)) p addr
 
 let symbolize p addr =
   match nearest_function p addr with
@@ -67,11 +60,15 @@ let backtrace ?(limit = 32) (p : Ptaint_asm.Program.t) (m : Ptaint_cpu.Machine.t
   walk [ frame_of m.Ptaint_cpu.Machine.pc ] fp 1
 
 let tainted_registers (m : Ptaint_cpu.Machine.t) =
+  (* Every architectural slot, HI/LO included — a tainted multiply
+     result must not escape the report just because it lives outside
+     the 32 GPRs. *)
   List.filter_map
-    (fun r ->
-      let w = Ptaint_cpu.Regfile.get m.Ptaint_cpu.Machine.regs r in
-      if Ptaint_taint.Tword.is_tainted w then Some (r, w) else None)
-    (List.init 32 Fun.id)
+    (fun s ->
+      let w = Ptaint_cpu.Regfile.slot m.Ptaint_cpu.Machine.regs s in
+      if Ptaint_taint.Tword.is_tainted w then Some (Ptaint_cpu.Regfile.slot_name s, w)
+      else None)
+    (List.init Ptaint_cpu.Regfile.slots Fun.id)
 
 let report (result : Sim.result) =
   let buf = Buffer.create 512 in
@@ -96,8 +93,59 @@ let report (result : Sim.result) =
    | regs ->
      Buffer.add_string buf "tainted registers:\n";
      List.iter
-       (fun (r, w) ->
+       (fun (name, w) ->
          Buffer.add_string buf
-           (Format.asprintf "  %a = %a\n" Ptaint_isa.Reg.pp_sym r Ptaint_taint.Tword.pp w))
+           (Format.asprintf "  $%s = %a\n" name Ptaint_taint.Tword.pp w))
        regs);
+  (match Sim.insn_window result with
+   | [] -> ()
+   | window ->
+     Buffer.add_string buf
+       (Printf.sprintf "last %d instructions before detection:\n" (List.length window));
+     List.iter
+       (fun (pc, insn) ->
+         let text = Format.asprintf "%a" Ptaint_isa.Insn.pp insn in
+         Buffer.add_string buf (Printf.sprintf "  %08x  %-28s %s\n" pc text (symbolize p pc)))
+       window);
+  (match Sim.events result with
+   | [] -> ()
+   | evs ->
+     let interesting e =
+       match e with
+       | Ptaint_obs.Event.Taint_in _ | Ptaint_obs.Event.Reg_taint _
+       | Ptaint_obs.Event.Tainted_store _ | Ptaint_obs.Event.Alert _
+       | Ptaint_obs.Event.Fault _ -> true
+       | Ptaint_obs.Event.Syscall _ | Ptaint_obs.Event.Restore _
+       | Ptaint_obs.Event.Job _ -> false
+     in
+     (match List.filter interesting evs with
+      | [] -> ()
+      | story ->
+        (* Byte-at-a-time readers (gets) introduce taint once per byte;
+           cap the introduction lines so the narrative stays readable. *)
+        let max_intros = 8 in
+        let intros =
+          List.length
+            (List.filter
+               (function Ptaint_obs.Event.Taint_in _ -> true | _ -> false)
+               story)
+        in
+        Buffer.add_string buf "taint provenance:\n";
+        let shown = ref 0 in
+        List.iter
+          (fun e ->
+            match e with
+            | Ptaint_obs.Event.Taint_in _ ->
+              incr shown;
+              if !shown <= max_intros then
+                Buffer.add_string buf
+                  (Printf.sprintf "  %s\n" (Ptaint_obs.Event.to_string e))
+              else if !shown = max_intros + 1 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  ... %d further taint introductions elided\n"
+                     (intros - max_intros))
+            | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %s\n" (Ptaint_obs.Event.to_string e)))
+          story));
   Buffer.contents buf

@@ -20,9 +20,16 @@ val backtrace :
 (** Innermost frame first.  Stops at [main]/[_start], on a corrupt
     frame chain, or after [limit] frames (default 32). *)
 
-val tainted_registers : Ptaint_cpu.Machine.t -> (Ptaint_isa.Reg.t * Ptaint_taint.Tword.t) list
+val tainted_registers : Ptaint_cpu.Machine.t -> (string * Ptaint_taint.Tword.t) list
+(** Every tainted architectural slot by name — the 32 GPRs {e and}
+    HI/LO, so tainted multiply/divide results are reported too. *)
 
 val report : Sim.result -> string
 (** A human-readable incident report for an [Alert]/[Fault] outcome:
     the alert line, symbolized PC, guest backtrace, and the tainted
-    registers at the time of detection. *)
+    registers at the time of detection.  When the run was observed
+    ([Sim.config ~obs:true]) the report also includes the last-N
+    instruction window leading up to detection and a taint-provenance
+    narrative: which syscall introduced the tainted bytes (and at what
+    input offset), which registers and regions they reached, and the
+    alert itself. *)

@@ -12,6 +12,7 @@ type config = {
   uid : int;
   max_instructions : int;
   timing : bool;
+  obs : bool;
   on_step : (Machine.t -> Ptaint_isa.Insn.t -> unit) option;
 }
 
@@ -26,15 +27,16 @@ let default_config =
     uid = 1000;
     max_instructions = 200_000_000;
     timing = false;
+    obs = false;
     on_step = None }
 
 let config ?(policy = default_config.policy) ?(sources = default_config.sources)
     ?(argv = default_config.argv) ?(env = default_config.env) ?(stdin = default_config.stdin)
     ?(sessions = default_config.sessions) ?(fs_init = default_config.fs_init)
     ?(uid = default_config.uid) ?(max_instructions = default_config.max_instructions)
-    ?(timing = default_config.timing) ?on_step () =
+    ?(timing = default_config.timing) ?(obs = default_config.obs) ?on_step () =
   { policy; sources; argv; env; stdin; sessions; fs_init; uid; max_instructions; timing;
-    on_step }
+    obs; on_step }
 
 let policy_labels =
   [ ("full", Policy.default);
@@ -53,12 +55,12 @@ let policy_of_label = function
          (String.concat " | " (List.map fst policy_labels)))
 
 let config_of ~label ?sources ?argv ?env ?stdin ?sessions ?fs_init ?uid
-    ?max_instructions ?timing ?on_step () =
+    ?max_instructions ?timing ?obs ?on_step () =
   match policy_of_label label with
   | Error e -> invalid_arg ("Sim.config_of: " ^ e)
   | Ok policy ->
     config ~policy ?sources ?argv ?env ?stdin ?sessions ?fs_init ?uid
-      ?max_instructions ?timing ?on_step ()
+      ?max_instructions ?timing ?obs ?on_step ()
 
 type outcome =
   | Exited of int
@@ -109,11 +111,22 @@ let boot_image config (image : Ptaint_asm.Loader.image) =
   in
   Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
     (Ptaint_taint.Tword.untainted image.Ptaint_asm.Loader.initial_sp);
+  (* Each session owns a fresh trace: configs are shared across
+     campaign jobs running on different domains, so the mutable bus
+     must be per-boot, never part of the config. *)
+  let trace =
+    if config.obs then begin
+      let tr = Ptaint_obs.Trace.create () in
+      Machine.attach_obs machine tr;
+      Some tr
+    end
+    else None
+  in
   let fs = Fs.create () in
   List.iter (fun (path, contents) -> Fs.add fs ~path contents) config.fs_init;
   let kernel =
     Kernel.create ~sources:config.sources ~fs ~stdin:config.stdin ~sessions:config.sessions
-      ~uid:config.uid ~heap_base:image.Ptaint_asm.Loader.heap_base
+      ~uid:config.uid ?trace ~heap_base:image.Ptaint_asm.Loader.heap_base
       ~heap_limit:image.Ptaint_asm.Loader.heap_limit ~mem:image.Ptaint_asm.Loader.mem ()
   in
   let pipe = if config.timing then Some (Pipeline.create machine) else None in
@@ -159,7 +172,11 @@ let boot_template ?(config = default_config) tpl =
   if not (config.argv = tpl.t_argv && config.env = tpl.t_env && config.sources = tpl.t_sources)
   then invalid_arg "Sim.boot_template: argv/env/sources differ from the template image";
   let mem = Ptaint_mem.Memory.restore tpl.t_snapshot in
-  boot_image config { tpl.t_image with Ptaint_asm.Loader.mem }
+  let s = boot_image config { tpl.t_image with Ptaint_asm.Loader.mem } in
+  (match Machine.trace s.s_machine with
+   | Some tr -> Ptaint_obs.Trace.emit tr (Ptaint_obs.Event.Restore { cycle = 0 })
+   | None -> ());
+  s
 
 let session_step s =
   let machine = s.s_machine in
@@ -228,6 +245,17 @@ let run_with templates config program =
   match List.find_opt (template_matches config program) templates with
   | Some tpl -> run_template ~config tpl
   | None -> run ~config program
+
+(* --- observation accessors --- *)
+
+let trace s = Machine.trace s.s_machine
+
+let events r =
+  match Machine.trace r.machine with
+  | Some tr -> Ptaint_obs.Trace.events tr
+  | None -> []
+
+let insn_window r = Machine.ring_window r.machine
 
 let run_many ?domains batch =
   (* Build one template per distinct image in the parent, then let the

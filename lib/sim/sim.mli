@@ -18,6 +18,12 @@ type config = {
   uid : int;
   max_instructions : int;
   timing : bool;  (** run through the pipeline timing model *)
+  obs : bool;
+      (** attach a fresh {!Ptaint_obs.Trace.t} event bus to each booted
+          session — taint introduction, propagation milestones, alerts,
+          faults and syscalls become structured events, and the machine
+          records a last-N instruction window.  Off by default: the
+          interpreter then stays on its allocation-free fast path. *)
   on_step : (Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) option;
       (** called before each instruction executes — tracing hook *)
 }
@@ -26,7 +32,7 @@ val default_config : config
 val config : ?policy:Ptaint_cpu.Policy.t -> ?sources:Ptaint_os.Sources.t ->
   ?argv:string list -> ?env:(string * string) list -> ?stdin:string ->
   ?sessions:string list list -> ?fs_init:(string * string) list -> ?uid:int ->
-  ?max_instructions:int -> ?timing:bool ->
+  ?max_instructions:int -> ?timing:bool -> ?obs:bool ->
   ?on_step:(Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> unit -> config
 
 (** {1 Named configurations}
@@ -47,7 +53,7 @@ val policy_of_label : string -> (Ptaint_cpu.Policy.t, string) Stdlib.result
 val config_of : label:string -> ?sources:Ptaint_os.Sources.t ->
   ?argv:string list -> ?env:(string * string) list -> ?stdin:string ->
   ?sessions:string list list -> ?fs_init:(string * string) list -> ?uid:int ->
-  ?max_instructions:int -> ?timing:bool ->
+  ?max_instructions:int -> ?timing:bool -> ?obs:bool ->
   ?on_step:(Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> unit -> config
 (** {!config} with the policy chosen by name.  Raises
     [Invalid_argument] on an unknown label. *)
@@ -165,3 +171,18 @@ val run_many :
 
 val detected : result -> bool
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Observation}
+
+    Only meaningful when the session was booted with
+    [config ~obs:true]; all three return empty/[None] otherwise. *)
+
+val trace : session -> Ptaint_obs.Trace.t option
+(** The session's event bus — subscribe sinks before running. *)
+
+val events : result -> Ptaint_obs.Event.t list
+(** Recorded events, in emission order. *)
+
+val insn_window : result -> (int * Ptaint_isa.Insn.t) list
+(** The last-N [(pc, insn)] window the machine executed, oldest
+    first. *)

@@ -56,8 +56,55 @@ let test_tainted_registers () =
   let tainted = Ptaint_sim.Diagnostics.tainted_registers result.Ptaint_sim.Sim.machine in
   Alcotest.(check bool) "ra tainted" true
     (List.exists
-       (fun (r, w) -> r = Ptaint_isa.Reg.ra && Ptaint_taint.Tword.value w = 0x61616161)
+       (fun (name, w) -> name = "ra" && Ptaint_taint.Tword.value w = 0x61616161)
        tainted)
+
+let test_tainted_hi_lo () =
+  (* MULT with one tainted operand taints HI and LO; both slots must
+     show up in the diagnostics, which once stopped at the 32 GPRs. *)
+  let open Ptaint_isa in
+  let mem = Ptaint_mem.Memory.create () in
+  let machine =
+    Ptaint_cpu.Machine.create
+      ~code:{ Ptaint_cpu.Machine.base = Ptaint_mem.Layout.text_base;
+              insns = [| Insn.Muldiv (MULT, 2, 3) |] }
+      ~mem ~entry:Ptaint_mem.Layout.text_base ()
+  in
+  Ptaint_cpu.Regfile.set machine.Ptaint_cpu.Machine.regs 2
+    (Ptaint_taint.Tword.tainted 0x10001);
+  Ptaint_cpu.Regfile.set machine.Ptaint_cpu.Machine.regs 3
+    (Ptaint_taint.Tword.untainted 7);
+  (match Ptaint_cpu.Machine.step machine with
+   | Ptaint_cpu.Machine.Normal -> ()
+   | _ -> Alcotest.fail "mult step");
+  let names = List.map fst (Ptaint_sim.Diagnostics.tainted_registers machine) in
+  Alcotest.(check bool) "hi listed" true (List.mem "hi" names);
+  Alcotest.(check bool) "lo listed" true (List.mem "lo" names)
+
+let test_provenance_report () =
+  (* the GHTTPD attack arrives over the network: the report must name
+     the introducing syscall and show the instruction window *)
+  let _, result = Scenario.run Catalog.ghttpd_url_pointer in
+  let report = Ptaint_sim.Diagnostics.report result in
+  Alcotest.(check bool) "provenance section" true (contains report "taint provenance:");
+  Alcotest.(check bool) "network source" true (contains report "recv(network)");
+  Alcotest.(check bool) "instruction window" true
+    (contains report "instructions before detection:");
+  (* stdin-fed attack names read(stdin) *)
+  let _, result = Scenario.run Catalog.exp1_stack_smash in
+  let report = Ptaint_sim.Diagnostics.report result in
+  Alcotest.(check bool) "stdin source" true (contains report "read(stdin)")
+
+let test_insn_window_ends_at_alert () =
+  let _, result = Scenario.run Catalog.exp1_stack_smash in
+  (match result.Ptaint_sim.Sim.outcome with
+   | Ptaint_sim.Sim.Alert a ->
+     (match List.rev (Ptaint_sim.Sim.insn_window result) with
+      | (pc, _) :: _ ->
+        Alcotest.(check int) "window ends at the alerting pc"
+          a.Ptaint_cpu.Machine.alert_pc pc
+      | [] -> Alcotest.fail "empty instruction window")
+   | _ -> Alcotest.fail "expected an alert")
 
 let test_backtrace_survives_smashed_frame () =
   (* after exp1's overflow the frame chain is corrupt; the walk must
@@ -75,4 +122,8 @@ let () =
         [ Alcotest.test_case "format attack chain" `Quick test_backtrace_format_attack;
           Alcotest.test_case "incident report" `Quick test_report_contents;
           Alcotest.test_case "tainted registers" `Quick test_tainted_registers;
-          Alcotest.test_case "corrupt frame chain" `Quick test_backtrace_survives_smashed_frame ] ) ]
+          Alcotest.test_case "tainted hi/lo" `Quick test_tainted_hi_lo;
+          Alcotest.test_case "corrupt frame chain" `Quick test_backtrace_survives_smashed_frame ] );
+      ( "observability",
+        [ Alcotest.test_case "provenance in report" `Quick test_provenance_report;
+          Alcotest.test_case "window ends at alert" `Quick test_insn_window_ends_at_alert ] ) ]

@@ -1,0 +1,271 @@
+(* The observability layer: ring buffer, event bus, metrics registry,
+   Chrome exporter, and the campaign-level wiring. *)
+
+open Ptaint_obs
+
+let contains haystack needle =
+  let rec go i =
+    i + String.length needle <= String.length haystack
+    && (String.sub haystack i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+(* --- ring ----------------------------------------------------------- *)
+
+let test_ring_partial () =
+  let r = Ring.create ~dummy:"-" 4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity r);
+  Ring.push r 1 "a";
+  Ring.push r 2 "b";
+  Alcotest.(check int) "length" 2 (Ring.length r);
+  Alcotest.(check (list (pair int string))) "order" [ (1, "a"); (2, "b") ] (Ring.to_list r)
+
+let test_ring_wrap () =
+  let r = Ring.create ~dummy:0 3 in
+  List.iter (fun i -> Ring.push r i i) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "full" 3 (Ring.length r);
+  Alcotest.(check (list (pair int int))) "last three, oldest first"
+    [ (3, 3); (4, 4); (5, 5) ] (Ring.to_list r);
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r);
+  Alcotest.(check (list (pair int int))) "empty" [] (Ring.to_list r)
+
+(* --- trace ---------------------------------------------------------- *)
+
+let ev c = Event.Restore { cycle = c }
+
+let test_trace_records_and_fans_out () =
+  let t = Trace.create () in
+  let seen = ref [] in
+  Trace.on_event t (fun e -> seen := e :: !seen);
+  Trace.emit t (ev 1);
+  Trace.emit t (ev 2);
+  Alcotest.(check int) "recorded" 2 (Trace.length t);
+  Alcotest.(check int) "sink saw both" 2 (List.length !seen);
+  Alcotest.(check (list int)) "emission order" [ 1; 2 ]
+    (List.map Event.cycle (Trace.events t))
+
+let test_trace_limit () =
+  let t = Trace.create ~limit:3 () in
+  let sunk = ref 0 in
+  Trace.on_event t (fun _ -> incr sunk);
+  List.iter (fun c -> Trace.emit t (ev c)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "recorder bounded" 3 (Trace.length t);
+  Alcotest.(check int) "overflow counted" 2 (Trace.dropped t);
+  Alcotest.(check int) "sinks see everything" 5 !sunk;
+  Alcotest.(check (list int)) "keeps the first events" [ 1; 2; 3 ]
+    (List.map Event.cycle (Trace.events t))
+
+let test_taint_sources_filter () =
+  let t = Trace.create () in
+  Trace.emit t (ev 1);
+  Trace.emit t (Event.Taint_in { cycle = 2; source = "read(stdin)"; addr = 0x100; len = 4; offset = 0 });
+  Trace.emit t (Event.Syscall { cycle = 3; pc = 0; name = "write" });
+  (match Trace.taint_sources t with
+   | [ Event.Taint_in { source; len; _ } ] ->
+     Alcotest.(check string) "source" "read(stdin)" source;
+     Alcotest.(check int) "len" 4 len
+   | l -> Alcotest.fail (Printf.sprintf "expected one Taint_in, got %d events" (List.length l)))
+
+(* --- metrics -------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "jobs" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  (* get-or-create: same underlying counter *)
+  Metrics.inc (Metrics.counter m "jobs");
+  (match Metrics.rows m with
+   | [ r ] ->
+     Alcotest.(check string) "name" "jobs" r.Metrics.name;
+     Alcotest.(check string) "kind" "counter" r.Metrics.kind;
+     Alcotest.(check int) "count" 6 r.Metrics.count
+   | _ -> Alcotest.fail "expected one row");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.histogram: jobs is a counter")
+    (fun () -> ignore (Metrics.histogram m "jobs"))
+
+let test_metrics_histogram_and_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  let h = Metrics.histogram a "wall ms" in
+  List.iter (Metrics.observe h) [ 1.0; 3.0; 8.0 ];
+  Metrics.observe (Metrics.histogram b "wall ms") 4.0;
+  Metrics.inc ~by:2 (Metrics.counter b "alerts");
+  Metrics.merge ~into:a b;
+  let rows = Metrics.rows a in
+  (match List.find_opt (fun r -> r.Metrics.name = "wall ms") rows with
+   | Some r ->
+     Alcotest.(check int) "merged count" 4 r.Metrics.count;
+     Alcotest.(check (float 1e-9)) "sum" 16.0 r.Metrics.sum;
+     Alcotest.(check (float 1e-9)) "min" 1.0 r.Metrics.min;
+     Alcotest.(check (float 1e-9)) "max" 8.0 r.Metrics.max;
+     Alcotest.(check (float 1e-9)) "mean" 4.0 r.Metrics.mean
+   | None -> Alcotest.fail "histogram row missing");
+  match List.find_opt (fun r -> r.Metrics.name = "alerts") rows with
+  | Some r -> Alcotest.(check int) "counter created by merge" 2 r.Metrics.count
+  | None -> Alcotest.fail "merged counter missing"
+
+(* --- chrome export -------------------------------------------------- *)
+
+(* A permissive structural check: balanced braces/brackets inside the
+   traceEvents array plus the required keys — not a full JSON parser,
+   but enough to catch malformed emission (CI additionally runs the
+   output through python's json module). *)
+let test_chrome_shape () =
+  let ch = Chrome.create () in
+  Chrome.complete ch ~name:"job \"quoted\"" ~cat:"job" ~tid:3 ~ts_us:0.0 ~dur_us:1500.0
+    ~args:[ ("policy", "full") ] ();
+  Chrome.add_event ch
+    (Event.Taint_in { cycle = 7; source = "recv(network)"; addr = 0x10000; len = 16; offset = 0 });
+  Chrome.add_event ch (Event.Alert { cycle = 9; pc = 0x400010; kind = "jump-target"; reg = "ra"; value = 0x61616161 });
+  let s = Chrome.contents ch in
+  Alcotest.(check int) "event count" 3 (Chrome.event_count ch);
+  Alcotest.(check bool) "array wrapper" true (contains s "{\"traceEvents\":[");
+  Alcotest.(check bool) "complete event" true (contains s "\"ph\":\"X\"");
+  Alcotest.(check bool) "instant event" true (contains s "\"ph\":\"i\"");
+  Alcotest.(check bool) "escaped name" true (contains s "job \\\"quoted\\\"");
+  Alcotest.(check bool) "cycle as microseconds" true (contains s "\"ts\":7");
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      (match c with
+       | '{' | '[' -> incr depth
+       | '}' | ']' -> decr depth
+       | _ -> ());
+      if !depth < 0 then ok := false)
+    s;
+  Alcotest.(check bool) "balanced" true (!ok && !depth = 0)
+
+(* --- machine + sim wiring ------------------------------------------ *)
+
+let attack_source =
+  {|
+.text
+main:
+    li   $a0, 0          # fd 0 = stdin
+    li   $a1, 0x10000000 # buffer in .data
+    li   $a2, 8
+    li   $v0, 2          # SYS_READ
+    syscall
+    li   $t1, 0x10000000
+    lw   $t0, 0($t1)
+    jr   $t0             # jump through tainted pointer -> alert
+.data
+buf: .word 0, 0
+|}
+
+let run_observed () =
+  let program = Ptaint_asm.Assembler.assemble_exn attack_source in
+  let config = Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" ~obs:true () in
+  Ptaint_sim.Sim.run ~config program
+
+let test_sim_event_story () =
+  let r = run_observed () in
+  (match r.Ptaint_sim.Sim.outcome with
+   | Ptaint_sim.Sim.Alert _ -> ()
+   | o -> Alcotest.fail (Format.asprintf "expected alert, got %a" Ptaint_sim.Sim.pp_outcome o));
+  let evs = Ptaint_sim.Sim.events r in
+  let has p = List.exists p evs in
+  Alcotest.(check bool) "syscall event" true
+    (has (function Event.Syscall { name = "read"; _ } -> true | _ -> false));
+  Alcotest.(check bool) "taint introduction" true
+    (has (function
+       | Event.Taint_in { source = "read(stdin)"; len = 8; offset = 0; _ } -> true
+       | _ -> false));
+  Alcotest.(check bool) "register milestone" true
+    (has (function Event.Reg_taint _ -> true | _ -> false));
+  Alcotest.(check bool) "alert event" true
+    (has (function Event.Alert { reg = "t0"; value = 0x11223344; _ } -> true | _ -> false));
+  (* the introduction precedes the alert in emission order *)
+  let rec story = function
+    | Event.Taint_in _ :: rest ->
+      List.exists (function Event.Alert _ -> true | _ -> false) rest
+    | _ :: rest -> story rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "taint-in before alert" true (story evs);
+  (* and the machine kept the instruction window, ending at the alert *)
+  match List.rev (Ptaint_sim.Sim.insn_window r) with
+  | (pc, _) :: _ -> Alcotest.(check bool) "window non-empty, last pc in text" true (pc > 0)
+  | [] -> Alcotest.fail "no instruction window"
+
+let test_obs_off_is_silent () =
+  let program = Ptaint_asm.Assembler.assemble_exn attack_source in
+  let config = Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" () in
+  let r = Ptaint_sim.Sim.run ~config program in
+  Alcotest.(check (list (pair int string))) "no window" []
+    (List.map (fun (pc, i) -> (pc, Ptaint_isa.Insn.to_string i))
+       (Ptaint_sim.Sim.insn_window r));
+  Alcotest.(check int) "no events" 0 (List.length (Ptaint_sim.Sim.events r))
+
+(* --- campaign wiring ------------------------------------------------ *)
+
+let test_campaign_jobs_and_metrics () =
+  let program = Ptaint_asm.Assembler.assemble_exn attack_source in
+  let benign = Ptaint_asm.Assembler.assemble_exn ".text\nmain: li $v0, 0\n  li $a0, 0\n  li $v0, 1\n  syscall\n" in
+  let tr = Trace.create () in
+  let jobs =
+    [ Ptaint_campaign.Campaign.job ~name:"atk" ~policy_label:"full"
+        ~config:(Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" ()) program;
+      Ptaint_campaign.Campaign.job ~name:"ok" ~policy_label:"full"
+        ~config:(Ptaint_sim.Sim.config ()) benign ]
+  in
+  let results, stats = Ptaint_campaign.Campaign.run ~domains:2 ~trace:tr jobs in
+  Alcotest.(check int) "both ran" 2 (List.length results);
+  List.iter
+    (fun (r : Ptaint_campaign.Campaign.job_result) ->
+      let t = r.Ptaint_campaign.Campaign.timing in
+      Alcotest.(check bool) "timing sane" true
+        (t.Ptaint_campaign.Campaign.finished >= t.Ptaint_campaign.Campaign.started
+         && t.Ptaint_campaign.Campaign.domain >= 0))
+    results;
+  (* one Job span per job, on the campaign trace *)
+  let spans =
+    List.filter_map
+      (function Event.Job { name; outcome; _ } -> Some (name, outcome) | _ -> None)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list (pair string string))) "job spans in submission order"
+    [ ("atk", "alert"); ("ok", "exited") ] spans;
+  (* per-label metrics *)
+  (match stats.Ptaint_campaign.Campaign.metrics with
+   | [ ("full", m) ] ->
+     let row name =
+       match List.find_opt (fun r -> r.Metrics.name = name) (Metrics.rows m) with
+       | Some r -> r
+       | None -> Alcotest.fail ("missing metric " ^ name)
+     in
+     Alcotest.(check int) "jobs counter" 2 (row "jobs").Metrics.count;
+     Alcotest.(check int) "alerts counter" 1 (row "alerts").Metrics.count;
+     Alcotest.(check bool) "instructions counted" true ((row "instructions").Metrics.count > 0);
+     Alcotest.(check int) "wall histogram count" 2 (row "job wall ms").Metrics.count;
+     Alcotest.(check bool) "concurrency observed" true
+       ((row "concurrent jobs").Metrics.min >= 1.0)
+   | l -> Alcotest.fail (Printf.sprintf "expected one label, got %d" (List.length l)));
+  (* the rendered table is deterministic: counters only by default *)
+  let table = Ptaint_campaign.Campaign.metrics_table stats in
+  Alcotest.(check bool) "counters present" true (contains table "alerts");
+  Alcotest.(check bool) "no timing rows by default" true (not (contains table "job wall ms"));
+  let full = Ptaint_campaign.Campaign.metrics_table ~timings:true stats in
+  Alcotest.(check bool) "timing rows on demand" true (contains full "job wall ms")
+
+let () =
+  Alcotest.run "obs"
+    [ ( "ring",
+        [ Alcotest.test_case "partial fill" `Quick test_ring_partial;
+          Alcotest.test_case "wrap" `Quick test_ring_wrap ] );
+      ( "trace",
+        [ Alcotest.test_case "record + sinks" `Quick test_trace_records_and_fans_out;
+          Alcotest.test_case "bounded recorder" `Quick test_trace_limit;
+          Alcotest.test_case "taint sources" `Quick test_taint_sources_filter ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram + merge" `Quick test_metrics_histogram_and_merge ] );
+      ( "chrome",
+        [ Alcotest.test_case "json shape" `Quick test_chrome_shape ] );
+      ( "sim",
+        [ Alcotest.test_case "event story" `Quick test_sim_event_story;
+          Alcotest.test_case "off by default" `Quick test_obs_off_is_silent ] );
+      ( "campaign",
+        [ Alcotest.test_case "job spans + metrics" `Quick test_campaign_jobs_and_metrics ] ) ]
