@@ -24,7 +24,7 @@ let compiled source = Ptaint_runtime.Runtime.compile source
 
 (* --- Table 1: propagation microbenchmark ---------------------------- *)
 
-let alu_machine () =
+let alu_machine ?(tainted = true) () =
   let open Ptaint_isa in
   let insns =
     [| Insn.R (ADD, 8, 9, 10); Insn.R (XOR, 11, 8, 9); Insn.Shift (SLL, 12, 8, 4);
@@ -37,7 +37,8 @@ let alu_machine () =
       ~code:{ Ptaint_cpu.Machine.base = Ptaint_mem.Layout.text_base; insns }
       ~mem ~entry:Ptaint_mem.Layout.text_base ()
   in
-  Ptaint_cpu.Regfile.set m.Ptaint_cpu.Machine.regs 9 (Ptaint_taint.Tword.tainted 0x1234);
+  if tainted then
+    Ptaint_cpu.Regfile.set m.Ptaint_cpu.Machine.regs 9 (Ptaint_taint.Tword.tainted 0x1234);
   m
 
 let tab1_bench =
@@ -279,9 +280,24 @@ let micro_trace_on_bench =
            ignore (Ptaint_cpu.Machine.step m)
          done))
 
+(* block-threaded engine: the same ALU loop driven in bulk — with live
+   taint (full handlers, one dispatch per block) and fully clean (the
+   specialized no-taint handlers) *)
+let micro_block_dispatch_bench =
+  Test.make ~name:"micro/block-dispatch-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000)))
+
+let micro_clean_fastpath_bench =
+  Test.make ~name:"micro/clean-fastpath-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine ~tainted:false () in
+         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000)))
+
 let micro_benches =
   [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
-    micro_trace_on_bench ]
+    micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench ]
 
 (* --- driver ----------------------------------------------------------------- *)
 

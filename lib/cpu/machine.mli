@@ -60,10 +60,31 @@ type t = {
       (** observation state; [None] (the default) keeps {!step} on the
           allocation-free fast path — tracing costs one physical
           comparison per instruction when off *)
+  mutable decoded : Block.t option;
+      (** lazily built pre-decode of the text segment, shared by every
+          {!run} call on this machine *)
+  mutable blocks_run : int;  (** basic blocks dispatched by {!run} *)
+  mutable clean_blocks : int;
+      (** blocks {!run} executed on the clean fast path (zero live
+          taint); [blocks_run - clean_blocks] ran the full handlers *)
 }
 
 val create : ?policy:Policy.t -> code:code -> mem:Ptaint_mem.Memory.t -> entry:int -> unit -> t
 val step : t -> step
+
+val run : t -> fuel:int -> step
+(** Bulk block-threaded execution: run up to [fuel] instructions and
+    return [Normal] exactly when the fuel ran out, otherwise the event
+    that stopped execution ([Syscall], [Alert], [Fault], [Break_trap])
+    with [pc]/[icount] and all machine state byte-identical to [fuel]
+    iterations of {!step}.  Dispatches once per basic block over a
+    cached pre-decode of the text segment, hoists the policy and guard
+    configuration out of the instruction loop, and switches to
+    specialized clean handlers (no taint algebra, no detector checks,
+    no taint-plane traffic) whenever the live-taint counters
+    ({!Regfile.tainted_count}, {!Ptaint_mem.Memory.tainted_bytes})
+    prove the machine clean.  With observation attached it simply
+    drives {!step} so traces stay per-instruction. *)
 
 (** {1 Observability}
 

@@ -2,24 +2,58 @@ open Ptaint_taint
 
 (* The 32 GPRs plus HI/LO as one flat int array of packed Tword bits
    (indices 32/33 are HI/LO) — no per-register boxing, and reset is a
-   single fill. *)
-type t = { regs : int array }
+   single fill.
+
+   [tainted] counts the slots whose packed mask is non-zero; it is
+   maintained by every mutator, so the block engine can test "no live
+   register taint anywhere" with one load instead of a 34-slot scan. *)
+type t = { regs : int array; mutable tainted : int }
 
 let hi_idx = 32
 let lo_idx = 33
 
-let create () = { regs = Array.make 34 (Tword.to_bits Tword.zero) }
-let get t r = if r = 0 then Tword.zero else Tword.of_bits t.regs.(r)
-let set t r w = if r <> 0 then t.regs.(r) <- Tword.to_bits w
-let get_hi t = Tword.of_bits t.regs.(hi_idx)
-let set_hi t w = t.regs.(hi_idx) <- Tword.to_bits w
-let get_lo t = Tword.of_bits t.regs.(lo_idx)
-let set_lo t w = t.regs.(lo_idx) <- Tword.to_bits w
+let create () = { regs = Array.make 34 (Tword.to_bits Tword.zero); tainted = 0 }
 
-let untaint t r =
-  if r <> 0 then t.regs.(r) <- Tword.to_bits (Tword.untainted (t.regs.(r) land 0xFFFFFFFF))
+(* Register indices come out of 5-bit instruction fields (plus the
+   fixed HI/LO slots), so every index is < 34 by construction and the
+   accessors skip the array bounds checks. *)
+let[@inline] get t r = if r = 0 then Tword.zero else Tword.of_bits (Array.unsafe_get t.regs r)
 
-let value t r = if r = 0 then 0 else t.regs.(r) land 0xFFFFFFFF
+let[@inline] write t i bits =
+  let old = Array.unsafe_get t.regs i in
+  Array.unsafe_set t.regs i bits;
+  if (old lsr 32 <> 0) <> (bits lsr 32 <> 0) then
+    t.tainted <- t.tainted + (if bits lsr 32 <> 0 then 1 else -1)
+
+let[@inline] set t r w = if r <> 0 then write t r (Tword.to_bits w)
+let[@inline] get_hi t = Tword.of_bits (Array.unsafe_get t.regs hi_idx)
+let[@inline] set_hi t w = write t hi_idx (Tword.to_bits w)
+let[@inline] get_lo t = Tword.of_bits (Array.unsafe_get t.regs lo_idx)
+let[@inline] set_lo t w = write t lo_idx (Tword.to_bits w)
+
+let[@inline] untaint t r =
+  if r <> 0 then begin
+    let old = Array.unsafe_get t.regs r in
+    if old lsr 32 <> 0 then begin
+      Array.unsafe_set t.regs r (old land 0xFFFFFFFF);
+      t.tainted <- t.tainted - 1
+    end
+  end
+
+let[@inline] value t r = if r = 0 then 0 else Array.unsafe_get t.regs r land 0xFFFFFFFF
+
+(* Clean-path write: the value is untainted by construction, so no
+   mask restriction is needed; the counter is still kept exact in case
+   the destination held taint (it never does while the clean fast path
+   is active, but correctness must not depend on the caller). *)
+let[@inline] set_value t r v =
+  if r <> 0 then begin
+    let old = Array.unsafe_get t.regs r in
+    if old lsr 32 <> 0 then t.tainted <- t.tainted - 1;
+    Array.unsafe_set t.regs r (v land 0xFFFFFFFF)
+  end
+
+let tainted_count t = t.tainted
 
 let tainted_registers t =
   List.filter (fun r -> Tword.is_tainted (get t r)) (List.init 32 Fun.id)
@@ -30,7 +64,9 @@ let slot t i = if i = 0 then Tword.zero else Tword.of_bits t.regs.(i)
 let slot_name i =
   if i = hi_idx then "hi" else if i = lo_idx then "lo" else Ptaint_isa.Reg.name i
 
-let reset t = Array.fill t.regs 0 34 (Tword.to_bits Tword.zero)
+let reset t =
+  Array.fill t.regs 0 34 (Tword.to_bits Tword.zero);
+  t.tainted <- 0
 
 let pp ppf t =
   for r = 0 to 31 do

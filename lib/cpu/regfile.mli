@@ -19,6 +19,16 @@ val untaint : t -> Ptaint_isa.Reg.t -> unit
 (** Clear the register's taint mask in place (compare-untaint rule). *)
 
 val value : t -> Ptaint_isa.Reg.t -> int
+
+val set_value : t -> Ptaint_isa.Reg.t -> int -> unit
+(** Write an untainted 32-bit value — the clean fast path's register
+    writeback.  Equivalent to [set t r (Tword.untainted v)]. *)
+
+val tainted_count : t -> int
+(** Number of slots (GPRs, HI, LO) currently carrying any taint.
+    Maintained incrementally by every mutator; [0] means the whole
+    file is provably clean. *)
+
 val tainted_registers : t -> Ptaint_isa.Reg.t list
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

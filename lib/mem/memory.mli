@@ -44,6 +44,24 @@ val load_byte_t : t -> int -> Ptaint_taint.Tword.t
 val load_half_t : t -> int -> Ptaint_taint.Tword.t
 (** [load_half] packed into an immediate word. *)
 
+(** {1 Clean-plane access}
+
+    Data-plane-only variants for the CPU's clean fast path, sound only
+    while {!tainted_bytes} is [0].  Fault like the full accessors and
+    count identically in {!stats} (but can never bump the tainted
+    counters — there is no taint to move). *)
+
+val tainted_bytes : t -> int
+(** Exact number of live tainted memory bytes; [0] proves the whole
+    taint plane is clean.  O(1) — maintained incrementally. *)
+
+val load_byte_clean : t -> int -> int
+val load_half_clean : t -> int -> int
+val load_word_clean : t -> int -> int
+val store_byte_clean : t -> int -> int -> unit
+val store_half_clean : t -> int -> int -> unit
+val store_word_clean : t -> int -> int -> unit
+
 (** {1 Bulk access (host/OS side)} *)
 
 val write_string : t -> int -> string -> taint:bool -> unit
@@ -91,3 +109,12 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val tagged : t -> Tagged_store.t
+(** The backing tagged page store.  The block-threaded interpreter
+    drives the store's inline fast-path accessors directly — catching
+    {!Tagged_store.Unmapped} itself and bumping {!stats} in its
+    execution loop — instead of paying a call plus an exception
+    handler per access through this module's wrappers.  Any such
+    caller must keep the {!stats} accounting identical to the
+    wrappers' ({!load_word} etc.). *)

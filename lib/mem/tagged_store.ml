@@ -1,27 +1,65 @@
 open Ptaint_taint
 
-type plane =
-  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(* Each 4 KiB page is one Bigarray of [page_words] native ints, one
+   element per aligned guest word, holding exactly the packed
+   {!Tword} bits: value byte [k] in bits [8k, 8k+8), taint bit for
+   byte [k] at bit [32 + k].  An aligned word load is therefore a
+   single array read ([Tword.of_bits]), an aligned word store a read
+   (for the live-taint counter delta) plus a write — the dominant
+   cost of the interpreter's memory path. *)
+type plane = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type page = { mutable plane : plane; mutable shared : bool }
 
-type t = { pages : (int, page) Hashtbl.t }
+(* [tainted] is the exact number of live tainted bytes across every
+   mapped page, maintained incrementally by each taint-plane writer.
+   The CPU's clean fast path keys off [tainted = 0]: in that state
+   every element's taint nibble is provably zero, so loads and stores
+   may skip the taint algebra entirely (see the [*_clean] accessors).
 
-type snapshot = { snap_pages : (int * plane) array }
+   [cache_idx]/[cache_page] form a direct-mapped page-lookup cache in
+   front of the hashtable: pages are never unmapped, so a cached
+   (index, page-record) pair can never go stale — COW clones mutate
+   the page record in place.  This takes the generic hash + bucket
+   walk + option allocation of [Hashtbl.find_opt] off the guest
+   memory-access path. *)
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable tainted : int;
+  cache_idx : int array;
+  cache_page : page array;
+}
+
+type snapshot = { snap_pages : (int * plane) array; snap_tainted : int }
 
 exception Unmapped of int
 
 let page_bytes = Layout.page_bytes
 let page_mask = page_bytes - 1
+let page_words = page_bytes / 4
+let () = assert (page_bytes = 1 lsl 12)
 
-(* One flat buffer per page: data plane in [0, page_bytes), taint
-   plane (one 0/1 byte per data byte) in [page_bytes, 2*page_bytes). *)
+(* Popcount of a 4-bit taint nibble — the tainted-byte count of one
+   word element. *)
+let pop4 = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
+
 let alloc_plane () =
-  let p = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (2 * page_bytes) in
+  let p = Bigarray.Array1.create Bigarray.int Bigarray.c_layout page_words in
   Bigarray.Array1.fill p 0;
   p
 
-let create () = { pages = Hashtbl.create 256 }
+let cache_slots = 64
+
+(* Placeholder page record filling the cache's page slots while their
+   index slot still holds the -1 sentinel; never dereferenced. *)
+let dummy_page =
+  { plane = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0; shared = true }
+
+let create () =
+  { pages = Hashtbl.create 256;
+    tainted = 0;
+    cache_idx = Array.make cache_slots (-1);
+    cache_page = Array.make cache_slots dummy_page }
 
 let map_page t idx =
   if Hashtbl.mem t.pages idx then false
@@ -34,25 +72,37 @@ let is_mapped t idx = Hashtbl.mem t.pages idx
 
 let mapped_pages t = Hashtbl.length t.pages
 
-let page_for t addr =
-  match Hashtbl.find_opt t.pages (addr lsr 12) with
-  | Some p -> p
+let tainted_bytes t = t.tainted
+
+let page_miss t addr idx slot =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p ->
+    Array.unsafe_set t.cache_idx slot idx;
+    Array.unsafe_set t.cache_page slot p;
+    p
   | None -> raise (Unmapped addr)
 
-let () = assert (page_bytes = 1 lsl 12)
+(* The cache-hit path is forced inline so a hot memory access compiles
+   to two array loads and a compare; the miss path stays out of line. *)
+let[@inline] page_for t addr =
+  let idx = addr lsr 12 in
+  let slot = idx land (cache_slots - 1) in
+  if Array.unsafe_get t.cache_idx slot = idx then Array.unsafe_get t.cache_page slot
+  else page_miss t addr idx slot
+
+let clone_page p =
+  let fresh = alloc_plane () in
+  Bigarray.Array1.blit p.plane fresh;
+  p.plane <- fresh;
+  p.shared <- false
 
 (* Reads never copy; the first write to a page shared with a snapshot
    clones its plane so snapshot holders keep the original bytes. *)
-let read_plane t addr = (page_for t addr).plane
+let[@inline] read_plane t addr = (page_for t addr).plane
 
-let write_plane t addr =
+let[@inline] write_plane t addr =
   let p = page_for t addr in
-  if p.shared then begin
-    let fresh = alloc_plane () in
-    Bigarray.Array1.blit p.plane fresh;
-    p.plane <- fresh;
-    p.shared <- false
-  end;
+  if p.shared then clone_page p;
   p.plane
 
 (* NB: [Bigarray.Array1.unsafe_get]/[unsafe_set] must be fully
@@ -60,41 +110,83 @@ let write_plane t addr =
    every plane access into an out-of-line call instead of a single
    load/store. *)
 
-(* --- byte --- *)
+(* --- byte (read-modify-write of the containing word element) --- *)
 
-let load_byte t addr =
-  let pl = read_plane t addr in
-  let off = addr land page_mask in
-  (Bigarray.Array1.unsafe_get pl off, Bigarray.Array1.unsafe_get pl (page_bytes + off) <> 0)
+let[@inline] load_byte t addr =
+  let elt =
+    Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+  in
+  let k = addr land 3 in
+  ((elt lsr (k lsl 3)) land 0xff, elt land (1 lsl (32 + k)) <> 0)
 
-let store_byte t addr v ~taint =
+let[@inline] store_byte t addr v ~taint =
   let pl = write_plane t addr in
-  let off = addr land page_mask in
-  Bigarray.Array1.unsafe_set pl off (v land 0xff);
-  Bigarray.Array1.unsafe_set pl (page_bytes + off) (if taint then 1 else 0)
+  let wi = (addr land page_mask) lsr 2 in
+  let k = addr land 3 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  let vshift = k lsl 3 in
+  let tb = 1 lsl (32 + k) in
+  let cleared = elt land lnot ((0xff lsl vshift) lor tb) in
+  let nt = if taint then 1 else 0 in
+  let ot = if elt land tb <> 0 then 1 else 0 in
+  if nt <> ot then t.tainted <- t.tainted + nt - ot;
+  Bigarray.Array1.unsafe_set pl wi
+    (cleared lor ((v land 0xff) lsl vshift) lor (nt lsl (32 + k)))
 
-(* --- word (any alignment; the slow path walks bytes across the page
-   boundary) --- *)
+(* --- CPU fast-path accessors ---
+
+   The interpreter checks alignment before every word/half access, so
+   these skip the alignment branch and the byte-walk fallback; they
+   are forced inline into the execution loop (which also catches
+   {!Unmapped} itself rather than paying a per-access handler). *)
+
+let[@inline] load_word_aligned t addr =
+  Tword.of_bits
+    (Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2))
+
+let[@inline] store_word_aligned t addr w =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let bits = Tword.to_bits w in
+  let old = Bigarray.Array1.unsafe_get pl wi in
+  if old lsr 32 <> bits lsr 32 then
+    t.tainted <-
+      t.tainted + Array.unsafe_get pop4 (bits lsr 32) - Array.unsafe_get pop4 (old lsr 32);
+  Bigarray.Array1.unsafe_set pl wi bits
+
+let[@inline] load_byte_tw t addr =
+  let elt =
+    Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+  in
+  let k = addr land 3 in
+  Tword.make ~v:((elt lsr (k lsl 3)) land 0xff) ~m:((elt lsr (32 + k)) land 1)
+
+let[@inline] load_half_even t addr =
+  let elt =
+    Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+  in
+  let k = addr land 3 in
+  Tword.make ~v:((elt lsr (k lsl 3)) land 0xffff) ~m:((elt lsr (32 + k)) land 3)
+
+let[@inline] store_half_even t addr v ~m =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let k = addr land 3 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  let vshift = k lsl 3 in
+  let m = m land 3 in
+  let cleared = elt land lnot ((0xffff lsl vshift) lor (3 lsl (32 + k))) in
+  let old = (elt lsr (32 + k)) land 3 in
+  if m <> old then
+    t.tainted <- t.tainted + Array.unsafe_get pop4 m - Array.unsafe_get pop4 old;
+  Bigarray.Array1.unsafe_set pl wi
+    (cleared lor ((v land 0xffff) lsl vshift) lor (m lsl (32 + k)))
+
+(* --- word (any alignment; the unaligned path walks bytes, which also
+   handles the page-boundary crossing) --- *)
 
 let load_word t addr =
-  let off = addr land page_mask in
-  if off <= page_bytes - 4 then begin
-    let pl = read_plane t addr in
-    let v =
-      Bigarray.Array1.unsafe_get pl off
-      lor (Bigarray.Array1.unsafe_get pl (off + 1) lsl 8)
-      lor (Bigarray.Array1.unsafe_get pl (off + 2) lsl 16)
-      lor (Bigarray.Array1.unsafe_get pl (off + 3) lsl 24)
-    in
-    let toff = page_bytes + off in
-    let m =
-      Bigarray.Array1.unsafe_get pl toff
-      lor (Bigarray.Array1.unsafe_get pl (toff + 1) lsl 1)
-      lor (Bigarray.Array1.unsafe_get pl (toff + 2) lsl 2)
-      lor (Bigarray.Array1.unsafe_get pl (toff + 3) lsl 3)
-    in
-    Tword.of_bits ((m lsl 32) lor v)
-  end
+  if addr land 3 = 0 then load_word_aligned t addr
   else begin
     let v = ref 0 and m = ref 0 in
     for i = 3 downto 0 do
@@ -106,34 +198,21 @@ let load_word t addr =
   end
 
 let store_word t addr w =
-  let off = addr land page_mask in
-  let v = Tword.value w and m = Tword.mask w in
-  if off <= page_bytes - 4 then begin
-    let pl = write_plane t addr in
-    Bigarray.Array1.unsafe_set pl off (v land 0xff);
-    Bigarray.Array1.unsafe_set pl (off + 1) ((v lsr 8) land 0xff);
-    Bigarray.Array1.unsafe_set pl (off + 2) ((v lsr 16) land 0xff);
-    Bigarray.Array1.unsafe_set pl (off + 3) ((v lsr 24) land 0xff);
-    let toff = page_bytes + off in
-    Bigarray.Array1.unsafe_set pl toff (m land 1);
-    Bigarray.Array1.unsafe_set pl (toff + 1) ((m lsr 1) land 1);
-    Bigarray.Array1.unsafe_set pl (toff + 2) ((m lsr 2) land 1);
-    Bigarray.Array1.unsafe_set pl (toff + 3) ((m lsr 3) land 1)
-  end
-  else
+  if addr land 3 = 0 then store_word_aligned t addr w
+  else begin
+    let v = Tword.value w and m = Tword.mask w in
     for i = 0 to 3 do
       store_byte t (addr + i) ((v lsr (8 * i)) land 0xff) ~taint:(m land (1 lsl i) <> 0)
     done
+  end
 
-(* --- half-word --- *)
+(* --- half-word (an even address never crosses a word, so the fast
+   path is one element access) --- *)
 
 let load_half t addr =
-  let off = addr land page_mask in
-  if off <= page_bytes - 2 then begin
-    let pl = read_plane t addr in
-    let v = Bigarray.Array1.unsafe_get pl off lor (Bigarray.Array1.unsafe_get pl (off + 1) lsl 8) in
-    let toff = page_bytes + off in
-    (v, Bigarray.Array1.unsafe_get pl toff lor (Bigarray.Array1.unsafe_get pl (toff + 1) lsl 1))
+  if addr land 1 = 0 then begin
+    let w = load_half_even t addr in
+    (Tword.value w, Tword.mask w)
   end
   else begin
     let b0, t0 = load_byte t addr in
@@ -142,68 +221,171 @@ let load_half t addr =
   end
 
 let store_half t addr v ~m =
-  let off = addr land page_mask in
-  if off <= page_bytes - 2 then begin
-    let pl = write_plane t addr in
-    Bigarray.Array1.unsafe_set pl off (v land 0xff);
-    Bigarray.Array1.unsafe_set pl (off + 1) ((v lsr 8) land 0xff);
-    let toff = page_bytes + off in
-    Bigarray.Array1.unsafe_set pl toff (m land 1);
-    Bigarray.Array1.unsafe_set pl (toff + 1) ((m lsr 1) land 1)
-  end
+  if addr land 1 = 0 then store_half_even t addr v ~m
   else begin
     store_byte t addr (v land 0xff) ~taint:(m land 1 <> 0);
     store_byte t (addr + 1) ((v lsr 8) land 0xff) ~taint:(m land 2 <> 0)
   end
 
-(* --- ranges (page-at-a-time over the taint plane) --- *)
+(* --- clean-plane accessors (the CPU's clean fast path) ---
+
+   Valid only while [tainted = 0]: every element's taint nibble is
+   zero, so an aligned word element *is* its value, loads skip the
+   mask extraction and stores write the bare value (leaving the
+   nibble zero).  The misalignment check upstream guarantees the CPU
+   never crosses a page with these, but the byte-walk fallback keeps
+   them total anyway. *)
+
+let[@inline] load_byte_clean t addr =
+  let elt =
+    Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+  in
+  (elt lsr ((addr land 3) lsl 3)) land 0xff
+
+let[@inline] store_byte_clean t addr v =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let vshift = (addr land 3) lsl 3 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  Bigarray.Array1.unsafe_set pl wi
+    ((elt land lnot (0xff lsl vshift)) lor ((v land 0xff) lsl vshift))
+
+let[@inline] load_word_clean_aligned t addr =
+  Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+
+let[@inline] store_word_clean_aligned t addr v =
+  Bigarray.Array1.unsafe_set (write_plane t addr) ((addr land page_mask) lsr 2)
+    (v land 0xFFFFFFFF)
+
+let[@inline] load_half_clean_even t addr =
+  let elt =
+    Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
+  in
+  (elt lsr ((addr land 3) lsl 3)) land 0xffff
+
+let[@inline] store_half_clean_even t addr v =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let vshift = (addr land 3) lsl 3 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  Bigarray.Array1.unsafe_set pl wi
+    ((elt land lnot (0xffff lsl vshift)) lor ((v land 0xffff) lsl vshift))
+
+let load_word_clean t addr =
+  if addr land 3 = 0 then load_word_clean_aligned t addr
+  else begin
+    let v = ref 0 in
+    for i = 3 downto 0 do
+      v := (!v lsl 8) lor load_byte_clean t (addr + i)
+    done;
+    !v
+  end
+
+let store_word_clean t addr v =
+  if addr land 3 = 0 then store_word_clean_aligned t addr v
+  else
+    for i = 0 to 3 do
+      store_byte_clean t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let load_half_clean t addr =
+  if addr land 1 = 0 then load_half_clean_even t addr
+  else load_byte_clean t addr lor (load_byte_clean t (addr + 1) lsl 8)
+
+let store_half_clean t addr v =
+  if addr land 1 = 0 then store_half_clean_even t addr v
+  else begin
+    store_byte_clean t addr (v land 0xff);
+    store_byte_clean t (addr + 1) ((v lsr 8) land 0xff)
+  end
+
+(* --- ranges (word-at-a-time over the taint nibbles; the byte path
+   handles unaligned edges and page boundaries) --- *)
+
+let set_taint_bit t addr fill =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  let tb = 1 lsl (32 + (addr land 3)) in
+  let ot = if elt land tb <> 0 then 1 else 0 in
+  if ot <> fill then begin
+    t.tainted <- t.tainted + fill - ot;
+    Bigarray.Array1.unsafe_set pl wi (elt lxor tb)
+  end
 
 let fill_taint t addr len fill =
-  let i = ref 0 in
-  while !i < len do
-    let a = addr + !i in
-    let off = a land page_mask in
-    let chunk = min (len - !i) (page_bytes - off) in
-    let pl = write_plane t a in
-    Bigarray.Array1.fill
-      (Bigarray.Array1.sub pl (page_bytes + off) chunk)
-      fill;
-    i := !i + chunk
+  let nib = fill * 0xf in
+  let a = ref addr and remaining = ref len in
+  while !remaining > 0 do
+    let addr = !a in
+    let off = addr land page_mask in
+    if addr land 3 = 0 && !remaining >= 4 then begin
+      let words = min (!remaining lsr 2) ((page_bytes - off) lsr 2) in
+      let pl = write_plane t addr in
+      let w0 = off lsr 2 in
+      for wi = w0 to w0 + words - 1 do
+        let elt = Bigarray.Array1.unsafe_get pl wi in
+        t.tainted <- t.tainted + (fill lsl 2) - Array.unsafe_get pop4 (elt lsr 32);
+        Bigarray.Array1.unsafe_set pl wi ((elt land 0xFFFFFFFF) lor (nib lsl 32))
+      done;
+      a := addr + (words lsl 2);
+      remaining := !remaining - (words lsl 2)
+    end
+    else begin
+      set_taint_bit t addr fill;
+      incr a;
+      decr remaining
+    end
   done
 
 let taint_range t addr len = if len > 0 then fill_taint t addr len 1
 let untaint_range t addr len = if len > 0 then fill_taint t addr len 0
 
 let tainted_in_range t addr len =
-  let count = ref 0 and i = ref 0 in
-  while !i < len do
-    let a = addr + !i in
-    let off = a land page_mask in
-    let chunk = min (len - !i) (page_bytes - off) in
-    let pl = read_plane t a in
-    for j = page_bytes + off to page_bytes + off + chunk - 1 do
-      count := !count + Bigarray.Array1.unsafe_get pl j
-    done;
-    i := !i + chunk
+  let count = ref 0 in
+  let a = ref addr and remaining = ref len in
+  while !remaining > 0 do
+    let addr = !a in
+    let off = addr land page_mask in
+    if addr land 3 = 0 && !remaining >= 4 then begin
+      let words = min (!remaining lsr 2) ((page_bytes - off) lsr 2) in
+      let pl = read_plane t addr in
+      let w0 = off lsr 2 in
+      for wi = w0 to w0 + words - 1 do
+        count :=
+          !count + Array.unsafe_get pop4 (Bigarray.Array1.unsafe_get pl wi lsr 32)
+      done;
+      a := addr + (words lsl 2);
+      remaining := !remaining - (words lsl 2)
+    end
+    else begin
+      let _, ta = load_byte t addr in
+      if ta then incr count;
+      incr a;
+      decr remaining
+    end
   done;
   !count
 
 (* Fault-free taint summary, for hardware models (cache line tag
    summaries) that probe addresses the guest never mapped. *)
 let taint_summary t addr len =
-  let tainted = ref false and i = ref 0 in
-  while (not !tainted) && !i < len do
-    let a = addr + !i in
-    let off = a land page_mask in
-    let chunk = min (len - !i) (page_bytes - off) in
-    (match Hashtbl.find_opt t.pages (a lsr 12) with
+  let tainted = ref false in
+  let a = ref addr and remaining = ref len in
+  while (not !tainted) && !remaining > 0 do
+    let addr = !a in
+    let off = addr land page_mask in
+    let chunk = min !remaining (page_bytes - off) in
+    (match Hashtbl.find_opt t.pages (addr lsr 12) with
      | None -> ()
      | Some p ->
        let pl = p.plane in
-       for j = page_bytes + off to page_bytes + off + chunk - 1 do
-         if Bigarray.Array1.unsafe_get pl j <> 0 then tainted := true
+       for i = off to off + chunk - 1 do
+         if Bigarray.Array1.unsafe_get pl (i lsr 2) land (1 lsl (32 + (i land 3))) <> 0
+         then tainted := true
        done);
-    i := !i + chunk
+    a := addr + chunk;
+    remaining := !remaining - chunk
   done;
   !tainted
 
@@ -214,7 +396,9 @@ let taint_summary t addr len =
    the snapshot's planes, again shared.  Because every writer clones a
    shared plane first, snapshot planes are immutable after creation —
    which also makes a snapshot safe to restore concurrently from
-   multiple domains (each restored store clones privately on write). *)
+   multiple domains (each restored store clones privately on write).
+   The live-taint count travels with the snapshot so a restored store
+   starts with the exact counter its pages imply. *)
 
 let snapshot t =
   let snap_pages =
@@ -225,11 +409,12 @@ let snapshot t =
       t.pages []
     |> Array.of_list
   in
-  { snap_pages }
+  { snap_pages; snap_tainted = t.tainted }
 
 let restore snap =
   let t = create () in
   Array.iter
     (fun (idx, plane) -> Hashtbl.replace t.pages idx { plane; shared = true })
     snap.snap_pages;
+  t.tainted <- snap.snap_tainted;
   t

@@ -1,12 +1,12 @@
 (** The unified tagged page store backing {!Memory}.
 
-    Each 4 KiB guest page is one flat [Bigarray] of [2 * page_bytes]
-    unsigned bytes: the data plane in [0, page_bytes) and the taint
-    plane — one 0/1 byte per data byte — in [page_bytes,
-    2*page_bytes).  Keeping both planes in one buffer gives the word
-    fast paths a single bounds-checked base and keeps a page's tags on
-    the same cache lines as its data, the way the paper's extended
-    memory carries taint bits alongside each word (section 4.1).
+    Each 4 KiB guest page is one flat [Bigarray] of [page_bytes / 4]
+    native ints — one element per aligned guest word, holding the
+    word's packed {!Ptaint_taint.Tword} bits (value in bits 0–31, one
+    taint bit per byte in bits 32–35).  An aligned word access is a
+    single array element read or write, and a page's tags live on the
+    same cache lines as its data, the way the paper's extended memory
+    carries taint bits alongside each word (section 4.1).
 
     Addresses are guest-physical, already masked to 32 bits by the
     caller; accessing an unmapped page raises {!Unmapped} (the
@@ -33,6 +33,12 @@ val is_mapped : t -> int -> bool
 
 val mapped_pages : t -> int
 
+val tainted_bytes : t -> int
+(** Exact number of live tainted bytes across all pages, maintained
+    incrementally by every taint-plane writer (stores, range fills,
+    snapshot restore).  [0] proves the entire taint plane is zero —
+    the precondition of the [*_clean] accessors. *)
+
 (** {1 Access}  [load_word]/[store_word] and the half-word pair take
     any alignment; accesses crossing into an unmapped page raise
     {!Unmapped} with the first unmapped address. *)
@@ -43,6 +49,39 @@ val load_word : t -> int -> Ptaint_taint.Tword.t
 val store_word : t -> int -> Ptaint_taint.Tword.t -> unit
 val load_half : t -> int -> int * Ptaint_taint.Mask.t
 val store_half : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
+
+(** {1 CPU fast-path access}
+
+    Inline variants for the interpreter's execution loop, which
+    checks alignment {e before} the access and handles {!Unmapped}
+    itself: the word pair requires a 4-aligned address, the half pair
+    an even one (neither can then cross a page).  [load_byte_tw] and
+    [load_half_even] return the data packed as a {!Ptaint_taint.Tword}
+    so nothing on the path allocates. *)
+
+val load_word_aligned : t -> int -> Ptaint_taint.Tword.t
+val store_word_aligned : t -> int -> Ptaint_taint.Tword.t -> unit
+val load_byte_tw : t -> int -> Ptaint_taint.Tword.t
+val load_half_even : t -> int -> Ptaint_taint.Tword.t
+val store_half_even : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
+val load_word_clean_aligned : t -> int -> int
+val store_word_clean_aligned : t -> int -> int -> unit
+val load_half_clean_even : t -> int -> int
+val store_half_clean_even : t -> int -> int -> unit
+
+(** {1 Clean-plane access}
+
+    Data-plane-only variants for the CPU's clean fast path.  Sound
+    only while {!tainted_bytes} is [0]: loads skip assembling a mask
+    that would be zero anyway, stores skip clearing tags that are
+    already clear.  Same faulting behaviour as the full accessors. *)
+
+val load_byte_clean : t -> int -> int
+val store_byte_clean : t -> int -> int -> unit
+val load_word_clean : t -> int -> int
+val store_word_clean : t -> int -> int -> unit
+val load_half_clean : t -> int -> int
+val store_half_clean : t -> int -> int -> unit
 
 (** {1 Taint plane ranges} *)
 

@@ -216,11 +216,42 @@ let result_of s outcome =
     machine = s.s_machine;
     image = s.s_image }
 
-let finish s =
+let finish_per_step s =
   let rec loop () =
     match session_step s with Running -> loop () | Finished outcome -> outcome
   in
   result_of s (loop ())
+
+(* Bulk driver: whole blocks per dispatch via [Machine.run], fuel
+   re-derived from [icount] around each syscall so [Out_of_fuel] lands
+   on exactly the same instruction as the per-step loop. *)
+let finish_bulk s =
+  let machine = s.s_machine in
+  let rec loop () =
+    let fuel = s.s_config.max_instructions - machine.Machine.icount in
+    if fuel <= 0 then Out_of_fuel
+    else
+      match Machine.run machine ~fuel with
+      | Machine.Normal -> Out_of_fuel
+      | Machine.Syscall -> (
+        match Kernel.handle s.s_kernel machine with
+        | `Continue -> loop ()
+        | `Exit code -> Exited code)
+      | Machine.Alert a -> Alert a
+      | Machine.Fault f -> Fault f
+      | Machine.Break_trap c -> Trap c
+  in
+  result_of s (loop ())
+
+(* The block engine is used exactly when nothing needs to observe
+   individual instructions: no pipeline timing model, no on_step hook,
+   no obs trace.  Those configs (and the debugger, which single-steps
+   via [session_step]) keep the per-step engine and its byte-identical
+   semantics. *)
+let finish s =
+  match (s.s_pipeline, s.s_config.on_step, s.s_machine.Machine.obs) with
+  | None, None, None -> finish_bulk s
+  | _ -> finish_per_step s
 
 let run ?config program = finish (boot ?config program)
 

@@ -102,7 +102,17 @@ val session_step : session -> progress
 (** Execute one instruction (servicing syscalls transparently). *)
 
 val finish : session -> result
-(** Run the session to completion and collect the result. *)
+(** Run the session to completion and collect the result.  Routes
+    through the block-threaded bulk engine ({!Ptaint_cpu.Machine.run})
+    when no pipeline timing model, no [on_step] hook and no obs trace
+    is attached — the [run_many]/campaign/benchmark path — and falls
+    back to the per-instruction engine otherwise.  Results are
+    bit-identical either way. *)
+
+val finish_per_step : session -> result
+(** Run to completion strictly one instruction at a time — the
+    reference engine the bulk path is differentially tested against.
+    Semantically identical to {!finish}, just slower. *)
 
 val run : ?config:config -> Ptaint_asm.Program.t -> result
 val run_asm : ?config:config -> string -> result

@@ -1,0 +1,254 @@
+(* Differential testing of the block-threaded bulk engine.
+
+   [Sim.finish] routes untraced sessions through [Machine.run] — the
+   pre-decoded basic-block interpreter with its clean-taint fast path
+   — while [Sim.finish_per_step] drives the same session strictly one
+   [Machine.step] at a time.  The two engines must be observationally
+   identical: same outcome, same instruction count, same register
+   file (values *and* taint), same memory taint, same access
+   statistics.  This suite checks that on random compiled programs,
+   on every attack scenario in the catalogue under every coverage
+   policy, and on a handwritten guest that crosses
+   clean -> tainted -> clean so both sides of the fast-path switch
+   execute. *)
+
+open Ptaint_taint
+module Sim = Ptaint_sim.Sim
+module Machine = Ptaint_cpu.Machine
+module Regfile = Ptaint_cpu.Regfile
+module Memory = Ptaint_mem.Memory
+module Scenario = Ptaint_attacks.Scenario
+module Catalog = Ptaint_attacks.Catalog
+
+(* --- result comparison ---------------------------------------------- *)
+
+let outcome_str o = Format.asprintf "%a" Sim.pp_outcome o
+
+let reg_bits m =
+  List.init Regfile.slots (fun i -> Tword.to_bits (Regfile.slot m.Machine.regs i))
+
+let check_agree ctx (bulk : Sim.result) (ref_ : Sim.result) =
+  let chk name pp a b =
+    if a <> b then
+      Alcotest.failf "%s: %s differs — bulk %s, per-step %s" ctx name (pp a) (pp b)
+  in
+  let si = string_of_int in
+  chk "outcome" Fun.id (outcome_str bulk.outcome) (outcome_str ref_.outcome);
+  chk "instructions" si bulk.instructions ref_.instructions;
+  chk "stdout" (Printf.sprintf "%S") bulk.stdout ref_.stdout;
+  chk "net_sent" (String.concat "|") bulk.net_sent ref_.net_sent;
+  chk "execs" (String.concat "|") bulk.execs ref_.execs;
+  chk "final_uid" si bulk.final_uid ref_.final_uid;
+  chk "input_bytes" si bulk.input_bytes ref_.input_bytes;
+  chk "syscalls" si bulk.syscalls ref_.syscalls;
+  let mb = bulk.machine and mr = ref_.machine in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "%s: register %s differs — bulk %x, per-step %x" ctx
+          (Regfile.slot_name i) a b)
+    (List.combine (reg_bits mb) (reg_bits mr));
+  chk "machine icount" si mb.Machine.icount mr.Machine.icount;
+  chk "tainted registers" si
+    (Regfile.tainted_count mb.Machine.regs) (Regfile.tainted_count mr.Machine.regs);
+  chk "tainted bytes" si
+    (Memory.tainted_bytes mb.Machine.mem) (Memory.tainted_bytes mr.Machine.mem);
+  let sb = Memory.stats mb.Machine.mem and sr = Memory.stats mr.Machine.mem in
+  chk "loads" si sb.Memory.loads sr.Memory.loads;
+  chk "stores" si sb.Memory.stores sr.Memory.stores;
+  chk "tainted loads" si sb.Memory.tainted_loads sr.Memory.tainted_loads;
+  chk "tainted stores" si sb.Memory.tainted_stores sr.Memory.tainted_stores;
+  chk "mapped bytes" si sb.Memory.mapped_bytes sr.Memory.mapped_bytes
+
+(* Run one program under one config through both engines.  Also
+   asserts the routing itself: the bulk run must actually have
+   dispatched blocks, and the reference run must not have. *)
+let differential ctx config program =
+  let bulk = Sim.finish (Sim.boot ~config program) in
+  let ref_ = Sim.finish_per_step (Sim.boot ~config program) in
+  if bulk.instructions > 0 && bulk.machine.Machine.blocks_run = 0 then
+    Alcotest.failf "%s: finish did not route through the block engine" ctx;
+  if ref_.machine.Machine.blocks_run <> 0 then
+    Alcotest.failf "%s: finish_per_step dispatched blocks" ctx;
+  check_agree ctx bulk ref_;
+  bulk
+
+(* --- random compiled programs --------------------------------------- *)
+
+(* Random Mini-C expression trees (same shape as the compiler fuzz
+   suite, minus the OCaml reference evaluator: here the per-step
+   engine *is* the reference).  Division and shifts keep constant
+   right-hand sides so neither engine hits undefined guest behaviour;
+   control flow comes from ?:/&&/|| which compile to branches, so the
+   block engine sees real multi-block programs, not one straight
+   line. *)
+type expr =
+  | Num of int
+  | Var of int (* 0..2 -> a, b, c *)
+  | Bin of string * expr * expr
+  | Un of string * expr
+  | Cond of expr * expr * expr
+
+let rec render = function
+  | Num n -> string_of_int n
+  | Var i -> String.make 1 (Char.chr (Char.code 'a' + i))
+  | Un (op, e) -> Printf.sprintf "(%s %s)" op (render e)
+  | Cond (c, t, f) -> Printf.sprintf "(%s ? %s : %s)" (render c) (render t) (render f)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+
+let expr_gen =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof [ (int_range (-100) 100 >|= fun n -> Num n); (int_range 0 2 >|= fun i -> Var i) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            ( 5,
+              let* op =
+                oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "<"; ">"; "<="; ">="; "=="; "!=" ]
+              in
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              return (Bin (op, a, b)) );
+            ( 1,
+              let* op = oneofl [ "/"; "%" ] in
+              let* a = self (depth - 1) in
+              let* d = oneofl [ -7; -3; 2; 3; 5; 17 ] in
+              return (Bin (op, a, Num d)) );
+            ( 1,
+              let* op = oneofl [ "<<"; ">>" ] in
+              let* a = self (depth - 1) in
+              let* s = int_range 0 31 in
+              return (Bin (op, a, Num s)) );
+            ( 1,
+              let* op = oneofl [ "&&"; "||" ] in
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              return (Bin (op, a, b)) );
+            (1, self (depth - 1) >|= fun e -> Un ("-", e));
+            (1, self (depth - 1) >|= fun e -> Un ("~", e));
+            (1, self (depth - 1) >|= fun e -> Un ("!", e));
+            ( 1,
+              let* c = self (depth - 1) in
+              let* t = self (depth - 1) in
+              let* f = self (depth - 1) in
+              return (Cond (c, t, f)) ) ])
+    4
+
+let prop_random_programs =
+  QCheck2.Test.make ~count:60 ~name:"bulk engine = per-step engine on random programs"
+    ~print:(fun (e, va, vb) -> Printf.sprintf "a=%d b=%d expr=%s" va vb (render e))
+    QCheck2.Gen.(triple expr_gen (int_range (-50) 50) (int_range (-50) 50))
+    (fun (e, va, vb) ->
+      let source =
+        Printf.sprintf
+          "int main(void) { int a = %d; int b = %d; int c = 13; printf(\"%%d\", %s); return 0; }"
+          va vb (render e)
+      in
+      let program = Ptaint_runtime.Runtime.compile source in
+      ignore (differential (render e) Sim.default_config program);
+      true)
+
+(* --- the attack catalogue, every scenario x case x policy ------------ *)
+
+let test_catalog_differential () =
+  List.iter
+    (fun (s : Scenario.t) ->
+      let program = s.build () in
+      List.iter
+        (fun (c : Scenario.case) ->
+          List.iter
+            (fun (pname, policy) ->
+              let config = { (c.config program) with Sim.policy; obs = false } in
+              let ctx = Printf.sprintf "%s/%s/%s" s.name c.Scenario.case_name pname in
+              ignore (differential ctx config program))
+            Scenario.coverage_policies)
+        s.cases)
+    Catalog.all
+
+(* --- clean -> tainted -> clean -------------------------------------- *)
+
+(* Starts with zero live taint (only stdin is a source, argv is not),
+   spins a while on the clean fast path, reads four tainted bytes,
+   works on them with the full handlers, then scrubs both the buffer
+   and the registers and spins again — so one run exercises the clean
+   path, the taint path, and both switch directions. *)
+let clean_taint_clean_asm =
+  {|
+        .text
+main:   li $t1, 200
+warm:   addiu $t1, $t1, -1      # clean spin: no taint anywhere yet
+        bne $t1, $zero, warm
+        li $v0, 2               # sys_read
+        li $a0, 0               # stdin
+        la $a1, buf
+        li $a2, 4
+        syscall
+        lw $t0, 0($a1)
+        addu $t2, $t0, $t0      # propagate taint through the ALU
+        sw $t2, 4($a1)
+        sw $zero, 0($a1)        # scrub memory taint...
+        sw $zero, 4($a1)
+        li $t0, 0               # ...and register taint
+        li $t2, 0
+        li $t1, 200
+cool:   addiu $t1, $t1, -1      # clean again
+        bne $t1, $zero, cool
+        li $v0, 1               # sys_exit
+        li $a0, 0
+        syscall
+        .data
+buf:    .space 8
+|}
+
+let test_clean_taint_clean () =
+  let program =
+    match Ptaint_asm.Assembler.assemble clean_taint_clean_asm with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "assembly failed: %a" Ptaint_asm.Assembler.pp_error e
+  in
+  let config =
+    Sim.config ~sources:{ Ptaint_os.Sources.none with stdin = true } ~stdin:"ABCD" ()
+  in
+  let bulk = differential "clean-taint-clean" config program in
+  let m = bulk.machine in
+  (match bulk.outcome with
+   | Sim.Exited 0 -> ()
+   | o -> Alcotest.failf "outcome: %a" Sim.pp_outcome o);
+  Alcotest.(check bool) "some blocks ran clean" true (m.Machine.clean_blocks > 0);
+  Alcotest.(check bool) "some blocks ran the full handlers" true
+    (m.Machine.blocks_run > m.Machine.clean_blocks);
+  Alcotest.(check int) "memory scrubbed" 0 (Memory.tainted_bytes m.Machine.mem);
+  Alcotest.(check int) "registers scrubbed" 0 (Regfile.tainted_count m.Machine.regs)
+
+(* --- batch runner --------------------------------------------------- *)
+
+(* [run_many] feeds every job through [finish]; a two-domain batch
+   must therefore match a sequential per-step run job for job. *)
+let test_run_many_differential () =
+  let stack = Catalog.exp1_stack_smash in
+  let format = Catalog.exp3_format in
+  let jobs =
+    List.concat_map
+      (fun (s : Scenario.t) ->
+        let p = s.build () in
+        List.map (fun (c : Scenario.case) -> (c.Scenario.config p, p)) s.cases)
+      [ stack; format ]
+  in
+  let batch = Sim.run_many ~domains:2 jobs in
+  let seq = List.map (fun (c, p) -> Sim.finish_per_step (Sim.boot ~config:c p)) jobs in
+  List.iteri
+    (fun i (b, r) -> check_agree (Printf.sprintf "run_many job %d" i) b r)
+    (List.combine batch seq)
+
+let () =
+  Alcotest.run "block engine"
+    [ ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_random_programs;
+          Alcotest.test_case "attack catalogue, both engines" `Quick test_catalog_differential;
+          Alcotest.test_case "clean -> tainted -> clean" `Quick test_clean_taint_clean;
+          Alcotest.test_case "run_many matches per-step" `Quick test_run_many_differential ] ) ]
