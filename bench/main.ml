@@ -295,9 +295,29 @@ let micro_clean_fastpath_bench =
          let m = alu_machine ~tainted:false () in
          ignore (Ptaint_cpu.Machine.run m ~fuel:10_000)))
 
+(* fuel-sliced execution: the same bulk loop chopped into
+   watchdog/fault-injection slices (Fi.default_slice) with a deadline
+   check per boundary — the cost the hardened campaign runtime and the
+   injection engine add over micro/block-dispatch-10k *)
+let micro_sliced_run_bench =
+  Test.make ~name:"micro/sliced-run-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         let deadline = Unix.gettimeofday () +. 3600.0 in
+         let slice = Ptaint_fi.Fi.default_slice in
+         let rec go fuel =
+           if fuel > 0 then begin
+             if Unix.gettimeofday () > deadline then failwith "bench watchdog";
+             ignore (Ptaint_cpu.Machine.run m ~fuel:(min slice fuel));
+             go (fuel - slice)
+           end
+         in
+         go 10_000))
+
 let micro_benches =
   [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
-    micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench ]
+    micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench;
+    micro_sliced_run_bench ]
 
 (* --- driver ----------------------------------------------------------------- *)
 

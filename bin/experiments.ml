@@ -32,6 +32,8 @@ let sections =
      fun _ _ -> Ptaint_experiments.Experiments.ablation ());
     ("ext", "section 5.3 annotation extension",
      fun _ _ -> Ptaint_experiments.Experiments.extension ());
+    ("resilience", "fault injection into the detector + hardened runtime",
+     fun domains trace -> Ptaint_experiments.Experiments.resilience ?domains ?trace ());
     ("all", "everything",
      fun domains trace -> Ptaint_experiments.Experiments.all ?domains ?trace ()) ]
 

@@ -11,6 +11,7 @@
 
 open Cmdliner
 module Campaign = Ptaint_campaign.Campaign
+module Fi = Ptaint_fi.Fi
 
 let read_file path =
   let ic = open_in_bin path in
@@ -66,10 +67,34 @@ let write_chrome ch file =
 (* Single-program mode: full guest output, diagnostics on alert, and
    the session's structured events exported on request.  Observation
    is always on here — one interactive run never notices the cost. *)
-let run_one path config disasm trace_file metrics =
+let run_one path config disasm trace_file metrics plan job_timeout =
   let program = load_program path in
   if disasm then print_string (Ptaint_asm.Program.disassemble program);
-  let r = Ptaint_sim.Sim.run ~config program in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) job_timeout in
+  let r =
+    if plan = [] then Ptaint_sim.Sim.run ?deadline ~config program
+    else begin
+      let report = Fi.run_plan ~config ?deadline ~plan program in
+      List.iter
+        (fun (a : Fi.applied) ->
+          Format.eprintf "fault %s: %a@."
+            (if a.Fi.ok then "injected" else "missed")
+            Fi.pp_injection a.Fi.injection)
+        report.Fi.applied;
+      (if Ptaint_sim.Sim.detected report.Fi.result then
+         match
+           List.filter_map (fun (a : Fi.applied) ->
+               if a.Fi.ok then Some a.Fi.injection.Fi.at else None)
+             report.Fi.applied
+         with
+         | [] -> ()
+         | ats ->
+           let first = List.fold_left min max_int ats in
+           Format.eprintf "detection latency: %d instructions after first injection@."
+             (report.Fi.result.Ptaint_sim.Sim.instructions - first));
+      report.Fi.result
+    end
+  in
   print_string r.Ptaint_sim.Sim.stdout;
   List.iteri
     (fun i m -> Printf.printf "[net reply %d] %s\n" (i + 1) (String.escaped m))
@@ -105,7 +130,7 @@ let run_one path config disasm trace_file metrics =
 
 (* Batch mode: each program becomes one campaign job on the domain
    pool; one summary line per program, in command-line order. *)
-let run_batch paths config domains trace_file metrics =
+let run_batch paths config domains trace_file metrics job_timeout =
   let jobs =
     List.map
       (fun path ->
@@ -115,7 +140,7 @@ let run_batch paths config domains trace_file metrics =
       paths
   in
   let trace = Option.map (fun _ -> Ptaint_obs.Trace.create ()) trace_file in
-  let results, stats = Campaign.run ?domains ?trace jobs in
+  let results, stats = Campaign.run ?domains ?trace ?job_timeout jobs in
   let code =
     List.fold_left
       (fun acc (jr : Campaign.job_result) ->
@@ -125,8 +150,9 @@ let run_batch paths config domains trace_file metrics =
             Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome
             r.Ptaint_sim.Sim.instructions r.Ptaint_sim.Sim.syscalls;
           max acc (exit_code_of r)
-        | Campaign.Crashed f ->
-          Format.printf "%-32s job crashed: %s@." jr.Campaign.name f.Campaign.exn;
+        | Campaign.Failed f ->
+          Format.printf "%-32s job failed (%s): %s@." jr.Campaign.name
+            (Campaign.kind_name f.Campaign.kind) f.Campaign.exn;
           max acc 4)
       0 results
   in
@@ -139,13 +165,22 @@ let run_batch paths config domains trace_file metrics =
    | _ -> ());
   code
 
+let parse_injections specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, Fi.parse spec) with
+      | Error _, _ -> acc
+      | Ok l, Ok i -> Ok (l @ [ i ])
+      | Ok _, Error e -> Error e)
+    (Ok []) specs
+
 let run paths policy_name stdin_data sessions args disasm timing trace_file trace_insns
-    trace_limit metrics domains =
-  match Ptaint_sim.Sim.policy_of_label policy_name with
-  | Error e ->
+    trace_limit metrics domains inject_specs job_timeout =
+  match (Ptaint_sim.Sim.policy_of_label policy_name, parse_injections inject_specs) with
+  | Error e, _ | _, Error e ->
     prerr_endline e;
     2
-  | Ok policy -> (
+  | Ok policy, Ok plan -> (
     try
       match paths with
       | [] ->
@@ -160,22 +195,36 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
             ?on_step:(if trace_insns then Some (tracer trace_limit) else None)
             ()
         in
-        run_one path config disasm trace_file metrics
+        run_one path config disasm trace_file metrics plan job_timeout
       | paths ->
         if trace_insns then prerr_endline "note: --trace-insns is ignored in batch (-j) mode";
+        if plan <> [] then prerr_endline "note: --inject is ignored in batch (-j) mode";
         let config =
           Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
             ~sessions:(List.map (fun s -> [ s ]) sessions)
             ~timing ()
         in
-        run_batch paths config domains trace_file metrics
+        run_batch paths config domains trace_file metrics job_timeout
     with
     | Guest_error e ->
       prerr_endline e;
       2
     | Sys_error e ->
       prerr_endline e;
-      2)
+      2
+    | Ptaint_sim.Sim.Timeout { instructions } ->
+      Printf.eprintf "watchdog: job timeout after %d instructions\n" instructions;
+      4
+    | Ptaint_asm.Loader.Error err ->
+      Format.eprintf "loader error: %a@." Ptaint_asm.Loader.pp_error err;
+      2
+    | Ptaint_asm.Assembler.Asm_error { line; message } ->
+      Printf.eprintf "assembly error: line %d: %s\n" line message;
+      2
+    | Ptaint_os.Kernel.Guest_fault { sysnum; pc; args } ->
+      Printf.eprintf "guest fault: syscall %d at pc 0x%08x (args %s)\n" sysnum pc
+        (String.concat ", " (List.map string_of_int args));
+      4)
 
 let paths_arg = Arg.(value & pos_all file [] & info [] ~docv:"PROGRAM")
 
@@ -220,11 +269,27 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"With several PROGRAMs: run the batch on N domains (default: all cores).")
 
+let inject_arg =
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC"
+         ~doc:"Inject a fault at a guest instruction count (repeatable; single-program \
+               mode).  SPEC is MODEL\\@ICOUNT[:TARGET], e.g. \
+               data-flip\\@1000:0x10000000.3, reg-flip\\@500:4.7, \
+               taint-loss\\@2000:0x10000000+64, spurious-taint\\@2000:0x10000000+64, \
+               stuck-clean\\@1:0x10000000+4096, reg-taint-loss\\@100:29, \
+               reg-spurious-taint\\@100:29, taint-wipe\\@1500.")
+
+let job_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock watchdog: abort a guest that runs longer than $(docv) \
+               (cooperative, checked at fuel-slice boundaries).  In batch (-j) mode the \
+               timed-out job is reported as a timeout failure and the rest of the batch \
+               completes.")
+
 let cmd =
   let doc = "run guest programs on the pointer-taintedness architecture" in
   Cmd.v (Cmd.info "ptaint-run" ~doc)
     Term.(const run $ paths_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
           $ timing_arg $ trace_arg $ trace_insns_arg $ trace_limit_arg $ metrics_arg
-          $ domains_arg)
+          $ domains_arg $ inject_arg $ job_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -80,7 +80,11 @@ let parse_stmt line tokens : stmt option =
       | [ Lexer.Str s ] -> Some (Sascii (s ^ "\000"))
       | _ -> fail line ".asciiz expects one string")
     | ".space" -> (
-      match ops () with [ Oimm n ] -> Some (Sspace n) | _ -> fail line ".space expects a size")
+      match ops () with
+      | [ Oimm n ] ->
+        if n < 0 then fail line (Printf.sprintf ".space size must be non-negative (got %d)" n);
+        Some (Sspace n)
+      | _ -> fail line ".space expects a size")
     | ".align" -> (
       match ops () with [ Oimm n ] -> Some (Salign n) | _ -> fail line ".align expects a power")
     | ".globl" | ".global" | ".ent" | ".end" -> None
@@ -410,4 +414,4 @@ let assemble ?(text_base = Ptaint_mem.Layout.text_base)
 let assemble_exn ?text_base ?data_base source =
   match assemble ?text_base ?data_base source with
   | Ok p -> p
-  | Error e -> invalid_arg (Format.asprintf "Assembler.assemble_exn: %a" pp_error e)
+  | Error e -> raise (Asm_error e)

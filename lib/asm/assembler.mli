@@ -9,8 +9,15 @@
 
 type error = { line : int; message : string }
 
+exception Asm_error of error
+(** The typed assembly failure: [line] is the 1-based source line.
+    Raised by {!assemble_exn}; the campaign runtime classifies it as a
+    loader error, not a crash. *)
+
 val assemble :
   ?text_base:int -> ?data_base:int -> string -> (Program.t, error) result
 
 val assemble_exn : ?text_base:int -> ?data_base:int -> string -> Program.t
+(** Like {!assemble} but raises {!Asm_error} on malformed input. *)
+
 val pp_error : Format.formatter -> error -> unit

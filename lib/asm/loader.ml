@@ -11,11 +11,54 @@ type image = {
   args_bytes : int;
 }
 
+type error = { where : string; message : string }
+
+exception Error of error
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.message
+
+let error where fmt = Printf.ksprintf (fun message -> raise (Error { where; message })) fmt
+
 let align_up v a = (v + a - 1) land lnot (a - 1)
+
+(* Reject malformed images before any page is mapped: a program whose
+   segments collide (or whose entry point lies outside the text
+   segment) must surface as a typed loader error the campaign can
+   classify, not as a wild allocation or a bare exception later. *)
+let validate ~argv ~env ~stack_bytes ~heap_bytes (program : Program.t) =
+  if stack_bytes < Layout.page_bytes then
+    error "stack" "stack size %d is below one page (%d bytes)" stack_bytes Layout.page_bytes;
+  if heap_bytes < 0 then error "heap" "negative heap size %d" heap_bytes;
+  let data_len = max (String.length program.Program.data) 16 in
+  let stack_lo = Layout.stack_top - stack_bytes in
+  let heap_base = align_up (Program.data_end program) Layout.page_bytes in
+  if program.Program.data_base + data_len > stack_lo || heap_base + heap_bytes > stack_lo then
+    error "data segment"
+      "data+heap [0x%08x, 0x%08x) collides with the stack (low water 0x%08x)"
+      program.Program.data_base (heap_base + heap_bytes) stack_lo;
+  let text_len = Array.length program.Program.insns in
+  let entry = program.Program.entry in
+  if text_len > 0
+     && (entry land 3 <> 0
+         || entry < program.Program.text_base
+         || entry >= program.Program.text_base + (4 * text_len))
+  then
+    error "entry" "entry point 0x%08x outside the text segment [0x%08x, 0x%08x)" entry
+      program.Program.text_base
+      (program.Program.text_base + (4 * text_len));
+  let args_bytes =
+    List.fold_left (fun n s -> n + String.length s + 1) 0 argv
+    + List.fold_left (fun n (k, v) -> n + String.length k + String.length v + 2) 0 env
+    + (4 * (List.length argv + List.length env + 3))
+  in
+  if args_bytes + 256 > stack_bytes then
+    error "arguments" "argv/env block (%d bytes) does not fit the %d-byte stack" args_bytes
+      stack_bytes
 
 let load ?(argv = [ "prog" ]) ?(env = []) ?(sources = Ptaint_os.Sources.all)
     ?(stack_bytes = Layout.default_stack_bytes) ?(heap_bytes = Layout.default_heap_bytes)
     (program : Program.t) =
+  validate ~argv ~env ~stack_bytes ~heap_bytes program;
   let mem = Memory.create () in
   (* Data segment (at least one page so the break is mapped). *)
   let data_len = max (String.length program.Program.data) 16 in

@@ -7,6 +7,18 @@
     {!Ptaint_os.Sources.t} policy — they are external input (paper
     section 4.4). *)
 
+type error = { where : string; message : string }
+(** [where] names the offending part of the image ("data segment",
+    "entry", "arguments", ...); assembler failures keep their source
+    line via {!Assembler.Asm_error} instead. *)
+
+exception Error of error
+(** Typed load failure, raised by {!load} before any page is mapped.
+    The campaign runtime classifies it as [Loader_error], not a
+    crash. *)
+
+val pp_error : Format.formatter -> error -> unit
+
 type image = {
   program : Program.t;
   mem : Ptaint_mem.Memory.t;

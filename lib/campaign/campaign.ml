@@ -35,11 +35,42 @@ let job_thunk ~name ?(policy_label = "unlabelled") ?expect thunk =
 
 let job_name j = j.j_name
 
-type failure = { exn : string; backtrace : string }
+(* --- typed failure taxonomy ---
+
+   A job that does not produce a simulation result fails for one of
+   four reasons, and the campaign must be able to tell them apart
+   without string matching: a watchdog timeout is an experiment
+   parameter, a guest fault is a property of the guest under test, a
+   loader error is a malformed input, and only the remainder is an
+   actual crash of the harness (the sole transient kind worth
+   retrying). *)
+
+type failure_kind =
+  | Timeout of { seconds : float }
+  | Guest_fault of { sysnum : int; pc : int; args : int list }
+  | Loader_error of { where : string; message : string }
+  | Crashed
+
+type failure = { kind : failure_kind; exn : string; backtrace : string }
 
 type status =
   | Finished of Ptaint_sim.Sim.result
-  | Crashed of failure
+  | Failed of failure
+
+let kind_name = function
+  | Timeout _ -> "timeout"
+  | Guest_fault _ -> "guest fault"
+  | Loader_error _ -> "loader error"
+  | Crashed -> "crashed"
+
+let classify ~job_timeout = function
+  | Ptaint_sim.Sim.Timeout _ ->
+    Timeout { seconds = Option.value ~default:0. job_timeout }
+  | Ptaint_os.Kernel.Guest_fault { sysnum; pc; args } -> Guest_fault { sysnum; pc; args }
+  | Ptaint_asm.Loader.Error { where; message } -> Loader_error { where; message }
+  | Ptaint_asm.Assembler.Asm_error { line; message } ->
+    Loader_error { where = Printf.sprintf "line %d" line; message }
+  | _ -> Crashed
 
 type timing = { started : float; finished : float; domain : int }
 
@@ -48,17 +79,21 @@ type job_result = {
   policy_label : string;
   status : status;
   violation : string option;
+  attempts : int;
   timing : timing;
 }
 
 let result_exn r =
   match r.status with
   | Finished result -> result
-  | Crashed f -> invalid_arg (Printf.sprintf "job %s crashed: %s" r.name f.exn)
+  | Failed f ->
+    invalid_arg
+      (Printf.sprintf "job %s failed (%s) after %d attempt(s): %s\n%s" r.name
+         (kind_name f.kind) r.attempts f.exn f.backtrace)
 
 type stats = {
   jobs : int;
-  crashed : int;
+  failed : int;
   violations : int;
   wall_seconds : float;
   instructions : int;
@@ -67,29 +102,60 @@ type stats = {
   metrics : (string * Ptaint_obs.Metrics.t) list;
 }
 
-let exec run_sim j =
+(* run_sim is the template-sharing closure [run] builds; [deadline]
+   arms the cooperative watchdog inside the fuel-sliced engine. *)
+let exec ~job_timeout ~retries ~backoff run_sim j =
   let started = Unix.gettimeofday () in
-  let close status violation =
+  let close ~attempts status violation =
     { name = j.j_name;
       policy_label = j.j_policy_label;
       status;
       violation;
+      attempts;
       timing =
         { started;
           finished = Unix.gettimeofday ();
           domain = (Domain.self () :> int) } }
   in
-  match
-    (match j.j_work with
-     | Sim_run (config, program) -> run_sim config program
-     | Thunk f -> f ())
-  with
-  | result ->
-    let violation = match j.j_expect with None -> None | Some f -> f result in
-    close (Finished result) violation
-  | exception e ->
-    let backtrace = Printexc.get_backtrace () in
-    close (Crashed { exn = Printexc.to_string e; backtrace }) None
+  let attempt () =
+    (* The deadline is absolute wall-clock, re-derived per attempt so a
+       retried job gets its full budget back. *)
+    let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) job_timeout in
+    match j.j_work with
+    | Sim_run (config, program) -> run_sim ~deadline config program
+    | Thunk f -> f ()
+  in
+  let rec go attempts =
+    match attempt () with
+    | result ->
+      (* A broken expectation function must not bring the job (let
+         alone the pool) down: its exception is the violation. *)
+      let violation =
+        match j.j_expect with
+        | None -> None
+        | Some f -> (
+          try f result with e -> Some ("expect raised: " ^ Printexc.to_string e))
+      in
+      close ~attempts (Finished result) violation
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let kind = classify ~job_timeout e in
+      (* Only genuine crashes are plausibly transient; timeouts, guest
+         faults and loader errors are deterministic properties of the
+         job and retrying them just burns the budget. *)
+      (match kind with
+       | Crashed when attempts <= retries ->
+         if backoff > 0. then Unix.sleepf (backoff *. float_of_int (1 lsl (attempts - 1)));
+         go (attempts + 1)
+       | _ ->
+         close ~attempts
+           (Failed
+              { kind;
+                exn = Printexc.to_string e;
+                backtrace = Printexc.raw_backtrace_to_string bt })
+           None)
+  in
+  go 1
 
 (* Per-label registry: deterministic counters from the simulation
    results plus wall-clock and concurrency histograms from the job
@@ -106,6 +172,12 @@ let metrics_of results =
       regs := (label, m) :: !regs;
       m
   in
+  let kind_counter = function
+    | Timeout _ -> "timeouts"
+    | Guest_fault _ -> "guest faults"
+    | Loader_error _ -> "loader errors"
+    | Crashed -> "crashed"
+  in
   let concurrency_at t =
     List.fold_left
       (fun n r -> if r.timing.started <= t && t < r.timing.finished then n + 1 else n)
@@ -115,8 +187,9 @@ let metrics_of results =
     (fun r ->
       let m = registry r.policy_label in
       M.inc (M.counter m "jobs");
+      if r.attempts > 1 then M.inc ~by:(r.attempts - 1) (M.counter m "retries");
       (match r.status with
-       | Crashed _ -> M.inc (M.counter m "crashed")
+       | Failed f -> M.inc (M.counter m (kind_counter f.kind))
        | Finished res ->
          M.inc ~by:res.Ptaint_sim.Sim.instructions (M.counter m "instructions");
          M.inc ~by:res.Ptaint_sim.Sim.syscalls (M.counter m "syscalls");
@@ -142,7 +215,7 @@ let stats_of ~wall_seconds results =
     | Some n -> detections := (label, n + by) :: List.remove_assoc label !detections
     | None -> detections := (label, by) :: !detections
   in
-  let crashed = ref 0 and violations = ref 0 and insns = ref 0 and sys = ref 0 in
+  let failed = ref 0 and violations = ref 0 and insns = ref 0 and sys = ref 0 in
   let seen_order = ref [] in
   List.iter
     (fun r ->
@@ -150,7 +223,7 @@ let stats_of ~wall_seconds results =
         seen_order := r.policy_label :: !seen_order;
       if r.violation <> None then incr violations;
       match r.status with
-      | Crashed _ -> incr crashed
+      | Failed _ -> incr failed
       | Finished res ->
         insns := !insns + res.Ptaint_sim.Sim.instructions;
         sys := !sys + res.Ptaint_sim.Sim.syscalls;
@@ -158,7 +231,7 @@ let stats_of ~wall_seconds results =
           (match res.Ptaint_sim.Sim.outcome with Ptaint_sim.Sim.Alert _ -> 1 | _ -> 0))
     results;
   { jobs = List.length results;
-    crashed = !crashed;
+    failed = !failed;
     violations = !violations;
     wall_seconds;
     instructions = !insns;
@@ -170,7 +243,7 @@ let stats_of ~wall_seconds results =
 
 let outcome_name r =
   match r.status with
-  | Crashed _ -> "crashed"
+  | Failed f -> kind_name f.kind
   | Finished res -> (
     match res.Ptaint_sim.Sim.outcome with
     | Ptaint_sim.Sim.Exited _ -> "exited"
@@ -179,19 +252,22 @@ let outcome_name r =
     | Ptaint_sim.Sim.Trap _ -> "trap"
     | Ptaint_sim.Sim.Out_of_fuel -> "out-of-fuel")
 
-let run ?domains ?trace jobs =
+let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
   let t0 = Unix.gettimeofday () in
   (* Load each distinct image once up front; workers restore the
      copy-on-write snapshot per run.  Template building never brings a
      job down: a program the loader rejects simply has no template and
-     crashes on its own worker, where [exec] contains it. *)
+     fails on its own worker, where [exec] contains it. *)
   let templates =
     Ptaint_sim.Sim.templates_of
       (List.filter_map
          (fun j -> match j.j_work with Sim_run (c, p) -> Some (c, p) | Thunk _ -> None)
          jobs)
   in
-  let results = Pool.map ?domains (exec (Ptaint_sim.Sim.run_with templates)) jobs in
+  let run_sim ~deadline config program =
+    Ptaint_sim.Sim.run_with ?deadline templates config program
+  in
+  let results = Pool.map ?domains (exec ~job_timeout ~retries ~backoff run_sim) jobs in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   (* Job spans are emitted from the submitting domain only, after the
      pool has drained — the trace is single-domain mutable state. *)
@@ -237,8 +313,8 @@ let metrics_table ?(timings = false) stats =
   Ptaint_report.Report.table ~headers:[ "policy"; "metric"; "value" ] rows
 
 let pp_stats ppf s =
-  Format.fprintf ppf "campaign: %d jobs (%d crashed, %d violations), %d guest instructions, %d syscalls; detections: %s [%.2fs wall]"
-    s.jobs s.crashed s.violations s.instructions s.syscalls
+  Format.fprintf ppf "campaign: %d jobs (%d failed, %d violations), %d guest instructions, %d syscalls; detections: %s [%.2fs wall]"
+    s.jobs s.failed s.violations s.instructions s.syscalls
     (if s.detections = [] then "-"
      else
        String.concat ", "

@@ -3,10 +3,10 @@
     The paper's evaluation is an embarrassingly parallel matrix —
     attacks × policies × (attack, benign) plus the SPEC-like
     false-positive workloads — and every future scaling direction
-    (larger corpora, fuzzing campaigns, sharded sweeps) has the same
-    shape.  A {!job} names one simulation: a pre-built guest program,
-    the {!Ptaint_sim.Sim.config} to run it under, and an optional
-    expectation on the result.  {!run} executes a batch on a
+    (larger corpora, fuzzing campaigns, fault-injection sweeps) has
+    the same shape.  A {!job} names one simulation: a pre-built guest
+    program, the {!Ptaint_sim.Sim.config} to run it under, and an
+    optional expectation on the result.  {!run} executes a batch on a
     fixed-size domain pool ({!Pool}) and returns one {!job_result} per
     job, in submission order regardless of scheduling, together with
     aggregate {!stats}.
@@ -15,10 +15,18 @@
     - {b fuel}: each job's instruction budget is its config's
       [max_instructions]; a guest that spins exhausts only its own
       fuel, never the campaign's.
-    - {b exceptions}: a job whose execution raises (a guest tripping
-      an unhandled [Memory.Fault] path, an assembler error, a broken
-      expectation function) is reported as {!Crashed} and the
-      remaining jobs run to completion.
+    - {b wall clock}: with [~job_timeout], each job additionally gets
+      a wall-clock budget enforced cooperatively at fuel-slice
+      boundaries; a job that overruns is reported as a {!Timeout}
+      failure and its worker moves on.
+    - {b exceptions}: a job whose execution raises is classified into
+      the {!failure_kind} taxonomy and reported as {!Failed}; the
+      remaining jobs run to completion.  One poisoned job can never
+      bring down a worker domain or the pool.
+    - {b retries}: failures classified as plain {!Crashed} (the only
+      plausibly transient kind) are retried up to [~retries] times
+      with exponential backoff; deterministic failures (timeouts,
+      guest faults, loader errors) are never retried.
 
     Determinism: simulations share no mutable state — every job boots
     a fresh machine, memory image and kernel — so results are
@@ -49,7 +57,8 @@ val job :
     {!stats} detection counts.  [expect] inspects the result and
     returns a violation message when the job did not do what the
     campaign expected — violations are counted but do not fail the
-    job. *)
+    job, and an [expect] function that itself raises is reported as a
+    violation, never as a job failure. *)
 
 val job_thunk :
   name:string ->
@@ -58,16 +67,45 @@ val job_thunk :
   (unit -> Ptaint_sim.Sim.result) ->
   job
 (** Escape hatch for work that is not a plain [Sim.run] (custom
-    drivers, steppable sessions).  The thunk runs on a worker domain:
-    it must not touch shared mutable state. *)
+    drivers, steppable sessions, fault-injected runs).  The thunk runs
+    on a worker domain: it must not touch shared mutable state.  The
+    campaign watchdog cannot arm a deadline inside an opaque thunk —
+    pass [Sim.finish_sliced ~deadline] yourself if the thunk's guest
+    can spin. *)
 
 val job_name : job -> string
 
-type failure = { exn : string; backtrace : string }
+(** {1 Failure taxonomy}
+
+    A job that produces no simulation result failed for one of four
+    distinguishable reasons.  The taxonomy is typed so campaign
+    consumers never string-match exception text: a watchdog
+    {!Timeout} is an experiment parameter, a {!Guest_fault} is a
+    property of the guest under test (unknown syscall, malformed
+    arguments), a {!Loader_error} is a malformed input program, and
+    only {!Crashed} is an actual harness failure — the sole kind
+    retried. *)
+
+type failure_kind =
+  | Timeout of { seconds : float }
+      (** wall-clock watchdog fired; [seconds] is the configured
+          [job_timeout] *)
+  | Guest_fault of { sysnum : int; pc : int; args : int list }
+      (** the guest left the syscall ABI
+          ({!Ptaint_os.Kernel.Guest_fault}) *)
+  | Loader_error of { where : string; message : string }
+      (** {!Ptaint_asm.Loader.Error} or {!Ptaint_asm.Assembler.Asm_error}
+          ([where] is ["line N"] for assembler failures) *)
+  | Crashed  (** any other exception — harness bug or transient fault *)
+
+type failure = { kind : failure_kind; exn : string; backtrace : string }
 
 type status =
   | Finished of Ptaint_sim.Sim.result
-  | Crashed of failure  (** the job raised; the campaign continued *)
+  | Failed of failure  (** the job failed; the campaign continued *)
+
+val kind_name : failure_kind -> string
+(** ["timeout"], ["guest fault"], ["loader error"], ["crashed"]. *)
 
 type timing = {
   started : float;   (** [Unix.gettimeofday] at job start, on the worker *)
@@ -80,16 +118,25 @@ type job_result = {
   policy_label : string;
   status : status;
   violation : string option;  (** [expect]'s verdict, when given *)
+  attempts : int;  (** 1 + retries consumed (≥ 1) *)
   timing : timing;
 }
 
+val outcome_name : job_result -> string
+(** Deterministic one-word outcome for reports: the simulation
+    outcome's name for {!Finished} jobs, {!kind_name} for {!Failed}
+    ones.  Never includes exception text or wall-clock
+    values, so report lines built from it diff cleanly across runs
+    and [-j] settings. *)
+
 val result_exn : job_result -> Ptaint_sim.Sim.result
 (** The simulation result of a {!Finished} job; raises
-    [Invalid_argument] (with the job's failure) on {!Crashed}. *)
+    [Invalid_argument] on {!Failed}, with the failure kind, attempt
+    count and the worker-side backtrace in the message. *)
 
 type stats = {
   jobs : int;
-  crashed : int;
+  failed : int;  (** jobs with {!Failed} status, all kinds *)
   violations : int;
   wall_seconds : float;
   instructions : int;  (** guest instructions, summed over finished jobs *)
@@ -98,15 +145,36 @@ type stats = {
       (** alerts per policy label, in first-submission order *)
   metrics : (string * Ptaint_obs.Metrics.t) list;
       (** per-policy-label registries, in first-submission order:
-          counters ([jobs], [crashed], [alerts], [instructions],
-          [syscalls], [tainted loads], [tainted stores]) plus
-          wall-clock and pool-concurrency histograms *)
+          counters ([jobs], [alerts], [instructions], [syscalls],
+          [tainted loads], [tainted stores], plus per-failure-kind
+          counters [timeouts]/[guest faults]/[loader errors]/[crashed]
+          and [retries] when non-zero) and wall-clock/pool-concurrency
+          histograms *)
 }
 
 val run :
-  ?domains:int -> ?trace:Ptaint_obs.Trace.t -> job list -> job_result list * stats
+  ?domains:int ->
+  ?trace:Ptaint_obs.Trace.t ->
+  ?job_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  job list ->
+  job_result list * stats
 (** Execute the batch on [domains] workers (default
     {!Pool.recommended_domains}).  Results are in submission order.
+
+    [job_timeout] arms a per-job wall-clock watchdog (seconds): each
+    [Sim_run] job runs fuel-sliced with an absolute deadline checked
+    at every slice boundary, and an overrun is reported as a
+    {!Timeout} failure.  The check is cooperative, so granularity is
+    one {!Ptaint_sim.Sim.default_slice} worth of guest execution
+    (well under a millisecond).
+
+    [retries] (default 0) re-runs a job whose failure classified as
+    {!Crashed}, up to that many extra attempts, sleeping
+    [backoff * 2^(attempt-1)] seconds (default backoff 0.05) between
+    attempts.  The deadline is re-derived per attempt.
+
     With [trace], one {!Ptaint_obs.Event.Job} span per job (start
     offset, duration, worker domain, outcome) is emitted — from the
     submitting domain, after the pool drains — ready for the Chrome

@@ -10,6 +10,10 @@ let mapi ?(domains = recommended_domains ()) f xs =
     let out = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
+      (* Domains inherit the backtrace-recording flag only at spawn on
+         some runtimes; force it so a [Raised] slot always carries the
+         worker-side frames for [raise_with_backtrace]. *)
+      Printexc.record_backtrace true;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin

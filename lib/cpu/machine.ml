@@ -71,6 +71,17 @@ let attach_obs ?(ring = 48) t trace =
 let trace t = match t.obs with None -> None | Some o -> Some o.obs_trace
 let ring_window t = match t.obs with None -> [] | Some o -> Ptaint_obs.Ring.to_list o.obs_ring
 
+(* Machine-level fault-injection entry point: the injector mutates
+   state through {!Regfile}/{!Ptaint_mem.Memory} and narrates the
+   corruption here, so traced runs carry the injection in their event
+   stream alongside the alerts it may (or may not) provoke. *)
+let note_injection t ~model ~target =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Ptaint_obs.Trace.emit o.obs_trace
+      (Ptaint_obs.Event.Fault_injected { cycle = t.icount; model; target })
+
 let add_guard t ~addr ~len = t.guard_ranges <- (addr, len) :: t.guard_ranges
 let remove_guard t ~addr = t.guard_ranges <- List.filter (fun (a, _) -> a <> addr) t.guard_ranges
 let guards t = t.guard_ranges

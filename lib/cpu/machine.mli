@@ -103,6 +103,12 @@ val ring_window : t -> (int * Ptaint_isa.Insn.t) list
 (** The recorded instruction window, oldest first; [[]] when
     observation is off. *)
 
+val note_injection : t -> model:string -> target:string -> unit
+(** Emit a {!Ptaint_obs.Event.Fault_injected} event (no-op without a
+    trace).  The fault-injection engine calls this after corrupting
+    machine state through the {!Regfile}/{!Ptaint_mem.Memory}
+    injection entry points. *)
+
 (** {1 Annotation guards (section 5.3 extension)}
 
     The paper proposes trading some transparency for coverage by

@@ -64,6 +64,24 @@ let slot t i = if i = 0 then Tword.zero else Tword.of_bits t.regs.(i)
 let slot_name i =
   if i = hi_idx then "hi" else if i = lo_idx then "lo" else Ptaint_isa.Reg.name i
 
+(* Fault-injection entry points.  [inject_flip_value] touches only the
+   value bits, so the taint nibble (and the live counter) cannot
+   change; [inject_set_taint] goes through [write], which maintains
+   the counter exactly.  Slot 0 absorbs injections silently — the
+   hardwired zero register masks any fault landing on it. *)
+
+let inject_flip_value t r ~bit =
+  if r > 0 && r < slots then begin
+    let old = Array.unsafe_get t.regs r in
+    Array.unsafe_set t.regs r (old lxor (1 lsl (bit land 31)))
+  end
+
+let inject_set_taint t r ~tainted =
+  if r > 0 && r < slots then begin
+    let old = Array.unsafe_get t.regs r in
+    write t r (if tainted then old lor (0xF lsl 32) else old land 0xFFFFFFFF)
+  end
+
 let reset t =
   Array.fill t.regs 0 34 (Tword.to_bits Tword.zero);
   t.tainted <- 0

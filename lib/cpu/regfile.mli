@@ -48,3 +48,18 @@ val slot : t -> int -> Ptaint_taint.Tword.t
 
 val slot_name : int -> string
 (** ["v0"], ..., ["hi"], ["lo"]. *)
+
+(** {1 Fault-injection entry points}
+
+    Used by the fault-injection engine to corrupt architectural state
+    while keeping the live tainted-slot counter exact — the clean fast
+    path silently mis-executes if {!tainted_count} drifts.  Slot 0
+    (the hardwired zero register) absorbs injections silently; out of
+    range slots are ignored. *)
+
+val inject_flip_value : t -> int -> bit:int -> unit
+(** Flip value bit [bit land 31] of the slot; taint mask untouched. *)
+
+val inject_set_taint : t -> int -> tainted:bool -> unit
+(** Force the slot's taint mask fully on (spurious taint) or fully
+    off (taint loss), through the counter-maintaining write path. *)

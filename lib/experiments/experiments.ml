@@ -285,7 +285,7 @@ let coverage ?domains ?trace () =
   let cell (s : Scenario.t) (r : Campaign.job_result) =
     match r.Campaign.status with
     | Campaign.Finished res -> Scenario.verdict_name (Scenario.verdict_of s res)
-    | Campaign.Crashed f -> "job error: " ^ f.Campaign.exn
+    | Campaign.Failed f -> "job error: " ^ f.Campaign.exn
   in
   let remaining = ref results in
   let take n =
@@ -615,8 +615,274 @@ let extension () =
      the trade-off the paper describes.\n";
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Resilience: fault injection into the detection mechanism            *)
+
+module Fi = Ptaint_fi.Fi
+
+(* One fault-injection trial: a plan against one (scenario, case,
+   policy) cell, classified against the fault-free baseline run. *)
+type fi_trial = {
+  t_name : string;
+  t_model : string;
+  t_policy : string;
+  t_malicious : bool;
+  t_plan : Fi.injection list;
+  t_config : Ptaint_sim.Sim.config;
+  t_program : Ptaint_asm.Program.t;
+  t_base : Ptaint_sim.Sim.result;
+}
+
+let fi_fingerprint (r : Ptaint_sim.Sim.result) =
+  Printf.sprintf "%s|%s|%d|%s|%s"
+    (Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome r.Ptaint_sim.Sim.outcome)
+    (String.escaped r.Ptaint_sim.Sim.stdout)
+    r.Ptaint_sim.Sim.final_uid
+    (String.concat "," r.Ptaint_sim.Sim.execs)
+    (String.escaped (String.concat "&" r.Ptaint_sim.Sim.net_sent))
+
+(* detected / false-negative / silent / fail-stop / wedged for attack
+   trials; false-positive / silent / fail-stop / unaffected for benign
+   ones.  A false negative is an attack the fault-free detector caught
+   and the faulted one did not — however the undetected run ends. *)
+let fi_classify t (r : Ptaint_sim.Sim.result) =
+  let alerted = Ptaint_sim.Sim.detected r in
+  let exited = match r.Ptaint_sim.Sim.outcome with Ptaint_sim.Sim.Exited _ -> true | _ -> false in
+  if t.t_malicious then
+    if alerted then "detected"
+    else if not (Ptaint_sim.Sim.detected t.t_base) then "no-change"
+    else if exited then "silent"
+    else (match r.Ptaint_sim.Sim.outcome with
+          | Ptaint_sim.Sim.Out_of_fuel -> "wedged"
+          | _ -> "fail-stop")
+  else if alerted then "false-positive"
+  else if fi_fingerprint r = fi_fingerprint t.t_base then "unaffected"
+  else if exited then "silent"
+  else "fail-stop"
+
+let resilience ?domains ?trace ?(seed = 42) () =
+  let buf = Buffer.create 8192 in
+  buf_add buf
+    (Ptaint_report.Report.section
+       "Resilience: fault injection into the taintedness mechanism itself");
+  buf_add buf
+    (Printf.sprintf
+       "Seeded (%d), deterministic: plans are pure functions of the seed and all\n\
+        schedules are in guest instruction counts, so this report is byte-identical\n\
+        at any -j.  Models: data-flip (classic memory corruption), taint-wipe /\n\
+        reg-taint-loss / stuck-clean (the detector disarmed: false-negative\n\
+        direction), spurious-taint (the detector over-armed: false-positive\n\
+        direction).\n\n" seed);
+  let policies =
+    [ ("pointer taintedness", Ptaint_cpu.Policy.default);
+      ("control-data only", Ptaint_cpu.Policy.control_only) ]
+  in
+  (* -------- phase 1: fault-free baselines, one campaign -------- *)
+  let cells =
+    List.concat_map
+      (fun (s : Scenario.t) ->
+        let program = s.Scenario.build () in
+        let atk = Scenario.attack s in
+        List.map
+          (fun (pname, policy) ->
+            ( s, program, atk, pname,
+              { (atk.Scenario.config program) with Ptaint_sim.Sim.policy }, true ))
+          policies
+        @
+        match Scenario.benign s with
+        | None -> []
+        | Some c ->
+          [ ( s, program, c, "pointer taintedness",
+              { (c.Scenario.config program) with
+                Ptaint_sim.Sim.policy = Ptaint_cpu.Policy.default }, false ) ])
+      Catalog.all
+  in
+  let baseline_jobs =
+    List.map
+      (fun ((s : Scenario.t), program, (case : Scenario.case), pname, config, _) ->
+        Campaign.job
+          ~name:(Printf.sprintf "base/%s/%s/%s" s.Scenario.name case.Scenario.case_name pname)
+          ~policy_label:pname ~config program)
+      cells
+  in
+  let baseline_results, _ = Campaign.run ?domains ?trace baseline_jobs in
+  let baselines = List.map2 (fun c r -> (c, Campaign.result_exn r)) cells baseline_results in
+  (* -------- phase 2: seeded injection plans -------- *)
+  let trials =
+    List.concat_map
+      (fun (((s : Scenario.t), program, _case, pname, config, malicious), base) ->
+        let insns = max 2 base.Ptaint_sim.Sim.instructions in
+        let dbase = program.Ptaint_asm.Program.data_base in
+        let dlen = max (String.length program.Ptaint_asm.Program.data) 16 in
+        let mk model i plan =
+          { t_name = Printf.sprintf "fi/%s/%s/%s/%d" s.Scenario.name model pname i;
+            t_model = model; t_policy = pname; t_malicious = malicious;
+            t_plan = plan; t_config = config; t_program = program; t_base = base }
+        in
+        if malicious then begin
+          let rng tag i = Fi.Rng.create (seed lxor Hashtbl.hash (s.Scenario.name, pname, tag, i)) in
+          List.init 2 (fun i ->
+              let g = rng "data-flip" i in
+              let at = 1 + Fi.Rng.int g (insns - 1) in
+              let addr = dbase + Fi.Rng.int g dlen in
+              let bit = Fi.Rng.int g 8 in
+              mk "data-flip" i [ { Fi.at; fault = Fi.Flip_data { addr; bit } } ])
+          @ List.init 2 (fun i ->
+                let g = rng "reg-taint-loss" i in
+                let at = 1 + Fi.Rng.int g (insns - 1) in
+                let slot = 1 + Fi.Rng.int g 31 in
+                mk "reg-taint-loss" i [ { Fi.at; fault = Fi.Reg_taint_loss { slot } } ])
+          @ [ (* directed: wipe all taint state just before the baseline
+                 alert point — the guaranteed false negative when the
+                 fault-free detector fires *)
+              (let at =
+                 if Ptaint_sim.Sim.detected base then
+                   max 1 (base.Ptaint_sim.Sim.instructions - 1)
+                 else max 1 (insns / 2)
+               in
+               mk "taint-wipe" 0 [ { Fi.at; fault = Fi.Taint_wipe } ]);
+              (* taint RAM stuck at clean over the data segment and the
+                 active stack window, from the first instruction on *)
+              mk "stuck-clean" 0
+                [ { Fi.at = 1; fault = Fi.Stuck_clean { addr = dbase; len = dlen } };
+                  { Fi.at = 1;
+                    fault =
+                      Fi.Stuck_clean
+                        { addr = Ptaint_mem.Layout.stack_top - 16384; len = 16384 } } ] ]
+        end
+        else
+          (* benign run: spurious taint on the stack/frame registers and
+             a data-segment window at the midpoint — the false-positive
+             direction *)
+          let at = max 1 (insns / 2) in
+          [ mk "spurious-taint" 0
+              [ { Fi.at; fault = Fi.Spurious_taint { addr = dbase; len = min dlen 64 } };
+                { Fi.at; fault = Fi.Reg_spurious_taint { slot = 29 } };
+                { Fi.at; fault = Fi.Reg_spurious_taint { slot = 31 } } ] ])
+      baselines
+  in
+  let trial_jobs =
+    List.map
+      (fun t ->
+        Campaign.job_thunk ~name:t.t_name ~policy_label:t.t_policy (fun () ->
+            (Fi.run_plan ~config:t.t_config ~plan:t.t_plan t.t_program).Fi.result))
+      trials
+  in
+  let trial_results, trial_stats = Campaign.run ?domains ?trace trial_jobs in
+  (* -------- aggregate per model x policy -------- *)
+  let outcomes =
+    List.map2 (fun t r -> (t, fi_classify t (Campaign.result_exn r), Campaign.result_exn r))
+      trials trial_results
+  in
+  let keys =
+    List.fold_left
+      (fun acc (t, _, _) ->
+        if List.mem (t.t_model, t.t_policy) acc then acc else acc @ [ (t.t_model, t.t_policy) ])
+      [] outcomes
+  in
+  let rows =
+    List.map
+      (fun (model, policy) ->
+        let mine = List.filter (fun (t, _, _) -> t.t_model = model && t.t_policy = policy) outcomes in
+        let count v = List.length (List.filter (fun (_, c, _) -> c = v) mine) in
+        let latencies =
+          List.filter_map
+            (fun (t, c, (r : Ptaint_sim.Sim.result)) ->
+              if c = "detected" || c = "false-positive" then
+                let first =
+                  List.fold_left (fun a (i : Fi.injection) -> min a i.Fi.at) max_int t.t_plan
+                in
+                Some (max 0 (r.Ptaint_sim.Sim.instructions - first))
+              else None)
+            mine
+        in
+        let mean_latency =
+          match latencies with
+          | [] -> "-"
+          | l -> string_of_int (List.fold_left ( + ) 0 l / List.length l)
+        in
+        [ model; policy; string_of_int (List.length mine); string_of_int (count "detected");
+          string_of_int (count "false-negative" + count "silent" + count "fail-stop"
+                         + count "wedged");
+          string_of_int (count "false-positive"); string_of_int (count "silent");
+          string_of_int (count "unaffected" + count "no-change" + count "masked");
+          mean_latency ])
+      keys
+  in
+  buf_add buf
+    (Ptaint_report.Report.table
+       ~headers:[ "fault model"; "policy"; "trials"; "detected"; "FN"; "FP"; "silent";
+                  "unaffected"; "latency (insns)" ]
+       rows);
+  let total v = List.length (List.filter (fun (_, c, _) -> c = v) outcomes) in
+  let fn_under t_models =
+    List.length
+      (List.filter
+         (fun (t, c, _) ->
+           List.mem t.t_model t_models && Ptaint_sim.Sim.detected t.t_base && t.t_malicious
+           && c <> "detected" && c <> "wedged")
+         outcomes)
+  in
+  buf_add buf
+    (Printf.sprintf
+       "\nFN under taint-loss models (taint-wipe/reg-taint-loss/stuck-clean): %d\n\
+        FP under spurious taint: %d\n\
+        silent corruptions (run completes, observable state differs, no alert): %d\n\
+        harness failures during %d trials: %d\n"
+       (fn_under [ "taint-wipe"; "reg-taint-loss"; "stuck-clean" ])
+       (total "false-positive") (total "silent") trial_stats.Campaign.jobs
+       trial_stats.Campaign.failed);
+  buf_add buf "\ntrial campaign metrics by policy:\n\n";
+  buf_add buf (Campaign.metrics_table trial_stats);
+  (* -------- hostile-job campaign: the hardened runtime -------- *)
+  buf_add buf "\nHostile-job campaign (watchdog, retries, typed failures):\n\n";
+  let benign_cfg program =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c.Scenario.config program
+    | None -> invalid_arg "exp1 has no benign case"
+  in
+  let exp1 = Catalog.exp1_stack_smash.Scenario.build () in
+  let spin =
+    Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n"
+  in
+  let bad_syscall =
+    Ptaint_asm.Assembler.assemble_exn ".text\nmain: li $v0, 999\n      syscall\n"
+  in
+  let crash_count = Atomic.make 0 in
+  let hostile_jobs =
+    [ Campaign.job ~name:"well-behaved" ~config:(benign_cfg exp1) exp1;
+      Campaign.job ~name:"spinning guest (watchdog)"
+        ~config:(Ptaint_sim.Sim.config ~max_instructions:1_000_000_000 ()) spin;
+      Campaign.job_thunk ~name:"crashing harness thunk (retried)" (fun () ->
+          ignore (Atomic.fetch_and_add crash_count 1);
+          failwith "synthetic harness crash");
+      Campaign.job ~name:"oversized argv (loader)"
+        ~config:(Ptaint_sim.Sim.config ~argv:[ "prog"; String.make 2_000_000 'A' ] ())
+        exp1;
+      Campaign.job_thunk ~name:"malformed assembly (loader)" (fun () ->
+          Ptaint_sim.Sim.run_asm ".data\nx: .space -4\n");
+      Campaign.job ~name:"unknown syscall (guest fault)"
+        ~config:(Ptaint_sim.Sim.config ()) bad_syscall;
+      Campaign.job ~name:"well-behaved neighbour" ~config:(benign_cfg exp1) exp1 ]
+  in
+  let hresults, hstats =
+    Campaign.run ?domains ?trace ~job_timeout:0.5 ~retries:1 ~backoff:0.01 hostile_jobs
+  in
+  buf_add buf
+    (Ptaint_report.Report.table ~headers:[ "job"; "outcome"; "attempts" ]
+       (List.map
+          (fun (r : Campaign.job_result) ->
+            [ r.Campaign.name; Campaign.outcome_name r; string_of_int r.Campaign.attempts ])
+          hresults));
+  buf_add buf
+    (Printf.sprintf
+       "\nAll %d jobs accounted for; pool and worker domains survived every failure\n\
+        mode (timeout, harness crash with retry, loader errors, guest fault).\n"
+       hstats.Campaign.jobs);
+  Buffer.contents buf
+
 let all ?domains ?trace () =
   String.concat "\n"
     [ fig1 (); tab1 (); fig2 (); fig3 (); synthetic (); tab2 (); real_world ();
       coverage ?domains ?trace (); tab3 ?domains ?trace (); tab4 ?domains ?trace ();
-      overhead (); ablation (); extension () ]
+      overhead (); ablation (); extension (); resilience ?domains ?trace () ]

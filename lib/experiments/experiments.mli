@@ -65,4 +65,19 @@ val extension : unit -> string
     critical data, turning the Table 4(B) false negative into a
     detection. *)
 
+val resilience :
+  ?domains:int -> ?trace:Ptaint_obs.Trace.t -> ?seed:int -> unit -> string
+(** Fault injection into the detection mechanism itself
+    ({!Ptaint_fi.Fi}): the full attack catalogue × fault models
+    (data flips, register/memory taint loss, total taint wipe,
+    stuck-at-clean taint RAM, spurious taint) × policies, each trial
+    classified against its fault-free baseline — detection rate,
+    false-negative and false-positive deltas, detection latency in
+    instructions, and the silent-corruption rate.  Ends with a
+    hostile-job campaign (spinning guest, crashing thunk, malformed
+    programs, unknown syscall) demonstrating the hardened runtime:
+    watchdog timeouts, retries and typed failures, with every job
+    accounted for.  Deterministic for a given [seed] (default 42):
+    byte-identical output at any [domains]. *)
+
 val all : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string

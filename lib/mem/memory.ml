@@ -195,6 +195,23 @@ let tainted_in_range t addr len =
 
 let taint_summary t addr len = Tagged_store.taint_summary t.store (addr land mask32) len
 
+(* Fault-injection entry points: hardware faults, not guest accesses,
+   so none of them touch [stats]. *)
+
+let check_invariants t = Tagged_store.check_invariants t.store
+
+let inject_flip_data t addr ~bit =
+  let addr = addr land mask32 in
+  try Tagged_store.inject_flip_data t.store addr ~bit
+  with Tagged_store.Unmapped a -> fault a Store
+
+let inject_set_taint_range t addr len ~tainted =
+  let addr = addr land mask32 in
+  try Tagged_store.inject_set_taint_range t.store addr len ~tainted
+  with Tagged_store.Unmapped a -> fault a Store
+
+let inject_wipe_taint t = Tagged_store.inject_wipe_taint t.store
+
 let copy_stats st =
   { loads = st.loads;
     stores = st.stores;

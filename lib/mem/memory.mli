@@ -84,6 +84,30 @@ val taint_summary : t -> int -> int -> bool
     count as clean instead of faulting.  This is the probe hardware
     models (cache per-line tag summaries) use. *)
 
+(** {1 Fault injection and invariant audit}
+
+    {!Tagged_store} injection entry points lifted to this wrapper:
+    addresses are masked to 32 bits and {!Tagged_store.Unmapped}
+    becomes {!Fault}.  Injections model hardware faults, not guest
+    accesses, so they never touch {!stats}. *)
+
+val check_invariants : t -> unit
+(** Audit the backing store: taint-plane recount vs the live counter,
+    page-cache coherence.  Raises [Failure] on drift. *)
+
+val inject_flip_data : t -> int -> bit:int -> unit
+(** Flip one bit of the data byte at the address; taint plane and
+    live counter untouched. *)
+
+val inject_set_taint_range : t -> int -> int -> tainted:bool -> unit
+(** Force the taint bit of every byte in [[addr, addr+len)] —
+    [tainted:false] is the taint-loss fault, [tainted:true] spurious
+    taint.  Data bytes untouched, live counter kept exact. *)
+
+val inject_wipe_taint : t -> unit
+(** Clear every taint bit (total taint loss); live counter kept
+    exact (zero). *)
+
 (** {1 Copy-on-write snapshots}
 
     A {!snapshot} freezes the full state (both planes plus {!stats})

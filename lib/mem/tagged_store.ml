@@ -389,6 +389,93 @@ let taint_summary t addr len =
   done;
   !tainted
 
+(* --- fault injection and invariant audit ---
+
+   The injection entry points are the only sanctioned way to corrupt a
+   store from outside the CPU: they mutate either the data plane alone
+   (leaving taint untouched) or go through the same counter-updating
+   paths as ordinary stores, so [tainted] stays exact.  Exactness is
+   not cosmetic — the CPU's clean fast path keys off [tainted = 0] and
+   silently mis-executes if the counter drifts from the plane. *)
+
+let debug_asserts = ref false
+
+let check_invariants t =
+  let recount = ref 0 in
+  Hashtbl.iter
+    (fun _ p ->
+      let pl = p.plane in
+      for wi = 0 to page_words - 1 do
+        recount := !recount + Array.unsafe_get pop4 (Bigarray.Array1.unsafe_get pl wi lsr 32)
+      done)
+    t.pages;
+  if !recount <> t.tainted then
+    failwith
+      (Printf.sprintf
+         "Tagged_store.check_invariants: live counter says %d tainted bytes, taint plane holds %d"
+         t.tainted !recount);
+  for slot = 0 to cache_slots - 1 do
+    let idx = t.cache_idx.(slot) in
+    if idx >= 0 then
+      match Hashtbl.find_opt t.pages idx with
+      | Some p when p == t.cache_page.(slot) -> ()
+      | Some _ ->
+        failwith
+          (Printf.sprintf
+             "Tagged_store.check_invariants: cache slot %d holds a stale record for page %d"
+             slot idx)
+      | None ->
+        failwith
+          (Printf.sprintf "Tagged_store.check_invariants: cache slot %d caches unmapped page %d"
+             slot idx)
+  done
+
+let inject_flip_data t addr ~bit =
+  let pl = write_plane t addr in
+  let wi = (addr land page_mask) lsr 2 in
+  let elt = Bigarray.Array1.unsafe_get pl wi in
+  Bigarray.Array1.unsafe_set pl wi (elt lxor (1 lsl (((addr land 3) lsl 3) + (bit land 7))));
+  if !debug_asserts then check_invariants t
+
+let inject_set_taint_range t addr len ~tainted =
+  for a = addr to addr + len - 1 do
+    let pl = write_plane t a in
+    let wi = (a land page_mask) lsr 2 in
+    let tb = 1 lsl (32 + (a land 3)) in
+    let elt = Bigarray.Array1.unsafe_get pl wi in
+    if tainted && elt land tb = 0 then begin
+      Bigarray.Array1.unsafe_set pl wi (elt lor tb);
+      t.tainted <- t.tainted + 1
+    end
+    else if (not tainted) && elt land tb <> 0 then begin
+      Bigarray.Array1.unsafe_set pl wi (elt land lnot tb);
+      t.tainted <- t.tainted - 1
+    end
+  done;
+  if !debug_asserts then check_invariants t
+
+let inject_wipe_taint t =
+  Hashtbl.iter
+    (fun _ p ->
+      (* probe before cloning: a page with a clean taint plane needs no
+         write, so a COW-shared clean page is left shared *)
+      let dirty = ref false in
+      let pl = p.plane in
+      for wi = 0 to page_words - 1 do
+        if Bigarray.Array1.unsafe_get pl wi lsr 32 <> 0 then dirty := true
+      done;
+      if !dirty then begin
+        if p.shared then clone_page p;
+        let pl = p.plane in
+        for wi = 0 to page_words - 1 do
+          let elt = Bigarray.Array1.unsafe_get pl wi in
+          if elt lsr 32 <> 0 then Bigarray.Array1.unsafe_set pl wi (elt land 0xFFFFFFFF)
+        done
+      end)
+    t.pages;
+  t.tainted <- 0;
+  if !debug_asserts then check_invariants t
+
 (* --- snapshots ---
 
    [snapshot] marks every live page shared and hands out references to

@@ -97,6 +97,42 @@ val taint_summary : t -> int -> int -> bool
     unmapped bytes as clean — the fault-free probe cache models use
     to derive per-line tag summaries. *)
 
+(** {1 Fault injection and invariant audit}
+
+    Entry points for the fault-injection engine.  They are the only
+    sanctioned way to corrupt a store from outside the CPU: each one
+    either touches the data plane alone or maintains the live
+    tainted-byte counter exactly, so the clean fast path's
+    [tainted_bytes = 0] test stays sound after any injection. *)
+
+val check_invariants : t -> unit
+(** Recount the taint plane and verify it matches {!tainted_bytes},
+    and verify every populated page-cache slot aliases the live page
+    record for its index.  Raises [Failure] with a description on the
+    first violation.  O(mapped bytes) — a debug audit, not a fast
+    path. *)
+
+val debug_asserts : bool ref
+(** When set, every injection entry point runs {!check_invariants}
+    after mutating — the debug assert hook for fi tests. *)
+
+val inject_flip_data : t -> int -> bit:int -> unit
+(** Flip bit [bit land 7] of the data byte at the given address; the
+    taint plane (and thus the live counter) is untouched.  Raises
+    {!Unmapped} like the accessors. *)
+
+val inject_set_taint_range : t -> int -> int -> tainted:bool -> unit
+(** [inject_set_taint_range t addr len ~tainted] forces the taint bit
+    of every byte in [[addr, addr+len)] — data bytes untouched, live
+    counter adjusted per byte actually changed.  [tainted:false] is
+    the taint-loss fault, [tainted:true] spurious taint.  Raises
+    {!Unmapped} like the accessors. *)
+
+val inject_wipe_taint : t -> unit
+(** Clear every taint bit in the store and zero the live counter — the
+    "total taint loss" fault.  COW-shared pages are cloned before
+    writing, so snapshots are unaffected. *)
+
 (** {1 Copy-on-write snapshots} *)
 
 type snapshot

@@ -77,6 +77,9 @@ let add_event t ?(tid = 0) ev =
     instant t ~name:("sys " ^ name) ~cat:"syscall" ~tid ~ts_us:(us cycle)
       ~args:[ ("pc", Printf.sprintf "0x%08x" pc) ] ()
   | Event.Restore { cycle } -> instant t ~name:"snapshot restore" ~cat:"sim" ~tid ~ts_us:(us cycle) ()
+  | Event.Fault_injected { cycle; model; target } ->
+    instant t ~name:("fault injected: " ^ model) ~cat:"fault" ~tid ~ts_us:(us cycle)
+      ~args:[ ("target", target) ] ()
   | Event.Job { name; label; t0_us; dur_us; domain; outcome } ->
     complete t ~name ~cat:"campaign" ~tid:domain ~ts_us:t0_us ~dur_us
       ~args:[ ("policy", label); ("outcome", outcome) ] ()

@@ -6,6 +6,7 @@ type t =
   | Fault of { cycle : int; pc : int; desc : string }
   | Syscall of { cycle : int; pc : int; name : string }
   | Restore of { cycle : int }
+  | Fault_injected of { cycle : int; model : string; target : string }
   | Job of {
       name : string;
       label : string;
@@ -17,7 +18,8 @@ type t =
 
 let cycle = function
   | Taint_in { cycle; _ } | Reg_taint { cycle; _ } | Tainted_store { cycle; _ }
-  | Alert { cycle; _ } | Fault { cycle; _ } | Syscall { cycle; _ } | Restore { cycle } ->
+  | Alert { cycle; _ } | Fault { cycle; _ } | Syscall { cycle; _ } | Restore { cycle }
+  | Fault_injected { cycle; _ } ->
     cycle
   | Job _ -> 0
 
@@ -29,6 +31,7 @@ let kind_name = function
   | Fault _ -> "fault"
   | Syscall _ -> "syscall"
   | Restore _ -> "restore"
+  | Fault_injected _ -> "fault-injected"
   | Job _ -> "job"
 
 let to_string = function
@@ -54,6 +57,8 @@ let to_string = function
   | Syscall { cycle; pc; name } ->
     Printf.sprintf "cycle %d: syscall %s (pc 0x%08x)" cycle name pc
   | Restore { cycle } -> Printf.sprintf "cycle %d: booted from snapshot restore" cycle
+  | Fault_injected { cycle; model; target } ->
+    Printf.sprintf "cycle %d: injected %s fault into %s" cycle model target
   | Job { name; label; t0_us; dur_us; domain; outcome } ->
     Printf.sprintf "job %s [%s] on domain %d: %.0fus..%.0fus, %s" name label domain t0_us
       (t0_us +. dur_us) outcome

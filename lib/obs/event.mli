@@ -23,6 +23,10 @@ type t =
   | Fault of { cycle : int; pc : int; desc : string }
   | Syscall of { cycle : int; pc : int; name : string }
   | Restore of { cycle : int }  (** session booted from a snapshot restore *)
+  | Fault_injected of { cycle : int; model : string; target : string }
+      (** the fault-injection engine corrupted machine state: fault
+          [model] (e.g. ["taint-loss"]) applied to [target] (a
+          register slot or address range). *)
   | Job of {
       name : string;
       label : string;

@@ -1,6 +1,17 @@
 open Ptaint_isa
 open Ptaint_cpu
 
+exception Guest_fault of { sysnum : int; pc : int; args : int list }
+
+let guest_fault_message ~sysnum ~pc ~args =
+  Printf.sprintf "guest fault: syscall %s at pc 0x%08x with args [%s]" (Sysnum.name sysnum) pc
+    (String.concat "; " (List.map (Printf.sprintf "0x%08x") args))
+
+let () =
+  Printexc.register_printer (function
+    | Guest_fault { sysnum; pc; args } -> Some (guest_fault_message ~sysnum ~pc ~args)
+    | _ -> None)
+
 type fd_kind =
   | Closed
   | Stdin
@@ -162,9 +173,22 @@ let handle t (m : Machine.t) =
     `Continue
   in
   let with_fault f = try f () with Ptaint_mem.Memory.Fault _ -> return (-1) in
+  (* Structured guest fault: an unknown syscall number or a malformed
+     argument (negative transfer length) is the guest operating
+     outside the ABI — raise a typed fault carrying the full syscall
+     context instead of a bare [Failure], so the campaign runtime can
+     classify it without string matching. *)
+  let guest_fault () = raise (Guest_fault { sysnum = num; pc = m.Machine.pc; args = [ a0; a1; a2 ] }) in
+  let checked_len () = if Word.to_signed a2 < 0 then guest_fault () in
   if num = Sysnum.sys_exit then `Exit (Word.to_signed a0)
-  else if num = Sysnum.sys_read then with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
-  else if num = Sysnum.sys_write then with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_read then begin
+    checked_len ();
+    with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
+  end
+  else if num = Sysnum.sys_write then begin
+    checked_len ();
+    with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  end
   else if num = Sysnum.sys_open then
     with_fault (fun () ->
         return (do_open t ~path:(Ptaint_mem.Memory.read_cstring t.mem a0) ~flags:a1))
@@ -173,8 +197,14 @@ let handle t (m : Machine.t) =
     return 0
   end
   else if num = Sysnum.sys_sbrk then return (do_sbrk t ~incr:(Word.to_signed a0) ~mem:t.mem)
-  else if num = Sysnum.sys_recv then with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
-  else if num = Sysnum.sys_send then with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  else if num = Sysnum.sys_recv then begin
+    checked_len ();
+    with_fault (fun () -> return (do_read t ~fd:a0 ~buf:a1 ~len:a2))
+  end
+  else if num = Sysnum.sys_send then begin
+    checked_len ();
+    with_fault (fun () -> return (do_write t ~fd:a0 ~buf:a1 ~len:a2))
+  end
   else if num = Sysnum.sys_socket then return (alloc_fd t Listen_sock)
   else if num = Sysnum.sys_accept then
     (match fd_kind t a0 with
@@ -199,4 +229,4 @@ let handle t (m : Machine.t) =
     Machine.remove_guard m ~addr:a0;
     return 0
   end
-  else return (-1)
+  else guest_fault ()

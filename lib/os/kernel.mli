@@ -8,6 +8,14 @@
 
 type t
 
+exception Guest_fault of { sysnum : int; pc : int; args : int list }
+(** Raised by {!handle} when the guest requests an unknown syscall
+    number or passes malformed arguments (e.g. a negative transfer
+    length): the guest has left the ABI, and the kernel reports the
+    full syscall context ([$v0], [pc], [$a0..$a2]) as a structured
+    fault instead of a stringly [Failure].  The campaign runtime
+    classifies it as [Guest_fault]. *)
+
 val create :
   ?sources:Sources.t ->
   ?fs:Fs.t ->

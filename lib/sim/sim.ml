@@ -253,11 +253,126 @@ let finish s =
   | None, None, None -> finish_bulk s
   | _ -> finish_per_step s
 
-let run ?config program = finish (boot ?config program)
+(* --- fuel-sliced execution ---
+
+   Slicing caps each [Machine.run] dispatch at [slice] instructions
+   and runs [boundary] between slices (and around every syscall).
+   Because [Machine.run] returns [Normal] exactly when its fuel ran
+   out and fuel is re-derived from [icount], slice boundaries are
+   observationally invisible: a sliced run is byte-identical to an
+   unsliced one.  The boundary is where the cooperative watchdog
+   checks its wall-clock deadline and where the fault injector
+   re-asserts stuck-at-clean regions. *)
+
+exception Timeout of { instructions : int }
+
+let default_slice = 65536
+
+let finish_sliced ?deadline ?(slice = default_slice) ?on_slice s =
+  let machine = s.s_machine in
+  let slice = max 1 slice in
+  let boundary () =
+    (match deadline with
+     | Some d when Unix.gettimeofday () > d ->
+       raise (Timeout { instructions = machine.Machine.icount })
+     | _ -> ());
+    match on_slice with Some f -> f s | None -> ()
+  in
+  match (s.s_pipeline, s.s_config.on_step) with
+  | None, None ->
+    (* Bulk engine ([Machine.run] drives per-step itself when an obs
+       trace is attached, so obs sessions take this arm too). *)
+    let rec loop first =
+      let fuel = s.s_config.max_instructions - machine.Machine.icount in
+      if fuel <= 0 then Out_of_fuel
+      else begin
+        if not first then boundary ();
+        match Machine.run machine ~fuel:(min fuel slice) with
+        | Machine.Normal -> loop false
+        | Machine.Syscall -> (
+          match Kernel.handle s.s_kernel machine with
+          | `Continue -> loop false
+          | `Exit code -> Exited code)
+        | Machine.Alert a -> Alert a
+        | Machine.Fault f -> Fault f
+        | Machine.Break_trap c -> Trap c
+      end
+    in
+    result_of s (loop true)
+  | _ ->
+    (* Reference engine, with the boundary run every [slice] steps. *)
+    let next = ref (machine.Machine.icount + slice) in
+    let rec loop () =
+      if machine.Machine.icount >= !next then begin
+        boundary ();
+        next := machine.Machine.icount + slice
+      end;
+      match session_step s with Running -> loop () | Finished outcome -> outcome
+    in
+    result_of s (loop ())
+
+(* Drive the session until the guest has executed [icount]
+   instructions in total, pausing there ([Running]) so the caller can
+   mutate machine state; [Finished] means the guest stopped first. *)
+let run_until ?deadline ?(slice = default_slice) ?on_slice s ~icount:target =
+  let machine = s.s_machine in
+  let slice = max 1 slice in
+  let boundary () =
+    (match deadline with
+     | Some d when Unix.gettimeofday () > d ->
+       raise (Timeout { instructions = machine.Machine.icount })
+     | _ -> ());
+    match on_slice with Some f -> f s | None -> ()
+  in
+  match (s.s_pipeline, s.s_config.on_step) with
+  | None, None ->
+    let rec loop first =
+      if machine.Machine.icount >= target then Running
+      else
+        let fuel = s.s_config.max_instructions - machine.Machine.icount in
+        if fuel <= 0 then Finished Out_of_fuel
+        else begin
+          if not first then boundary ();
+          let fuel = min (min fuel slice) (target - machine.Machine.icount) in
+          match Machine.run machine ~fuel with
+          | Machine.Normal -> loop false
+          | Machine.Syscall -> (
+            match Kernel.handle s.s_kernel machine with
+            | `Continue -> loop false
+            | `Exit code -> Finished (Exited code))
+          | Machine.Alert a -> Finished (Alert a)
+          | Machine.Fault f -> Finished (Fault f)
+          | Machine.Break_trap c -> Finished (Trap c)
+        end
+    in
+    loop true
+  | _ ->
+    let next = ref (machine.Machine.icount + slice) in
+    let rec loop () =
+      if machine.Machine.icount >= target then Running
+      else begin
+        if machine.Machine.icount >= !next then begin
+          boundary ();
+          next := machine.Machine.icount + slice
+        end;
+        match session_step s with Running -> loop () | Finished outcome -> Finished outcome
+      end
+    in
+    loop ()
+
+let run ?deadline ?slice ?config program =
+  let s = boot ?config program in
+  match (deadline, slice) with
+  | None, None -> finish s
+  | _ -> finish_sliced ?deadline ?slice s
 
 let run_asm ?config source = run ?config (Ptaint_asm.Assembler.assemble_exn source)
 
-let run_template ?config tpl = finish (boot_template ?config tpl)
+let run_template ?deadline ?slice ?config tpl =
+  let s = boot_template ?config tpl in
+  match (deadline, slice) with
+  | None, None -> finish s
+  | _ -> finish_sliced ?deadline ?slice s
 
 let templates_of batch =
   List.fold_left
@@ -272,10 +387,10 @@ let templates_of batch =
           acc)
     [] batch
 
-let run_with templates config program =
+let run_with ?deadline ?slice templates config program =
   match List.find_opt (template_matches config program) templates with
-  | Some tpl -> run_template ~config tpl
-  | None -> run ~config program
+  | Some tpl -> run_template ?deadline ?slice ~config tpl
+  | None -> run ?deadline ?slice ~config program
 
 (* --- observation accessors --- *)
 

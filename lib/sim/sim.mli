@@ -114,7 +114,47 @@ val finish_per_step : session -> result
     reference engine the bulk path is differentially tested against.
     Semantically identical to {!finish}, just slower. *)
 
-val run : ?config:config -> Ptaint_asm.Program.t -> result
+val result_of : session -> outcome -> result
+(** Collect the session's observable state into a {!result} — for
+    drivers ({!run_until} clients, fault injectors) that finish a
+    session themselves. *)
+
+(** {1 Fuel-sliced execution}
+
+    Slicing caps each engine dispatch at [slice] instructions and runs
+    a boundary check between slices.  Slice boundaries are
+    observationally invisible — a sliced run is byte-identical to an
+    unsliced one — so they are where cooperative machinery lives: the
+    wall-clock watchdog (raising {!Timeout} past [deadline]) and the
+    fault injector's per-slice hooks ([on_slice], e.g. re-asserting
+    stuck-at-clean regions). *)
+
+exception Timeout of { instructions : int }
+(** Raised from a slice boundary when the wall-clock [deadline]
+    (absolute, [Unix.gettimeofday] seconds) has passed; carries the
+    guest instruction count at interruption.  The campaign runtime
+    classifies it as [Timeout]. *)
+
+val default_slice : int
+(** 65536 instructions — coarse enough to cost nothing (<1% of bulk
+    throughput), fine enough for sub-millisecond watchdog latency. *)
+
+val finish_sliced :
+  ?deadline:float -> ?slice:int -> ?on_slice:(session -> unit) -> session -> result
+(** Run to completion in fuel slices.  With no [deadline] and no
+    [on_slice] this is semantically {!finish} (same engine routing,
+    same results), just dispatched [slice] instructions at a time. *)
+
+val run_until :
+  ?deadline:float -> ?slice:int -> ?on_slice:(session -> unit) ->
+  session -> icount:int -> progress
+(** Drive the session until the guest has executed [icount]
+    instructions in total, then pause ([Running]) with the machine
+    stopped exactly there — the fault injector's scheduling primitive.
+    [Finished] means the guest stopped first.  Call repeatedly with
+    increasing targets; mutate machine state freely while paused. *)
+
+val run : ?deadline:float -> ?slice:int -> ?config:config -> Ptaint_asm.Program.t -> result
 val run_asm : ?config:config -> string -> result
 (** Assemble (failing loudly on errors) and run. *)
 
@@ -151,9 +191,10 @@ val boot_template : ?config:config -> template -> session
     [Invalid_argument] if [config] disagrees with the template on
     argv/env/sources. *)
 
-val run_template : ?config:config -> template -> result
+val run_template : ?deadline:float -> ?slice:int -> ?config:config -> template -> result
 (** [finish (boot_template ?config tpl)] — bit-identical to
-    [run ?config program] on the template's program. *)
+    [run ?config program] on the template's program.  [deadline] and
+    [slice] route through {!finish_sliced}. *)
 
 val templates_of :
   (config * Ptaint_asm.Program.t) list -> template list
@@ -161,9 +202,11 @@ val templates_of :
     physical equality + argv/env/sources).  Programs the loader
     rejects are skipped — running them reproduces the failure. *)
 
-val run_with : template list -> config -> Ptaint_asm.Program.t -> result
+val run_with :
+  ?deadline:float -> ?slice:int ->
+  template list -> config -> Ptaint_asm.Program.t -> result
 (** Run via the matching template when there is one, falling back to
-    a plain {!run}. *)
+    a plain {!run}.  [deadline] arms the cooperative watchdog. *)
 
 val run_many :
   ?domains:int -> (config * Ptaint_asm.Program.t) list -> result list

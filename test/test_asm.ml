@@ -122,6 +122,49 @@ let test_errors () =
   expect_error ".text\n.word 1\n";
   expect_error ".data\nadd $t0, $t1, $t2\n"
 
+(* malformed-input corpus: every rejection must be the typed error
+   with the right 1-based source line, so campaign consumers can
+   classify and report without string-matching exception text *)
+let test_error_positions () =
+  let corpus =
+    [ (".text\nfoo $t0\n", 2, "unknown");
+      (".text\nnop\nadd $t0, $t1\n", 3, "register");
+      (".text\nj nowhere\n", 2, "undefined");
+      (".text\nx: nop\nnop\nx: nop\n", 4, "duplicate");
+      (".data\nbuf: .space -4\n", 2, "negative");
+      (".data\nbuf: .space nonsense\n", 2, "");
+      (".text\nlw $t0, 4(nonsense)\n", 2, "") ]
+  in
+  List.iter
+    (fun (src, line, needle) ->
+      match Assembler.assemble src with
+      | Ok _ -> Alcotest.failf "corpus entry must be rejected: %S" src
+      | Error e ->
+        Alcotest.(check int) (Printf.sprintf "line of %S" src) line e.Assembler.line;
+        let msg = String.lowercase_ascii e.Assembler.message in
+        if needle <> "" then
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S mentions %S" e.Assembler.message needle)
+            true
+            (let n = String.length needle in
+             let rec go i =
+               i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1))
+             in
+             go 0))
+    corpus;
+  (* assemble_exn raises the same information as a typed exception *)
+  (match Assembler.assemble_exn ".text\nnop\nfoo\n" with
+   | _ -> Alcotest.fail "assemble_exn must raise on malformed input"
+   | exception Assembler.Asm_error { line; _ } ->
+     Alcotest.(check int) "exception carries the line" 3 line);
+  (* the loader's own validation is typed too: an argv block that
+     cannot fit the stack is a Loader.Error naming the field *)
+  let p = assemble ".text\nmain: jr $ra\n" in
+  match Loader.load ~argv:[ String.make 2_000_000 'A' ] p with
+  | _ -> Alcotest.fail "oversized argv must be rejected"
+  | exception Loader.Error { where; _ } ->
+    Alcotest.(check string) "names the offending field" "arguments" where
+
 let test_disassemble_listing () =
   let p = assemble ".text\nnop\njr $ra\n" in
   let listing = Program.disassemble p in
@@ -323,6 +366,8 @@ let () =
           Alcotest.test_case "la / lw symbol" `Quick test_la_lw_symbol;
           Alcotest.test_case "alignment" `Quick test_alignment;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "malformed corpus: typed positions" `Quick
+            test_error_positions;
           Alcotest.test_case "listing" `Quick test_disassemble_listing ] );
       ( "loader",
         [ Alcotest.test_case "argv layout + taint" `Quick test_loader_argv;

@@ -60,7 +60,9 @@ let fingerprint (r : Campaign.job_result) =
       (String.escaped (String.concat "&" res.Ptaint_sim.Sim.net_sent))
       res.Ptaint_sim.Sim.instructions res.Ptaint_sim.Sim.syscalls
       res.Ptaint_sim.Sim.final_uid
-  | Campaign.Crashed f -> Printf.sprintf "%s | CRASHED %s" r.Campaign.name f.Campaign.exn
+  | Campaign.Failed f ->
+    Printf.sprintf "%s | FAILED (%s) %s" r.Campaign.name (Campaign.kind_name f.Campaign.kind)
+      f.Campaign.exn
 
 let test_determinism () =
   let jobs = coverage_jobs () in
@@ -103,17 +105,159 @@ let test_fault_isolation () =
       | Campaign.Finished _, Campaign.Finished _ -> ()
       | _ -> Alcotest.fail "jobs around the crash must still finish");
      (match crashed.Campaign.status with
-      | Campaign.Crashed f ->
+      | Campaign.Failed f ->
         Alcotest.(check bool) "failure message preserved" true
-          (contains f.Campaign.exn "guest exploded")
-      | _ -> Alcotest.fail "raising job must be reported as Crashed")
+          (contains f.Campaign.exn "guest exploded");
+        Alcotest.(check string) "classified as a crash" "crashed"
+          (Campaign.kind_name f.Campaign.kind)
+      | _ -> Alcotest.fail "raising job must be reported as Failed")
    | _ -> Alcotest.fail "expected three results");
-  Alcotest.(check int) "one crash counted" 1 stats.Campaign.crashed;
+  Alcotest.(check int) "one failure counted" 1 stats.Campaign.failed;
   Alcotest.(check int) "all jobs accounted for" 3 stats.Campaign.jobs;
   (* result_exn surfaces the failure as an exception *)
   match List.nth results 1 |> Campaign.result_exn with
   | _ -> Alcotest.fail "result_exn on a crashed job must raise"
   | exception Invalid_argument _ -> ()
+
+(* --- failure taxonomy: each failure kind is typed, not string-matched --- *)
+
+let test_retry_transient () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let benign =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c
+    | None -> Alcotest.fail "exp1 should have a benign case"
+  in
+  let config = benign.Scenario.config program in
+  let tries = Atomic.make 0 in
+  let flaky =
+    Campaign.job_thunk ~name:"flaky" (fun () ->
+        if Atomic.fetch_and_add tries 1 = 0 then failwith "transient glitch"
+        else Ptaint_sim.Sim.run ~config program)
+  in
+  let results, stats = Campaign.run ~domains:2 ~retries:2 ~backoff:0.001 [ flaky ] in
+  (match results with
+   | [ r ] ->
+     (match r.Campaign.status with
+      | Campaign.Finished _ -> ()
+      | Campaign.Failed f ->
+        Alcotest.fail ("flaky job should succeed on retry, failed: " ^ f.Campaign.exn));
+     Alcotest.(check int) "second attempt succeeded" 2 r.Campaign.attempts
+   | _ -> Alcotest.fail "expected one result");
+  Alcotest.(check int) "no failure recorded after successful retry" 0 stats.Campaign.failed;
+  (* deterministic failure kinds are never retried *)
+  let spin = Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n" in
+  let cfg = Ptaint_sim.Sim.config ~max_instructions:1_000_000_000 () in
+  let results, _ =
+    Campaign.run ~domains:1 ~job_timeout:0.2 ~retries:3 ~backoff:0.001
+      [ Campaign.job ~name:"spin" ~config:cfg spin ]
+  in
+  match results with
+  | [ r ] -> (
+    Alcotest.(check int) "timeout not retried" 1 r.Campaign.attempts;
+    match r.Campaign.status with
+    | Campaign.Failed f ->
+      Alcotest.(check string) "classified as timeout" "timeout"
+        (Campaign.kind_name f.Campaign.kind)
+    | Campaign.Finished _ -> Alcotest.fail "spinning guest must time out")
+  | _ -> Alcotest.fail "expected one result"
+
+let test_worker_backtrace () =
+  let boom = Campaign.job_thunk ~name:"boom" (fun () -> failwith "kaboom") in
+  let results, _ = Campaign.run ~domains:2 ~retries:1 ~backoff:0.001 [ boom ] in
+  match results with
+  | [ r ] -> (
+    (match r.Campaign.status with
+     | Campaign.Failed f ->
+       Alcotest.(check bool) "worker backtrace captured" true
+         (contains f.Campaign.backtrace "Raised")
+     | Campaign.Finished _ -> Alcotest.fail "boom must fail");
+    Alcotest.(check int) "crash retried once" 2 r.Campaign.attempts;
+    match Campaign.result_exn r with
+    | _ -> Alcotest.fail "result_exn on a failed job must raise"
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the kind" true (contains msg "crashed");
+      Alcotest.(check bool) "message counts attempts" true (contains msg "2 attempt");
+      Alcotest.(check bool) "message carries the worker frames" true
+        (contains msg "Raised"))
+  | _ -> Alcotest.fail "expected one result"
+
+let test_guest_fault_classified () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let benign =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c
+    | None -> Alcotest.fail "exp1 should have a benign case"
+  in
+  let bad = Ptaint_asm.Assembler.assemble_exn ".text\nmain: li $v0, 999\n      syscall\n" in
+  let jobs =
+    [ Campaign.job ~name:"healthy" ~config:(benign.Scenario.config program) program;
+      Campaign.job ~name:"bad-syscall" ~config:(Ptaint_sim.Sim.config ()) bad;
+      Campaign.job ~name:"healthy-2" ~config:(benign.Scenario.config program) program ]
+  in
+  let results, stats = Campaign.run ~domains:3 jobs in
+  (match results with
+   | [ h1; badr; h2 ] ->
+     (match (h1.Campaign.status, h2.Campaign.status) with
+      | Campaign.Finished _, Campaign.Finished _ -> ()
+      | _ -> Alcotest.fail "neighbours of the faulting guest must finish");
+     (match badr.Campaign.status with
+      | Campaign.Failed { kind = Campaign.Guest_fault { sysnum; _ }; _ } ->
+        Alcotest.(check int) "faulting syscall number" 999 sysnum
+      | _ -> Alcotest.fail "unknown syscall must classify as Guest_fault")
+   | _ -> Alcotest.fail "expected three results");
+  Alcotest.(check int) "one failure" 1 stats.Campaign.failed
+
+let test_loader_error_classified () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let huge_argv = Ptaint_sim.Sim.config ~argv:[ "prog"; String.make 2_000_000 'A' ] () in
+  let jobs =
+    [ Campaign.job ~name:"oversized-argv" ~config:huge_argv program;
+      Campaign.job_thunk ~name:"bad-asm" (fun () ->
+          Ptaint_sim.Sim.run_asm ".data\nx: .space -4\n") ]
+  in
+  let results, _ = Campaign.run ~domains:2 jobs in
+  match results with
+  | [ argv_r; asm_r ] ->
+    (match argv_r.Campaign.status with
+     | Campaign.Failed { kind = Campaign.Loader_error { where; _ }; _ } ->
+       Alcotest.(check string) "argv validation failed" "arguments" where
+     | _ -> Alcotest.fail "oversized argv must classify as Loader_error");
+    (match asm_r.Campaign.status with
+     | Campaign.Failed { kind = Campaign.Loader_error { where; _ }; _ } ->
+       Alcotest.(check bool) "assembler error carries the line" true
+         (contains where "line")
+     | _ -> Alcotest.fail "malformed assembly must classify as Loader_error")
+  | _ -> Alcotest.fail "expected two results"
+
+let test_watchdog_in_batch () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let benign =
+    match Scenario.benign Catalog.exp1_stack_smash with
+    | Some c -> c
+    | None -> Alcotest.fail "exp1 should have a benign case"
+  in
+  let spin = Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n" in
+  let spin_cfg = Ptaint_sim.Sim.config ~max_instructions:1_000_000_000 () in
+  let jobs =
+    [ Campaign.job ~name:"healthy" ~config:(benign.Scenario.config program) program;
+      Campaign.job ~name:"spin" ~config:spin_cfg spin;
+      Campaign.job ~name:"healthy-2" ~config:(benign.Scenario.config program) program ]
+  in
+  let results, stats = Campaign.run ~domains:2 ~job_timeout:0.3 jobs in
+  (match results with
+   | [ h1; spun; h2 ] ->
+     (match (h1.Campaign.status, h2.Campaign.status) with
+      | Campaign.Finished _, Campaign.Finished _ -> ()
+      | _ -> Alcotest.fail "healthy jobs must not be hit by the neighbour's watchdog");
+     (match spun.Campaign.status with
+      | Campaign.Failed { kind = Campaign.Timeout { seconds }; _ } ->
+        Alcotest.(check bool) "timeout reports the configured budget" true
+          (seconds = 0.3)
+      | _ -> Alcotest.fail "spinning guest must be reported as Timeout")
+   | _ -> Alcotest.fail "expected three results");
+  Alcotest.(check int) "exactly one failure" 1 stats.Campaign.failed;
+  Alcotest.(check int) "all jobs accounted for" 3 stats.Campaign.jobs
 
 (* --- submission order --- *)
 
@@ -224,6 +368,14 @@ let () =
         [ Alcotest.test_case "determinism: full coverage matrix" `Slow test_determinism;
           Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
           Alcotest.test_case "submission order" `Quick test_order ] );
+      ( "failure taxonomy",
+        [ Alcotest.test_case "retry transient, never deterministic" `Quick
+            test_retry_transient;
+          Alcotest.test_case "worker backtrace preserved" `Quick test_worker_backtrace;
+          Alcotest.test_case "guest fault classified" `Quick test_guest_fault_classified;
+          Alcotest.test_case "loader errors classified" `Quick
+            test_loader_error_classified;
+          Alcotest.test_case "watchdog timeout in batch" `Quick test_watchdog_in_batch ] );
       ( "snapshots",
         [ Alcotest.test_case "template restore = reload" `Quick
             test_template_restore_determinism;

@@ -273,6 +273,41 @@ let test_cross_page_sweep () =
     end
   done
 
+(* --- fault-injection entry points keep the store coherent --- *)
+
+let test_injection_invariants () =
+  let m = fresh () in
+  Tagged_store.debug_asserts := true;
+  Memory.check_invariants m;
+  Memory.store_word m base (Tword.make ~v:0xDEADBEEF ~m:0b1111);
+  Memory.taint_range m (base + 64) 32;
+  Memory.check_invariants m;
+  let before = Memory.tainted_bytes m in
+  (* a data flip never moves the taint plane or the live counter *)
+  Memory.inject_flip_data m base ~bit:5;
+  Memory.check_invariants m;
+  Alcotest.(check int) "flip leaves taint counter" before (Memory.tainted_bytes m);
+  Alcotest.(check int) "flip flipped the byte" (0xEF lxor 0x20)
+    (fst (Memory.load_byte m base));
+  (* range injections adjust the counter exactly, idempotently *)
+  Memory.inject_set_taint_range m (base + 64) 64 ~tainted:true;
+  Memory.check_invariants m;
+  Alcotest.(check int) "range taint counted once" (before + 32) (Memory.tainted_bytes m);
+  Memory.inject_set_taint_range m (base + 64) 64 ~tainted:false;
+  Memory.check_invariants m;
+  Alcotest.(check int) "range untainted" (before - 32) (Memory.tainted_bytes m);
+  (* total wipe zeroes the counter whatever was tainted *)
+  Memory.inject_wipe_taint m;
+  Memory.check_invariants m;
+  Alcotest.(check int) "wipe zeroes the counter" 0 (Memory.tainted_bytes m);
+  Alcotest.(check int) "wipe leaves the data plane" (0xEF lxor 0x20)
+    (fst (Memory.load_byte m base));
+  (* injections into unmapped space fault like guest accesses *)
+  (match Memory.inject_flip_data m 0x4 ~bit:0 with
+   | () -> Alcotest.fail "unmapped injection must fault"
+   | exception Memory.Fault _ -> ());
+  Tagged_store.debug_asserts := false
+
 let () =
   Alcotest.run "mem"
     [ ( "memory",
@@ -287,7 +322,8 @@ let () =
           Alcotest.test_case "stats width-independent" `Quick test_stats_width_independent;
           Alcotest.test_case "tainted_in_range faults on unmapped" `Quick
             test_tainted_in_range_unmapped;
-          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore ] );
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "injection invariants" `Quick test_injection_invariants ] );
       ( "cache",
         [ Alcotest.test_case "hit/miss" `Quick test_cache_basics;
           Alcotest.test_case "taint summary" `Quick test_cache_taint_summary;
