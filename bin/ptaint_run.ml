@@ -11,7 +11,10 @@
 
 open Cmdliner
 module Campaign = Ptaint_campaign.Campaign
+module Job = Ptaint_campaign.Job
 module Fi = Ptaint_fi.Fi
+module Proto = Ptaint_daemon.Proto
+module Client = Ptaint_daemon.Client
 
 let read_file path =
   let ic = open_in_bin path in
@@ -128,19 +131,24 @@ let run_one path config disasm trace_file metrics plan job_timeout =
    | None -> ());
   exit_code_of r
 
+(* A file path becomes the symbolic payload of a unified Job.t: the
+   campaign engine (or the daemon) owns the build, so a malformed
+   source is a classified per-job failure, never a CLI crash. *)
+let payload_of path =
+  let source = read_file path in
+  if Filename.check_suffix path ".s" then Job.Asm_source source else Job.C_source source
+
+let job_of path config timeout =
+  Job.make ~tag:path
+    ~config:{ config with Ptaint_sim.Sim.argv = [ Filename.basename path ] }
+    ?timeout (payload_of path)
+
 (* Batch mode: each program becomes one campaign job on the domain
    pool; one summary line per program, in command-line order. *)
-let run_batch paths config domains trace_file metrics job_timeout =
-  let jobs =
-    List.map
-      (fun path ->
-        Campaign.job ~name:path
-          ~config:{ config with Ptaint_sim.Sim.argv = [ Filename.basename path ] }
-          (load_program path))
-      paths
-  in
+let run_batch paths config domains trace_file metrics timings job_timeout =
+  let jobs = List.map (fun path -> job_of path config None) paths in
   let trace = Option.map (fun _ -> Ptaint_obs.Trace.create ()) trace_file in
-  let results, stats = Campaign.run ?domains ?trace ?job_timeout jobs in
+  let results, stats = Campaign.run_jobs ?domains ?trace ?job_timeout jobs in
   let code =
     List.fold_left
       (fun acc (jr : Campaign.job_result) ->
@@ -156,7 +164,7 @@ let run_batch paths config domains trace_file metrics job_timeout =
           max acc 4)
       0 results
   in
-  if metrics then print_string (Campaign.metrics_table ~timings:true stats);
+  if metrics then print_string (Campaign.metrics_table ~timings stats);
   (match (trace_file, trace) with
    | Some file, Some tr ->
      let ch = Ptaint_obs.Chrome.create () in
@@ -164,6 +172,74 @@ let run_batch paths config domains trace_file metrics job_timeout =
      write_chrome ch file
    | _ -> ());
   code
+
+(* --connect mode: the same jobs go to a ptaintd instance instead of
+   an in-process pool.  Output parity with run_batch is deliberate:
+   per-job lines are printed in submission order from the streamed
+   terminal events, and --metrics rebuilds the per-policy registries
+   by merging each job's streamed counter deltas — byte-identical to
+   the batch runner's counters-only table. *)
+let run_connect sock paths policy_name stdin_data sessions args metrics job_timeout =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let spec_of path =
+    let payload =
+      let source = read_file path in
+      if Filename.check_suffix path ".s" then Proto.Wire_asm source else Proto.Wire_c source
+    in
+    Proto.job_spec ~tag:path ~policy:policy_name
+      ~argv:(Filename.basename path :: args)
+      ~stdin:stdin_data
+      ~sessions:(List.map (fun s -> [ s ]) sessions)
+      ?timeout:job_timeout payload
+  in
+  let specs = List.map spec_of paths in
+  let c = Client.connect ~client:"ptaint-run" sock in
+  let outcomes = Client.run_batch c specs in
+  Client.close c;
+  let module M = Ptaint_obs.Metrics in
+  let regs = ref [] in
+  let registry label =
+    match List.assoc_opt label !regs with
+    | Some m -> m
+    | None ->
+      let m = M.create () in
+      regs := !regs @ [ (label, m) ];
+      m
+  in
+  let merge label counters =
+    let m = registry label in
+    List.iter (fun (name, by) -> M.inc ~by (M.counter m name)) counters
+  in
+  let code =
+    List.fold_left2
+      (fun acc path outcome ->
+        match outcome with
+        | Client.Done (Proto.Finished f) ->
+          if List.length paths = 1 then print_string f.stdout;
+          Format.printf "%-32s %s (%d instructions, %d syscalls)@." path f.outcome
+            f.instructions f.syscalls;
+          merge f.policy_label f.counters;
+          max acc f.exit_code
+        | Client.Done (Proto.Job_failed f) ->
+          Format.printf "%-32s job failed (%s): %s@." path f.kind f.message;
+          merge f.policy_label f.counters;
+          max acc 4
+        | Client.Done (Proto.Started _) -> acc
+        | Client.Refused reason ->
+          Format.printf "%-32s rejected: %s@." path reason;
+          max acc 2)
+      0 paths outcomes
+  in
+  if metrics then print_string (Campaign.metrics_table_of !regs);
+  code
+
+let print_daemon_stats sock =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let c = Client.connect ~client:"ptaint-run" sock in
+  let counters = Client.stats c in
+  Client.close c;
+  List.iter (fun (name, v) -> Printf.printf "%-28s %d\n" name v) counters;
+  0
 
 let parse_injections specs =
   List.fold_left
@@ -175,36 +251,49 @@ let parse_injections specs =
     (Ok []) specs
 
 let run paths policy_name stdin_data sessions args disasm timing trace_file trace_insns
-    trace_limit metrics domains inject_specs job_timeout =
+    trace_limit metrics timings domains inject_specs job_timeout connect daemon_stats =
   match (Ptaint_sim.Sim.policy_of_label policy_name, parse_injections inject_specs) with
   | Error e, _ | _, Error e ->
     prerr_endline e;
     2
   | Ok policy, Ok plan -> (
     try
-      match paths with
-      | [] ->
+      match (daemon_stats, connect, paths) with
+      | true, None, _ ->
+        prerr_endline "--daemon-stats needs --connect SOCKET";
+        2
+      | true, Some sock, _ -> print_daemon_stats sock
+      | false, Some _, [] ->
         prerr_endline "no guest program given";
         2
-      | [ path ] ->
+      | false, Some sock, paths ->
+        if trace_insns then prerr_endline "note: --trace-insns is ignored in --connect mode";
+        if plan <> [] then prerr_endline "note: --inject is ignored in --connect mode";
+        if timing then prerr_endline "note: --timing is ignored in --connect mode";
+        run_connect sock paths policy_name stdin_data sessions args metrics job_timeout
+      | false, None, [] ->
+        prerr_endline "no guest program given";
+        2
+      | false, None, [ path ] ->
         let config =
-          Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
-            ~sessions:(List.map (fun s -> [ s ]) sessions)
-            ~argv:(Filename.basename path :: args)
-            ~timing ~obs:true
-            ?on_step:(if trace_insns then Some (tracer trace_limit) else None)
-            ()
+          Ptaint_sim.Sim.Config.(
+            default |> with_policy policy |> with_stdin stdin_data
+            |> with_sessions (List.map (fun s -> [ s ]) sessions)
+            |> with_argv (Filename.basename path :: args)
+            |> with_timing timing |> with_obs true
+            |> if trace_insns then with_on_step (tracer trace_limit) else Fun.id)
         in
         run_one path config disasm trace_file metrics plan job_timeout
-      | paths ->
+      | false, None, paths ->
         if trace_insns then prerr_endline "note: --trace-insns is ignored in batch (-j) mode";
         if plan <> [] then prerr_endline "note: --inject is ignored in batch (-j) mode";
         let config =
-          Ptaint_sim.Sim.config ~policy ~stdin:stdin_data
-            ~sessions:(List.map (fun s -> [ s ]) sessions)
-            ~timing ()
+          Ptaint_sim.Sim.Config.(
+            default |> with_policy policy |> with_stdin stdin_data
+            |> with_sessions (List.map (fun s -> [ s ]) sessions)
+            |> with_timing timing)
         in
-        run_batch paths config domains trace_file metrics job_timeout
+        run_batch paths config domains trace_file metrics timings job_timeout
     with
     | Guest_error e ->
       prerr_endline e;
@@ -224,7 +313,13 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
     | Ptaint_os.Kernel.Guest_fault { sysnum; pc; args } ->
       Printf.eprintf "guest fault: syscall %d at pc 0x%08x (args %s)\n" sysnum pc
         (String.concat ", " (List.map string_of_int args));
-      4)
+      4
+    | Client.Protocol_error e ->
+      prerr_endline ("daemon protocol error: " ^ e);
+      2
+    | Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "daemon connection error: %s: %s %s\n" (Unix.error_message err) fn arg;
+      2)
 
 let paths_arg = Arg.(value & pos_all file [] & info [] ~docv:"PROGRAM")
 
@@ -265,6 +360,12 @@ let metrics_arg =
          ~doc:"Print taint-activity counters after the run (full per-policy table in \
                batch mode).")
 
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ]
+         ~doc:"With --metrics in batch mode: add the wall-clock and pool-concurrency \
+               histogram rows (non-deterministic; the default table is counters-only so \
+               runs can be diffed).")
+
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"With several PROGRAMs: run the batch on N domains (default: all cores).")
@@ -285,11 +386,23 @@ let job_timeout_arg =
                timed-out job is reported as a timeout failure and the rest of the batch \
                completes.")
 
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCKET"
+         ~doc:"Submit the PROGRAMs to a running ptaintd instance on the Unix-domain \
+               $(docv) instead of simulating in-process.  Jobs stream back as events; \
+               output and --metrics tables match local batch mode byte-for-byte.")
+
+let daemon_stats_arg =
+  Arg.(value & flag & info [ "daemon-stats" ]
+         ~doc:"With --connect: print the daemon's counters (cache hits, jobs, clients) \
+               and exit.")
+
 let cmd =
   let doc = "run guest programs on the pointer-taintedness architecture" in
   Cmd.v (Cmd.info "ptaint-run" ~doc)
     Term.(const run $ paths_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
           $ timing_arg $ trace_arg $ trace_insns_arg $ trace_limit_arg $ metrics_arg
-          $ domains_arg $ inject_arg $ job_timeout_arg)
+          $ timings_arg $ domains_arg $ inject_arg $ job_timeout_arg $ connect_arg
+          $ daemon_stats_arg)
 
 let () = exit (Cmd.eval' cmd)

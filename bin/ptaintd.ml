@@ -1,0 +1,85 @@
+(* ptaintd: run the pointer-taintedness detector as a persistent
+   service.
+
+     ptaintd --socket /tmp/ptaintd.sock -j 4
+     ptaint-run --connect /tmp/ptaintd.sock victim.c exploit.c
+     ptaint-run --connect /tmp/ptaintd.sock --daemon-stats
+
+   The daemon accepts detection jobs from many concurrent clients
+   over a Unix-domain socket, runs them on a persistent pool of
+   worker domains, serves repeat submissions from a content-hash
+   snapshot cache, and streams results back as typed events.
+   SIGTERM/SIGINT drain gracefully: in-flight jobs finish, results
+   flush, then the process exits 0. *)
+
+open Cmdliner
+module Server = Ptaint_daemon.Server
+
+let serve socket domains max_queue max_inflight cache job_timeout quiet =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let log = if quiet then None else Some (fun m -> Printf.eprintf "ptaintd: %s\n%!" m) in
+  let cfg =
+    { (Server.default_config ~socket_path:socket) with
+      Server.domains;
+      max_queue;
+      max_inflight;
+      cache_capacity = cache;
+      job_timeout;
+      log }
+  in
+  match Server.create cfg with
+  | exception Invalid_argument m ->
+    prerr_endline m;
+    2
+  | exception Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "ptaintd: cannot bind %s: %s (%s %s)\n" socket
+      (Unix.error_message err) fn arg;
+    2
+  | t ->
+    let stop _ = Server.shutdown t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    if not quiet then
+      Printf.eprintf "ptaintd: listening on %s (%d workers)\n%!" socket
+        (match domains with
+         | Some d -> d
+         | None -> Ptaint_pool.Pool.recommended_domains ());
+    Server.serve t;
+    0
+
+let socket_arg =
+  Arg.(value & opt string "ptaintd.sock" & info [ "socket"; "s" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket to listen on.  A stale socket file is replaced; \
+               anything else at $(docv) is refused.")
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains (default: all cores).")
+
+let queue_arg =
+  Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N"
+         ~doc:"Server-wide bound on admitted-but-unfinished jobs; submissions beyond it \
+               are rejected with backpressure, never queued unboundedly.")
+
+let inflight_arg =
+  Arg.(value & opt int 32 & info [ "max-inflight" ] ~docv:"N"
+         ~doc:"Per-client quota of in-flight jobs.")
+
+let cache_arg =
+  Arg.(value & opt int 64 & info [ "cache" ] ~docv:"N"
+         ~doc:"Image cache capacity: assembled programs and boot snapshots kept for \
+               repeat submissions (LRU).")
+
+let job_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS"
+         ~doc:"Default wall-clock watchdog per job; a job's own timeout overrides it.")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No stderr chatter.")
+
+let cmd =
+  let doc = "pointer-taintedness detection daemon" in
+  Cmd.v (Cmd.info "ptaintd" ~doc)
+    Term.(const serve $ socket_arg $ domains_arg $ queue_arg $ inflight_arg $ cache_arg
+          $ job_timeout_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -3,9 +3,13 @@ module Pool = Ptaint_pool.Pool
 (* A job built from a (config, program) pair keeps both visible so
    the campaign can share one loaded image (a Sim snapshot template)
    across every job running that image; opaque thunks always run
-   as-is. *)
+   as-is.  [Spec] is the unified {!Job.t} path every front end (CLI,
+   batch runner, experiments, ptaintd) funnels through — it may carry
+   a program pre-built by the submitting domain so the template
+   sharing still applies. *)
 type work =
   | Sim_run of Ptaint_sim.Sim.config * Ptaint_asm.Program.t
+  | Spec of Job.t * Ptaint_asm.Program.t option
   | Thunk of (unit -> Ptaint_sim.Sim.result)
 
 type job = {
@@ -32,6 +36,21 @@ let job ~name ?policy_label ?expect ~config program =
 
 let job_thunk ~name ?(policy_label = "unlabelled") ?expect thunk =
   { j_name = name; j_policy_label = policy_label; j_expect = expect; j_work = Thunk thunk }
+
+let job_label (spec : Job.t) =
+  match spec.Job.policy_label with
+  | Some l -> l
+  | None -> label_of_policy spec.Job.config.Ptaint_sim.Sim.policy
+
+(* [program] pre-builds on the submitting domain when available so
+   identical images share one snapshot template; [None] defers the
+   (re)build to the worker, where a toolchain failure is contained
+   and classified. *)
+let of_job ?program (spec : Job.t) =
+  { j_name = spec.Job.tag;
+    j_policy_label = job_label spec;
+    j_expect = spec.Job.expect;
+    j_work = Spec (spec, program) }
 
 let job_name j = j.j_name
 
@@ -70,6 +89,8 @@ let classify ~job_timeout = function
   | Ptaint_asm.Loader.Error { where; message } -> Loader_error { where; message }
   | Ptaint_asm.Assembler.Asm_error { line; message } ->
     Loader_error { where = Printf.sprintf "line %d" line; message }
+  | Ptaint_cc.Cc.Error { line; message; phase } ->
+    Loader_error { where = Printf.sprintf "%s, line %d" phase line; message }
   | _ -> Crashed
 
 type timing = { started : float; finished : float; domain : int }
@@ -103,8 +124,15 @@ type stats = {
 }
 
 (* run_sim is the template-sharing closure [run] builds; [deadline]
-   arms the cooperative watchdog inside the fuel-sliced engine. *)
+   arms the cooperative watchdog inside the fuel-sliced engine.  A
+   {!Job.t}'s own [timeout] overrides the campaign-wide default, for
+   both the deadline and the reported [Timeout { seconds }]. *)
 let exec ~job_timeout ~retries ~backoff run_sim j =
+  let job_timeout =
+    match j.j_work with
+    | Spec ({ Job.timeout = Some t; _ }, _) -> Some t
+    | _ -> job_timeout
+  in
   let started = Unix.gettimeofday () in
   let close ~attempts status violation =
     { name = j.j_name;
@@ -123,6 +151,13 @@ let exec ~job_timeout ~retries ~backoff run_sim j =
     let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) job_timeout in
     match j.j_work with
     | Sim_run (config, program) -> run_sim ~deadline config program
+    | Spec (spec, pre) -> (
+      let program = match pre with Some p -> p | None -> Job.program spec in
+      match spec.Job.injections with
+      | [] -> run_sim ~deadline spec.Job.config program
+      | plan ->
+        (Ptaint_fi.Fi.run_plan ~config:spec.Job.config ?deadline ~plan program)
+          .Ptaint_fi.Fi.result)
     | Thunk f -> f ()
   in
   let rec go attempts =
@@ -157,6 +192,33 @@ let exec ~job_timeout ~retries ~backoff run_sim j =
   in
   go 1
 
+(* The deterministic counter deltas one job contributes to its policy
+   label's registry, in registration order.  This is the unit the
+   daemon streams per finished job: a client merging these deltas in
+   submission order rebuilds byte-identical per-label registries,
+   because {!metrics_of} below is defined as exactly that merge. *)
+let job_counters r =
+  let kind_counter = function
+    | Timeout _ -> "timeouts"
+    | Guest_fault _ -> "guest faults"
+    | Loader_error _ -> "loader errors"
+    | Crashed -> "crashed"
+  in
+  [ ("jobs", 1) ]
+  @ (if r.attempts > 1 then [ ("retries", r.attempts - 1) ] else [])
+  @
+  match r.status with
+  | Failed f -> [ (kind_counter f.kind, 1) ]
+  | Finished res ->
+    let ms = Ptaint_mem.Memory.stats res.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
+    [ ("instructions", res.Ptaint_sim.Sim.instructions);
+      ("syscalls", res.Ptaint_sim.Sim.syscalls);
+      ("tainted loads", ms.Ptaint_mem.Memory.tainted_loads);
+      ("tainted stores", ms.Ptaint_mem.Memory.tainted_stores) ]
+    @ (match res.Ptaint_sim.Sim.outcome with
+       | Ptaint_sim.Sim.Alert _ -> [ ("alerts", 1) ]
+       | _ -> [])
+
 (* Per-label registry: deterministic counters from the simulation
    results plus wall-clock and concurrency histograms from the job
    timings (the non-deterministic rows are kept apart so batch outputs
@@ -172,12 +234,6 @@ let metrics_of results =
       regs := (label, m) :: !regs;
       m
   in
-  let kind_counter = function
-    | Timeout _ -> "timeouts"
-    | Guest_fault _ -> "guest faults"
-    | Loader_error _ -> "loader errors"
-    | Crashed -> "crashed"
-  in
   let concurrency_at t =
     List.fold_left
       (fun n r -> if r.timing.started <= t && t < r.timing.finished then n + 1 else n)
@@ -186,19 +242,7 @@ let metrics_of results =
   List.iter
     (fun r ->
       let m = registry r.policy_label in
-      M.inc (M.counter m "jobs");
-      if r.attempts > 1 then M.inc ~by:(r.attempts - 1) (M.counter m "retries");
-      (match r.status with
-       | Failed f -> M.inc (M.counter m (kind_counter f.kind))
-       | Finished res ->
-         M.inc ~by:res.Ptaint_sim.Sim.instructions (M.counter m "instructions");
-         M.inc ~by:res.Ptaint_sim.Sim.syscalls (M.counter m "syscalls");
-         let ms = Ptaint_mem.Memory.stats res.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
-         M.inc ~by:ms.Ptaint_mem.Memory.tainted_loads (M.counter m "tainted loads");
-         M.inc ~by:ms.Ptaint_mem.Memory.tainted_stores (M.counter m "tainted stores");
-         (match res.Ptaint_sim.Sim.outcome with
-          | Ptaint_sim.Sim.Alert _ -> M.inc (M.counter m "alerts")
-          | _ -> ()));
+      List.iter (fun (name, by) -> M.inc ~by (M.counter m name)) (job_counters r);
       M.observe (M.histogram m "job wall ms")
         ((r.timing.finished -. r.timing.started) *. 1000.);
       (* Queue depth, post-hoc: how many jobs were in flight when this
@@ -257,11 +301,18 @@ let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
   (* Load each distinct image once up front; workers restore the
      copy-on-write snapshot per run.  Template building never brings a
      job down: a program the loader rejects simply has no template and
-     fails on its own worker, where [exec] contains it. *)
+     fails on its own worker, where [exec] contains it.  Spec jobs
+     whose program was pre-built on the submitting domain (and that
+     run injection-free — the fault injector boots its own session)
+     share templates the same way. *)
   let templates =
     Ptaint_sim.Sim.templates_of
       (List.filter_map
-         (fun j -> match j.j_work with Sim_run (c, p) -> Some (c, p) | Thunk _ -> None)
+         (fun j ->
+           match j.j_work with
+           | Sim_run (c, p) -> Some (c, p)
+           | Spec ({ Job.injections = []; config; _ }, Some p) -> Some (config, p)
+           | Spec _ | Thunk _ -> None)
          jobs)
   in
   let run_sim ~deadline config program =
@@ -287,7 +338,42 @@ let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
    | None -> ());
   (results, stats_of ~wall_seconds results)
 
-let metrics_table ?(timings = false) stats =
+(* The unified {!Job.t} entry point: pre-build every payload once on
+   the submitting domain (deduplicated by content hash, so a batch
+   that submits the same source many times compiles it once), then
+   run through the same pool/exec/templates machinery as [run]. *)
+let run_jobs ?domains ?trace ?job_timeout ?retries ?backoff specs =
+  let built : (string, Ptaint_asm.Program.t) Hashtbl.t = Hashtbl.create 16 in
+  let prebuild spec =
+    let key = Job.image_key spec in
+    match Hashtbl.find_opt built key with
+    | Some p -> Some p
+    | None -> (
+      match Job.program spec with
+      | p ->
+        Hashtbl.add built key p;
+        Some p
+      | exception _ ->
+        (* Malformed source: no pre-built program, the worker rebuilds
+           and [exec] classifies the toolchain failure. *)
+        None)
+  in
+  run ?domains ?trace ?job_timeout ?retries ?backoff
+    (List.map (fun spec -> of_job ?program:(prebuild spec) spec) specs)
+
+(* One job, no pool — the daemon's per-worker entry point.  [run_sim]
+   lets the caller route execution through its own template cache;
+   [program] skips the payload build when the caller already holds the
+   compiled image. *)
+let run_job ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?run_sim ?program spec =
+  let run_sim =
+    match run_sim with
+    | Some f -> f
+    | None -> fun ~deadline config p -> Ptaint_sim.Sim.run ?deadline ~config p
+  in
+  exec ~job_timeout ~retries ~backoff run_sim (of_job ?program spec)
+
+let metrics_table_of ?(timings = false) metrics =
   let module M = Ptaint_obs.Metrics in
   let fmt_f v =
     if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
@@ -308,9 +394,11 @@ let metrics_table ?(timings = false) stats =
                     (fmt_f r.M.min) (fmt_f r.M.max) ]
             | _ -> None)
           (M.rows m))
-      stats.metrics
+      metrics
   in
   Ptaint_report.Report.table ~headers:[ "policy"; "metric"; "value" ] rows
+
+let metrics_table ?timings stats = metrics_table_of ?timings stats.metrics
 
 let pp_stats ppf s =
   Format.fprintf ppf "campaign: %d jobs (%d failed, %d violations), %d guest instructions, %d syscalls; detections: %s [%.2fs wall]"

@@ -45,6 +45,16 @@
 
 type job
 
+val label_of_policy : Ptaint_cpu.Policy.t -> string
+(** Canonical report label for a policy's mode: ["no protection"],
+    ["control-data only"], ["pointer taintedness"]. *)
+
+val of_job : ?program:Ptaint_asm.Program.t -> Job.t -> job
+(** Lift a unified {!Job.t} into a campaign job.  [program] supplies a
+    pre-built guest image (enabling snapshot-template sharing in
+    {!run}); without it the worker builds the payload itself, and a
+    toolchain failure is contained and classified as a loader error. *)
+
 val job :
   name:string ->
   ?policy_label:string ->
@@ -58,7 +68,12 @@ val job :
     returns a violation message when the job did not do what the
     campaign expected — violations are counted but do not fail the
     job, and an [expect] function that itself raises is reported as a
-    violation, never as a job failure. *)
+    violation, never as a job failure.
+
+    Deprecated as a front-end entry point: build a {!Job.t} and submit
+    it through {!run_jobs} so the CLI, the batch runner and the daemon
+    all speak the same value; [job] remains for in-process callers
+    that already hold a built program and a config. *)
 
 val job_thunk :
   name:string ->
@@ -179,6 +194,54 @@ val run :
     offset, duration, worker domain, outcome) is emitted — from the
     submitting domain, after the pool drains — ready for the Chrome
     trace exporter. *)
+
+val run_jobs :
+  ?domains:int ->
+  ?trace:Ptaint_obs.Trace.t ->
+  ?job_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Job.t list ->
+  job_result list * stats
+(** {!run} over unified {!Job.t} values — the batch entry point the
+    CLIs, the experiment matrices and the daemon all share.  Payloads
+    are built once on the submitting domain (deduplicated by
+    {!Job.image_key}, so a batch submitting the same source many
+    times compiles it once) and injection-free jobs with a shared
+    image boot from one snapshot template.  A job's own
+    [Job.timeout] overrides [job_timeout]; its [Job.injections] run
+    through {!Ptaint_fi.Fi.run_plan}. *)
+
+val run_job :
+  ?job_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?run_sim:
+    (deadline:float option -> Ptaint_sim.Sim.config -> Ptaint_asm.Program.t ->
+     Ptaint_sim.Sim.result) ->
+  ?program:Ptaint_asm.Program.t ->
+  Job.t ->
+  job_result
+(** Execute one {!Job.t} on the calling domain with the full
+    containment machinery (watchdog deadline, typed failure
+    classification, retry-with-backoff for {!Crashed}) but no pool —
+    the daemon's per-worker entry point.  [run_sim] (default
+    {!Ptaint_sim.Sim.run}) lets the caller route execution through
+    its own snapshot-template cache; [program] skips the payload
+    build when the compiled image is already at hand. *)
+
+val job_counters : job_result -> (string * int) list
+(** The deterministic counter deltas this job contributes to its
+    policy label's metrics registry, in registration order — the unit
+    the daemon streams per finished job.  Merging every job's deltas
+    into per-label registries in submission order rebuilds
+    {!stats.metrics}'s counters exactly; {!metrics_of} is defined as
+    that merge. *)
+
+val metrics_table_of :
+  ?timings:bool -> (string * Ptaint_obs.Metrics.t) list -> string
+(** {!metrics_table} over bare per-label registries — for clients
+    that rebuilt them from streamed {!job_counters} deltas. *)
 
 val metrics_table : ?timings:bool -> stats -> string
 (** Render {!stats.metrics} as an aligned table.  By default only the

@@ -40,3 +40,97 @@ let mapi ?(domains = recommended_domains ()) f xs =
   end
 
 let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs
+
+(* --- persistent service pool ---
+
+   [map] spins domains up and down per batch, which is the right shape
+   for a one-shot campaign and the wrong one for a long-lived daemon
+   taking jobs from many clients.  A [service] keeps a fixed set of
+   worker domains alive behind a mutex/condition task queue: [post]
+   enqueues a closure, an idle worker picks it up, and [stop] lets the
+   queue drain before joining every worker.  Tasks run with exceptions
+   contained (a poisoned task can never kill a worker domain); callers
+   that care about a task's outcome communicate through the closure. *)
+
+type service = {
+  mu : Mutex.t;
+  cv : Condition.t;  (* signalled on enqueue and on stop *)
+  tasks : (unit -> unit) Queue.t;
+  mutable active : int;  (* tasks currently executing *)
+  mutable stopping : bool;  (* no new posts; workers exit once drained *)
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let service_worker s () =
+  Printexc.record_backtrace true;
+  let rec loop () =
+    Mutex.lock s.mu;
+    let rec next () =
+      if not (Queue.is_empty s.tasks) then begin
+        let t = Queue.pop s.tasks in
+        s.active <- s.active + 1;
+        Mutex.unlock s.mu;
+        (try t () with _ -> ());
+        Mutex.lock s.mu;
+        s.active <- s.active - 1;
+        (* wake [stop]/[quiesce] waiters watching for the drain *)
+        Condition.broadcast s.cv;
+        Mutex.unlock s.mu;
+        loop ()
+      end
+      else if s.stopping then Mutex.unlock s.mu
+      else begin
+        Condition.wait s.cv s.mu;
+        next ()
+      end
+    in
+    next ()
+  in
+  loop ()
+
+let service ?(domains = recommended_domains ()) () =
+  let s =
+    { mu = Mutex.create ();
+      cv = Condition.create ();
+      tasks = Queue.create ();
+      active = 0;
+      stopping = false;
+      workers = [];
+      size = max 1 domains }
+  in
+  s.workers <- List.init s.size (fun _ -> Domain.spawn (service_worker s));
+  s
+
+let service_size s = s.size
+
+let post s task =
+  Mutex.lock s.mu;
+  if s.stopping then begin
+    Mutex.unlock s.mu;
+    invalid_arg "Pool.post: service is stopped"
+  end;
+  Queue.push task s.tasks;
+  Condition.signal s.cv;
+  Mutex.unlock s.mu
+
+let in_flight s =
+  Mutex.lock s.mu;
+  let n = Queue.length s.tasks + s.active in
+  Mutex.unlock s.mu;
+  n
+
+let quiesce s =
+  Mutex.lock s.mu;
+  while not (Queue.is_empty s.tasks && s.active = 0) do
+    Condition.wait s.cv s.mu
+  done;
+  Mutex.unlock s.mu
+
+let stop s =
+  Mutex.lock s.mu;
+  s.stopping <- true;
+  Condition.broadcast s.cv;
+  Mutex.unlock s.mu;
+  List.iter Domain.join s.workers;
+  s.workers <- []

@@ -23,3 +23,37 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** [map] with the item's submission index. *)
+
+(** {1 Persistent service pool}
+
+    [map] spins domains up and down per batch — right for a one-shot
+    campaign, wrong for a long-lived daemon.  A {!service} keeps a
+    fixed set of worker domains alive behind a task queue; the
+    ptaintd scheduler posts one closure per admitted job.  Unlike
+    {!map}, [?domains] here counts {e worker} domains: the caller
+    (the daemon's event loop) never executes tasks itself. *)
+
+type service
+
+val service : ?domains:int -> unit -> service
+(** Spawn [domains] (default {!recommended_domains}) worker domains
+    blocking on an empty task queue. *)
+
+val service_size : service -> int
+(** Number of worker domains. *)
+
+val post : service -> (unit -> unit) -> unit
+(** Enqueue a task; an idle worker picks it up.  Exceptions escaping
+    the task are swallowed — a poisoned task never kills a worker
+    domain; report outcomes through the closure.  Raises
+    [Invalid_argument] after {!stop}. *)
+
+val in_flight : service -> int
+(** Queued plus currently-executing tasks. *)
+
+val quiesce : service -> unit
+(** Block until the queue is empty and every worker is idle. *)
+
+val stop : service -> unit
+(** Let the queue drain, then join every worker.  The service cannot
+    be restarted. *)

@@ -1,0 +1,100 @@
+(* Content-addressed cache of built guest images.
+
+   ptaintd's repeat-submission fast path: the first time a program
+   arrives, the daemon pays assembly/compilation, block-table
+   pre-decoding and boot-image construction once, and keeps the
+   result as a [Sim.template] (program + copy-on-write memory
+   snapshot).  Every later submission with the same
+   {!Ptaint_campaign.Job.image_key} boots by restoring the snapshot —
+   O(restore) instead of O(assemble + load) — under whatever policy,
+   stdin or fuel the new job asks for (the key covers exactly the
+   inputs that shape the boot image, so a hit is always safe to
+   reuse).
+
+   The cache is shared by all worker domains: lookups and insertions
+   take a mutex, but building — the expensive part — happens outside
+   it, so two workers missing on different keys compile in parallel.
+   Two workers racing on the *same* key may both build; the second
+   insert is dropped.  Eviction is LRU by key count. *)
+
+type entry = {
+  program : Ptaint_asm.Program.t;
+  template : Ptaint_sim.Sim.template;
+}
+
+type t = {
+  mu : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* most-recent first *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { mu = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    order = [];
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let touch t key = t.order <- key :: List.filter (fun k -> k <> key) t.order
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        touch t key;
+        Some e
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let insert t key entry =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key entry;
+        touch t key;
+        if Hashtbl.length t.table > t.capacity then begin
+          match List.rev t.order with
+          | [] -> ()
+          | oldest :: _ ->
+            Hashtbl.remove t.table oldest;
+            t.order <- List.filter (fun k -> k <> oldest) t.order;
+            t.evictions <- t.evictions + 1
+        end
+      end)
+
+(* Build-or-reuse for a job.  Returns the entry plus whether it was a
+   hit.  Raises the toolchain's typed errors on malformed sources —
+   callers run inside the campaign engine's classification net. *)
+let obtain t (spec : Ptaint_campaign.Job.t) =
+  let key = Ptaint_campaign.Job.image_key spec in
+  match find t key with
+  | Some e -> (e, true)
+  | None ->
+    let program = Ptaint_campaign.Job.program spec in
+    let template =
+      Ptaint_sim.Sim.prepare ~config:spec.Ptaint_campaign.Job.config program
+    in
+    let e = { program; template } in
+    insert t key e;
+    (e, false)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let counters t =
+  locked t (fun () ->
+      [ ("daemon/cache-hit", t.hits);
+        ("daemon/cache-miss", t.misses);
+        ("daemon/cache-evictions", t.evictions);
+        ("daemon/cache-entries", Hashtbl.length t.table) ])

@@ -1,0 +1,147 @@
+(* Blocking ptaintd client.
+
+   One connection, one thread: requests are written whole, responses
+   are read frame-by-frame.  The only subtlety is interleaving — the
+   server streams [Job_event] frames for earlier submissions while we
+   wait for the direct reply to a later request — so the client
+   stashes events encountered mid-RPC and hands them out from
+   {!next_event} in arrival order. *)
+
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  events : Proto.event Queue.t;
+  mutable server_banner : string;
+}
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send t req = write_all t.fd (Proto.encode_request req)
+
+let read_frame t =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Proto.decode_response (Buffer.contents t.inbuf) with
+    | Error e -> fail "bad frame from server: %s" (Proto.error_message e)
+    | Ok (Some (resp, consumed)) ->
+      let rest = Buffer.contents t.inbuf in
+      Buffer.clear t.inbuf;
+      Buffer.add_substring t.inbuf rest consumed (String.length rest - consumed);
+      resp
+    | Ok None -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> fail "server closed the connection"
+      | n ->
+        Buffer.add_subbytes t.inbuf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+(* Read until a non-event frame arrives, stashing events on the way.
+   [Error_frame] is terminal by protocol contract. *)
+let rec read_reply t =
+  match read_frame t with
+  | Proto.Job_event e ->
+    Queue.push e t.events;
+    read_reply t
+  | Proto.Error_frame m -> fail "server error: %s" m
+  | resp -> resp
+
+let connect ?(client = "ptaint") path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t = { fd; inbuf = Buffer.create 256; events = Queue.create (); server_banner = "" } in
+  send t (Proto.Hello { client });
+  (match read_reply t with
+   | Proto.Hello_ok { server_version; banner } ->
+     if server_version <> Proto.version then
+       fail "server speaks protocol v%d, client v%d" server_version Proto.version;
+     t.server_banner <- banner
+   | _ -> fail "expected Hello_ok");
+  t
+
+let banner t = t.server_banner
+
+let submit t spec =
+  send t (Proto.Submit spec);
+  match read_reply t with
+  | Proto.Accepted { id; _ } -> Ok id
+  | Proto.Rejected { reason; _ } -> Error reason
+  | _ -> fail "expected Accepted/Rejected"
+
+let next_event t =
+  if not (Queue.is_empty t.events) then Queue.pop t.events
+  else
+    match read_frame t with
+    | Proto.Job_event e -> e
+    | Proto.Error_frame m -> fail "server error: %s" m
+    | _ -> fail "expected Job_event"
+
+let stats t =
+  send t Proto.Stats;
+  match read_reply t with
+  | Proto.Stats_ok counters -> counters
+  | _ -> fail "expected Stats_ok"
+
+let ping t payload =
+  send t (Proto.Ping payload);
+  match read_reply t with
+  | Proto.Pong echoed -> echoed
+  | _ -> fail "expected Pong"
+
+let close t =
+  (try send t Proto.Quit with Unix.Unix_error _ | Protocol_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- convenience: submit a batch, await all terminal events ---------- *)
+
+type outcome = Done of Proto.event | Refused of string
+
+let run_batch t specs =
+  let accepted = Hashtbl.create 16 in
+  let order =
+    List.map
+      (fun spec ->
+        match submit t spec with
+        | Ok id ->
+          Hashtbl.replace accepted id None;
+          `Id id
+        | Error reason -> `Refused (spec.Proto.spec_tag, reason))
+      specs
+  in
+  let outstanding = ref (Hashtbl.length accepted) in
+  while !outstanding > 0 do
+    match next_event t with
+    | Proto.Started _ -> ()
+    | (Proto.Finished { id; _ } | Proto.Job_failed { id; _ }) as e ->
+      (match Hashtbl.find_opt accepted id with
+       | Some None ->
+         Hashtbl.replace accepted id (Some e);
+         decr outstanding
+       | _ -> fail "terminal event for unknown job %d" id)
+  done;
+  List.map
+    (fun slot ->
+      match slot with
+      | `Refused (_, reason) -> Refused reason
+      | `Id id -> (
+        match Hashtbl.find accepted id with
+        | Some e -> Done e
+        | None -> assert false))
+    order

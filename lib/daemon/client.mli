@@ -1,0 +1,43 @@
+(** Blocking ptaintd client — the [--connect] side of [ptaint_run].
+
+    One Unix-domain connection, used from one thread.  The server
+    streams {!Proto.event} frames for in-flight jobs interleaved with
+    direct replies; the client stashes events met while waiting for a
+    reply and yields them from {!next_event} in arrival order, so
+    callers may freely mix submissions, stats queries and event
+    pumping. *)
+
+exception Protocol_error of string
+(** Framing violation, unexpected reply, server [Error_frame], or the
+    server hanging up mid-frame. *)
+
+type t
+
+val connect : ?client:string -> string -> t
+(** Connect to the socket path and complete the [Hello] handshake.
+    Raises [Unix.Unix_error] if the socket is absent or refusing, and
+    {!Protocol_error} on a version mismatch. *)
+
+val banner : t -> string
+
+val submit : t -> Proto.job_spec -> (int, string) result
+(** [Ok id] on admission; [Error reason] for an admission-control or
+    validation rejection (the connection stays usable). *)
+
+val next_event : t -> Proto.event
+(** The next streamed job event, blocking as needed. *)
+
+val stats : t -> (string * int) list
+val ping : t -> string -> string
+
+val close : t -> unit
+(** Send [Quit] best-effort and close the fd. *)
+
+type outcome =
+  | Done of Proto.event  (** terminal: [Finished] or [Job_failed] *)
+  | Refused of string  (** rejected at admission; never ran *)
+
+val run_batch : t -> Proto.job_spec list -> outcome list
+(** Submit every spec, pump events until each accepted job reaches a
+    terminal event, and return outcomes in submission order — the
+    building block for daemon-vs-batch output parity. *)

@@ -1,0 +1,548 @@
+(* ptaintd wire protocol: length-prefixed, versioned, typed frames.
+
+   The codec is pure — encode produces a complete frame string, decode
+   consumes a prefix of a byte buffer — so it can be unit-tested
+   exhaustively without a socket and reused verbatim by the server's
+   event loop and the blocking client.  Framing is deliberately dumb:
+
+     offset 0   'P'                 magic
+     offset 1   'D'
+     offset 2   version (= 1)
+     offset 3   frame tag
+     offset 4   payload length, u32 big-endian
+     offset 8   payload bytes
+
+   Every multi-byte integer on the wire is big-endian.  Strings are
+   u32-length-prefixed byte strings; lists are u16-count-prefixed.
+   Payloads above [max_payload] are rejected before buffering, so a
+   hostile client cannot make the server allocate unboundedly. *)
+
+let version = 1
+let header_bytes = 8
+let max_payload = 16 * 1024 * 1024
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_tag of int
+  | Oversized of int
+  | Malformed of string
+
+let error_message = function
+  | Bad_magic -> "bad magic (not a ptaintd stream)"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_tag t -> Printf.sprintf "unknown frame tag 0x%02x" t
+  | Oversized n -> Printf.sprintf "oversized payload (%d bytes)" n
+  | Malformed m -> "malformed payload: " ^ m
+
+(* --- job description on the wire ------------------------------------
+
+   The wire spec is the serializable subset of {!Ptaint_campaign.Job.t}:
+   symbolic payload (source text), config fields that make sense
+   remotely, a structural fault plan.  Local-only parts (pre-built
+   [Image] payloads, [expect] closures, [on_step] hooks, host
+   [fs_init]) never cross the socket. *)
+
+type wire_payload = Wire_asm of string | Wire_c of string
+
+type job_spec = {
+  spec_tag : string;
+  spec_payload : wire_payload;
+  spec_policy : string option;  (** canonical policy label *)
+  spec_argv : string list;
+  spec_env : (string * string) list;
+  spec_stdin : string;
+  spec_sessions : string list list;
+  spec_max_instructions : int option;
+  spec_injections : Ptaint_fi.Fi.injection list;
+  spec_timeout : float option;
+}
+
+let job_spec ?policy ?(argv = []) ?(env = []) ?(stdin = "")
+    ?(sessions = []) ?max_instructions ?(injections = []) ?timeout ~tag payload =
+  { spec_tag = tag; spec_payload = payload; spec_policy = policy;
+    spec_argv = argv; spec_env = env; spec_stdin = stdin;
+    spec_sessions = sessions; spec_max_instructions = max_instructions;
+    spec_injections = injections; spec_timeout = timeout }
+
+(* --- frames --------------------------------------------------------- *)
+
+type request =
+  | Hello of { client : string }
+  | Submit of job_spec
+  | Stats
+  | Ping of string
+  | Quit
+
+type event =
+  | Started of { id : int }
+  | Finished of {
+      id : int;
+      tag : string;
+      outcome : string;  (** rendered {!Ptaint_sim.Sim.pp_outcome} *)
+      exit_code : int;
+      instructions : int;
+      syscalls : int;
+      policy_label : string;
+      cache_hit : bool;
+      counters : (string * int) list;  (** {!Ptaint_campaign.Campaign.job_counters} *)
+      stdout : string;
+    }
+  | Job_failed of {
+      id : int;
+      tag : string;
+      kind : string;  (** {!Ptaint_campaign.Campaign.kind_name} *)
+      message : string;
+      policy_label : string;
+      counters : (string * int) list;
+    }
+
+type response =
+  | Hello_ok of { server_version : int; banner : string }
+  | Accepted of { id : int; tag : string }
+  | Rejected of { tag : string; reason : string }
+  | Job_event of event
+  | Stats_ok of (string * int) list
+  | Pong of string
+  | Error_frame of string
+
+(* --- primitive writers ---------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u32 b v =
+  w_u8 b (v lsr 24); w_u8 b (v lsr 16); w_u8 b (v lsr 8); w_u8 b v
+
+let w_i64 b v =
+  for i = 7 downto 0 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical (Int64.of_int v) (8 * i)))
+  done
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f xs =
+  let n = List.length xs in
+  if n > 0xffff then invalid_arg "Proto: list too long for the wire";
+  w_u8 b (n lsr 8); w_u8 b n;
+  List.iter (f b) xs
+
+let w_opt_i64 b = function
+  | None -> w_u8 b 0
+  | Some v -> w_u8 b 1; w_i64 b v
+
+let w_opt_string b = function
+  | None -> w_u8 b 0
+  | Some s -> w_u8 b 1; w_string b s
+
+(* floats (timeouts) travel as microseconds in an i64 — exact enough
+   for wall-clock budgets and immune to printf round-tripping *)
+let w_opt_seconds b = function
+  | None -> w_u8 b 0
+  | Some s -> w_u8 b 1; w_i64 b (int_of_float (s *. 1e6))
+
+let w_pair b (k, v) = w_string b k; w_string b v
+let w_counter b (k, v) = w_string b k; w_i64 b v
+
+let w_fault b =
+  let open Ptaint_fi.Fi in
+  function
+  | Flip_data { addr; bit } -> w_u8 b 0; w_i64 b addr; w_u8 b bit
+  | Flip_reg { slot; bit } -> w_u8 b 1; w_i64 b slot; w_u8 b bit
+  | Taint_loss { addr; len } -> w_u8 b 2; w_i64 b addr; w_i64 b len
+  | Spurious_taint { addr; len } -> w_u8 b 3; w_i64 b addr; w_i64 b len
+  | Reg_taint_loss { slot } -> w_u8 b 4; w_i64 b slot
+  | Reg_spurious_taint { slot } -> w_u8 b 5; w_i64 b slot
+  | Taint_wipe -> w_u8 b 6
+  | Stuck_clean { addr; len } -> w_u8 b 7; w_i64 b addr; w_i64 b len
+
+let w_injection b { Ptaint_fi.Fi.at; fault } =
+  w_i64 b at;
+  w_fault b fault
+
+(* --- primitive readers ----------------------------------------------
+
+   Readers work over (string, mutable position); any violation raises
+   [Truncated]/[Garbled], mapped to [Malformed] at the frame boundary
+   so callers only ever see typed errors. *)
+
+exception Garbled of string
+
+type cursor = { buf : string; mutable pos : int; stop : int }
+
+let need c n what =
+  if c.stop - c.pos < n then
+    raise (Garbled (Printf.sprintf "truncated %s (%d bytes left, need %d)" what (c.stop - c.pos) n))
+
+let r_u8 c what =
+  need c 1 what;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c what =
+  need c 4 what;
+  let v =
+    (Char.code c.buf.[c.pos] lsl 24)
+    lor (Char.code c.buf.[c.pos + 1] lsl 16)
+    lor (Char.code c.buf.[c.pos + 2] lsl 8)
+    lor Char.code c.buf.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let r_i64 c what =
+  need c 8 what;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.buf.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.to_int !v
+
+let r_bool c what = r_u8 c what <> 0
+
+let r_string c what =
+  let n = r_u32 c what in
+  if n > max_payload then raise (Garbled (Printf.sprintf "%s: absurd string length %d" what n));
+  need c n what;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_list c f what =
+  let hi = r_u8 c what in
+  let lo = r_u8 c what in
+  (* List.init applies [f] left to right only from OCaml 5; spell the
+     order out so the cursor advances element by element regardless *)
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f c :: acc) in
+  go ((hi lsl 8) lor lo) []
+
+let r_opt c f what = if r_u8 c what = 0 then None else Some (f c what)
+
+let r_opt_seconds c what =
+  match r_opt c r_i64 what with
+  | None -> None
+  | Some us -> Some (float_of_int us /. 1e6)
+
+let r_pair c = let k = r_string c "pair key" in (k, r_string c "pair value")
+let r_counter c = let k = r_string c "counter name" in (k, r_i64 c "counter value")
+
+let r_fault c =
+  let open Ptaint_fi.Fi in
+  match r_u8 c "fault tag" with
+  | 0 -> let addr = r_i64 c "addr" in Flip_data { addr; bit = r_u8 c "bit" }
+  | 1 -> let slot = r_i64 c "slot" in Flip_reg { slot; bit = r_u8 c "bit" }
+  | 2 -> let addr = r_i64 c "addr" in Taint_loss { addr; len = r_i64 c "len" }
+  | 3 -> let addr = r_i64 c "addr" in Spurious_taint { addr; len = r_i64 c "len" }
+  | 4 -> Reg_taint_loss { slot = r_i64 c "slot" }
+  | 5 -> Reg_spurious_taint { slot = r_i64 c "slot" }
+  | 6 -> Taint_wipe
+  | 7 -> let addr = r_i64 c "addr" in Stuck_clean { addr; len = r_i64 c "len" }
+  | t -> raise (Garbled (Printf.sprintf "unknown fault tag %d" t))
+
+let r_injection c =
+  let at = r_i64 c "injection icount" in
+  { Ptaint_fi.Fi.at; fault = r_fault c }
+
+(* --- frame tags ------------------------------------------------------ *)
+
+let tag_hello = 0x01
+let tag_submit = 0x02
+let tag_stats = 0x03
+let tag_ping = 0x04
+let tag_quit = 0x05
+
+let tag_hello_ok = 0x81
+let tag_accepted = 0x82
+let tag_rejected = 0x83
+let tag_job_event = 0x84
+let tag_stats_ok = 0x85
+let tag_pong = 0x86
+let tag_error = 0x87
+
+let ev_started = 1
+let ev_finished = 2
+let ev_failed = 3
+
+(* --- frame assembly -------------------------------------------------- *)
+
+let frame tag payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Proto: payload exceeds max_payload";
+  let b = Buffer.create (header_bytes + n) in
+  Buffer.add_char b 'P';
+  Buffer.add_char b 'D';
+  w_u8 b version;
+  w_u8 b tag;
+  w_u32 b n;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let w_job_spec b s =
+  (match s.spec_payload with
+   | Wire_asm src -> w_u8 b 0; w_string b src
+   | Wire_c src -> w_u8 b 1; w_string b src);
+  w_string b s.spec_tag;
+  w_opt_string b s.spec_policy;
+  w_list b w_string s.spec_argv;
+  w_list b w_pair s.spec_env;
+  w_string b s.spec_stdin;
+  w_list b (fun b session -> w_list b w_string session) s.spec_sessions;
+  w_opt_i64 b s.spec_max_instructions;
+  w_list b w_injection s.spec_injections;
+  w_opt_seconds b s.spec_timeout
+
+let r_job_spec c =
+  let payload =
+    match r_u8 c "payload kind" with
+    | 0 -> Wire_asm (r_string c "asm source")
+    | 1 -> Wire_c (r_string c "c source")
+    | k -> raise (Garbled (Printf.sprintf "unknown payload kind %d" k))
+  in
+  let spec_tag = r_string c "job tag" in
+  let spec_policy = r_opt c r_string "policy label" in
+  let spec_argv = r_list c (fun c -> r_string c "argv entry") "argv" in
+  let spec_env = r_list c r_pair "env" in
+  let spec_stdin = r_string c "stdin" in
+  let spec_sessions =
+    r_list c (fun c -> r_list c (fun c -> r_string c "session line") "session") "sessions"
+  in
+  let spec_max_instructions = r_opt c r_i64 "max instructions" in
+  let spec_injections = r_list c r_injection "injections" in
+  let spec_timeout = r_opt_seconds c "timeout" in
+  { spec_tag; spec_payload = payload; spec_policy; spec_argv; spec_env;
+    spec_stdin; spec_sessions; spec_max_instructions; spec_injections;
+    spec_timeout }
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  match req with
+  | Hello { client } -> w_string b client; frame tag_hello (Buffer.contents b)
+  | Submit spec -> w_job_spec b spec; frame tag_submit (Buffer.contents b)
+  | Stats -> frame tag_stats ""
+  | Ping payload -> w_string b payload; frame tag_ping (Buffer.contents b)
+  | Quit -> frame tag_quit ""
+
+let w_event b = function
+  | Started { id } -> w_u8 b ev_started; w_i64 b id
+  | Finished f ->
+    w_u8 b ev_finished;
+    w_i64 b f.id;
+    w_string b f.tag;
+    w_string b f.outcome;
+    w_i64 b f.exit_code;
+    w_i64 b f.instructions;
+    w_i64 b f.syscalls;
+    w_string b f.policy_label;
+    w_bool b f.cache_hit;
+    w_list b w_counter f.counters;
+    w_string b f.stdout
+  | Job_failed f ->
+    w_u8 b ev_failed;
+    w_i64 b f.id;
+    w_string b f.tag;
+    w_string b f.kind;
+    w_string b f.message;
+    w_string b f.policy_label;
+    w_list b w_counter f.counters
+
+let r_event c =
+  match r_u8 c "event tag" with
+  | 1 -> Started { id = r_i64 c "job id" }
+  | 2 ->
+    let id = r_i64 c "job id" in
+    let tag = r_string c "job tag" in
+    let outcome = r_string c "outcome" in
+    let exit_code = r_i64 c "exit code" in
+    let instructions = r_i64 c "instructions" in
+    let syscalls = r_i64 c "syscalls" in
+    let policy_label = r_string c "policy label" in
+    let cache_hit = r_bool c "cache hit" in
+    let counters = r_list c r_counter "counters" in
+    let stdout = r_string c "stdout" in
+    Finished { id; tag; outcome; exit_code; instructions; syscalls;
+               policy_label; cache_hit; counters; stdout }
+  | 3 ->
+    let id = r_i64 c "job id" in
+    let tag = r_string c "job tag" in
+    let kind = r_string c "failure kind" in
+    let message = r_string c "failure message" in
+    let policy_label = r_string c "policy label" in
+    let counters = r_list c r_counter "counters" in
+    Job_failed { id; tag; kind; message; policy_label; counters }
+  | t -> raise (Garbled (Printf.sprintf "unknown event tag %d" t))
+
+let encode_response resp =
+  let b = Buffer.create 64 in
+  match resp with
+  | Hello_ok { server_version; banner } ->
+    w_i64 b server_version; w_string b banner;
+    frame tag_hello_ok (Buffer.contents b)
+  | Accepted { id; tag } ->
+    w_i64 b id; w_string b tag;
+    frame tag_accepted (Buffer.contents b)
+  | Rejected { tag; reason } ->
+    w_string b tag; w_string b reason;
+    frame tag_rejected (Buffer.contents b)
+  | Job_event e -> w_event b e; frame tag_job_event (Buffer.contents b)
+  | Stats_ok counters ->
+    w_list b w_counter counters;
+    frame tag_stats_ok (Buffer.contents b)
+  | Pong payload -> w_string b payload; frame tag_pong (Buffer.contents b)
+  | Error_frame msg -> w_string b msg; frame tag_error (Buffer.contents b)
+
+(* --- frame disassembly ----------------------------------------------- *)
+
+(* [Ok None]: the buffer holds only a prefix of a frame — read more.
+   [Ok (Some (tag, payload, consumed))]: one whole frame.  [Error _]:
+   the stream is unsalvageable (framing is length-prefixed, so after
+   any header-level error resynchronisation is impossible). *)
+let split_frame ?(max_payload = max_payload) buf =
+  let len = String.length buf in
+  if len = 0 then Ok None
+  else if buf.[0] <> 'P' then Error Bad_magic
+  else if len >= 2 && buf.[1] <> 'D' then Error Bad_magic
+  else if len < header_bytes then Ok None
+  else
+    let ver = Char.code buf.[2] in
+    if ver <> version then Error (Bad_version ver)
+    else
+      let tag = Char.code buf.[3] in
+      let n =
+        (Char.code buf.[4] lsl 24) lor (Char.code buf.[5] lsl 16)
+        lor (Char.code buf.[6] lsl 8) lor Char.code buf.[7]
+      in
+      if n > max_payload then Error (Oversized n)
+      else if len < header_bytes + n then Ok None
+      else Ok (Some (tag, String.sub buf header_bytes n, header_bytes + n))
+
+(* Parse a payload with [f], insisting every byte is consumed: a frame
+   with trailing garbage is a framing bug or an attack, not a value. *)
+let parse_payload f payload =
+  let c = { buf = payload; pos = 0; stop = String.length payload } in
+  match f c with
+  | v ->
+    if c.pos <> c.stop then
+      Error (Malformed (Printf.sprintf "%d trailing bytes after payload" (c.stop - c.pos)))
+    else Ok v
+  | exception Garbled m -> Error (Malformed m)
+
+let request_of_frame (tag, payload) =
+  if tag = tag_hello then
+    parse_payload (fun c -> Hello { client = r_string c "client name" }) payload
+  else if tag = tag_submit then
+    parse_payload (fun c -> Submit (r_job_spec c)) payload
+  else if tag = tag_stats then parse_payload (fun _ -> Stats) payload
+  else if tag = tag_ping then
+    parse_payload (fun c -> Ping (r_string c "ping payload")) payload
+  else if tag = tag_quit then parse_payload (fun _ -> Quit) payload
+  else Error (Bad_tag tag)
+
+let response_of_frame (tag, payload) =
+  if tag = tag_hello_ok then
+    parse_payload
+      (fun c ->
+        let server_version = r_i64 c "server version" in
+        Hello_ok { server_version; banner = r_string c "banner" })
+      payload
+  else if tag = tag_accepted then
+    parse_payload
+      (fun c ->
+        let id = r_i64 c "job id" in
+        Accepted { id; tag = r_string c "job tag" })
+      payload
+  else if tag = tag_rejected then
+    parse_payload
+      (fun c ->
+        let tag = r_string c "job tag" in
+        Rejected { tag; reason = r_string c "reason" })
+      payload
+  else if tag = tag_job_event then parse_payload (fun c -> Job_event (r_event c)) payload
+  else if tag = tag_stats_ok then
+    parse_payload (fun c -> Stats_ok (r_list c r_counter "stats")) payload
+  else if tag = tag_pong then
+    parse_payload (fun c -> Pong (r_string c "pong payload")) payload
+  else if tag = tag_error then
+    parse_payload (fun c -> Error_frame (r_string c "error message")) payload
+  else Error (Bad_tag tag)
+
+let decode_with of_frame buf =
+  match split_frame buf with
+  | Error e -> Error e
+  | Ok None -> Ok None
+  | Ok (Some (tag, payload, consumed)) -> (
+    match of_frame (tag, payload) with
+    | Error e -> Error e
+    | Ok v -> Ok (Some (v, consumed)))
+
+let decode_request buf = decode_with request_of_frame buf
+let decode_response buf = decode_with response_of_frame buf
+
+(* --- job spec <-> unified Job.t -------------------------------------- *)
+
+let job_of_spec s =
+  match
+    match s.spec_policy with
+    | None -> Ok None
+    | Some label -> (
+      match Ptaint_sim.Sim.policy_of_label label with
+      | Ok p -> Ok (Some p)
+      | Error m -> Error m)
+  with
+  | Error m -> Error m
+  | Ok policy ->
+    let open Ptaint_sim.Sim.Config in
+    let config =
+      default
+      |> (match policy with None -> Fun.id | Some p -> with_policy p)
+      |> with_argv s.spec_argv
+      |> with_env s.spec_env
+      |> with_stdin s.spec_stdin
+      |> with_sessions s.spec_sessions
+      |> (match s.spec_max_instructions with
+          | None -> Fun.id
+          | Some n -> with_max_instructions n)
+    in
+    let payload =
+      match s.spec_payload with
+      | Wire_asm src -> Ptaint_campaign.Job.Asm_source src
+      | Wire_c src -> Ptaint_campaign.Job.C_source src
+    in
+    (* No [policy_label] override: let the campaign engine derive the
+       canonical label from the policy itself, exactly as the local
+       batch runner does — the labels bucketing metrics must agree
+       byte-for-byte between the two paths. *)
+    Ok
+      (Ptaint_campaign.Job.make ~tag:s.spec_tag ~config
+         ~injections:s.spec_injections ?timeout:s.spec_timeout payload)
+
+let spec_of_job ?policy (j : Ptaint_campaign.Job.t) =
+  let payload =
+    match j.Ptaint_campaign.Job.payload with
+    | Ptaint_campaign.Job.Asm_source src -> Ok (Wire_asm src)
+    | Ptaint_campaign.Job.C_source src -> Ok (Wire_c src)
+    | Ptaint_campaign.Job.Image _ ->
+      Error "pre-assembled Image payloads cannot travel on the wire"
+  in
+  match payload with
+  | Error _ as e -> e
+  | Ok payload ->
+    let c = j.Ptaint_campaign.Job.config in
+    Ok
+      { spec_tag = j.Ptaint_campaign.Job.tag;
+        spec_payload = payload;
+        spec_policy =
+          (match j.Ptaint_campaign.Job.policy_label, policy with
+           | Some l, _ -> Some l
+           | None, p -> p);
+        spec_argv = c.Ptaint_sim.Sim.argv;
+        spec_env = c.Ptaint_sim.Sim.env;
+        spec_stdin = c.Ptaint_sim.Sim.stdin;
+        spec_sessions = c.Ptaint_sim.Sim.sessions;
+        spec_max_instructions = Some c.Ptaint_sim.Sim.max_instructions;
+        spec_injections = j.Ptaint_campaign.Job.injections;
+        spec_timeout = j.Ptaint_campaign.Job.timeout }

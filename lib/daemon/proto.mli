@@ -1,0 +1,145 @@
+(** ptaintd wire protocol — pure codec for the detection service.
+
+    Frames are length-prefixed and versioned:
+
+    {v
+    offset 0  'P' 'D'      magic
+    offset 2  version      (= 1)
+    offset 3  frame tag
+    offset 4  u32 BE       payload length
+    offset 8  payload
+    v}
+
+    All integers are big-endian; strings are u32-length-prefixed;
+    lists are u16-count-prefixed.  The codec never touches a socket:
+    {!encode_request}/{!encode_response} produce complete frame
+    strings, {!decode_request}/{!decode_response} consume a prefix of
+    an accumulation buffer — [Ok None] means "incomplete, read more",
+    and every corruption maps to a typed {!error} (no exceptions
+    escape).  After any error the stream is unsalvageable by design:
+    framing is length-prefixed, so the only safe response is an
+    {!Error_frame} and a close. *)
+
+val version : int
+val header_bytes : int
+
+val max_payload : int
+(** 16 MiB — frames announcing more are rejected from the 8-byte
+    header alone, before any payload buffering. *)
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_tag of int
+  | Oversized of int  (** announced payload length *)
+  | Malformed of string  (** payload structure violation *)
+
+val error_message : error -> string
+
+(** {1 Job description}
+
+    The serializable subset of {!Ptaint_campaign.Job.t}: symbolic
+    source payload, remote-safe config fields, structural fault plan.
+    Local-only parts (pre-built [Image] payloads, [expect] closures,
+    host [fs_init]) never cross the socket. *)
+
+type wire_payload =
+  | Wire_asm of string  (** SIMIPS assembly source *)
+  | Wire_c of string  (** Mini-C source *)
+
+type job_spec = {
+  spec_tag : string;
+  spec_payload : wire_payload;
+  spec_policy : string option;
+      (** canonical policy label ({!Ptaint_sim.Sim.policy_of_label}) *)
+  spec_argv : string list;
+  spec_env : (string * string) list;
+  spec_stdin : string;
+  spec_sessions : string list list;
+  spec_max_instructions : int option;
+  spec_injections : Ptaint_fi.Fi.injection list;
+  spec_timeout : float option;
+      (** seconds; carried as integer microseconds on the wire *)
+}
+
+val job_spec :
+  ?policy:string ->
+  ?argv:string list ->
+  ?env:(string * string) list ->
+  ?stdin:string ->
+  ?sessions:string list list ->
+  ?max_instructions:int ->
+  ?injections:Ptaint_fi.Fi.injection list ->
+  ?timeout:float ->
+  tag:string ->
+  wire_payload ->
+  job_spec
+
+val job_of_spec : job_spec -> (Ptaint_campaign.Job.t, string) result
+(** Materialize the unified job the campaign engine runs.  [Error]
+    carries a human-readable message (unknown policy label). *)
+
+val spec_of_job :
+  ?policy:string -> Ptaint_campaign.Job.t -> (job_spec, string) result
+(** Wire form of a local job; [Error] for [Image] payloads, which
+    have no stable content serialization. *)
+
+(** {1 Frames} *)
+
+type request =
+  | Hello of { client : string }
+  | Submit of job_spec
+  | Stats
+  | Ping of string  (** payload echoed back in {!Pong} *)
+  | Quit  (** polite goodbye; the server drops the connection *)
+
+type event =
+  | Started of { id : int }
+  | Finished of {
+      id : int;
+      tag : string;
+      outcome : string;  (** rendered {!Ptaint_sim.Sim.pp_outcome} *)
+      exit_code : int;  (** process-style: guest exit code, 3 alert, 4 fault *)
+      instructions : int;
+      syscalls : int;
+      policy_label : string;
+      cache_hit : bool;  (** booted from the daemon's snapshot cache *)
+      counters : (string * int) list;
+          (** {!Ptaint_campaign.Campaign.job_counters} deltas, in
+              registration order — merging them per label in
+              submission order rebuilds the batch runner's metrics
+              registries byte-for-byte *)
+      stdout : string;
+    }
+  | Job_failed of {
+      id : int;
+      tag : string;
+      kind : string;  (** {!Ptaint_campaign.Campaign.kind_name} *)
+      message : string;
+      policy_label : string;
+      counters : (string * int) list;
+    }
+
+type response =
+  | Hello_ok of { server_version : int; banner : string }
+  | Accepted of { id : int; tag : string }
+  | Rejected of { tag : string; reason : string }
+      (** admission control: queue full, quota exceeded, bad policy *)
+  | Job_event of event
+  | Stats_ok of (string * int) list  (** daemon counters, e.g. [daemon/cache-hit] *)
+  | Pong of string
+  | Error_frame of string  (** protocol-level failure; connection closes *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> ((request * int) option, error) result
+(** Decode one frame from the front of [buf].  [Ok None]: incomplete.
+    [Ok (Some (req, consumed))]: drop [consumed] bytes and go again. *)
+
+val decode_response : string -> ((response * int) option, error) result
+
+val split_frame :
+  ?max_payload:int -> string -> ((int * string * int) option, error) result
+(** Lower-level framing: [(tag, payload, consumed)] without payload
+    parsing — exposed for tests and forward-compatible readers. *)

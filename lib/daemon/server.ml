@@ -1,0 +1,446 @@
+(* ptaintd server: a single-threaded event loop over a Unix-domain
+   socket, scheduling detection jobs onto a persistent Pool.service of
+   worker domains.
+
+   Concurrency discipline — three worlds, narrow bridges:
+
+   - The EVENT LOOP owns every connection (buffers, admission
+     counters, the listen socket).  It never blocks: [select] with
+     non-blocking fds, partial reads accumulated per connection until
+     {!Proto} yields a frame.
+   - WORKER DOMAINS own job execution.  A worker touches only the
+     image cache (internally locked) and the completion queue; it
+     never sees a file descriptor.
+   - The COMPLETION QUEUE (mutex + self-pipe) is the only bridge
+     back: workers push ready-to-send responses, write one byte into
+     the self-pipe, and the loop drains both on wakeup.  If the
+     client vanished mid-job the response is dropped on the floor —
+     job accounting lives in the queue entries, not the connection,
+     so a mid-job disconnect can never wedge the drain logic.
+
+   Hostile clients are a protocol concern, not a scheduling one: a
+   half-frame slowloris just sits in its buffer, an oversized or
+   garbled frame earns an [Error_frame] and a close (length-prefixed
+   framing cannot resynchronise), and admission control (global queue
+   bound + per-client inflight quota) answers [Rejected] instead of
+   queueing unboundedly.  SIGTERM-driven shutdown is a drain: stop
+   accepting, reject new submissions, finish everything in flight,
+   flush every outbox, then return. *)
+
+module Campaign = Ptaint_campaign.Campaign
+module Job = Ptaint_campaign.Job
+
+type config = {
+  socket_path : string;
+  domains : int option;
+  max_queue : int;  (** jobs admitted but not yet finished, server-wide *)
+  max_inflight : int;  (** per-connection admission quota *)
+  cache_capacity : int;
+  job_timeout : float option;  (** default watchdog; a job's own wins *)
+  banner : string;
+  log : (string -> unit) option;
+}
+
+let default_config ~socket_path =
+  { socket_path; domains = None; max_queue = 256; max_inflight = 32;
+    cache_capacity = 64; job_timeout = None; banner = "ptaintd"; log = None }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  inbuf : Buffer.t;
+  outq : Buffer.t;
+  mutable out_off : int;  (* bytes of [outq] already written *)
+  mutable inflight : int;
+  mutable close_after_flush : bool;
+      (* Quit, or a protocol error: flush the outbox, then hang up *)
+  mutable broken : bool;  (* stop parsing input; stream unsalvageable *)
+}
+
+type completion = {
+  c_cid : int;
+  c_resp : Proto.response;
+  c_terminal : bool;  (* finishes one admitted job *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_rd : Unix.file_descr;
+  wake_wr : Unix.file_descr;
+  pool : Ptaint_pool.Pool.service;
+  cache : Cache.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_cid : int;
+  mutable next_job : int;
+  mutable admitted : int;  (* queued + running, server-wide *)
+  stopping : bool Atomic.t;
+  cq_mu : Mutex.t;
+  cq : completion Queue.t;
+  (* daemon-level counters, loop-owned *)
+  mutable jobs_submitted : int;
+  mutable jobs_rejected : int;
+  mutable jobs_completed : int;
+  mutable protocol_errors : int;
+  mutable clients_total : int;
+  scratch : Bytes.t;  (* loop-owned read buffer *)
+}
+
+let logf t fmt =
+  Printf.ksprintf (fun s -> match t.cfg.log with Some f -> f s | None -> ()) fmt
+
+let create (cfg : config) =
+  (match Unix.lstat cfg.socket_path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink cfg.socket_path
+   | _ -> invalid_arg ("ptaintd: refusing to replace non-socket " ^ cfg.socket_path)
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_rd;
+  { cfg;
+    listen_fd;
+    wake_rd;
+    wake_wr;
+    pool = Ptaint_pool.Pool.service ?domains:cfg.domains ();
+    cache = Cache.create ~capacity:cfg.cache_capacity ();
+    conns = Hashtbl.create 16;
+    next_cid = 1;
+    next_job = 1;
+    admitted = 0;
+    stopping = Atomic.make false;
+    cq_mu = Mutex.create ();
+    cq = Queue.create ();
+    jobs_submitted = 0;
+    jobs_rejected = 0;
+    jobs_completed = 0;
+    protocol_errors = 0;
+    clients_total = 0;
+    scratch = Bytes.create 65536 }
+
+let wake t =
+  (* best effort: a full pipe already guarantees a wakeup *)
+  try ignore (Unix.write t.wake_wr (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+let shutdown t =
+  Atomic.set t.stopping true;
+  wake t
+
+(* --- completion bridge (worker side) --------------------------------- *)
+
+let push_completion t c =
+  Mutex.lock t.cq_mu;
+  Queue.push c t.cq;
+  Mutex.unlock t.cq_mu;
+  wake t
+
+let max_event_stdout = 1 lsl 20
+
+let truncate_stdout s =
+  if String.length s <= max_event_stdout then s
+  else String.sub s 0 max_event_stdout ^ "\n[stdout truncated by ptaintd]\n"
+
+let exit_code_of (o : Ptaint_sim.Sim.outcome) =
+  match o with
+  | Ptaint_sim.Sim.Exited c -> c land 0xff
+  | Ptaint_sim.Sim.Alert _ -> 3
+  | Ptaint_sim.Sim.Fault _ | Ptaint_sim.Sim.Trap _ | Ptaint_sim.Sim.Out_of_fuel -> 4
+
+let event_of_result ~id ~tag ~cache_hit (r : Campaign.job_result) =
+  let counters = Campaign.job_counters r in
+  match r.Campaign.status with
+  | Campaign.Finished res ->
+    Proto.Finished
+      { id; tag;
+        outcome = Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome res.Ptaint_sim.Sim.outcome;
+        exit_code = exit_code_of res.Ptaint_sim.Sim.outcome;
+        instructions = res.Ptaint_sim.Sim.instructions;
+        syscalls = res.Ptaint_sim.Sim.syscalls;
+        policy_label = r.Campaign.policy_label;
+        cache_hit;
+        counters;
+        stdout = truncate_stdout res.Ptaint_sim.Sim.stdout }
+  | Campaign.Failed f ->
+    Proto.Job_failed
+      { id; tag;
+        kind = Campaign.kind_name f.Campaign.kind;
+        message = f.Campaign.exn;
+        policy_label = r.Campaign.policy_label;
+        counters }
+
+(* Runs on a worker domain.  Every path pushes exactly one terminal
+   completion — that invariant is what lets the loop's drain logic
+   count jobs instead of trusting connections. *)
+let run_job_task t ~cid ~id (spec : Job.t) () =
+  push_completion t
+    { c_cid = cid; c_resp = Proto.Job_event (Proto.Started { id }); c_terminal = false };
+  let result =
+    match
+      (* Build-or-hit outside the classification net is wrong: a
+         malformed source must fail the job, not the worker.  So the
+         cache consult itself is guarded; on a toolchain error we fall
+         through to a bare run whose rebuild fails identically and is
+         classified ([Loader_error]) by the campaign machinery. *)
+      match Cache.obtain t.cache spec with
+      | entry, hit -> `Cached (entry, hit)
+      | exception _ -> `Build_failed
+    with
+    | `Cached (entry, hit) ->
+      let run_sim ~deadline config _program =
+        Ptaint_sim.Sim.run_template ?deadline ~config entry.Cache.template
+      in
+      (Campaign.run_job ?job_timeout:t.cfg.job_timeout ~run_sim
+         ~program:entry.Cache.program spec, hit)
+    | `Build_failed ->
+      (Campaign.run_job ?job_timeout:t.cfg.job_timeout spec, false)
+  in
+  let r, cache_hit = result in
+  let resp =
+    match event_of_result ~id ~tag:spec.Job.tag ~cache_hit r with
+    | ev -> Proto.Job_event ev
+    | exception _ ->
+      Proto.Job_event
+        (Proto.Job_failed
+           { id; tag = spec.Job.tag; kind = "crashed";
+             message = "ptaintd: failed to serialize job result";
+             policy_label = Campaign.label_of_policy spec.Job.config.Ptaint_sim.Sim.policy;
+             counters = [ ("jobs", 1); ("crashed", 1) ] })
+  in
+  push_completion t { c_cid = cid; c_resp = resp; c_terminal = true }
+
+(* --- event loop (connection side) ------------------------------------ *)
+
+let send conn resp = Buffer.add_string conn.outq (Proto.encode_response resp)
+
+let disconnect t conn =
+  Hashtbl.remove t.conns conn.cid;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+let reject t conn ~tag reason =
+  t.jobs_rejected <- t.jobs_rejected + 1;
+  send conn (Proto.Rejected { tag; reason })
+
+let daemon_counters t =
+  Cache.counters t.cache
+  @ [ ("daemon/jobs-submitted", t.jobs_submitted);
+      ("daemon/jobs-completed", t.jobs_completed);
+      ("daemon/jobs-rejected", t.jobs_rejected);
+      ("daemon/jobs-inflight", t.admitted);
+      ("daemon/protocol-errors", t.protocol_errors);
+      ("daemon/clients-now", Hashtbl.length t.conns);
+      ("daemon/clients-total", t.clients_total);
+      ("daemon/workers", Ptaint_pool.Pool.service_size t.pool) ]
+
+let handle_request t conn = function
+  | Proto.Hello _ ->
+    send conn
+      (Proto.Hello_ok { server_version = Proto.version; banner = t.cfg.banner })
+  | Proto.Ping payload -> send conn (Proto.Pong payload)
+  | Proto.Stats -> send conn (Proto.Stats_ok (daemon_counters t))
+  | Proto.Quit -> conn.close_after_flush <- true
+  | Proto.Submit spec ->
+    let tag = spec.Proto.spec_tag in
+    if Atomic.get t.stopping then reject t conn ~tag "server is draining"
+    else if t.admitted >= t.cfg.max_queue then
+      reject t conn ~tag
+        (Printf.sprintf "queue full (%d jobs in flight)" t.admitted)
+    else if conn.inflight >= t.cfg.max_inflight then
+      reject t conn ~tag
+        (Printf.sprintf "client quota exceeded (%d jobs in flight)" conn.inflight)
+    else (
+      match Proto.job_of_spec spec with
+      | Error m -> reject t conn ~tag m
+      | Ok job ->
+        let id = t.next_job in
+        t.next_job <- t.next_job + 1;
+        t.jobs_submitted <- t.jobs_submitted + 1;
+        t.admitted <- t.admitted + 1;
+        conn.inflight <- conn.inflight + 1;
+        send conn (Proto.Accepted { id; tag });
+        Ptaint_pool.Pool.post t.pool (run_job_task t ~cid:conn.cid ~id job))
+
+let protocol_failure t conn err =
+  t.protocol_errors <- t.protocol_errors + 1;
+  logf t "client %d: protocol error: %s" conn.cid (Proto.error_message err);
+  send conn (Proto.Error_frame (Proto.error_message err));
+  conn.broken <- true;
+  conn.close_after_flush <- true
+
+(* Parse as many whole frames as the buffer holds.  The buffer is
+   rebuilt rather than shifted; frames are small relative to the 16 MiB
+   cap, so the copy is noise. *)
+let drain_inbuf t conn =
+  let rec go () =
+    if conn.broken then ()
+    else
+      let buf = Buffer.contents conn.inbuf in
+      match Proto.decode_request buf with
+      | Ok None -> ()
+      | Ok (Some (req, consumed)) ->
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf buf consumed (String.length buf - consumed);
+        handle_request t conn req;
+        go ()
+      | Error err -> protocol_failure t conn err
+  in
+  go ()
+
+let handle_readable t conn =
+  match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> disconnect t conn  (* EOF; any jobs in flight finish into the void *)
+  | n ->
+    Buffer.add_subbytes conn.inbuf t.scratch 0 n;
+    drain_inbuf t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> disconnect t conn
+
+let handle_writable t conn =
+  let pending = Buffer.length conn.outq - conn.out_off in
+  if pending > 0 then begin
+    let chunk = Buffer.to_bytes conn.outq in
+    match Unix.write conn.fd chunk conn.out_off pending with
+    | n ->
+      conn.out_off <- conn.out_off + n;
+      if conn.out_off = Buffer.length conn.outq then begin
+        Buffer.clear conn.outq;
+        conn.out_off <- 0
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> disconnect t conn
+  end;
+  if Hashtbl.mem t.conns conn.cid && conn.close_after_flush
+     && Buffer.length conn.outq - conn.out_off = 0
+  then disconnect t conn
+
+let accept_new t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let cid = t.next_cid in
+      t.next_cid <- t.next_cid + 1;
+      t.clients_total <- t.clients_total + 1;
+      Hashtbl.replace t.conns cid
+        { fd; cid; inbuf = Buffer.create 256; outq = Buffer.create 256;
+          out_off = 0; inflight = 0; close_after_flush = false; broken = false };
+      logf t "client %d connected" cid;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+let drain_completions t =
+  let batch =
+    Mutex.lock t.cq_mu;
+    let xs = Queue.fold (fun acc c -> c :: acc) [] t.cq in
+    Queue.clear t.cq;
+    Mutex.unlock t.cq_mu;
+    List.rev xs
+  in
+  List.iter
+    (fun c ->
+      if c.c_terminal then begin
+        t.admitted <- t.admitted - 1;
+        t.jobs_completed <- t.jobs_completed + 1
+      end;
+      match Hashtbl.find_opt t.conns c.c_cid with
+      | None -> ()  (* client gone mid-job: result dropped, accounting kept *)
+      | Some conn ->
+        if c.c_terminal then conn.inflight <- conn.inflight - 1;
+        send conn c.c_resp)
+    batch
+
+let drain_wakeups t =
+  let b = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_rd b 0 256 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+(* All admitted jobs finished and every completion routed to an
+   outbox.  Outboxes themselves are flushed best-effort on exit: a
+   client that stops reading must not be able to wedge shutdown. *)
+let drained t =
+  t.admitted = 0 && Mutex.protect t.cq_mu (fun () -> Queue.is_empty t.cq)
+
+let final_flush conn =
+  let pending () = Buffer.length conn.outq - conn.out_off in
+  let chunk = Buffer.to_bytes conn.outq in
+  let rec go budget =
+    if budget > 0 && pending () > 0 then
+      match Unix.write conn.fd chunk conn.out_off (pending ()) with
+      | n -> conn.out_off <- conn.out_off + n; go (budget - 1)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 64
+
+let serve t =
+  let listening = ref true in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get t.stopping && !listening then begin
+      listening := false;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+      logf t "draining: %d jobs in flight" t.admitted
+    end;
+    if Atomic.get t.stopping && drained t then finished := true
+    else begin
+      let reads =
+        t.wake_rd
+        :: (if !listening then [ t.listen_fd ] else [])
+        @ Hashtbl.fold (fun _ c acc -> if c.broken then acc else c.fd :: acc) t.conns []
+      in
+      let writes =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if Buffer.length c.outq - c.out_off > 0 || c.close_after_flush then c.fd :: acc
+            else acc)
+          t.conns []
+      in
+      let readable, writable, _ =
+        try Unix.select reads writes [] 0.5
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem t.wake_rd readable then drain_wakeups t;
+      drain_completions t;
+      if !listening && List.mem t.listen_fd readable then accept_new t;
+      let conn_of fd =
+        Hashtbl.fold (fun _ c acc -> if c.fd = fd then Some c else acc) t.conns None
+      in
+      List.iter
+        (fun fd ->
+          if fd <> t.wake_rd && (not !listening || fd <> t.listen_fd) then
+            match conn_of fd with
+            | Some c -> handle_readable t c
+            | None -> ())
+        readable;
+      List.iter
+        (fun fd -> match conn_of fd with Some c -> handle_writable t c | None -> ())
+        writable;
+      (* close_after_flush conns whose outbox emptied without a write
+         event this round (e.g. Quit on an already-flushed conn) *)
+      let flushed =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if c.close_after_flush && Buffer.length c.outq - c.out_off = 0 then c :: acc
+            else acc)
+          t.conns []
+      in
+      List.iter (fun c -> disconnect t c) flushed
+    end
+  done;
+  Hashtbl.iter (fun _ c -> final_flush c) t.conns;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  Hashtbl.reset t.conns;
+  Ptaint_pool.Pool.stop t.pool;
+  (try Unix.close t.wake_rd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_wr with Unix.Unix_error _ -> ());
+  logf t "drained, goodbye"
+
+let stats t = daemon_counters t

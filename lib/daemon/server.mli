@@ -1,0 +1,59 @@
+(** ptaintd: the persistent detection service.
+
+    A single-threaded [select] event loop owns a Unix-domain listen
+    socket and every client connection; detection jobs are admitted
+    through per-client and server-wide bounds, scheduled onto a
+    persistent {!Ptaint_pool.Pool.service} of worker domains, run
+    through the campaign engine's containment machinery
+    ({!Ptaint_campaign.Campaign.run_job}) with boots served from the
+    shared image {!Cache}, and streamed back as
+    {!Proto.response} frames ([Accepted], [Started],
+    [Finished]/[Job_failed] with {!Ptaint_campaign.Campaign.job_counters}
+    deltas).
+
+    Robustness properties, exercised by [test_daemon]:
+    - a malformed, oversized or truncated-forever frame costs that
+      one client its connection ([Error_frame], close) and nothing
+      else;
+    - a client disconnecting mid-job never wedges accounting — its
+      results are dropped, its jobs still count as completed;
+    - {!shutdown} (the SIGTERM path) is a graceful drain: stop
+      listening, reject new submissions, finish all admitted jobs,
+      flush outboxes best-effort, return from {!serve}. *)
+
+type config = {
+  socket_path : string;
+  domains : int option;  (** worker domains; default {!Ptaint_pool.Pool.recommended_domains} *)
+  max_queue : int;  (** server-wide bound on jobs admitted and unfinished *)
+  max_inflight : int;  (** per-connection admission quota *)
+  cache_capacity : int;  (** image cache entries *)
+  job_timeout : float option;
+      (** default per-job watchdog (seconds); a job's own timeout wins *)
+  banner : string;  (** echoed in [Hello_ok] *)
+  log : (string -> unit) option;  (** connection/drain diagnostics *)
+}
+
+val default_config : socket_path:string -> config
+(** max_queue 256, max_inflight 32, cache 64 entries, no default
+    timeout, no log. *)
+
+type t
+
+val create : config -> t
+(** Bind the socket (replacing a stale socket file; refusing to
+    replace a non-socket), spawn the worker pool.  Raises
+    [Unix.Unix_error] on bind/listen failure. *)
+
+val serve : t -> unit
+(** Run the event loop until {!shutdown}.  Returns after the drain
+    completes; the worker pool is stopped and every fd closed. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain.  Safe from signal handlers and other
+    domains; idempotent. *)
+
+val stats : t -> (string * int) list
+(** The daemon counter snapshot served to [Stats] requests (cache
+    hits/misses, jobs submitted/completed/rejected/in flight, client
+    counts).  Loop-owned state: call from the serving domain only —
+    other processes should ask over the socket. *)

@@ -1,5 +1,6 @@
 open Ptaint_attacks
 module Campaign = Ptaint_campaign.Campaign
+module Job = Ptaint_campaign.Job
 
 let buf_add = Buffer.add_string
 
@@ -259,29 +260,29 @@ let coverage ?domains ?trace () =
         let jobs =
           List.map
             (fun (pname, policy) ->
-              Campaign.job
-                ~name:(Printf.sprintf "%s / %s / %s" s.Scenario.name atk.Scenario.case_name pname)
+              Job.make
+                ~tag:(Printf.sprintf "%s / %s / %s" s.Scenario.name atk.Scenario.case_name pname)
                 ~policy_label:pname
                 ~config:{ (atk.Scenario.config program) with Ptaint_sim.Sim.policy }
-                program)
+                (Job.Image program))
             Scenario.coverage_policies
           @
           match Scenario.benign s with
           | None -> []
           | Some c ->
-            [ Campaign.job
-                ~name:(Printf.sprintf "%s / %s" s.Scenario.name c.Scenario.case_name)
+            [ Job.make
+                ~tag:(Printf.sprintf "%s / %s" s.Scenario.name c.Scenario.case_name)
                 ~policy_label:"benign (PT)"
                 ~expect:(fun r ->
                   match Scenario.verdict_of s r with
                   | Scenario.Survived -> None
                   | v -> Some ("false positive: " ^ Scenario.verdict_name v))
-                ~config:(c.Scenario.config program) program ]
+                ~config:(c.Scenario.config program) (Job.Image program) ]
         in
         (s, jobs))
       Catalog.all
   in
-  let results, stats = Campaign.run ?domains ?trace (List.concat_map snd per_scenario) in
+  let results, stats = Campaign.run_jobs ?domains ?trace (List.concat_map snd per_scenario) in
   let cell (s : Scenario.t) (r : Campaign.job_result) =
     match r.Campaign.status with
     | Campaign.Finished res -> Scenario.verdict_name (Scenario.verdict_of s res)
@@ -337,15 +338,15 @@ let tab3 ?domains ?trace () =
   let jobs =
     List.map
       (fun ((w : Ptaint_workloads.Workload.t), p) ->
-        Campaign.job ~name:("tab3/" ^ w.Ptaint_workloads.Workload.name)
+        Job.make ~tag:("tab3/" ^ w.Ptaint_workloads.Workload.name)
           ~expect:(fun r ->
             match r.Ptaint_sim.Sim.outcome with
             | Ptaint_sim.Sim.Exited 0 -> None
             | o -> Some (Format.asprintf "expected clean exit, got %a" Ptaint_sim.Sim.pp_outcome o))
-          ~config:(Ptaint_workloads.Workload.config_for w) p)
+          ~config:(Ptaint_workloads.Workload.config_for w) (Job.Image p))
       prepared
   in
-  let results, stats = Campaign.run ?domains ?trace jobs in
+  let results, stats = Campaign.run_jobs ?domains ?trace jobs in
   let rows =
     List.map2
       (fun (w, p) r -> Ptaint_workloads.Workload.row_of w p (Campaign.result_exn r))
@@ -404,18 +405,21 @@ let tab4 ?domains ?trace () =
   let a_input = Payload.le_word (Ptaint_isa.Word.of_signed admin_index) in
   let b_payload = Payload.fill 16 ^ "\x01" ^ "\n" in
   let jobs =
-    [ Campaign.job ~name:"tab4/A integer overflow"
-        ~config:(Ptaint_sim.Sim.config ~stdin:a_input ()) int_ovf;
-      Campaign.job ~name:"tab4/A benign index"
-        ~config:(Ptaint_sim.Sim.config ~stdin:(Payload.le_word 2) ()) int_ovf;
-      Campaign.job ~name:"tab4/B auth flag"
-        ~config:(Ptaint_sim.Sim.config ~stdin:b_payload ()) auth;
-      Campaign.job ~name:"tab4/C info leak"
-        ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "%x%x%x%x" ] ] ()) leak;
-      Campaign.job ~name:"tab4/C write contrast"
-        ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "abcd%x%x%x%n" ] ] ()) leak ]
+    [ Job.make ~tag:"tab4/A integer overflow"
+        ~config:Ptaint_sim.Sim.Config.(default |> with_stdin a_input) (Job.Image int_ovf);
+      Job.make ~tag:"tab4/A benign index"
+        ~config:Ptaint_sim.Sim.Config.(default |> with_stdin (Payload.le_word 2))
+        (Job.Image int_ovf);
+      Job.make ~tag:"tab4/B auth flag"
+        ~config:Ptaint_sim.Sim.Config.(default |> with_stdin b_payload) (Job.Image auth);
+      Job.make ~tag:"tab4/C info leak"
+        ~config:Ptaint_sim.Sim.Config.(default |> with_sessions [ [ "%x%x%x%x" ] ])
+        (Job.Image leak);
+      Job.make ~tag:"tab4/C write contrast"
+        ~config:Ptaint_sim.Sim.Config.(default |> with_sessions [ [ "abcd%x%x%x%n" ] ])
+        (Job.Image leak) ]
   in
-  let results, _ = Campaign.run ?domains ?trace jobs in
+  let results, _ = Campaign.run_jobs ?domains ?trace jobs in
   (match List.map Campaign.result_exn results with
    | [ r_a; r_a_benign; r_b; r_c; r_c_n ] ->
      buf_add buf
@@ -700,12 +704,12 @@ let resilience ?domains ?trace ?(seed = 42) () =
   let baseline_jobs =
     List.map
       (fun ((s : Scenario.t), program, (case : Scenario.case), pname, config, _) ->
-        Campaign.job
-          ~name:(Printf.sprintf "base/%s/%s/%s" s.Scenario.name case.Scenario.case_name pname)
-          ~policy_label:pname ~config program)
+        Job.make
+          ~tag:(Printf.sprintf "base/%s/%s/%s" s.Scenario.name case.Scenario.case_name pname)
+          ~policy_label:pname ~config (Job.Image program))
       cells
   in
-  let baseline_results, _ = Campaign.run ?domains ?trace baseline_jobs in
+  let baseline_results, _ = Campaign.run_jobs ?domains ?trace baseline_jobs in
   let baselines = List.map2 (fun c r -> (c, Campaign.result_exn r)) cells baseline_results in
   (* -------- phase 2: seeded injection plans -------- *)
   let trials =
@@ -764,11 +768,11 @@ let resilience ?domains ?trace ?(seed = 42) () =
   let trial_jobs =
     List.map
       (fun t ->
-        Campaign.job_thunk ~name:t.t_name ~policy_label:t.t_policy (fun () ->
-            (Fi.run_plan ~config:t.t_config ~plan:t.t_plan t.t_program).Fi.result))
+        Job.make ~tag:t.t_name ~policy_label:t.t_policy ~config:t.t_config
+          ~injections:t.t_plan (Job.Image t.t_program))
       trials
   in
-  let trial_results, trial_stats = Campaign.run ?domains ?trace trial_jobs in
+  let trial_results, trial_stats = Campaign.run_jobs ?domains ?trace trial_jobs in
   (* -------- aggregate per model x policy -------- *)
   let outcomes =
     List.map2 (fun t r -> (t, fi_classify t (Campaign.result_exn r), Campaign.result_exn r))

@@ -29,6 +29,46 @@ type config = {
 }
 
 val default_config : config
+
+(** Pipeline-style configuration builder — the preferred way to make a
+    {!config}:
+
+    {[ Sim.Config.(default |> with_policy_label "full" |> with_stdin data) ]}
+
+    Each setter is value-first and returns an updated copy, so adding
+    a config field never changes an existing call site.  The record
+    {!config} stays exported for pattern matching and [{ c with … }]
+    updates. *)
+module Config : sig
+  type t = config
+
+  val default : t
+  (** Same value as {!default_config}. *)
+
+  val with_policy : Ptaint_cpu.Policy.t -> t -> t
+
+  val with_policy_label : string -> t -> t
+  (** Policy by canonical label ({!policy_of_label}); raises
+      [Invalid_argument] on an unknown label. *)
+
+  val with_sources : Ptaint_os.Sources.t -> t -> t
+  val with_argv : string list -> t -> t
+  val with_env : (string * string) list -> t -> t
+  val with_stdin : string -> t -> t
+  val with_sessions : string list list -> t -> t
+  val with_fs_init : (string * string) list -> t -> t
+  val with_uid : int -> t -> t
+  val with_max_instructions : int -> t -> t
+  val with_timing : bool -> t -> t
+  val with_obs : bool -> t -> t
+  val with_on_step : (Ptaint_cpu.Machine.t -> Ptaint_isa.Insn.t -> unit) -> t -> t
+  val without_on_step : t -> t
+end
+
+(** Deprecated constructor — prefer {!Config}.  Kept as a thin wrapper
+    so existing call sites and the library's own internals keep
+    compiling; new code should write
+    [Config.(default |> with_policy p |> …)]. *)
 val config : ?policy:Ptaint_cpu.Policy.t -> ?sources:Ptaint_os.Sources.t ->
   ?argv:string list -> ?env:(string * string) list -> ?stdin:string ->
   ?sessions:string list list -> ?fs_init:(string * string) list -> ?uid:int ->

@@ -4,7 +4,8 @@
 
 let run ?(stdin = "") ?(sessions = []) ?(argv = [ "app" ]) ?(fs_init = []) source =
   let program = Ptaint_runtime.Runtime.compile source in
-  let config = Ptaint_sim.Sim.config ~stdin ~sessions ~argv ~fs_init () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin stdin |> with_sessions sessions
+    |> with_argv argv |> with_fs_init fs_init) in
   Ptaint_sim.Sim.run ~config program
 
 let contains haystack needle =

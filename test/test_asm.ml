@@ -240,7 +240,7 @@ buf:    .space 64
 |}
 
 let test_sim_echo_taints () =
-  let config = Ptaint_sim.Sim.config ~stdin:"attack" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "attack") in
   let r = Ptaint_sim.Sim.run_asm ~config echo_asm in
   (match r.Ptaint_sim.Sim.outcome with
    | Ptaint_sim.Sim.Exited 0 -> ()
@@ -272,7 +272,7 @@ buf:    .space 4
 |}
 
 let test_sim_detects_tainted_deref () =
-  let config = Ptaint_sim.Sim.config ~stdin:"aaaa" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "aaaa") in
   let r = Ptaint_sim.Sim.run_asm ~config deref_input_asm in
   match r.Ptaint_sim.Sim.outcome with
   | Ptaint_sim.Sim.Alert a ->
@@ -283,7 +283,7 @@ let test_sim_detects_tainted_deref () =
 
 let test_sim_unprotected_crashes () =
   let config =
-    Ptaint_sim.Sim.config ~policy:Ptaint_cpu.Policy.unprotected ~stdin:"aaaa" ()
+    Ptaint_sim.Sim.Config.(default |> with_policy Ptaint_cpu.Policy.unprotected |> with_stdin "aaaa")
   in
   let r = Ptaint_sim.Sim.run_asm ~config deref_input_asm in
   match r.Ptaint_sim.Sim.outcome with
@@ -293,7 +293,7 @@ let test_sim_unprotected_crashes () =
 let test_sim_network_session () =
   let r =
     Ptaint_sim.Sim.run_asm
-      ~config:(Ptaint_sim.Sim.config ~sessions:[ [ "PING" ] ] ())
+      ~config:(Ptaint_sim.Sim.Config.(default |> with_sessions [ [ "PING" ] ]))
       {|
         .text
 main:   li $v0, 9          # socket
@@ -331,7 +331,7 @@ pong:   .ascii "PONG"
     (Ptaint_mem.Memory.tainted_in_range r.Ptaint_sim.Sim.image.Loader.mem buf 4)
 
 let test_sim_timing () =
-  let config = Ptaint_sim.Sim.config ~timing:true ~stdin:"hi" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_timing true |> with_stdin "hi") in
   let r = Ptaint_sim.Sim.run_asm ~config echo_asm in
   match r.Ptaint_sim.Sim.cycles with
   | Some c -> Alcotest.(check bool) "cycles > instructions" true (c > r.Ptaint_sim.Sim.instructions)

@@ -212,7 +212,7 @@ let test_clean_taint_clean () =
     | Error e -> Alcotest.failf "assembly failed: %a" Ptaint_asm.Assembler.pp_error e
   in
   let config =
-    Sim.config ~sources:{ Ptaint_os.Sources.none with stdin = true } ~stdin:"ABCD" ()
+    Sim.Config.(default |> with_sources { Ptaint_os.Sources.none with stdin = true } |> with_stdin "ABCD")
   in
   let bulk = differential "clean-taint-clean" config program in
   let m = bulk.machine in

@@ -147,7 +147,7 @@ let test_retry_transient () =
   Alcotest.(check int) "no failure recorded after successful retry" 0 stats.Campaign.failed;
   (* deterministic failure kinds are never retried *)
   let spin = Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n" in
-  let cfg = Ptaint_sim.Sim.config ~max_instructions:1_000_000_000 () in
+  let cfg = Ptaint_sim.Sim.Config.(default |> with_max_instructions 1_000_000_000) in
   let results, _ =
     Campaign.run ~domains:1 ~job_timeout:0.2 ~retries:3 ~backoff:0.001
       [ Campaign.job ~name:"spin" ~config:cfg spin ]
@@ -192,7 +192,7 @@ let test_guest_fault_classified () =
   let bad = Ptaint_asm.Assembler.assemble_exn ".text\nmain: li $v0, 999\n      syscall\n" in
   let jobs =
     [ Campaign.job ~name:"healthy" ~config:(benign.Scenario.config program) program;
-      Campaign.job ~name:"bad-syscall" ~config:(Ptaint_sim.Sim.config ()) bad;
+      Campaign.job ~name:"bad-syscall" ~config:(Ptaint_sim.Sim.Config.default) bad;
       Campaign.job ~name:"healthy-2" ~config:(benign.Scenario.config program) program ]
   in
   let results, stats = Campaign.run ~domains:3 jobs in
@@ -210,7 +210,7 @@ let test_guest_fault_classified () =
 
 let test_loader_error_classified () =
   let program = Catalog.exp1_stack_smash.Scenario.build () in
-  let huge_argv = Ptaint_sim.Sim.config ~argv:[ "prog"; String.make 2_000_000 'A' ] () in
+  let huge_argv = Ptaint_sim.Sim.Config.(default |> with_argv [ "prog"; String.make 2_000_000 'A' ]) in
   let jobs =
     [ Campaign.job ~name:"oversized-argv" ~config:huge_argv program;
       Campaign.job_thunk ~name:"bad-asm" (fun () ->
@@ -238,7 +238,7 @@ let test_watchdog_in_batch () =
     | None -> Alcotest.fail "exp1 should have a benign case"
   in
   let spin = Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n" in
-  let spin_cfg = Ptaint_sim.Sim.config ~max_instructions:1_000_000_000 () in
+  let spin_cfg = Ptaint_sim.Sim.Config.(default |> with_max_instructions 1_000_000_000) in
   let jobs =
     [ Campaign.job ~name:"healthy" ~config:(benign.Scenario.config program) program;
       Campaign.job ~name:"spin" ~config:spin_cfg spin;

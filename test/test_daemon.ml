@@ -1,0 +1,461 @@
+(* ptaintd: the wire codec must round-trip every frame type and
+   reject every corruption with a typed error, and the server must
+   survive its clients — hostile ones included.  The loopback tests
+   run a real server on a real Unix-domain socket with the event loop
+   on its own domain. *)
+
+module Proto = Ptaint_daemon.Proto
+module Client = Ptaint_daemon.Client
+module Server = Ptaint_daemon.Server
+module Fi = Ptaint_fi.Fi
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* --- codec: round-trips ---------------------------------------------- *)
+
+let spec_full =
+  Proto.job_spec ~tag:"exploit-42" ~policy:"control-only"
+    ~argv:[ "victim"; "--flag" ]
+    ~env:[ ("HOME", "/"); ("TERM", "dumb") ]
+    ~stdin:(String.make 300 'A' ^ "\x00\xff")
+    ~sessions:[ [ "GET / HTTP/1.0"; "Host: x" ]; [] ]
+    ~max_instructions:123_456_789
+    ~injections:
+      [ { Fi.at = 1000; fault = Fi.Flip_data { addr = 0x10000000; bit = 3 } };
+        { Fi.at = 2000; fault = Fi.Flip_reg { slot = 4; bit = 31 } };
+        { Fi.at = 3000; fault = Fi.Taint_loss { addr = 0x10000040; len = 64 } };
+        { Fi.at = 4000; fault = Fi.Spurious_taint { addr = 16; len = 1 } };
+        { Fi.at = 5000; fault = Fi.Reg_taint_loss { slot = 29 } };
+        { Fi.at = 6000; fault = Fi.Reg_spurious_taint { slot = 31 } };
+        { Fi.at = 7000; fault = Fi.Taint_wipe };
+        { Fi.at = 8000; fault = Fi.Stuck_clean { addr = 0x7fff0000; len = 16384 } } ]
+    ~timeout:2.5
+    (Proto.Wire_c "int main() { return 0; }")
+
+let requests =
+  [ ("hello", Proto.Hello { client = "test" });
+    ("submit-full", Proto.Submit spec_full);
+    ("submit-minimal", Proto.Submit (Proto.job_spec ~tag:"" (Proto.Wire_asm "")));
+    ("stats", Proto.Stats);
+    ("ping", Proto.Ping "payload\x00\x01");
+    ("quit", Proto.Quit) ]
+
+let responses =
+  [ ("hello-ok", Proto.Hello_ok { server_version = 1; banner = "ptaintd" });
+    ("accepted", Proto.Accepted { id = max_int / 2; tag = "t" });
+    ("rejected", Proto.Rejected { tag = "t"; reason = "queue full (256 jobs in flight)" });
+    ("started", Proto.Job_event (Proto.Started { id = 1 }));
+    ( "finished",
+      Proto.Job_event
+        (Proto.Finished
+           { id = 7; tag = "a/b"; outcome = "exited with status 0"; exit_code = 0;
+             instructions = 1_000_000_007; syscalls = 42;
+             policy_label = "pointer taintedness"; cache_hit = true;
+             counters = [ ("jobs", 1); ("instructions", 1_000_000_007) ];
+             stdout = "hello\nworld\n" }) );
+    ( "failed",
+      Proto.Job_event
+        (Proto.Job_failed
+           { id = 8; tag = "x"; kind = "timeout"; message = "Sim.Timeout";
+             policy_label = "no protection"; counters = [ ("jobs", 1); ("timeouts", 1) ] }) );
+    ("stats-ok", Proto.Stats_ok [ ("daemon/cache-hit", 3); ("daemon/cache-miss", 0) ]);
+    ("pong", Proto.Pong "");
+    ("error", Proto.Error_frame "bad magic (not a ptaintd stream)") ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun (name, req) ->
+      let encoded = Proto.encode_request req in
+      match Proto.decode_request encoded with
+      | Ok (Some (decoded, consumed)) ->
+        Alcotest.(check int) (name ^ ": consumed") (String.length encoded) consumed;
+        Alcotest.(check bool) (name ^ ": equal") true (decoded = req)
+      | Ok None -> Alcotest.fail (name ^ ": decoder wants more bytes")
+      | Error e -> Alcotest.fail (name ^ ": " ^ Proto.error_message e))
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun (name, resp) ->
+      let encoded = Proto.encode_response resp in
+      match Proto.decode_response encoded with
+      | Ok (Some (decoded, consumed)) ->
+        Alcotest.(check int) (name ^ ": consumed") (String.length encoded) consumed;
+        Alcotest.(check bool) (name ^ ": equal") true (decoded = resp)
+      | Ok None -> Alcotest.fail (name ^ ": decoder wants more bytes")
+      | Error e -> Alcotest.fail (name ^ ": " ^ Proto.error_message e))
+    responses
+
+(* two frames back to back: the decoder consumes exactly one *)
+let test_two_frames () =
+  let a = Proto.encode_request (Proto.Ping "one") in
+  let b = Proto.encode_request Proto.Quit in
+  match Proto.decode_request (a ^ b) with
+  | Ok (Some (Proto.Ping "one", consumed)) ->
+    Alcotest.(check int) "first frame only" (String.length a) consumed;
+    (match Proto.decode_request b with
+     | Ok (Some (Proto.Quit, _)) -> ()
+     | _ -> Alcotest.fail "second frame")
+  | _ -> Alcotest.fail "first frame"
+
+(* every strict prefix of a valid frame is Ok None, never an error —
+   this is what makes a slowloris client harmless *)
+let test_incomplete_is_not_an_error () =
+  let frame = Proto.encode_request (Proto.Submit spec_full) in
+  for n = 0 to String.length frame - 1 do
+    match Proto.decode_request (String.sub frame 0 n) with
+    | Ok None -> ()
+    | Ok (Some _) -> Alcotest.fail (Printf.sprintf "prefix %d decoded a frame" n)
+    | Error e ->
+      Alcotest.fail (Printf.sprintf "prefix %d: %s" n (Proto.error_message e))
+  done
+
+(* --- codec: typed rejection of hostile bytes ------------------------- *)
+
+let expect_error name buf pred =
+  match Proto.decode_request buf with
+  | Error e when pred e -> ()
+  | Error e -> Alcotest.fail (name ^ ": wrong error: " ^ Proto.error_message e)
+  | Ok _ -> Alcotest.fail (name ^ ": accepted hostile bytes")
+
+let test_bad_magic () =
+  expect_error "garbage" "GET / HTTP/1.0\r\n\r\n" (function Proto.Bad_magic -> true | _ -> false);
+  expect_error "second byte" "PX\x01\x01\x00\x00\x00\x00" (function Proto.Bad_magic -> true | _ -> false)
+
+let test_bad_version () =
+  let f = Bytes.of_string (Proto.encode_request Proto.Quit) in
+  Bytes.set f 2 '\x63';
+  expect_error "version 99" (Bytes.to_string f)
+    (function Proto.Bad_version 99 -> true | _ -> false)
+
+let test_bad_tag () =
+  let f = Bytes.of_string (Proto.encode_request Proto.Quit) in
+  Bytes.set f 3 '\x7f';
+  expect_error "tag 0x7f" (Bytes.to_string f)
+    (function Proto.Bad_tag 0x7f -> true | _ -> false)
+
+let test_oversized () =
+  let b = Bytes.of_string (Proto.encode_request (Proto.Ping "x")) in
+  (* announce a 64 MiB payload in the header *)
+  Bytes.set b 4 '\x04'; Bytes.set b 5 '\x00'; Bytes.set b 6 '\x00'; Bytes.set b 7 '\x00';
+  expect_error "64MiB announced" (Bytes.to_string b)
+    (function Proto.Oversized n -> n = 64 * 1024 * 1024 | _ -> false)
+
+let malformed = function Proto.Malformed _ -> true | _ -> false
+
+let test_trailing_garbage () =
+  (* valid Quit frame claiming a 4-byte payload of junk *)
+  let f = Bytes.of_string (Proto.encode_request Proto.Quit) in
+  Bytes.set f 7 '\x04';
+  expect_error "trailing junk" (Bytes.to_string f ^ "ABCD") malformed
+
+let test_truncated_payload () =
+  (* a Ping whose inner string length points past the payload end *)
+  let good = Proto.encode_request (Proto.Ping "abcd") in
+  let f = Bytes.of_string good in
+  (* payload starts at offset 8 with the u32 string length; inflate it
+     while the frame length in the header stays truthful *)
+  Bytes.set f 8 '\x00';
+  Bytes.set f 11 '\xff';
+  expect_error "inner length lies" (Bytes.to_string f) malformed
+
+let test_unknown_fault_tag () =
+  let spec = Proto.job_spec ~tag:"t" ~injections:[ { Fi.at = 1; fault = Fi.Taint_wipe } ]
+      (Proto.Wire_asm "") in
+  let f = Bytes.of_string (Proto.encode_request (Proto.Submit spec)) in
+  (* layout ends [...at:i64][fault tag][timeout option = 0]: the
+     Taint_wipe tag (6) sits second from the end — flip it to 250 *)
+  let idx = Bytes.length f - 2 in
+  Alcotest.(check char) "located fault tag" '\x06' (Bytes.get f idx);
+  Bytes.set f idx '\xfa';
+  expect_error "fault tag 250" (Bytes.to_string f) malformed
+
+(* --- job spec <-> Job.t ---------------------------------------------- *)
+
+let test_job_of_spec () =
+  match Proto.job_of_spec spec_full with
+  | Error m -> Alcotest.fail m
+  | Ok job ->
+    Alcotest.(check string) "tag" "exploit-42" job.Ptaint_campaign.Job.tag;
+    Alcotest.(check int) "injections" 8 (List.length job.Ptaint_campaign.Job.injections);
+    Alcotest.(check (option (float 1e-9))) "timeout" (Some 2.5) job.Ptaint_campaign.Job.timeout;
+    let c = job.Ptaint_campaign.Job.config in
+    Alcotest.(check (list string)) "argv" [ "victim"; "--flag" ] c.Ptaint_sim.Sim.argv;
+    Alcotest.(check int) "fuel" 123_456_789 c.Ptaint_sim.Sim.max_instructions;
+    (* the canonical label must come from the policy, as in batch mode *)
+    Alcotest.(check string) "derived label" "control-data only"
+      (Ptaint_campaign.Campaign.label_of_policy c.Ptaint_sim.Sim.policy)
+
+let test_job_of_spec_bad_policy () =
+  match Proto.job_of_spec (Proto.job_spec ~tag:"t" ~policy:"nonsense" (Proto.Wire_asm "")) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown policy label"
+
+(* --- loopback server ------------------------------------------------- *)
+
+let exit_asm = ".text\nmain: li $v0, 1\n li $a0, 0\n syscall\n"
+let spin_asm = ".text\nmain: j main\n"
+
+let with_server ?(max_queue = 64) ?(max_inflight = 8) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ptaintd-test-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    { (Server.default_config ~socket_path:path) with
+      Server.domains = Some 2; max_queue; max_inflight }
+  in
+  let server = Server.create cfg in
+  let d = Domain.spawn (fun () -> Server.serve server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join d;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path server)
+
+let exit_spec ?(tag = "exit") () = Proto.job_spec ~tag (Proto.Wire_asm exit_asm)
+
+let rec wait_terminal c =
+  match Client.next_event c with
+  | Proto.Started _ -> wait_terminal c
+  | e -> e
+
+let test_loopback_submit_stream () =
+  with_server (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      Alcotest.(check string) "banner" "ptaintd" (Client.banner c);
+      Alcotest.(check string) "ping echoes" "xyzzy" (Client.ping c "xyzzy");
+      (match Client.submit c (exit_spec ()) with
+       | Error m -> Alcotest.fail ("rejected: " ^ m)
+       | Ok id -> (
+         match wait_terminal c with
+         | Proto.Finished f ->
+           Alcotest.(check int) "event id" id f.id;
+           Alcotest.(check string) "outcome" "exited with status 0" f.outcome;
+           Alcotest.(check int) "exit code" 0 f.exit_code;
+           Alcotest.(check int) "instructions" 3 f.instructions;
+           Alcotest.(check bool) "first run misses the cache" false f.cache_hit;
+           Alcotest.(check (list (pair string int)))
+             "streamed counter deltas"
+             [ ("jobs", 1); ("instructions", 3); ("syscalls", 1);
+               ("tainted loads", 0); ("tainted stores", 0) ]
+             f.counters
+         | _ -> Alcotest.fail "expected Finished"));
+      (* same program again: must boot from the snapshot cache *)
+      (match Client.submit c (exit_spec ()) with
+       | Error m -> Alcotest.fail ("rejected: " ^ m)
+       | Ok _ -> (
+         match wait_terminal c with
+         | Proto.Finished f ->
+           Alcotest.(check bool) "second run hits the cache" true f.cache_hit;
+           Alcotest.(check int) "identical result" 3 f.instructions
+         | _ -> Alcotest.fail "expected Finished"));
+      let stats = Client.stats c in
+      let get k = match List.assoc_opt k stats with Some v -> v | None -> -1 in
+      Alcotest.(check int) "one cache hit" 1 (get "daemon/cache-hit");
+      Alcotest.(check int) "one cache miss" 1 (get "daemon/cache-miss");
+      Alcotest.(check int) "two jobs completed" 2 (get "daemon/jobs-completed");
+      Client.close c)
+
+let test_loopback_batch_and_failures () =
+  with_server (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      let specs =
+        [ exit_spec ~tag:"a" ();
+          Proto.job_spec ~tag:"malformed" (Proto.Wire_asm ".data\nx: .space -4\n");
+          Proto.job_spec ~tag:"spin" ~timeout:0.2 (Proto.Wire_asm spin_asm);
+          exit_spec ~tag:"b" () ]
+      in
+      match Client.run_batch c specs with
+      | [ Client.Done (Proto.Finished a);
+          Client.Done (Proto.Job_failed bad);
+          Client.Done (Proto.Job_failed spin);
+          Client.Done (Proto.Finished b) ] ->
+        Alcotest.(check string) "a" "a" a.tag;
+        Alcotest.(check string) "b survives its neighbours" "b" b.tag;
+        Alcotest.(check string) "malformed source classified" "loader error" bad.kind;
+        Alcotest.(check string) "wire timeout arms the watchdog" "timeout" spin.kind;
+        Client.close c
+      | _ -> Alcotest.fail "unexpected batch shape")
+
+(* concurrent clients: two connections submitting interleaved batches *)
+let test_loopback_two_clients () =
+  with_server (fun path _server ->
+      let c1 = Client.connect ~client:"one" path in
+      let c2 = Client.connect ~client:"two" path in
+      let ids1 = List.map (fun () -> Client.submit c1 (exit_spec ())) [ (); (); () ] in
+      let ids2 = List.map (fun () -> Client.submit c2 (exit_spec ())) [ (); (); () ] in
+      Alcotest.(check int) "c1 all accepted" 3
+        (List.length (List.filter Result.is_ok ids1));
+      Alcotest.(check int) "c2 all accepted" 3
+        (List.length (List.filter Result.is_ok ids2));
+      let count_finished c n =
+        let seen = ref 0 in
+        while !seen < n do
+          match wait_terminal c with
+          | Proto.Finished _ -> incr seen
+          | _ -> Alcotest.fail "unexpected failure"
+        done
+      in
+      count_finished c1 3;
+      count_finished c2 3;
+      Client.close c1;
+      Client.close c2)
+
+let test_admission_quota () =
+  (* max_inflight 1: the second concurrent submission must bounce *)
+  with_server ~max_inflight:1 (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      (match Client.submit c (Proto.job_spec ~tag:"spin" ~timeout:1.0 (Proto.Wire_asm spin_asm)) with
+       | Ok _ -> ()
+       | Error m -> Alcotest.fail ("first submission rejected: " ^ m));
+      (match Client.submit c (exit_spec ()) with
+       | Error reason ->
+         Alcotest.(check bool) "quota message" true
+           (String.length reason > 0)
+       | Ok _ -> Alcotest.fail "quota not enforced");
+      (* drain the spinner so shutdown is quick *)
+      (match wait_terminal c with
+       | Proto.Job_failed f -> Alcotest.(check string) "spinner timed out" "timeout" f.kind
+       | _ -> Alcotest.fail "expected the spinner to time out");
+      Client.close c)
+
+(* --- hostile clients ------------------------------------------------- *)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let read_all fd =
+  let b = Buffer.create 64 in
+  let chunk = Bytes.create 4096 in
+  (try
+     let rec go () =
+       match Unix.read fd chunk 0 4096 with
+       | 0 -> ()
+       | n ->
+         Buffer.add_subbytes b chunk 0 n;
+         go ()
+     in
+     go ()
+   with Unix.Unix_error _ -> ());
+  Buffer.contents b
+
+let test_hostile_clients () =
+  with_server (fun path _server ->
+      (* (a) garbage bytes: server answers Error_frame and closes *)
+      let fd = raw_connect path in
+      ignore (Unix.write_substring fd "GET / HTTP/1.0\r\n\r\n" 0 18);
+      let reply = read_all fd in
+      (match Proto.decode_response reply with
+       | Ok (Some (Proto.Error_frame m, _)) ->
+         Alcotest.(check bool) "names bad magic" true
+           (String.length m > 0)
+       | _ -> Alcotest.fail "expected Error_frame for garbage");
+      Unix.close fd;
+      (* (b) oversized announcement: rejected from the header alone *)
+      let fd = raw_connect path in
+      let hdr = Bytes.of_string (Proto.encode_request Proto.Quit) in
+      Bytes.set hdr 4 '\x7f';
+      ignore (Unix.write fd hdr 0 (Bytes.length hdr));
+      (match Proto.decode_response (read_all fd) with
+       | Ok (Some (Proto.Error_frame _, _)) -> ()
+       | _ -> Alcotest.fail "expected Error_frame for oversized");
+      Unix.close fd;
+      (* (c) slowloris: half a frame, then silence, then disconnect —
+         must not block the loop or leak a job *)
+      let fd = raw_connect path in
+      let frame = Proto.encode_request (Proto.Submit (exit_spec ())) in
+      ignore (Unix.write_substring fd frame 0 (String.length frame / 2));
+      (* (d) while the half-frame hangs, a well-behaved client is served *)
+      let c = Client.connect ~client:"healthy" path in
+      (match Client.submit c (exit_spec ()) with
+       | Ok _ -> (
+         match wait_terminal c with
+         | Proto.Finished _ -> ()
+         | _ -> Alcotest.fail "healthy client's job failed")
+       | Error m -> Alcotest.fail ("healthy client rejected: " ^ m));
+      Unix.close fd;
+      (* (e) disconnect mid-job: submit, vanish before the result *)
+      let fd = raw_connect path in
+      let hello = Proto.encode_request (Proto.Hello { client = "rude" }) in
+      ignore (Unix.write_substring fd hello 0 (String.length hello));
+      let submit = Proto.encode_request (Proto.Submit (exit_spec ~tag:"orphan" ())) in
+      ignore (Unix.write_substring fd submit 0 (String.length submit));
+      Unix.close fd;
+      (* the orphan must be admitted, complete server-side, and the
+         server keep serving; poll for both to dodge the admission race *)
+      let get stats k = match List.assoc_opt k stats with Some v -> v | None -> -1 in
+      let rec wait_for_drain tries =
+        if tries = 0 then Alcotest.fail "orphan job never admitted + completed"
+        else
+          let stats = Client.stats c in
+          if get stats "daemon/jobs-submitted" >= 2
+             && get stats "daemon/jobs-inflight" = 0
+          then ()
+          else begin
+            Unix.sleepf 0.05;
+            wait_for_drain (tries - 1)
+          end
+      in
+      wait_for_drain 100;
+      (match Client.submit c (exit_spec ()) with
+       | Ok _ -> (
+         match wait_terminal c with
+         | Proto.Finished _ -> ()
+         | _ -> Alcotest.fail "server stopped serving after hostile clients")
+       | Error m -> Alcotest.fail ("server rejects after hostile clients: " ^ m));
+      Client.close c)
+
+(* graceful drain: submissions in flight at shutdown still complete *)
+let test_graceful_drain () =
+  with_server (fun path server ->
+      let c = Client.connect ~client:"test" path in
+      let accepted =
+        List.filter_map
+          (fun i ->
+            match Client.submit c (exit_spec ~tag:(string_of_int i) ()) with
+            | Ok id -> Some id
+            | Error _ -> None)
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      Server.shutdown server;
+      (* all accepted jobs must still reach a terminal event *)
+      let finished = ref 0 in
+      (try
+         while !finished < List.length accepted do
+           match Client.next_event c with
+           | Proto.Finished _ | Proto.Job_failed _ -> incr finished
+           | Proto.Started _ -> ()
+         done
+       with Client.Protocol_error _ -> ());
+      Alcotest.(check int) "every admitted job drained" (List.length accepted) !finished;
+      Client.close c)
+
+let () =
+  Alcotest.run "daemon"
+    [ ( "codec",
+        [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "two frames" `Quick test_two_frames;
+          Alcotest.test_case "incomplete prefixes" `Quick test_incomplete_is_not_an_error;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+          Alcotest.test_case "bad tag" `Quick test_bad_tag;
+          Alcotest.test_case "oversized" `Quick test_oversized;
+          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+          Alcotest.test_case "truncated payload" `Quick test_truncated_payload;
+          Alcotest.test_case "unknown fault tag" `Quick test_unknown_fault_tag ] );
+      ( "job-spec",
+        [ Alcotest.test_case "spec to Job.t" `Quick test_job_of_spec;
+          Alcotest.test_case "bad policy label" `Quick test_job_of_spec_bad_policy ] );
+      ( "loopback",
+        [ Alcotest.test_case "submit and stream" `Quick test_loopback_submit_stream;
+          Alcotest.test_case "batch with failures" `Quick test_loopback_batch_and_failures;
+          Alcotest.test_case "two clients" `Quick test_loopback_two_clients;
+          Alcotest.test_case "admission quota" `Quick test_admission_quota ] );
+      ( "hostile",
+        [ Alcotest.test_case "garbage, oversize, slowloris, vanish" `Quick test_hostile_clients;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain ] ) ]

@@ -20,7 +20,7 @@ let victim =
 
 let boot () =
   let program = Ptaint_runtime.Runtime.compile victim in
-  let config = Ptaint_sim.Sim.config ~stdin:"aaaa" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "aaaa") in
   Ptaint_sim.Debugger.create (Ptaint_sim.Sim.boot ~config program)
 
 let exec dbg line =

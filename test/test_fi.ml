@@ -100,7 +100,7 @@ let test_slice_parity () =
 
 let test_watchdog_fires () =
   let spin = Ptaint_asm.Assembler.assemble_exn ".text\nmain: j main\n" in
-  let config = Sim.config ~max_instructions:1_000_000_000 () in
+  let config = Sim.Config.(default |> with_max_instructions 1_000_000_000) in
   match
     Sim.finish_sliced ~deadline:(Unix.gettimeofday () +. 0.2) (Sim.boot ~config spin)
   with

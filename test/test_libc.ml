@@ -4,7 +4,7 @@
 
 let run ?(stdin = "") ?(policy = Ptaint_cpu.Policy.default) src =
   let program = Ptaint_runtime.Runtime.compile src in
-  let config = Ptaint_sim.Sim.config ~policy ~stdin () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_policy policy |> with_stdin stdin) in
   Ptaint_sim.Sim.run ~config program
 
 let expect_stdout name expected src =

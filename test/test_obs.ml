@@ -157,7 +157,7 @@ buf: .word 0, 0
 
 let run_observed () =
   let program = Ptaint_asm.Assembler.assemble_exn attack_source in
-  let config = Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" ~obs:true () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "\x44\x33\x22\x11xyzw" |> with_obs true) in
   Ptaint_sim.Sim.run ~config program
 
 let test_sim_event_story () =
@@ -192,7 +192,7 @@ let test_sim_event_story () =
 
 let test_obs_off_is_silent () =
   let program = Ptaint_asm.Assembler.assemble_exn attack_source in
-  let config = Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "\x44\x33\x22\x11xyzw") in
   let r = Ptaint_sim.Sim.run ~config program in
   Alcotest.(check (list (pair int string))) "no window" []
     (List.map (fun (pc, i) -> (pc, Ptaint_isa.Insn.to_string i))
@@ -207,9 +207,9 @@ let test_campaign_jobs_and_metrics () =
   let tr = Trace.create () in
   let jobs =
     [ Ptaint_campaign.Campaign.job ~name:"atk" ~policy_label:"full"
-        ~config:(Ptaint_sim.Sim.config ~stdin:"\x44\x33\x22\x11xyzw" ()) program;
+        ~config:(Ptaint_sim.Sim.Config.(default |> with_stdin "\x44\x33\x22\x11xyzw")) program;
       Ptaint_campaign.Campaign.job ~name:"ok" ~policy_label:"full"
-        ~config:(Ptaint_sim.Sim.config ()) benign ]
+        ~config:(Ptaint_sim.Sim.Config.default) benign ]
   in
   let results, stats = Ptaint_campaign.Campaign.run ~domains:2 ~trace:tr jobs in
   Alcotest.(check int) "both ran" 2 (List.length results);

@@ -42,7 +42,7 @@ let test_socket () =
 
 let test_file_io () =
   let config =
-    Ptaint_sim.Sim.config ~fs_init:[ ("/data/in.txt", "file contents here") ] ()
+    Ptaint_sim.Sim.Config.(default |> with_fs_init [ ("/data/in.txt", "file contents here") ])
   in
   let r =
     run ~config
@@ -84,7 +84,7 @@ let test_file_taint_policy () =
        } |}
   in
   let check sources expected =
-    let config = Ptaint_sim.Sim.config ~sources ~fs_init:[ ("/f", "abcd") ] () in
+    let config = Ptaint_sim.Sim.Config.(default |> with_sources sources |> with_fs_init [ ("/f", "abcd") ]) in
     let r = run ~config src in
     let buf =
       Ptaint_asm.Program.symbol_exn r.Ptaint_sim.Sim.image.Ptaint_asm.Loader.program "buf"
@@ -97,7 +97,7 @@ let test_file_taint_policy () =
   check Ptaint_os.Sources.network_only 0
 
 let test_uid_syscalls () =
-  let config = Ptaint_sim.Sim.config ~uid:1000 () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_uid 1000) in
   let r =
     run ~config
       {| int main(void) {
@@ -167,7 +167,7 @@ let test_bad_fd () =
 let test_efault_on_wild_buffer () =
   (* kernel returns -1 when the guest passes an unmapped buffer (with
      data actually available, so the copy is attempted) *)
-  let config = Ptaint_sim.Sim.config ~stdin:"abcd" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "abcd") in
   let r =
     run ~config {| int main(void) { return read(0, (char *)0x40404040, 4) == -1 ? 0 : 1; } |}
   in
@@ -176,7 +176,7 @@ let test_efault_on_wild_buffer () =
   | o -> Alcotest.failf "outcome %a" Ptaint_sim.Sim.pp_outcome o
 
 let test_syscall_counts () =
-  let config = Ptaint_sim.Sim.config ~stdin:"xyz" () in
+  let config = Ptaint_sim.Sim.Config.(default |> with_stdin "xyz") in
   let r =
     run ~config
       {| int main(void) {
