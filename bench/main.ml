@@ -314,10 +314,37 @@ let micro_sliced_run_bench =
          in
          go 10_000))
 
+(* arena recycling: the streaming campaign's per-job boot cost.  The
+   arena row boots and finishes a prepared image 10k times through
+   this domain's recycled machine (reset-in-place from the image
+   snapshot, pre-decoded blocks shared by reference); the fresh-boot
+   row pays what the pipeline used to pay per job — re-load every
+   initial byte and re-decode the text — 100 times.  The CI bench
+   gate holds arena reuse to >= 2x over fresh boot per job. *)
+let arena_image =
+  let program = compiled "int main(void) { int x = 21; return x - 21; }" in
+  (program, Ptaint_sim.Sim.prepare program)
+
+let micro_arena_reuse_bench =
+  let _, image = arena_image in
+  Test.make ~name:"micro/arena-reuse-10k"
+    (Staged.stage (fun () ->
+         for _ = 1 to 10_000 do
+           ignore (Ptaint_sim.Sim.run_template_arena image)
+         done))
+
+let micro_fresh_boot_bench =
+  let program, _ = arena_image in
+  Test.make ~name:"micro/fresh-boot-100"
+    (Staged.stage (fun () ->
+         for _ = 1 to 100 do
+           ignore (Ptaint_sim.Sim.run program)
+         done))
+
 let micro_benches =
   [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
     micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench;
-    micro_sliced_run_bench ]
+    micro_sliced_run_bench; micro_arena_reuse_bench; micro_fresh_boot_bench ]
 
 (* --- driver ----------------------------------------------------------------- *)
 

@@ -34,6 +34,8 @@ let sections =
      fun _ _ -> Ptaint_experiments.Experiments.extension ());
     ("resilience", "fault injection into the detector + hardened runtime",
      fun domains trace -> Ptaint_experiments.Experiments.resilience ?domains ?trace ());
+    ("gen", "generative campaign: seeded program/attack synthesis",
+     fun domains _ -> Ptaint_experiments.Experiments.generative ?domains ());
     ("all", "everything",
      fun domains trace -> Ptaint_experiments.Experiments.all ?domains ?trace ()) ]
 

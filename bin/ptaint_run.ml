@@ -11,7 +11,9 @@
 
 open Cmdliner
 module Campaign = Ptaint_campaign.Campaign
+module Checkpoint = Ptaint_campaign.Checkpoint
 module Job = Ptaint_campaign.Job
+module Gen = Ptaint_gen.Gen
 module Fi = Ptaint_fi.Fi
 module Proto = Ptaint_daemon.Proto
 module Client = Ptaint_daemon.Client
@@ -114,10 +116,13 @@ let run_one path config disasm trace_file metrics plan job_timeout =
    | _ -> ());
   if metrics then begin
     let ms = Ptaint_mem.Memory.stats r.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
-    Format.printf "metrics: %d loads (%d tainted), %d stores (%d tainted), %d syscalls@."
-      ms.Ptaint_mem.Memory.loads ms.Ptaint_mem.Memory.tainted_loads
-      ms.Ptaint_mem.Memory.stores ms.Ptaint_mem.Memory.tainted_stores
-      r.Ptaint_sim.Sim.syscalls
+    print_string
+      (Ptaint_report.Report.counters
+         [ ("run/loads", ms.Ptaint_mem.Memory.loads);
+           ("run/tainted-loads", ms.Ptaint_mem.Memory.tainted_loads);
+           ("run/stores", ms.Ptaint_mem.Memory.stores);
+           ("run/tainted-stores", ms.Ptaint_mem.Memory.tainted_stores);
+           ("run/syscalls", r.Ptaint_sim.Sim.syscalls) ])
   end;
   (match trace_file with
    | Some file ->
@@ -238,8 +243,273 @@ let print_daemon_stats sock =
   let c = Client.connect ~client:"ptaint-run" sock in
   let counters = Client.stats c in
   Client.close c;
-  List.iter (fun (name, v) -> Printf.printf "%-28s %d\n" name v) counters;
+  print_string (Ptaint_report.Report.counters counters);
   0
+
+(* --- generative campaigns: --generate N [--checkpoint M] ------------- *)
+
+(* Load the manifest (if any) and reconcile the JSONL sink with its
+   cursor.  A fresh start clears a stale sink so line counts always
+   equal job counts. *)
+let checkpoint_resume ~campaign_id ~total checkpoint results_path =
+  match checkpoint with
+  | Some path when Sys.file_exists path -> (
+    match Checkpoint.load ~path with
+    | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e)
+    | Ok m ->
+      if m.Checkpoint.id <> campaign_id then
+        Error
+          (Printf.sprintf
+             "checkpoint %s belongs to a different campaign\n  manifest:  %s\n  requested: %s"
+             path m.Checkpoint.id campaign_id)
+      else if m.Checkpoint.cursor > total then
+        Error (Printf.sprintf "checkpoint %s: cursor %d beyond %d jobs" path
+                 m.Checkpoint.cursor total)
+      else (
+        match results_path with
+        | Some rp -> (
+          match Checkpoint.truncate_jsonl ~path:rp ~lines:m.Checkpoint.cursor with
+          | Ok () -> Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump)
+          | Error e -> Error e)
+        | None -> Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump)))
+  | _ ->
+    (match results_path with
+     | Some rp -> ignore (Checkpoint.truncate_jsonl ~path:rp ~lines:0)
+     | None -> ());
+    Ok (0, Campaign.tally ())
+
+let print_gen_summary ~metrics ~total ~cursor ~wall tally =
+  let stats = Campaign.tally_stats ~wall_seconds:wall tally in
+  Format.printf "generative campaign: %d/%d jobs, %d distinct detection sites@." cursor
+    total
+    (List.length (Campaign.tally_sites tally));
+  Format.printf "%a@." Campaign.pp_stats stats;
+  if metrics then print_string (Campaign.metrics_table stats)
+
+(* Local streaming path: jobs pulled lazily from the generator, run on
+   the arena-recycling pool, folded into the incremental tally;
+   memory stays O(window) at any job count. *)
+let run_generate_local spec domains metrics checkpoint every results_path job_timeout =
+  let total = Gen.jobs_of spec in
+  let campaign_id = Gen.id spec in
+  match checkpoint_resume ~campaign_id ~total checkpoint results_path with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok (start, tally) ->
+    if start > 0 then Printf.eprintf "resuming at job %d/%d\n%!" start total;
+    if start >= total then begin
+      (* completed campaign: the manifest holds every counter, so the
+         final report reprints without re-running anything *)
+      print_gen_summary ~metrics ~total ~cursor:start ~wall:0. tally;
+      0
+    end
+    else begin
+      let sink =
+        Option.map
+          (fun rp -> open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 rp)
+          results_path
+      in
+      let last_ckpt = ref start in
+      let save_ckpt cursor tally =
+        match checkpoint with
+        | None -> ()
+        | Some path ->
+          (* the sink must be on disk before the manifest points past
+             its lines — resume truncates any overshoot *)
+          (match sink with Some oc -> flush oc | None -> ());
+          Checkpoint.save ~path
+            { Checkpoint.id = campaign_id; total; cursor;
+              dump = Campaign.dump_tally tally };
+          last_ckpt := cursor
+      in
+      let t0 = Unix.gettimeofday () in
+      let tally, cursor =
+        Campaign.run_stream ?domains ?job_timeout ~start ~tally
+          ?on_result:
+            (Option.map
+               (fun oc (s : Campaign.job_summary) ->
+                 output_string oc (Campaign.jsonl_of_summary s);
+                 output_char oc '\n')
+               sink)
+          ~on_progress:(fun ~cursor t ->
+            if cursor - !last_ckpt >= every then save_ckpt cursor t)
+          (Gen.jobs_from spec start)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      save_ckpt cursor tally;
+      (match sink with Some oc -> close_out oc | None -> ());
+      print_gen_summary ~metrics ~total ~cursor ~wall tally;
+      if cursor = total then 0 else 4
+    end
+
+let wire_spec_of gspec i =
+  let j = Gen.job gspec i in
+  let cfg = j.Job.config in
+  let payload =
+    match j.Job.payload with
+    | Job.C_source s -> Proto.Wire_c s
+    | Job.Asm_source s -> Proto.Wire_asm s
+    | Job.Image _ -> invalid_arg "generated jobs are always symbolic"
+  in
+  Proto.job_spec ~tag:j.Job.tag
+    ~policy:(Gen.policy_label gspec i)
+    ~argv:cfg.Ptaint_sim.Sim.argv ~env:cfg.Ptaint_sim.Sim.env
+    ~stdin:cfg.Ptaint_sim.Sim.stdin ?timeout:j.Job.timeout payload
+
+(* Reduce a daemon outcome to the same compact summary the local
+   streaming path produces.  The daemon streams no alert pc, so site
+   coverage is a local-mode refinement; counters — the byte-parity
+   contract with batch mode — carry over exactly. *)
+let summary_of_outcome i tag (o : Client.outcome) =
+  let short outcome =
+    if String.length outcome >= 14 && String.sub outcome 0 14 = "SECURITY ALERT" then "alert"
+    else if String.length outcome >= 6 && String.sub outcome 0 6 = "exited" then "exited"
+    else if String.length outcome >= 5 && String.sub outcome 0 5 = "fault" then "fault"
+    else if String.length outcome >= 10 && String.sub outcome 0 10 = "break trap" then "trap"
+    else "out-of-fuel"
+  in
+  match o with
+  | Client.Done (Proto.Finished f) ->
+    { Campaign.s_index = i;
+      s_name = f.tag;
+      s_label = f.policy_label;
+      s_outcome = short f.outcome;
+      s_counters = f.counters;
+      s_failed = false;
+      s_violation = false;
+      s_detected = short f.outcome = "alert";
+      s_alert_pc = None;
+      s_instructions = f.instructions;
+      s_syscalls = f.syscalls;
+      s_attempts = 1 }
+  | Client.Done (Proto.Job_failed f) ->
+    { Campaign.s_index = i;
+      s_name = f.tag;
+      s_label = f.policy_label;
+      s_outcome = f.kind;
+      s_counters = f.counters;
+      s_failed = true;
+      s_violation = false;
+      s_detected = false;
+      s_alert_pc = None;
+      s_instructions = 0;
+      s_syscalls = 0;
+      s_attempts = 1 }
+  | Client.Done (Proto.Started _) | Client.Refused _ ->
+    { Campaign.s_index = i;
+      s_name = tag;
+      s_label = "unlabelled";
+      s_outcome = "rejected";
+      s_counters = [ ("jobs", 1); ("rejected", 1) ];
+      s_failed = true;
+      s_violation = false;
+      s_detected = false;
+      s_alert_pc = None;
+      s_instructions = 0;
+      s_syscalls = 0;
+      s_attempts = 1 }
+
+(* Daemon path: the generated stream goes to ptaintd in windows, with
+   the same client-side manifest as the local path — kill this client
+   at any point and rerunning the command resumes from the last
+   window boundary; the daemon's image cache plays the role of the
+   local template cache. *)
+let run_generate_connect sock spec metrics checkpoint every results_path job_timeout =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let total = Gen.jobs_of spec in
+  let campaign_id = Gen.id spec in
+  match checkpoint_resume ~campaign_id ~total checkpoint results_path with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok (start, tally) ->
+    if start > 0 then Printf.eprintf "resuming at job %d/%d\n%!" start total;
+    if start >= total then begin
+      print_gen_summary ~metrics ~total ~cursor:start ~wall:0. tally;
+      0
+    end
+    else begin
+      let sink =
+        Option.map
+          (fun rp -> open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 rp)
+          results_path
+      in
+      let c = Client.connect ~client:"ptaint-run" sock in
+      let window = 64 in
+      (* Admission bounces (per-client quota, server-wide queue) are
+         backpressure, not job outcomes: resubmit until the daemon
+         accepts.  "Draining" and malformed specs are terminal. *)
+      let transient reason =
+        let has needle =
+          let n = String.length needle and l = String.length reason in
+          let rec go i = i + n <= l && (String.sub reason i n = needle || go (i + 1)) in
+          go 0
+        in
+        has "quota exceeded" || has "queue full"
+      in
+      let run_window specs =
+        let specs = Array.of_list specs in
+        let outcomes = Array.of_list (Client.run_batch c (Array.to_list specs)) in
+        let rec settle () =
+          let pending = ref [] in
+          Array.iteri
+            (fun k o ->
+              match o with
+              | Client.Refused reason when transient reason -> pending := k :: !pending
+              | _ -> ())
+            outcomes;
+          match List.rev !pending with
+          | [] -> ()
+          | ks ->
+            (* if nothing was accepted this pass, the queue is full of
+               other clients' work — back off before resubmitting *)
+            if List.length ks = Array.length specs then Unix.sleepf 0.05;
+            let again = Client.run_batch c (List.map (fun k -> specs.(k)) ks) in
+            List.iter2 (fun k o -> outcomes.(k) <- o) ks again;
+            settle ()
+        in
+        settle ();
+        Array.to_list outcomes
+      in
+      let cursor = ref start in
+      let last_ckpt = ref start in
+      let save_ckpt () =
+        match checkpoint with
+        | None -> ()
+        | Some path ->
+          (match sink with Some oc -> flush oc | None -> ());
+          Checkpoint.save ~path
+            { Checkpoint.id = campaign_id; total; cursor = !cursor;
+              dump = Campaign.dump_tally tally };
+          last_ckpt := !cursor
+      in
+      let t0 = Unix.gettimeofday () in
+      while !cursor < total do
+        let n = min window (total - !cursor) in
+        let specs = List.init n (fun k -> wire_spec_of spec (!cursor + k)) in
+        let outcomes = run_window specs in
+        List.iteri
+          (fun k o ->
+            let i = !cursor + k in
+            let s = summary_of_outcome i (List.nth specs k).Proto.spec_tag o in
+            Campaign.tally_add tally s;
+            match sink with
+            | Some oc ->
+              output_string oc (Campaign.jsonl_of_summary s);
+              output_char oc '\n'
+            | None -> ())
+          outcomes;
+        cursor := !cursor + n;
+        if !cursor - !last_ckpt >= every || !cursor = total then save_ckpt ()
+      done;
+      Client.close c;
+      (match sink with Some oc -> close_out oc | None -> ());
+      print_gen_summary ~metrics ~total ~cursor:!cursor
+        ~wall:(Unix.gettimeofday () -. t0)
+        tally;
+      0
+    end
 
 let parse_injections specs =
   List.fold_left
@@ -251,7 +521,8 @@ let parse_injections specs =
     (Ok []) specs
 
 let run paths policy_name stdin_data sessions args disasm timing trace_file trace_insns
-    trace_limit metrics timings domains inject_specs job_timeout connect daemon_stats =
+    trace_limit metrics timings domains inject_specs job_timeout connect daemon_stats
+    generate seed variants checkpoint checkpoint_every results_path =
   match (Ptaint_sim.Sim.policy_of_label policy_name, parse_injections inject_specs) with
   | Error e, _ | _, Error e ->
     prerr_endline e;
@@ -259,6 +530,23 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
   | Ok policy, Ok plan -> (
     try
       match (daemon_stats, connect, paths) with
+      | _ when generate <> None && paths <> [] ->
+        prerr_endline "--generate replaces PROGRAM arguments; give one or the other";
+        2
+      | _ when generate <> None -> (
+        let jobs = Option.get generate in
+        match Gen.spec ~variants ~seed ~jobs () with
+        | exception Invalid_argument e ->
+          prerr_endline e;
+          2
+        | spec -> (
+          match connect with
+          | Some sock ->
+            run_generate_connect sock spec metrics checkpoint checkpoint_every
+              results_path job_timeout
+          | None ->
+            run_generate_local spec domains metrics checkpoint checkpoint_every
+              results_path job_timeout))
       | true, None, _ ->
         prerr_endline "--daemon-stats needs --connect SOCKET";
         2
@@ -397,12 +685,44 @@ let daemon_stats_arg =
          ~doc:"With --connect: print the daemon's counters (cache hits, jobs, clients) \
                and exit.")
 
+let generate_arg =
+  Arg.(value & opt (some int) None & info [ "generate" ] ~docv:"N"
+         ~doc:"Run a generative campaign of $(docv) seeded synthetic jobs instead of \
+               PROGRAM files: streamed execution with bounded memory at any job count; \
+               combine with --checkpoint for kill-and-resume and --results for a JSONL \
+               result sink.  With --connect the jobs go to a ptaintd instance.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Generative campaign seed: every job is a pure function of (seed, index), \
+               so the stream is identical at any -j and across resumes.")
+
+let variants_arg =
+  Arg.(value & opt int 8 & info [ "variants" ] ~docv:"V"
+         ~doc:"Distinct generated programs in the campaign pool (default 8).")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Write a resumable manifest (seed, cursor, merged counters) to $(docv) \
+               atomically every --checkpoint-every jobs; rerunning the same command \
+               resumes from the manifest instead of starting over.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Jobs between checkpoint manifests (default 1000).")
+
+let results_arg =
+  Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE"
+         ~doc:"Append one JSON line per completed job to $(docv) (streaming sink; kept \
+               consistent with --checkpoint across kill-and-resume).")
+
 let cmd =
   let doc = "run guest programs on the pointer-taintedness architecture" in
   Cmd.v (Cmd.info "ptaint-run" ~doc)
     Term.(const run $ paths_arg $ policy_arg $ stdin_arg $ session_arg $ args_arg $ disasm_arg
           $ timing_arg $ trace_arg $ trace_insns_arg $ trace_limit_arg $ metrics_arg
           $ timings_arg $ domains_arg $ inject_arg $ job_timeout_arg $ connect_arg
-          $ daemon_stats_arg)
+          $ daemon_stats_arg $ generate_arg $ seed_arg $ variants_arg $ checkpoint_arg
+          $ checkpoint_every_arg $ results_arg)
 
 let () = exit (Cmd.eval' cmd)

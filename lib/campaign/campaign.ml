@@ -373,6 +373,356 @@ let run_job ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?run_sim ?program spec
   in
   exec ~job_timeout ~retries ~backoff run_sim (of_job ?program spec)
 
+(* --- streaming campaigns ---
+
+   [run]/[run_jobs] accumulate one [job_result] per job — the right
+   shape for a few hundred jobs, the wrong one for a generative
+   campaign, where at 10^6 jobs the result list (and the machines and
+   kernels it pins) dwarfs the working set.  The streaming engine
+   keeps O(window) state instead: jobs are pulled lazily from a
+   sequence, executed on a persistent worker pool through the arena
+   boot path, reduced on the worker to a compact {!job_summary}, and
+   folded — in submission order, whatever the scheduling — into an
+   incremental {!tally} whose counters are byte-identical to the
+   batch path's {!stats}. *)
+
+type job_summary = {
+  s_index : int;
+  s_name : string;
+  s_label : string;
+  s_outcome : string;
+  s_counters : (string * int) list;
+  s_failed : bool;
+  s_violation : bool;
+  s_detected : bool;
+  s_alert_pc : int option;
+  s_instructions : int;
+  s_syscalls : int;
+  s_attempts : int;
+}
+
+(* Runs on the worker, before its arena is rebooted: everything the
+   aggregation and the JSONL sink need is extracted here, so the
+   [job_result] (whose machine may alias the domain arena) is never
+   retained past the job that produced it. *)
+let summarize idx (r : job_result) =
+  let failed, detected, alert_pc, instructions, syscalls =
+    match r.status with
+    | Failed _ -> (true, false, None, 0, 0)
+    | Finished res -> (
+      match res.Ptaint_sim.Sim.outcome with
+      | Ptaint_sim.Sim.Alert a ->
+        ( false, true,
+          Some a.Ptaint_cpu.Machine.alert_pc,
+          res.Ptaint_sim.Sim.instructions, res.Ptaint_sim.Sim.syscalls )
+      | _ ->
+        (false, false, None, res.Ptaint_sim.Sim.instructions, res.Ptaint_sim.Sim.syscalls))
+  in
+  { s_index = idx;
+    s_name = r.name;
+    s_label = r.policy_label;
+    s_outcome = outcome_name r;
+    s_counters = job_counters r;
+    s_failed = failed;
+    s_violation = r.violation <> None;
+    s_detected = detected;
+    s_alert_pc = alert_pc;
+    s_instructions = instructions;
+    s_syscalls = syscalls;
+    s_attempts = r.attempts }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jsonl_of_summary s =
+  Printf.sprintf
+    "{\"i\":%d,\"tag\":\"%s\",\"policy\":\"%s\",\"outcome\":\"%s\",\"attempts\":%d,\"instructions\":%d,\"syscalls\":%d%s}"
+    s.s_index (json_escape s.s_name) (json_escape s.s_label) (json_escape s.s_outcome)
+    s.s_attempts s.s_instructions s.s_syscalls
+    (match s.s_alert_pc with
+     | Some pc -> Printf.sprintf ",\"alert_pc\":%d" pc
+     | None -> "")
+
+(* The incremental aggregate: the counter half of {!stats}, plus the
+   coverage-style fitness inputs (distinct detection sites).  Folding
+   summaries in submission order reproduces {!metrics_of}'s per-label
+   counter registries exactly — same labels, same first-seen order,
+   same registration order within each registry — so a streamed
+   campaign's counters-only [metrics_table] is byte-identical to the
+   list-accumulating path's.  (The wall-clock/concurrency histograms
+   are a property of one uninterrupted in-memory run; a tally, which
+   must survive checkpoint round-trips, deliberately carries none.) *)
+type tally = {
+  mutable t_jobs : int;
+  mutable t_failed : int;
+  mutable t_violations : int;
+  mutable t_instructions : int;
+  mutable t_syscalls : int;
+  t_detections : (string, int) Hashtbl.t;
+  mutable t_metrics : (string * Ptaint_obs.Metrics.t) list;  (* reverse first-seen *)
+  mutable t_sites : int list;  (* distinct alert pcs, ascending *)
+}
+
+let tally () =
+  { t_jobs = 0;
+    t_failed = 0;
+    t_violations = 0;
+    t_instructions = 0;
+    t_syscalls = 0;
+    t_detections = Hashtbl.create 8;
+    t_metrics = [];
+    t_sites = [] }
+
+let tally_jobs t = t.t_jobs
+let tally_sites t = t.t_sites
+
+let rec insert_site pc = function
+  | [] -> [ pc ]
+  | x :: _ as l when pc < x -> pc :: l
+  | x :: _ as l when pc = x -> l
+  | x :: tl -> x :: insert_site pc tl
+
+let tally_add t (s : job_summary) =
+  let module M = Ptaint_obs.Metrics in
+  t.t_jobs <- t.t_jobs + 1;
+  if s.s_failed then t.t_failed <- t.t_failed + 1;
+  if s.s_violation then t.t_violations <- t.t_violations + 1;
+  t.t_instructions <- t.t_instructions + s.s_instructions;
+  t.t_syscalls <- t.t_syscalls + s.s_syscalls;
+  let m =
+    match List.assoc_opt s.s_label t.t_metrics with
+    | Some m -> m
+    | None ->
+      let m = M.create () in
+      t.t_metrics <- (s.s_label, m) :: t.t_metrics;
+      Hashtbl.replace t.t_detections s.s_label 0;
+      m
+  in
+  List.iter (fun (name, by) -> M.inc ~by (M.counter m name)) s.s_counters;
+  if s.s_detected then
+    Hashtbl.replace t.t_detections s.s_label
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.t_detections s.s_label));
+  match s.s_alert_pc with
+  | Some pc -> t.t_sites <- insert_site pc t.t_sites
+  | None -> ()
+
+let tally_stats ?(wall_seconds = 0.) t =
+  let ordered = List.rev t.t_metrics in
+  { jobs = t.t_jobs;
+    failed = t.t_failed;
+    violations = t.t_violations;
+    wall_seconds;
+    instructions = t.t_instructions;
+    syscalls = t.t_syscalls;
+    detections =
+      List.map
+        (fun (l, _) -> (l, Option.value ~default:0 (Hashtbl.find_opt t.t_detections l)))
+        ordered;
+    metrics = ordered }
+
+(* Byte-exact persistence image of a tally: every field is an int or a
+   string, so a dump written to disk and loaded back yields a tally
+   whose [metrics_table]/[pp_stats] renderings are byte-identical —
+   the checkpoint/resume contract. *)
+type tally_dump = {
+  d_jobs : int;
+  d_failed : int;
+  d_violations : int;
+  d_instructions : int;
+  d_syscalls : int;
+  d_detections : (string * int) list;  (* first-seen order *)
+  d_counters : (string * (string * int) list) list;
+      (* label -> counter rows, both in registration order *)
+  d_sites : int list;
+}
+
+let dump_tally t =
+  let module M = Ptaint_obs.Metrics in
+  let ordered = List.rev t.t_metrics in
+  { d_jobs = t.t_jobs;
+    d_failed = t.t_failed;
+    d_violations = t.t_violations;
+    d_instructions = t.t_instructions;
+    d_syscalls = t.t_syscalls;
+    d_detections =
+      List.map
+        (fun (l, _) -> (l, Option.value ~default:0 (Hashtbl.find_opt t.t_detections l)))
+        ordered;
+    d_counters =
+      List.map
+        (fun (l, m) ->
+          ( l,
+            List.filter_map
+              (fun (r : M.row) ->
+                if r.M.kind = "counter" then Some (r.M.name, r.M.count) else None)
+              (M.rows m) ))
+        ordered;
+    d_sites = t.t_sites }
+
+let load_tally d =
+  let module M = Ptaint_obs.Metrics in
+  let t = tally () in
+  t.t_jobs <- d.d_jobs;
+  t.t_failed <- d.d_failed;
+  t.t_violations <- d.d_violations;
+  t.t_instructions <- d.d_instructions;
+  t.t_syscalls <- d.d_syscalls;
+  List.iter
+    (fun (l, rows) ->
+      let m = M.create () in
+      List.iter (fun (name, v) -> M.inc ~by:v (M.counter m name)) rows;
+      t.t_metrics <- (l, m) :: t.t_metrics)
+    d.d_counters;
+  List.iter (fun (l, n) -> Hashtbl.replace t.t_detections l n) d.d_detections;
+  t.t_sites <- d.d_sites;
+  t
+
+(* Shared image cache for streaming workers.  Distinct programs in a
+   generative stream recur constantly (the variant pool is bounded),
+   so the first worker to see a payload builds program + boot image
+   and every later job reuses both by reference.  Builds run outside
+   the lock so distinct programs compile in parallel; the bound is a
+   generational flush (exceeding [capacity] clears the table), which
+   is free in the steady state where the variant pool fits. *)
+module Images = struct
+  type entry = { e_program : Ptaint_asm.Program.t; e_template : Ptaint_sim.Sim.template }
+
+  type t = {
+    mu : Mutex.t;
+    tbl : (string, entry) Hashtbl.t;
+    capacity : int;
+  }
+
+  let create ?(capacity = 128) () =
+    { mu = Mutex.create (); tbl = Hashtbl.create 64; capacity }
+
+  let obtain t spec =
+    let key = Job.image_key spec in
+    Mutex.lock t.mu;
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      Mutex.unlock t.mu;
+      e
+    | None -> (
+      Mutex.unlock t.mu;
+      let program = Job.program spec in
+      let template = Ptaint_sim.Sim.prepare ~config:spec.Job.config program in
+      Mutex.lock t.mu;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        (* racing build: first insert wins so every job shares it *)
+        Mutex.unlock t.mu;
+        e
+      | None ->
+        if Hashtbl.length t.tbl >= t.capacity then Hashtbl.reset t.tbl;
+        let e = { e_program = program; e_template = template } in
+        Hashtbl.replace t.tbl key e;
+        Mutex.unlock t.mu;
+        e)
+end
+
+let run_stream ?domains ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?window ?(start = 0)
+    ?(tally = tally ()) ?on_result ?on_progress jobs =
+  let svc = Pool.service ?domains () in
+  let window =
+    match window with Some w -> max 1 w | None -> 4 * Pool.service_size svc
+  in
+  let images = Images.create () in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let completions : job_summary Queue.t = Queue.create () in
+  (* out-of-order completions parked until the cursor reaches them;
+     bounded by [window] *)
+  let pending : (int, job_summary) Hashtbl.t = Hashtbl.create (2 * window) in
+  let run_one idx (spec : Job.t) () =
+    let summary =
+      match
+        let entry =
+          (* injection plans boot their own session inside the fault
+             injector; building a template for them would be wasted *)
+          if spec.Job.injections <> [] then None
+          else try Some (Images.obtain images spec) with _ -> None
+        in
+        let program = Option.map (fun e -> e.Images.e_program) entry in
+        let run_sim ~deadline config p =
+          match entry with
+          | Some e -> Ptaint_sim.Sim.run_template_arena ?deadline ~config e.Images.e_template
+          | None -> Ptaint_sim.Sim.run ?deadline ~config p
+        in
+        summarize idx (exec ~job_timeout ~retries ~backoff run_sim (of_job ?program spec))
+      with
+      | s -> s
+      | exception _ ->
+        (* [exec] contains everything, so this is belt and braces: the
+           pump must never lose a completion, or the reorder flush
+           stalls forever at this index. *)
+        { s_index = idx;
+          s_name = spec.Job.tag;
+          s_label = job_label spec;
+          s_outcome = "crashed";
+          s_counters = [ ("jobs", 1); ("crashed", 1) ];
+          s_failed = true;
+          s_violation = false;
+          s_detected = false;
+          s_alert_pc = None;
+          s_instructions = 0;
+          s_syscalls = 0;
+          s_attempts = 1 }
+    in
+    Mutex.lock mu;
+    Queue.push summary completions;
+    Condition.signal cv;
+    Mutex.unlock mu
+  in
+  let next = ref jobs in
+  let submitted = ref start and cursor = ref start and exhausted = ref false in
+  let pump_submit () =
+    while (not !exhausted) && !submitted - !cursor < window do
+      match !next () with
+      | Seq.Nil -> exhausted := true
+      | Seq.Cons (spec, rest) ->
+        next := rest;
+        Pool.post svc (run_one !submitted spec);
+        incr submitted
+    done
+  in
+  pump_submit ();
+  while !cursor < !submitted do
+    Mutex.lock mu;
+    while Queue.is_empty completions do
+      Condition.wait cv mu
+    done;
+    let batch = Queue.fold (fun acc c -> c :: acc) [] completions in
+    Queue.clear completions;
+    Mutex.unlock mu;
+    List.iter (fun s -> Hashtbl.replace pending s.s_index s) batch;
+    let progressed = ref false in
+    while Hashtbl.mem pending !cursor do
+      let s = Hashtbl.find pending !cursor in
+      Hashtbl.remove pending !cursor;
+      tally_add tally s;
+      (match on_result with Some f -> f s | None -> ());
+      incr cursor;
+      progressed := true
+    done;
+    if !progressed then (match on_progress with Some f -> f ~cursor:!cursor tally | None -> ());
+    pump_submit ()
+  done;
+  Pool.stop svc;
+  (tally, !cursor)
+
 let metrics_table_of ?(timings = false) metrics =
   let module M = Ptaint_obs.Metrics in
   let fmt_f v =

@@ -230,6 +230,109 @@ val run_job :
     its own snapshot-template cache; [program] skips the payload
     build when the compiled image is already at hand. *)
 
+(** {1 Streaming campaigns}
+
+    {!run}/{!run_jobs} accumulate one {!job_result} per job; at
+    generative-campaign scale (10⁵–10⁶ jobs) that list — and the
+    machines and kernels it pins — dwarfs the working set.
+    {!run_stream} bounds memory at any job count: jobs are pulled
+    lazily from a sequence, executed on a persistent worker pool
+    through the per-domain arena boot path
+    ({!Ptaint_sim.Sim.run_template_arena}), reduced on the worker to a
+    compact {!job_summary}, and folded {e in submission order},
+    whatever the scheduling, into an incremental {!tally}.  A streamed
+    campaign's counters-only [metrics_table] is byte-identical to the
+    batch path's at any [-j]. *)
+
+type job_summary = {
+  s_index : int;  (** submission index within the stream *)
+  s_name : string;
+  s_label : string;
+  s_outcome : string;  (** {!outcome_name} *)
+  s_counters : (string * int) list;  (** {!job_counters} *)
+  s_failed : bool;
+  s_violation : bool;
+  s_detected : bool;
+  s_alert_pc : int option;  (** detection site, for coverage fitness *)
+  s_instructions : int;
+  s_syscalls : int;
+  s_attempts : int;
+}
+(** Everything aggregation and the JSONL sink need from one job,
+    extracted on the worker before its arena is rebooted — the full
+    result is never retained. *)
+
+val jsonl_of_summary : job_summary -> string
+(** One JSON object (no trailing newline) for the on-disk result
+    sink.  Deterministic: no wall-clock fields. *)
+
+type tally
+(** Incremental campaign aggregate: the deterministic counter half of
+    {!stats} plus the distinct-detection-site set.  Mutable;
+    single-owner (the {!run_stream} pump). *)
+
+val tally : unit -> tally
+val tally_add : tally -> job_summary -> unit
+val tally_jobs : tally -> int
+
+val tally_sites : tally -> int list
+(** Distinct alert pcs seen, ascending — the coverage-style fitness
+    signal of a generative campaign. *)
+
+val tally_stats : ?wall_seconds:float -> tally -> stats
+(** The accumulated aggregate as a {!stats}.  Counters, detections and
+    label order are byte-identical to what {!run} would have computed
+    over the same jobs; the wall/concurrency histograms are absent
+    (they cannot survive a checkpoint round-trip). *)
+
+type tally_dump = {
+  d_jobs : int;
+  d_failed : int;
+  d_violations : int;
+  d_instructions : int;
+  d_syscalls : int;
+  d_detections : (string * int) list;
+  d_counters : (string * (string * int) list) list;
+  d_sites : int list;
+}
+(** Persistence image of a {!tally}: ints and strings only, so a dump
+    round-trips byte-exactly through the checkpoint manifest. *)
+
+val dump_tally : tally -> tally_dump
+val load_tally : tally_dump -> tally
+
+val run_stream :
+  ?domains:int ->
+  ?job_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?window:int ->
+  ?start:int ->
+  ?tally:tally ->
+  ?on_result:(job_summary -> unit) ->
+  ?on_progress:(cursor:int -> tally -> unit) ->
+  Job.t Seq.t ->
+  tally * int
+(** Stream the sequence through a persistent pool of [domains]
+    workers and fold each completion into the tally; returns the
+    tally and the final cursor (index one past the last job folded).
+
+    At most [window] jobs (default 4× the worker count) are admitted
+    beyond the flush cursor, which bounds both queue depth and the
+    reorder buffer.  [on_result] is called once per job, in
+    submission order — the JSONL sink hook.  [on_progress] is called
+    with the new contiguous cursor after every flush — the checkpoint
+    hook: every job with index < cursor is folded into the tally, no
+    job ≥ cursor is.
+
+    Resume: pass [start] (the manifest cursor), a [tally] rebuilt via
+    {!load_tally}, and a sequence beginning at job [start].
+
+    Workers share built programs and boot images through an internal
+    content-hash cache and boot via the domain arena, so steady-state
+    jobs allocate almost nothing.  [job_timeout]/[retries]/[backoff]
+    behave as in {!run}. *)
+
 val job_counters : job_result -> (string * int) list
 (** The deterministic counter deltas this job contributes to its
     policy label's metrics registry, in registration order — the unit

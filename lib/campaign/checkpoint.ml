@@ -1,0 +1,212 @@
+(* Campaign checkpoint manifests.
+
+   A streaming campaign periodically persists (identity, cursor,
+   tally) so a killed run restarts where it left off.  The format is
+   deliberately plain text, line-based and tab-separated: every field
+   of a {!Campaign.tally_dump} is an int or a string, labels and
+   counter names never contain tabs or newlines, and integers
+   round-trip exactly — so a resumed campaign's final report is
+   byte-identical to an uninterrupted one.
+
+   Writes are atomic (temp file in the same directory + rename), and
+   the [end] sentinel guards against a torn write surviving a
+   non-atomic filesystem: a manifest without it is rejected. *)
+
+type manifest = {
+  id : string;  (* campaign identity; resume refuses a mismatch *)
+  total : int;  (* total jobs the campaign will run *)
+  cursor : int;  (* jobs [0, cursor) are folded into [dump] *)
+  dump : Campaign.tally_dump;
+}
+
+let magic = "ptaint-checkpoint v1"
+
+let render m =
+  let d = m.dump in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  line "id\t%s" m.id;
+  line "total\t%d" m.total;
+  line "cursor\t%d" m.cursor;
+  line "jobs\t%d" d.Campaign.d_jobs;
+  line "failed\t%d" d.Campaign.d_failed;
+  line "violations\t%d" d.Campaign.d_violations;
+  line "instructions\t%d" d.Campaign.d_instructions;
+  line "syscalls\t%d" d.Campaign.d_syscalls;
+  List.iter (fun pc -> line "site\t%d" pc) d.Campaign.d_sites;
+  List.iter (fun (l, n) -> line "detect\t%s\t%d" l n) d.Campaign.d_detections;
+  List.iter
+    (fun (l, rows) ->
+      line "label\t%s" l;
+      List.iter (fun (name, v) -> line "counter\t%s\t%d" name v) rows)
+    d.Campaign.d_counters;
+  line "end";
+  Buffer.contents b
+
+let save ~path m =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "ckpt" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (render m);
+  close_out oc;
+  Sys.rename tmp path
+
+(* Parser: a tiny fold over tab-split lines.  Unknown keys are errors
+   — a manifest is a contract between two runs of the same binary,
+   not a config format with forward compatibility. *)
+let parse text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  match lines with
+  | [] -> Error "empty manifest"
+  | first :: rest ->
+    if first <> magic then Error (Printf.sprintf "bad manifest magic %S" first)
+    else begin
+      let id = ref None
+      and total = ref None
+      and cursor = ref None
+      and jobs = ref 0
+      and failed = ref 0
+      and violations = ref 0
+      and instructions = ref 0
+      and syscalls = ref 0 in
+      let sites = ref [] (* reverse *)
+      and detections = ref [] (* reverse *)
+      and counters = ref [] (* (label, reverse rows) list, reverse *)
+      and finished = ref false in
+      let int_of key s =
+        match int_of_string_opt s with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "manifest: bad integer %S for %s" s key)
+      in
+      let step acc line =
+        let* () = acc in
+        if !finished then Error "manifest: content after end sentinel"
+        else
+          match String.split_on_char '\t' line with
+          | [ "id"; v ] -> id := Some v; Ok ()
+          | [ "total"; v ] ->
+            let* n = int_of "total" v in
+            total := Some n;
+            Ok ()
+          | [ "cursor"; v ] ->
+            let* n = int_of "cursor" v in
+            cursor := Some n;
+            Ok ()
+          | [ "jobs"; v ] ->
+            let* n = int_of "jobs" v in
+            jobs := n;
+            Ok ()
+          | [ "failed"; v ] ->
+            let* n = int_of "failed" v in
+            failed := n;
+            Ok ()
+          | [ "violations"; v ] ->
+            let* n = int_of "violations" v in
+            violations := n;
+            Ok ()
+          | [ "instructions"; v ] ->
+            let* n = int_of "instructions" v in
+            instructions := n;
+            Ok ()
+          | [ "syscalls"; v ] ->
+            let* n = int_of "syscalls" v in
+            syscalls := n;
+            Ok ()
+          | [ "site"; v ] ->
+            let* n = int_of "site" v in
+            sites := n :: !sites;
+            Ok ()
+          | [ "detect"; l; v ] ->
+            let* n = int_of "detect" v in
+            detections := (l, n) :: !detections;
+            Ok ()
+          | [ "label"; l ] ->
+            counters := (l, ref []) :: !counters;
+            Ok ()
+          | [ "counter"; name; v ] -> (
+            let* n = int_of "counter" v in
+            match !counters with
+            | [] -> Error "manifest: counter row before any label"
+            | (_, rows) :: _ ->
+              rows := (name, n) :: !rows;
+              Ok ())
+          | [ "end" ] ->
+            finished := true;
+            Ok ()
+          | _ -> Error (Printf.sprintf "manifest: unrecognized line %S" line)
+      in
+      let* () = List.fold_left step (Ok ()) rest in
+      if not !finished then Error "manifest: missing end sentinel (torn write?)"
+      else
+        match (!id, !total, !cursor) with
+        | Some id, Some total, Some cursor ->
+          Ok
+            { id;
+              total;
+              cursor;
+              dump =
+                { Campaign.d_jobs = !jobs;
+                  d_failed = !failed;
+                  d_violations = !violations;
+                  d_instructions = !instructions;
+                  d_syscalls = !syscalls;
+                  d_detections = List.rev !detections;
+                  d_counters =
+                    List.rev_map (fun (l, rows) -> (l, List.rev !rows)) !counters;
+                  d_sites = List.rev !sites } }
+        | None, _, _ -> Error "manifest: missing id"
+        | _, None, _ -> Error "manifest: missing total"
+        | _, _, None -> Error "manifest: missing cursor"
+    end
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    parse text
+
+(* Resume hygiene for the JSONL result sink: the manifest says jobs
+   [0, cursor) are folded, so the sink must hold exactly [cursor]
+   lines before the resumed run appends line [cursor].  A run killed
+   after flushing the sink but before the manifest rename leaves the
+   sink longer — truncate it back; shorter means the sink and the
+   manifest disagree (sink deleted or not flushed before checkpoint),
+   which resume must refuse rather than silently double-count. *)
+let truncate_jsonl ~path ~lines =
+  if lines = 0 then begin
+    (match Sys.file_exists path with
+     | true -> Sys.remove path
+     | false -> ());
+    Ok ()
+  end
+  else
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic -> (
+      (* byte offset just past the [lines]-th newline *)
+      let rec scan seen pos =
+        if seen = lines then Some pos
+        else
+          match input_char ic with
+          | '\n' -> scan (seen + 1) (pos + 1)
+          | _ -> scan seen (pos + 1)
+          | exception End_of_file -> None
+      in
+      match scan 0 0 with
+      | None ->
+        close_in ic;
+        Error
+          (Printf.sprintf "result sink %s holds fewer than %d lines; refusing to resume"
+             path lines)
+      | Some pos ->
+        close_in ic;
+        (try
+           Unix.LargeFile.truncate path (Int64.of_int pos);
+           Ok ()
+         with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))

@@ -1,0 +1,40 @@
+(** Campaign checkpoint manifests.
+
+    A streaming campaign ({!Campaign.run_stream}) periodically saves a
+    manifest — campaign identity, job cursor, and the merged
+    {!Campaign.tally_dump} — so a killed run can restart where it left
+    off.  The on-disk format is plain tab-separated text: every dump
+    field is an int or a label string, so a save/load round trip is
+    exact and a resumed campaign's final metrics table is
+    byte-identical to an uninterrupted run's. *)
+
+type manifest = {
+  id : string;
+      (** Campaign identity (e.g. ["gen:seed=42:jobs=500:variants=8"]).
+          Resume refuses a manifest whose [id] does not match the
+          requested campaign, since folding counters from a different
+          job stream would corrupt the tally silently. *)
+  total : int;  (** Total jobs in the campaign. *)
+  cursor : int;  (** Jobs [0, cursor) are already folded into [dump]. *)
+  dump : Campaign.tally_dump;
+}
+
+(** [save ~path m] writes [m] atomically: the manifest is rendered to a
+    temporary file in [path]'s directory and renamed over [path], so a
+    crash mid-checkpoint leaves either the previous manifest or the new
+    one, never a torn file. *)
+val save : path:string -> manifest -> unit
+
+(** [load ~path] parses a manifest written by {!save}.  Returns
+    [Error _] for unreadable files, unknown keys, bad integers, or a
+    missing [end] sentinel (a torn write on a non-atomic filesystem). *)
+val load : path:string -> (manifest, string) result
+
+(** [truncate_jsonl ~path ~lines] trims the JSONL result sink at [path]
+    back to exactly [lines] lines, for resuming a campaign whose sink
+    ran ahead of its last manifest (jobs completed and flushed after
+    the final checkpoint).  [lines = 0] removes the file if present.
+    Returns [Error _] if the sink holds fewer than [lines] lines —
+    then the sink and manifest disagree and resuming would silently
+    drop results. *)
+val truncate_jsonl : path:string -> lines:int -> (unit, string) result

@@ -37,7 +37,7 @@ type obs = {
 type t = {
   regs : Regfile.t;
   mem : Ptaint_mem.Memory.t;
-  code : code;
+  mutable code : code;
   mutable policy : Policy.t;
   mutable pc : int;
   mutable icount : int;
@@ -48,9 +48,26 @@ type t = {
   mutable clean_blocks : int;
 }
 
-let create ?(policy = Policy.default) ~code ~mem ~entry () =
+let create ?(policy = Policy.default) ?decoded ~code ~mem ~entry () =
   { regs = Regfile.create (); mem; code; policy; pc = entry; icount = 0; guard_ranges = [];
-    obs = None; decoded = None; blocks_run = 0; clean_blocks = 0 }
+    obs = None; decoded; blocks_run = 0; clean_blocks = 0 }
+
+(* Arena recycling: rewind every piece of machine state except [mem]
+   (the caller restores that from its snapshot) and [regs] storage,
+   re-aiming the machine at a possibly different program.  After
+   [reset] the machine is indistinguishable from a [create] with the
+   same arguments. *)
+let reset ?(policy = Policy.default) ?decoded t ~code ~entry =
+  Regfile.reset t.regs;
+  t.code <- code;
+  t.policy <- policy;
+  t.pc <- entry;
+  t.icount <- 0;
+  t.guard_ranges <- [];
+  t.obs <- None;
+  t.decoded <- decoded;
+  t.blocks_run <- 0;
+  t.clean_blocks <- 0
 
 let decoded t =
   match t.decoded with

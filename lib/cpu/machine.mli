@@ -50,7 +50,9 @@ type obs = {
 type t = {
   regs : Regfile.t;
   mem : Ptaint_mem.Memory.t;
-  code : code;
+  mutable code : code;
+      (** mutable only for {!reset} — an arena machine may be re-aimed
+          at a different program between boots *)
   mutable policy : Policy.t;
   mutable pc : int;
   mutable icount : int;
@@ -69,7 +71,21 @@ type t = {
           taint); [blocks_run - clean_blocks] ran the full handlers *)
 }
 
-val create : ?policy:Policy.t -> code:code -> mem:Ptaint_mem.Memory.t -> entry:int -> unit -> t
+val create :
+  ?policy:Policy.t -> ?decoded:Block.t -> code:code -> mem:Ptaint_mem.Memory.t ->
+  entry:int -> unit -> t
+(** [?decoded] seeds the pre-decode cache with an externally built
+    {!Block.t} (an image's shared block table); without it the first
+    {!run} analyzes the text segment lazily. *)
+
+val reset : ?policy:Policy.t -> ?decoded:Block.t -> t -> code:code -> entry:int -> unit
+(** Arena recycling: rewind everything except [mem] (the caller
+    restores that separately, e.g. via
+    {!Ptaint_mem.Memory.reset_from_snapshot}) so the machine — and the
+    register file storage it owns — is reused for a fresh boot,
+    possibly of a different program.  Equivalent to a fresh {!create}
+    with the same arguments over the same [mem]. *)
+
 val step : t -> step
 
 val run : t -> fuel:int -> step

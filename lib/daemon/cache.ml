@@ -15,18 +15,27 @@
    take a mutex, but building — the expensive part — happens outside
    it, so two workers missing on different keys compile in parallel.
    Two workers racing on the *same* key may both build; the second
-   insert is dropped.  Eviction is LRU by key count. *)
+   insert is dropped.
+
+   Eviction is LRU by a monotonic use clock (touch is O(1), no
+   recency list to rebuild) and happens in the same critical section
+   that publishes the incoming entry, *before* the insert: the table
+   never holds more than [capacity] boot templates, and the victim's
+   program and snapshot become unreachable the moment it is chosen —
+   not at some later insert. *)
 
 type entry = {
   program : Ptaint_asm.Program.t;
   template : Ptaint_sim.Sim.template;
 }
 
+type slot = { e : entry; mutable last_use : int }
+
 type t = {
   mu : Mutex.t;
-  table : (string, entry) Hashtbl.t;
-  mutable order : string list;  (* most-recent first *)
+  table : (string, slot) Hashtbl.t;
   capacity : int;
+  mutable clock : int;  (* bumps on every hit or insert *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -36,8 +45,8 @@ let create ?(capacity = 64) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
   { mu = Mutex.create ();
     table = Hashtbl.create (2 * capacity);
-    order = [];
     capacity;
+    clock = 0;
     hits = 0;
     misses = 0;
     evictions = 0 }
@@ -46,33 +55,46 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let touch t key = t.order <- key :: List.filter (fun k -> k <> key) t.order
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
 
 let find t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.table key with
-      | Some e ->
+      | Some s ->
         t.hits <- t.hits + 1;
-        touch t key;
-        Some e
+        s.last_use <- tick t;
+        Some s.e
       | None ->
         t.misses <- t.misses + 1;
         None)
 
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key s acc ->
+        match acc with
+        | Some (_, best) when best <= s.last_use -> acc
+        | _ -> Some (key, s.last_use))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+
 let insert t key entry =
   locked t (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
-        Hashtbl.replace t.table key entry;
-        touch t key;
-        if Hashtbl.length t.table > t.capacity then begin
-          match List.rev t.order with
-          | [] -> ()
-          | oldest :: _ ->
-            Hashtbl.remove t.table oldest;
-            t.order <- List.filter (fun k -> k <> oldest) t.order;
-            t.evictions <- t.evictions + 1
-        end
-      end)
+      match Hashtbl.find_opt t.table key with
+      | Some s ->
+        (* racing build on the same key: the first insert won; treat
+           the loser's arrival as a use of the survivor *)
+        s.last_use <- tick t
+      | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        Hashtbl.replace t.table key { e = entry; last_use = tick t })
 
 (* Build-or-reuse for a job.  Returns the entry plus whether it was a
    hit.  Raises the toolchain's typed errors on malformed sources —
@@ -97,4 +119,5 @@ let counters t =
       [ ("daemon/cache-hit", t.hits);
         ("daemon/cache-miss", t.misses);
         ("daemon/cache-evictions", t.evictions);
-        ("daemon/cache-entries", Hashtbl.length t.table) ])
+        ("daemon/cache-entries", Hashtbl.length t.table);
+        ("daemon/cache-capacity", t.capacity) ])

@@ -9,7 +9,10 @@
     copy-on-write boot snapshot.  A hit boots in O(snapshot restore)
     under the new job's policy/stdin/fuel; a miss builds outside the
     lock so distinct programs compile in parallel.  LRU-evicted at
-    [capacity] entries. *)
+    [capacity] entries; the victim (program and boot template both)
+    is dropped in the same critical section that publishes the
+    incoming entry, so at most [capacity] templates are ever
+    reachable. *)
 
 type entry = {
   program : Ptaint_asm.Program.t;
@@ -32,4 +35,4 @@ val length : t -> int
 
 val counters : t -> (string * int) list
 (** [daemon/cache-hit], [daemon/cache-miss], [daemon/cache-evictions],
-    [daemon/cache-entries]. *)
+    [daemon/cache-entries], [daemon/cache-capacity]. *)

@@ -80,4 +80,13 @@ val resilience :
     accounted for.  Deterministic for a given [seed] (default 42):
     byte-identical output at any [domains]. *)
 
+val generative : ?domains:int -> ?seed:int -> ?cases:int -> ?variants:int -> unit -> string
+(** Generative campaign: a seeded grammar-based sweep
+    ({!Ptaint_gen.Gen}) of [cases] synthesized (program, payload)
+    pairs, each run under every policy, streamed through the
+    arena-recycling campaign engine.  Reports coverage-style fitness:
+    per-policy detections, distinct detection sites, and the policy
+    disagreement rate (cases where the policies reach different
+    verdicts).  Byte-identical at any [domains] for a given [seed]. *)
+
 val all : ?domains:int -> ?trace:Ptaint_obs.Trace.t -> unit -> string

@@ -1,0 +1,59 @@
+(** Seeded grammar-based Mini-C program/attack generator.
+
+    Emits {!Ptaint_campaign.Job.t} streams for generative campaigns.
+    Job [i] is a pure function of [(spec, i)] — no generator state is
+    threaded between jobs — so the stream is identical at every [-j]
+    level and a checkpointed campaign resumes with {!jobs_from} at the
+    manifest cursor without replaying the prefix.
+
+    Programs are exp1-family stack-smash handlers (a [gets] into a
+    stack buffer that is the frame's highest local); variants differ
+    in buffer size and in arithmetic helper functions that move
+    detection pcs around.  Each generated case is a (variant, payload)
+    pair run once per policy, with payloads split between benign
+    lines, saved-frame-pointer clobbers and return-address clobbers. *)
+
+type spec
+
+(** Policy sweep applied to every case, in order: ["none"],
+    ["control-only"], ["full"] (see {!Ptaint_sim.Sim.policy_of_label}). *)
+val default_policy_labels : string list
+
+(** [spec ~seed ~jobs ()] describes a campaign of [jobs] jobs.
+    [variants] (default 8) bounds the distinct-program pool — the
+    image cache hit rate is [1 - variants/jobs] in the steady state.
+    [policies] (default {!default_policy_labels}) are policy labels;
+    unknown labels raise [Invalid_argument]. *)
+val spec : ?variants:int -> ?policies:string list -> seed:int -> jobs:int -> unit -> spec
+
+val jobs_of : spec -> int
+val policies_of : spec -> string list
+
+(** Campaign identity string embedded in checkpoint manifests; equal
+    ids generate equal job streams. *)
+val id : spec -> string
+
+(** [job t i] is job [i] (raises [Invalid_argument] outside
+    [0 .. jobs_of t - 1]).  Case [i / length policies] under policy
+    [i mod length policies]: one case's policy sweep is adjacent in
+    the stream. *)
+val job : spec -> int -> Ptaint_campaign.Job.t
+
+(** Case index of job [i] — jobs with equal case share program and
+    payload and differ only in policy. *)
+val case_of : spec -> int -> int
+
+(** The policy label job [i] runs under (for building wire specs;
+    {!job} itself leaves [Job.policy_label] unset so the campaign
+    engine derives the canonical label, exactly as the daemon does). *)
+val policy_label : spec -> int -> string
+
+(** Generated Mini-C source of variant [v mod variants] (debugging /
+    corpus inspection). *)
+val source : spec -> int -> string
+
+val jobs : spec -> Ptaint_campaign.Job.t Seq.t
+
+(** [jobs_from t cursor] — the suffix of {!jobs} starting at job
+    [cursor]; the resume entry point. *)
+val jobs_from : spec -> int -> Ptaint_campaign.Job.t Seq.t

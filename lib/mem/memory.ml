@@ -222,3 +222,11 @@ let copy_stats st =
 let snapshot t = { s_store = Tagged_store.snapshot t.store; s_stats = copy_stats t.st }
 
 let restore snap = { store = Tagged_store.restore snap.s_store; st = copy_stats snap.s_stats }
+
+let reset_from_snapshot t snap =
+  Tagged_store.reset_from_snapshot t.store snap.s_store;
+  t.st.loads <- snap.s_stats.loads;
+  t.st.stores <- snap.s_stats.stores;
+  t.st.tainted_loads <- snap.s_stats.tainted_loads;
+  t.st.tainted_stores <- snap.s_stats.tainted_stores;
+  t.st.mapped_bytes <- snap.s_stats.mapped_bytes

@@ -122,6 +122,12 @@ type snapshot
 val snapshot : t -> snapshot
 val restore : snapshot -> t
 
+val reset_from_snapshot : t -> snapshot -> unit
+(** In-place {!restore} for arena recycling: rewind [t] (both planes
+    and {!stats}) to the snapshot without building a fresh memory.
+    Observationally equivalent to [restore snap]; the snapshot may
+    come from a different image than the one [t] last ran. *)
+
 (** {1 Statistics} *)
 
 type stats = {

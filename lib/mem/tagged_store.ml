@@ -505,3 +505,31 @@ let restore snap =
     snap.snap_pages;
   t.tainted <- snap.snap_tainted;
   t
+
+(* In-place [restore] for arena recycling: re-point the existing page
+   records at the snapshot's planes (shared again, so the next write
+   re-clones), drop pages the previous run mapped beyond the snapshot
+   (guest sbrk), and invalidate the lookup cache — both index slots
+   and page slots, so no stale record pins a retired plane.  In the
+   steady state (same or similar footprint) this allocates only the
+   page records of genuinely new pages. *)
+let reset_from_snapshot t snap =
+  let n = Array.length snap.snap_pages in
+  for i = 0 to n - 1 do
+    let idx, plane = Array.unsafe_get snap.snap_pages i in
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+      p.plane <- plane;
+      p.shared <- true
+    | None -> Hashtbl.replace t.pages idx { plane; shared = true }
+  done;
+  if Hashtbl.length t.pages <> n then begin
+    let in_snap idx = Array.exists (fun (j, _) -> j = idx) snap.snap_pages in
+    let extras =
+      Hashtbl.fold (fun idx _ acc -> if in_snap idx then acc else idx :: acc) t.pages []
+    in
+    List.iter (Hashtbl.remove t.pages) extras
+  end;
+  Array.fill t.cache_idx 0 cache_slots (-1);
+  Array.fill t.cache_page 0 cache_slots dummy_page;
+  t.tainted <- snap.snap_tainted

@@ -144,3 +144,12 @@ val snapshot : t -> snapshot
 val restore : snapshot -> t
 (** A fresh store with the snapshot's contents, sharing pages
     copy-on-write.  Safe to call concurrently from multiple domains. *)
+
+val reset_from_snapshot : t -> snapshot -> unit
+(** In-place {!restore} for arena recycling: rewind [t] to the
+    snapshot's contents, reusing its page records and lookup cache
+    storage.  Pages the store mapped beyond the snapshot are dropped;
+    surviving records alias the snapshot's planes shared, so the next
+    write clones as usual.  Observationally equivalent to replacing
+    [t] with [restore snap]; the snapshot may belong to a different
+    store/image than the one [t] last ran. *)

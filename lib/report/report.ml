@@ -49,6 +49,14 @@ let kv pairs =
   String.concat ""
     (List.map (fun (k, v) -> Printf.sprintf "%-*s : %s\n" w k v) pairs)
 
+(* One counter per line, name left-padded to a fixed column so the
+   output is awk-friendly (`$1 == "name" { print $2 }`): the format
+   every counter dump in the toolchain shares — `--daemon-stats`,
+   single-run `--metrics`, the generative campaign summaries. *)
+let counters ?(width = 28) rows =
+  String.concat ""
+    (List.map (fun (name, v) -> Printf.sprintf "%-*s %d\n" width name v) rows)
+
 let commas n =
   let s = string_of_int (abs n) in
   let len = String.length s in

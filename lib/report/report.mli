@@ -13,5 +13,11 @@ val section : string -> string
 val kv : (string * string) list -> string
 (** Aligned "key: value" lines. *)
 
+val counters : ?width:int -> (string * int) list -> string
+(** One [name value] counter per line, the name padded to [width]
+    (default 28) columns — the awk-friendly dump format shared by
+    [--daemon-stats], single-run [--metrics] and the campaign
+    summaries. *)
+
 val commas : int -> string
 (** 15139 -> "15,139" — the paper prints large counts this way. *)

@@ -132,9 +132,9 @@ type session = {
 
 type progress = Running | Finished of outcome
 
-let boot_image config (image : Ptaint_asm.Loader.image) =
+let boot_image ?decoded config (image : Ptaint_asm.Loader.image) =
   let machine =
-    Machine.create ~policy:config.policy ~code:image.Ptaint_asm.Loader.code
+    Machine.create ~policy:config.policy ?decoded ~code:image.Ptaint_asm.Loader.code
       ~mem:image.Ptaint_asm.Loader.mem ~entry:image.Ptaint_asm.Loader.entry ()
   in
   Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
@@ -165,46 +165,123 @@ let boot ?(config = default_config) program =
   boot_image config
     (Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program)
 
-(* --- snapshot templates ---
+(* --- boot images (snapshot templates) ---
 
    Loading a guest image writes every data/stack/argument byte through
-   the tagged store; jobs that run the same image only differ in
-   machine and kernel state.  A template loads once, snapshots the
-   memory, and every subsequent boot restores the snapshot
-   copy-on-write — which is safe to do concurrently from many domains
-   because snapshot pages are immutable (writers clone). *)
+   the tagged store, and decoding its text into block tables is the
+   other per-boot cost worth paying once.  An {!Image.t} does both up
+   front: load, snapshot the memory, pre-decode the text.  Every
+   subsequent boot restores the snapshot copy-on-write and reuses the
+   decoded blocks by reference — safe concurrently from many domains
+   because snapshot pages and block tables are immutable after
+   creation (memory writers clone their page first). *)
 
-type template = {
-  t_image : Ptaint_asm.Loader.image;
-  t_snapshot : Ptaint_mem.Memory.snapshot;
-  t_argv : string list;
-  t_env : (string * string) list;
-  t_sources : Sources.t;
-}
+module Image = struct
+  type t = {
+    i_image : Ptaint_asm.Loader.image;
+    i_blocks : Block.t;  (* pre-decoded text, shared by every boot *)
+    i_snapshot : Ptaint_mem.Memory.snapshot;
+    i_argv : string list;
+    i_env : (string * string) list;
+    i_sources : Sources.t;
+  }
+
+  let program t = t.i_image.Ptaint_asm.Loader.program
+  let blocks t = t.i_blocks
+end
+
+type template = Image.t
 
 let prepare ?(config = default_config) program =
   let image =
     Ptaint_asm.Loader.load ~argv:config.argv ~env:config.env ~sources:config.sources program
   in
-  { t_image = image;
-    t_snapshot = Ptaint_mem.Memory.snapshot image.Ptaint_asm.Loader.mem;
-    t_argv = config.argv;
-    t_env = config.env;
-    t_sources = config.sources }
+  let code = image.Ptaint_asm.Loader.code in
+  { Image.i_image = image;
+    i_blocks = Block.analyze ~base:code.Machine.base code.Machine.insns;
+    i_snapshot = Ptaint_mem.Memory.snapshot image.Ptaint_asm.Loader.mem;
+    i_argv = config.argv;
+    i_env = config.env;
+    i_sources = config.sources }
 
-let template_matches (config : config) program tpl =
-  tpl.t_image.Ptaint_asm.Loader.program == program
-  && tpl.t_argv = config.argv && tpl.t_env = config.env && tpl.t_sources = config.sources
+let template_matches (config : config) program (tpl : template) =
+  tpl.Image.i_image.Ptaint_asm.Loader.program == program
+  && tpl.Image.i_argv = config.argv && tpl.Image.i_env = config.env
+  && tpl.Image.i_sources = config.sources
+
+let check_template_config who (config : config) (tpl : template) =
+  if not
+       (config.argv = tpl.Image.i_argv && config.env = tpl.Image.i_env
+        && config.sources = tpl.Image.i_sources)
+  then invalid_arg (who ^ ": argv/env/sources differ from the template image")
 
 let boot_template ?(config = default_config) tpl =
-  if not (config.argv = tpl.t_argv && config.env = tpl.t_env && config.sources = tpl.t_sources)
-  then invalid_arg "Sim.boot_template: argv/env/sources differ from the template image";
-  let mem = Ptaint_mem.Memory.restore tpl.t_snapshot in
-  let s = boot_image config { tpl.t_image with Ptaint_asm.Loader.mem } in
+  check_template_config "Sim.boot_template" config tpl;
+  let mem = Ptaint_mem.Memory.restore tpl.Image.i_snapshot in
+  let s =
+    boot_image ~decoded:tpl.Image.i_blocks config
+      { tpl.Image.i_image with Ptaint_asm.Loader.mem }
+  in
   (match Machine.trace s.s_machine with
    | Some tr -> Ptaint_obs.Trace.emit tr (Ptaint_obs.Event.Restore { cycle = 0 })
    | None -> ());
   s
+
+(* --- arena boots ---
+
+   [boot_template] still allocates a machine, a register file, a
+   memory wrapper and a page table per job.  The arena path recycles
+   all of those: each domain keeps one machine ([Domain.DLS]) whose
+   memory is rewound in place from the image's snapshot and whose
+   machine state is [Machine.reset] at the image's entry — possibly a
+   different image each boot.  In the steady state a boot allocates
+   only the kernel and session records.
+
+   The contract is strictly weaker than [boot_template]: the returned
+   session (and any {!result} taken from it) aliases the domain's
+   arena and is only valid until the next arena boot on that domain.
+   Streaming campaign workers, which extract counters from a result
+   before touching the next job, satisfy this; anything that keeps
+   results must use the fresh-boot path.  Configs that need
+   observation machinery (timing model, on_step, obs trace) fall back
+   to a fresh boot — those sessions are kept and inspected. *)
+
+let arena_key : Machine.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let boot_template_arena ?(config = default_config) tpl =
+  if config.timing || config.obs || config.on_step <> None then boot_template ~config tpl
+  else begin
+    check_template_config "Sim.boot_template_arena" config tpl;
+    let cell = Domain.DLS.get arena_key in
+    match !cell with
+    | None ->
+      (* first boot on this domain seeds the arena with an ordinary
+         fresh boot *)
+      let s = boot_template ~config tpl in
+      cell := Some s.s_machine;
+      s
+    | Some machine ->
+      let image = tpl.Image.i_image in
+      Ptaint_mem.Memory.reset_from_snapshot machine.Machine.mem tpl.Image.i_snapshot;
+      Machine.reset ~policy:config.policy ~decoded:tpl.Image.i_blocks machine
+        ~code:image.Ptaint_asm.Loader.code ~entry:image.Ptaint_asm.Loader.entry;
+      Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
+        (Ptaint_taint.Tword.untainted image.Ptaint_asm.Loader.initial_sp);
+      let fs = Fs.create () in
+      List.iter (fun (path, contents) -> Fs.add fs ~path contents) config.fs_init;
+      let kernel =
+        Kernel.create ~sources:config.sources ~fs ~stdin:config.stdin
+          ~sessions:config.sessions ~uid:config.uid
+          ~heap_base:image.Ptaint_asm.Loader.heap_base
+          ~heap_limit:image.Ptaint_asm.Loader.heap_limit ~mem:machine.Machine.mem ()
+      in
+      { s_machine = machine;
+        s_kernel = kernel;
+        s_image = { image with Ptaint_asm.Loader.mem = machine.Machine.mem };
+        s_config = config;
+        s_pipeline = None }
+  end
 
 let session_step s =
   let machine = s.s_machine in
@@ -398,6 +475,12 @@ let run_asm ?config source = run ?config (Ptaint_asm.Assembler.assemble_exn sour
 
 let run_template ?deadline ?slice ?config tpl =
   let s = boot_template ?config tpl in
+  match (deadline, slice) with
+  | None, None -> finish s
+  | _ -> finish_sliced ?deadline ?slice s
+
+let run_template_arena ?deadline ?slice ?config tpl =
+  let s = boot_template_arena ?config tpl in
   match (deadline, slice) with
   | None, None -> finish s
   | _ -> finish_sliced ?deadline ?slice s

@@ -198,29 +198,45 @@ val run : ?deadline:float -> ?slice:int -> ?config:config -> Ptaint_asm.Program.
 val run_asm : ?config:config -> string -> result
 (** Assemble (failing loudly on errors) and run. *)
 
-(** {1 Snapshot templates}
+(** {1 Boot images (snapshot templates)}
 
     Loading a guest image is the expensive part of booting: the
     loader assembles argv/env/stack and writes every initial byte
-    (data and taint) through the tagged store.  A {!template}
-    performs that load once and captures a copy-on-write
-    {!Ptaint_mem.Memory.snapshot}; each {!boot_template} then
-    restores the snapshot — sharing the unmodified pages — instead of
-    re-loading.  Snapshot pages are immutable (writers clone before
-    mutating), so any number of sessions, on any number of domains,
-    can be booted concurrently from one template.
+    (data and taint) through the tagged store; decoding the text
+    segment into block tables is the other cost every boot used to
+    repay.  An {!Image.t} performs both once — load, copy-on-write
+    {!Ptaint_mem.Memory.snapshot}, {!Ptaint_cpu.Block.analyze} — and
+    each {!boot_template} then restores the snapshot and seeds the
+    machine's pre-decode cache by reference instead of re-doing
+    either.  Snapshot pages and block tables are immutable after
+    creation (memory writers clone before mutating), so one image may
+    be booted concurrently from any number of domains — and parked
+    indefinitely in the daemon's cache.
 
     The memory image depends on [argv], [env] and [sources] (they
-    shape the initial stack and its taint), so a template is only
+    shape the initial stack and its taint), so an image is only
     valid for configs that agree with the one it was prepared under;
     everything else — policy, stdin, sessions, fs, uid, fuel, timing
     — may vary freely between boots. *)
 
-type template
+(** A prepared boot image.  Immutable; share freely by reference. *)
+module Image : sig
+  type t
+
+  val program : t -> Ptaint_asm.Program.t
+  (** The program the image was prepared from. *)
+
+  val blocks : t -> Ptaint_cpu.Block.t
+  (** The pre-decoded block tables every boot of this image shares. *)
+end
+
+type template = Image.t
+(** Historical name for {!Image.t}; the [*_template] entry points
+    below operate on images. *)
 
 val prepare : ?config:config -> Ptaint_asm.Program.t -> template
-(** Load [program] once and snapshot its initial memory.  Only
-    [config.argv]/[env]/[sources] matter here. *)
+(** Load [program] once, snapshot its initial memory and pre-decode
+    its text.  Only [config.argv]/[env]/[sources] matter here. *)
 
 val template_matches : config -> Ptaint_asm.Program.t -> template -> bool
 (** [true] when the template was prepared from this program (physical
@@ -235,6 +251,26 @@ val run_template : ?deadline:float -> ?slice:int -> ?config:config -> template -
 (** [finish (boot_template ?config tpl)] — bit-identical to
     [run ?config program] on the template's program.  [deadline] and
     [slice] route through {!finish_sliced}. *)
+
+val boot_template_arena : ?config:config -> template -> session
+(** {!boot_template} through this domain's recycled arena: the
+    domain keeps one machine (register file, memory wrapper, page
+    table) and each arena boot rewinds it in place from the image's
+    snapshot ({!Ptaint_mem.Memory.reset_from_snapshot} +
+    {!Ptaint_cpu.Machine.reset}) instead of allocating fresh — the
+    image may differ from boot to boot.  Observationally identical to
+    {!boot_template}, with a strictly weaker lifetime: the session
+    (and any {!result} collected from it) aliases the arena and is
+    valid only until the next arena boot on the same domain — extract
+    what you need before booting again.  Configs using the timing
+    model, [on_step] or [obs] fall back to a fresh boot (their
+    sessions are meant to be kept). *)
+
+val run_template_arena :
+  ?deadline:float -> ?slice:int -> ?config:config -> template -> result
+(** [finish (boot_template_arena ?config tpl)] — the streaming
+    campaign's per-job fast path.  The result aliases the domain
+    arena; read it before the next arena boot on this domain. *)
 
 val templates_of :
   (config * Ptaint_asm.Program.t) list -> template list

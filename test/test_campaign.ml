@@ -320,6 +320,140 @@ let test_campaign_rerun_identical () =
     "re-running the campaign (fresh snapshots) is bit-identical"
     (List.map fingerprint first) (List.map fingerprint second)
 
+(* --- streaming aggregation: run_stream vs the batch path --- *)
+
+module Job = Ptaint_campaign.Job
+module Checkpoint = Ptaint_campaign.Checkpoint
+
+let stream_jobs () =
+  let program = Catalog.exp1_stack_smash.Scenario.build () in
+  let atk = (Scenario.attack Catalog.exp1_stack_smash).Scenario.config program in
+  let policies =
+    [ Ptaint_cpu.Policy.unprotected; Ptaint_cpu.Policy.control_only;
+      Ptaint_cpu.Policy.default ]
+  in
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun policy ->
+          Job.make
+            ~tag:(Printf.sprintf "stream-%02d" i)
+            ~config:{ atk with Ptaint_sim.Sim.policy }
+            (Job.Image program))
+        policies)
+    (List.init 4 Fun.id)
+
+let test_stream_matches_batch () =
+  let jobs = stream_jobs () in
+  let _, batch_stats = Campaign.run_jobs ~domains:4 jobs in
+  let reference = Campaign.metrics_table batch_stats in
+  List.iter
+    (fun domains ->
+      let tally, cursor = Campaign.run_stream ~domains (List.to_seq jobs) in
+      Alcotest.(check int)
+        (Printf.sprintf "cursor covers every job at -j%d" domains)
+        (List.length jobs) cursor;
+      Alcotest.(check string)
+        (Printf.sprintf "streamed metrics table = batch table at -j%d" domains)
+        reference
+        (Campaign.metrics_table (Campaign.tally_stats tally)))
+    [ 1; 4 ]
+
+let test_stream_sink_accounts_for_failures () =
+  (* every job — finished, timed out, crashed, malformed — must yield
+     exactly one in-order JSONL line and exactly one tally entry *)
+  let ok i =
+    Job.make ~tag:(Printf.sprintf "ok-%d" i)
+      (Job.Asm_source ".text\nmain: li $v0, 1\n li $a0, 0\n syscall\n")
+  in
+  let spin =
+    Job.with_timeout 0.2
+      (Job.make ~tag:"spin"
+         ~config:Ptaint_sim.Sim.Config.(default |> with_max_instructions 1_000_000_000)
+         (Job.Asm_source ".text\nmain: j main\n"))
+  in
+  let bad_c = Job.make ~tag:"bad-c" (Job.C_source "int main( { return 0; }") in
+  let crash =
+    (* an injection into a non-existent register slot raises inside the
+       worker — the one failure kind classified as Crashed *)
+    Job.with_injections
+      [ { Ptaint_fi.Fi.at = 1; fault = Ptaint_fi.Fi.Reg_taint_loss { slot = 999 } } ]
+      (ok 99)
+  in
+  let jobs = [ ok 0; spin; ok 1; bad_c; crash; ok 2 ] in
+  let lines = ref [] in
+  let tally, cursor =
+    Campaign.run_stream ~domains:3
+      ~on_result:(fun s -> lines := Campaign.jsonl_of_summary s :: !lines)
+      (List.to_seq jobs)
+  in
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one JSONL line per job" (List.length jobs) (List.length lines);
+  Alcotest.(check int) "cursor = job count" (List.length jobs) cursor;
+  Alcotest.(check int) "every job tallied" (List.length jobs) (Campaign.tally_jobs tally);
+  let stats = Campaign.tally_stats tally in
+  Alcotest.(check int) "three failures counted" 3 stats.Campaign.failed;
+  List.iteri
+    (fun i line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d carries its submission index" i)
+        true
+        (contains line (Printf.sprintf "\"i\":%d," i)))
+    lines;
+  List.iter2
+    (fun (j : Job.t) line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line for %s names its job" j.Job.tag)
+        true
+        (contains line (Printf.sprintf "\"tag\":%S" j.Job.tag)))
+    jobs lines
+
+let test_checkpoint_roundtrip () =
+  let tally, cursor = Campaign.run_stream ~domains:2 (List.to_seq (stream_jobs ())) in
+  let m =
+    { Checkpoint.id = "campaign-test v1"; total = 42; cursor;
+      dump = Campaign.dump_tally tally }
+  in
+  let path = Filename.temp_file "ptaint-ckpt" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Checkpoint.save ~path m;
+  match Checkpoint.load ~path with
+  | Error e -> Alcotest.fail ("manifest failed to load: " ^ e)
+  | Ok m' ->
+    Alcotest.(check bool) "manifest round-trips exactly" true (m' = m);
+    Alcotest.(check string) "reloaded tally renders byte-identically"
+      (Campaign.metrics_table (Campaign.tally_stats tally))
+      (Campaign.metrics_table
+         (Campaign.tally_stats (Campaign.load_tally m'.Checkpoint.dump)))
+
+let test_truncate_jsonl () =
+  let path = Filename.temp_file "ptaint-sink" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let oc = open_out path in
+  for i = 0 to 9 do Printf.fprintf oc "{\"i\":%d}\n" i done;
+  close_out oc;
+  (match Checkpoint.truncate_jsonl ~path ~lines:4 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "sink trimmed to the manifest cursor" 4 !n;
+  (match Checkpoint.truncate_jsonl ~path ~lines:9 with
+   | Ok () -> Alcotest.fail "a sink shorter than the cursor must be refused"
+   | Error _ -> ());
+  (match Checkpoint.truncate_jsonl ~path ~lines:0 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "lines=0 removes the sink" false (Sys.file_exists path)
+
 (* --- Sim conveniences --- *)
 
 let test_run_many () =
@@ -376,6 +510,14 @@ let () =
           Alcotest.test_case "loader errors classified" `Quick
             test_loader_error_classified;
           Alcotest.test_case "watchdog timeout in batch" `Quick test_watchdog_in_batch ] );
+      ( "streaming",
+        [ Alcotest.test_case "stream = batch metrics table" `Quick
+            test_stream_matches_batch;
+          Alcotest.test_case "sink accounts for every job" `Quick
+            test_stream_sink_accounts_for_failures;
+          Alcotest.test_case "checkpoint manifest round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "sink truncation on resume" `Quick test_truncate_jsonl ] );
       ( "snapshots",
         [ Alcotest.test_case "template restore = reload" `Quick
             test_template_restore_determinism;
