@@ -341,10 +341,50 @@ let micro_fresh_boot_bench =
            ignore (Ptaint_sim.Sim.run program)
          done))
 
+(* telemetry overhead: the structured log with every call site below
+   the configured level (the compiled-in-but-disabled production
+   default — one level comparison per call, gated <1% of
+   micro/block-dispatch-10k in CI), and a full Prometheus render of a
+   registry shaped like the daemon's (the per-scrape cost). *)
+let micro_log_off_bench =
+  let null = Ptaint_obs.Log.fn_sink (fun _ -> ()) in
+  let log = Ptaint_obs.Log.create ~level:Ptaint_obs.Log.Warn null in
+  Test.make ~name:"micro/log-off-10k"
+    (Staged.stage (fun () ->
+         let m = alu_machine () in
+         (* the bulk engine sliced the way the campaign runtime drives
+            it, with a below-level log call at every slice boundary —
+            where production telemetry actually sits.  CI gates this
+            row at <1% over micro/block-dispatch-10k: disabled
+            telemetry must stay compiled into the hot loop for free. *)
+         for slice = 1 to 10 do
+           Ptaint_obs.Log.debug log ~src:"bench" "slice"
+             [ Ptaint_obs.Log.int "slice" slice ];
+           ignore (Ptaint_cpu.Machine.run m ~fuel:1_000)
+         done))
+
+let micro_metrics_scrape_bench =
+  let m = Ptaint_obs.Metrics.create () in
+  List.iter
+    (fun outcome ->
+      Ptaint_obs.Metrics.inc ~by:100
+        (Ptaint_obs.Metrics.counter m ~labels:[ ("outcome", outcome) ] "ptaintd_jobs_total"))
+    [ "exited"; "alert"; "fault"; "timeout" ];
+  Ptaint_obs.Metrics.set (Ptaint_obs.Metrics.gauge m "ptaintd_queue_depth") 12.0;
+  let lat = Ptaint_obs.Metrics.histogram m "ptaintd_job_duration_us" in
+  let lag = Ptaint_obs.Metrics.histogram m "ptaintd_loop_lag_us" in
+  for i = 1 to 1000 do
+    Ptaint_obs.Metrics.observe lat (float_of_int (i * 37));
+    Ptaint_obs.Metrics.observe lag (float_of_int (i land 255))
+  done;
+  Test.make ~name:"micro/metrics-scrape"
+    (Staged.stage (fun () -> ignore (Ptaint_obs.Metrics.prometheus m)))
+
 let micro_benches =
   [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
     micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench;
-    micro_sliced_run_bench; micro_arena_reuse_bench; micro_fresh_boot_bench ]
+    micro_sliced_run_bench; micro_arena_reuse_bench; micro_fresh_boot_bench;
+    micro_log_off_bench; micro_metrics_scrape_bench ]
 
 (* --- driver ----------------------------------------------------------------- *)
 

@@ -17,6 +17,7 @@ module Gen = Ptaint_gen.Gen
 module Fi = Ptaint_fi.Fi
 module Proto = Ptaint_daemon.Proto
 module Client = Ptaint_daemon.Client
+module Log = Ptaint_obs.Log
 
 let read_file path =
   let ic = open_in_bin path in
@@ -136,6 +137,62 @@ let run_one path config disasm trace_file metrics plan job_timeout =
    | None -> ());
   exit_code_of r
 
+(* Client-seeded correlation id: one 63-bit trace id per invocation,
+   one span id per submitted job.  Wall-clock xor pid seeding is fine
+   here — the id only needs to be distinct across invocations, never
+   reproducible. *)
+let fresh_trace_id () =
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  Fi.Rng.next (Fi.Rng.create (us lxor (Unix.getpid () * 0x1e3779b97f4a7c15)))
+
+let trace_log_fields = function
+  | None -> []
+  | Some (tid, span) -> [ Log.str "trace" (Log.hex_id tid); Log.int "span" span ]
+
+(* --watch: a refreshing one-line health summary on stderr.  Counts
+   are absolute (a resumed campaign starts at its cursor), elapsed
+   includes prior runs' checkpointed wall time, and the ETA is the
+   remaining jobs over the cumulative rate. *)
+type watch = {
+  w_total : int;
+  mutable w_done : int;
+  mutable w_alerts : int;
+  mutable w_failed : int;
+  w_prior : float;  (* seconds from earlier runs of this campaign *)
+  w_t0 : float;
+  mutable w_last : float;
+}
+
+let watch_create ?(prior_us = 0) ~total () =
+  { w_total = total; w_done = 0; w_alerts = 0; w_failed = 0;
+    w_prior = float_of_int prior_us /. 1e6;
+    w_t0 = Unix.gettimeofday (); w_last = 0. }
+
+let fmt_duration s =
+  if s >= 3600. then Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+  else if s >= 60. then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%.0fs" s
+
+let watch_paint ?(force = false) w =
+  let now = Unix.gettimeofday () in
+  if force || now -. w.w_last >= 0.5 then begin
+    w.w_last <- now;
+    let elapsed = now -. w.w_t0 +. w.w_prior in
+    let rate = if elapsed > 0. then float_of_int w.w_done /. elapsed else 0. in
+    let eta =
+      if rate > 0. && w.w_done < w.w_total then
+        " eta " ^ fmt_duration (float_of_int (w.w_total - w.w_done) /. rate)
+      else ""
+    in
+    Printf.eprintf "\r%3d%% %d/%d jobs  %.0f jobs/s  alerts %d  failed %d  elapsed %s%s \x1b[K%!"
+      (if w.w_total > 0 then 100 * w.w_done / w.w_total else 100)
+      w.w_done w.w_total rate w.w_alerts w.w_failed (fmt_duration elapsed) eta
+  end
+
+let watch_close w =
+  watch_paint ~force:true w;
+  prerr_newline ()
+
 (* A file path becomes the symbolic payload of a unified Job.t: the
    campaign engine (or the daemon) owns the build, so a malformed
    source is a classified per-job failure, never a CLI crash. *)
@@ -150,10 +207,10 @@ let job_of path config timeout =
 
 (* Batch mode: each program becomes one campaign job on the domain
    pool; one summary line per program, in command-line order. *)
-let run_batch paths config domains trace_file metrics timings job_timeout =
+let run_batch paths config domains trace_file metrics timings job_timeout log =
   let jobs = List.map (fun path -> job_of path config None) paths in
   let trace = Option.map (fun _ -> Ptaint_obs.Trace.create ()) trace_file in
-  let results, stats = Campaign.run_jobs ?domains ?trace ?job_timeout jobs in
+  let results, stats = Campaign.run_jobs ?domains ?trace ?log ?job_timeout jobs in
   let code =
     List.fold_left
       (fun acc (jr : Campaign.job_result) ->
@@ -178,15 +235,73 @@ let run_batch paths config domains trace_file metrics timings job_timeout =
    | _ -> ());
   code
 
+(* Reduce a daemon outcome to the same compact summary the local
+   streaming path produces.  The daemon streams no alert pc, so site
+   coverage is a local-mode refinement; counters — the byte-parity
+   contract with batch mode — carry over exactly. *)
+let summary_of_outcome i tag (o : Client.outcome) =
+  let short outcome =
+    if String.length outcome >= 14 && String.sub outcome 0 14 = "SECURITY ALERT" then "alert"
+    else if String.length outcome >= 6 && String.sub outcome 0 6 = "exited" then "exited"
+    else if String.length outcome >= 5 && String.sub outcome 0 5 = "fault" then "fault"
+    else if String.length outcome >= 10 && String.sub outcome 0 10 = "break trap" then "trap"
+    else "out-of-fuel"
+  in
+  match o with
+  | Client.Done (Proto.Finished f) ->
+    { Campaign.s_index = i;
+      s_name = f.tag;
+      s_label = f.policy_label;
+      s_outcome = short f.outcome;
+      s_counters = f.counters;
+      s_failed = false;
+      s_violation = false;
+      s_detected = short f.outcome = "alert";
+      s_alert_pc = None;
+      s_instructions = f.instructions;
+      s_syscalls = f.syscalls;
+      s_attempts = 1;
+      s_trace = f.trace }
+  | Client.Done (Proto.Job_failed f) ->
+    { Campaign.s_index = i;
+      s_name = f.tag;
+      s_label = f.policy_label;
+      s_outcome = f.kind;
+      s_counters = f.counters;
+      s_failed = true;
+      s_violation = false;
+      s_detected = false;
+      s_alert_pc = None;
+      s_instructions = 0;
+      s_syscalls = 0;
+      s_attempts = 1;
+      s_trace = f.trace }
+  | Client.Done (Proto.Started _) | Client.Refused _ ->
+    { Campaign.s_index = i;
+      s_name = tag;
+      s_label = "unlabelled";
+      s_outcome = "rejected";
+      s_counters = [ ("jobs", 1); ("rejected", 1) ];
+      s_failed = true;
+      s_violation = false;
+      s_detected = false;
+      s_alert_pc = None;
+      s_instructions = 0;
+      s_syscalls = 0;
+      s_attempts = 1;
+      s_trace = None }
+
 (* --connect mode: the same jobs go to a ptaintd instance instead of
    an in-process pool.  Output parity with run_batch is deliberate:
    per-job lines are printed in submission order from the streamed
    terminal events, and --metrics rebuilds the per-policy registries
    by merging each job's streamed counter deltas — byte-identical to
    the batch runner's counters-only table. *)
-let run_connect sock paths policy_name stdin_data sessions args metrics job_timeout =
+let run_connect sock paths policy_name stdin_data sessions args metrics job_timeout
+    trace_file results_path log watch =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let spec_of path =
+  let trace_id = fresh_trace_id () in
+  let spec_of i path =
     let payload =
       let source = read_file path in
       if Filename.check_suffix path ".s" then Proto.Wire_asm source else Proto.Wire_c source
@@ -195,12 +310,89 @@ let run_connect sock paths policy_name stdin_data sessions args metrics job_time
       ~argv:(Filename.basename path :: args)
       ~stdin:stdin_data
       ~sessions:(List.map (fun s -> [ s ]) sessions)
-      ?timeout:job_timeout payload
+      ?timeout:job_timeout
+      ~trace:(trace_id, i + 1) payload
   in
-  let specs = List.map spec_of paths in
+  let specs = List.mapi spec_of paths in
+  (match log with
+   | Some l ->
+     Log.info l ~src:"ptaint-run" "batch submitted"
+       [ Log.str "socket" sock; Log.int "jobs" (List.length specs);
+         Log.str "trace" (Log.hex_id trace_id) ]
+   | None -> ());
   let c = Client.connect ~client:"ptaint-run" sock in
-  let outcomes = Client.run_batch c specs in
+  (* Client-side spans for the cross-process timeline: Started..terminal
+     wall time per job id, pid 1 (the daemon writes pid 2), absolute
+     epoch-microsecond timestamps so the two traces merge unaligned. *)
+  let started : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let spans = ref [] in
+  let w = if watch then Some (watch_create ~total:(List.length specs) ()) else None in
+  let observe ev =
+    let now = Unix.gettimeofday () in
+    (match ev with
+     | Proto.Started { id } -> Hashtbl.replace started id now
+     | Proto.Finished { id; tag; outcome; trace; _ } ->
+       let t0 = Option.value ~default:now (Hashtbl.find_opt started id) in
+       spans := (tag, "finished:" ^ outcome, trace, t0, now) :: !spans;
+       (match log with
+        | Some l ->
+          Log.info l ~src:"ptaint-run" "job finished"
+            (Log.str "tag" tag :: Log.str "outcome" outcome
+             :: Log.float "ms" ((now -. t0) *. 1e3) :: trace_log_fields trace)
+        | None -> ());
+       (match w with
+        | Some w ->
+          w.w_done <- w.w_done + 1;
+          if String.length outcome >= 14 && String.sub outcome 0 14 = "SECURITY ALERT" then
+            w.w_alerts <- w.w_alerts + 1;
+          watch_paint w
+        | None -> ())
+     | Proto.Job_failed { id; tag; kind; message; trace; _ } ->
+       let t0 = Option.value ~default:now (Hashtbl.find_opt started id) in
+       spans := (tag, "failed:" ^ kind, trace, t0, now) :: !spans;
+       (match log with
+        | Some l ->
+          Log.warn l ~src:"ptaint-run" "job failed"
+            (Log.str "tag" tag :: Log.str "kind" kind :: Log.str "message" message
+             :: trace_log_fields trace)
+        | None -> ());
+       (match w with
+        | Some w ->
+          w.w_done <- w.w_done + 1;
+          w.w_failed <- w.w_failed + 1;
+          watch_paint w
+        | None -> ()))
+  in
+  let outcomes = Client.run_batch ~on_event:observe c specs in
   Client.close c;
+  (match w with Some w -> watch_close w | None -> ());
+  (match trace_file with
+   | Some file ->
+     let ch = Ptaint_obs.Chrome.create () in
+     List.iter
+       (fun (tag, outcome, trace, t0, t1) ->
+         let targs =
+           ("outcome", outcome)
+           :: (match trace with
+               | None -> []
+               | Some (tid, span) ->
+                 [ ("trace", Log.hex_id tid); ("span", string_of_int span) ])
+         in
+         Ptaint_obs.Chrome.complete ch ~name:tag ~cat:"client" ~pid:1 ~tid:0
+           ~ts_us:(t0 *. 1e6) ~dur_us:((t1 -. t0) *. 1e6) ~args:targs ())
+       (List.rev !spans);
+     write_chrome ch file
+   | None -> ());
+  (match results_path with
+   | Some rp ->
+     let oc = open_out_bin rp in
+     List.iteri
+       (fun i (path, o) ->
+         output_string oc (Campaign.jsonl_of_summary (summary_of_outcome i path o));
+         output_char oc '\n')
+       (List.combine paths outcomes);
+     close_out oc
+   | None -> ());
   let module M = Ptaint_obs.Metrics in
   let regs = ref [] in
   let registry label =
@@ -238,12 +430,14 @@ let run_connect sock paths policy_name stdin_data sessions args metrics job_time
   if metrics then print_string (Campaign.metrics_table_of !regs);
   code
 
-let print_daemon_stats sock =
+let print_daemon_stats sock metrics =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let c = Client.connect ~client:"ptaint-run" sock in
   let counters = Client.stats c in
+  let full = if metrics then Some (Client.stats_full c) else None in
   Client.close c;
   print_string (Ptaint_report.Report.counters counters);
+  (match full with Some text -> print_string text | None -> ());
   0
 
 (* --- generative campaigns: --generate N [--checkpoint M] ------------- *)
@@ -269,14 +463,18 @@ let checkpoint_resume ~campaign_id ~total checkpoint results_path =
         match results_path with
         | Some rp -> (
           match Checkpoint.truncate_jsonl ~path:rp ~lines:m.Checkpoint.cursor with
-          | Ok () -> Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump)
+          | Ok () ->
+            Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump,
+                m.Checkpoint.elapsed_us)
           | Error e -> Error e)
-        | None -> Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump)))
+        | None ->
+          Ok (m.Checkpoint.cursor, Campaign.load_tally m.Checkpoint.dump,
+              m.Checkpoint.elapsed_us)))
   | _ ->
     (match results_path with
      | Some rp -> ignore (Checkpoint.truncate_jsonl ~path:rp ~lines:0)
      | None -> ());
-    Ok (0, Campaign.tally ())
+    Ok (0, Campaign.tally (), 0)
 
 let print_gen_summary ~metrics ~total ~cursor ~wall tally =
   let stats = Campaign.tally_stats ~wall_seconds:wall tally in
@@ -289,14 +487,15 @@ let print_gen_summary ~metrics ~total ~cursor ~wall tally =
 (* Local streaming path: jobs pulled lazily from the generator, run on
    the arena-recycling pool, folded into the incremental tally;
    memory stays O(window) at any job count. *)
-let run_generate_local spec domains metrics checkpoint every results_path job_timeout =
+let run_generate_local spec domains metrics checkpoint every results_path job_timeout
+    log watch =
   let total = Gen.jobs_of spec in
   let campaign_id = Gen.id spec in
   match checkpoint_resume ~campaign_id ~total checkpoint results_path with
   | Error e ->
     prerr_endline e;
     2
-  | Ok (start, tally) ->
+  | Ok (start, tally, prior_us) ->
     if start > 0 then Printf.eprintf "resuming at job %d/%d\n%!" start total;
     if start >= total then begin
       (* completed campaign: the manifest holds every counter, so the
@@ -310,6 +509,13 @@ let run_generate_local spec domains metrics checkpoint every results_path job_ti
           (fun rp -> open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 rp)
           results_path
       in
+      let t0 = Unix.gettimeofday () in
+      let elapsed_now () =
+        prior_us + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+      in
+      let w =
+        if watch then Some (watch_create ~prior_us ~total ()) else None
+      in
       let last_ckpt = ref start in
       let save_ckpt cursor tally =
         match checkpoint with
@@ -320,12 +526,18 @@ let run_generate_local spec domains metrics checkpoint every results_path job_ti
           (match sink with Some oc -> flush oc | None -> ());
           Checkpoint.save ~path
             { Checkpoint.id = campaign_id; total; cursor;
+              elapsed_us = elapsed_now ();
               dump = Campaign.dump_tally tally };
-          last_ckpt := cursor
+          last_ckpt := cursor;
+          (match log with
+           | Some l ->
+             Log.info l ~src:"campaign" "checkpoint written"
+               [ Log.str "path" path; Log.int "cursor" cursor;
+                 Log.int "elapsed_us" (elapsed_now ()) ]
+           | None -> ())
       in
-      let t0 = Unix.gettimeofday () in
       let tally, cursor =
-        Campaign.run_stream ?domains ?job_timeout ~start ~tally
+        Campaign.run_stream ?domains ?log ?job_timeout ~start ~tally
           ?on_result:
             (Option.map
                (fun oc (s : Campaign.job_summary) ->
@@ -333,11 +545,30 @@ let run_generate_local spec domains metrics checkpoint every results_path job_ti
                  output_char oc '\n')
                sink)
           ~on_progress:(fun ~cursor t ->
+            (match w with
+             | Some w when Unix.gettimeofday () -. w.w_last >= 0.5 ->
+               w.w_done <- cursor;
+               let stats = Campaign.tally_stats t in
+               w.w_failed <- stats.Campaign.failed;
+               w.w_alerts <-
+                 List.fold_left (fun acc (_, n) -> acc + n) 0
+                   stats.Campaign.detections;
+               watch_paint w
+             | _ -> ());
             if cursor - !last_ckpt >= every then save_ckpt cursor t)
           (Gen.jobs_from spec start)
       in
       let wall = Unix.gettimeofday () -. t0 in
       save_ckpt cursor tally;
+      (match w with
+       | Some w ->
+         w.w_done <- cursor;
+         let stats = Campaign.tally_stats tally in
+         w.w_failed <- stats.Campaign.failed;
+         w.w_alerts <-
+           List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Campaign.detections;
+         watch_close w
+       | None -> ());
       (match sink with Some oc -> close_out oc | None -> ());
       print_gen_summary ~metrics ~total ~cursor ~wall tally;
       if cursor = total then 0 else 4
@@ -357,65 +588,13 @@ let wire_spec_of gspec i =
     ~argv:cfg.Ptaint_sim.Sim.argv ~env:cfg.Ptaint_sim.Sim.env
     ~stdin:cfg.Ptaint_sim.Sim.stdin ?timeout:j.Job.timeout payload
 
-(* Reduce a daemon outcome to the same compact summary the local
-   streaming path produces.  The daemon streams no alert pc, so site
-   coverage is a local-mode refinement; counters — the byte-parity
-   contract with batch mode — carry over exactly. *)
-let summary_of_outcome i tag (o : Client.outcome) =
-  let short outcome =
-    if String.length outcome >= 14 && String.sub outcome 0 14 = "SECURITY ALERT" then "alert"
-    else if String.length outcome >= 6 && String.sub outcome 0 6 = "exited" then "exited"
-    else if String.length outcome >= 5 && String.sub outcome 0 5 = "fault" then "fault"
-    else if String.length outcome >= 10 && String.sub outcome 0 10 = "break trap" then "trap"
-    else "out-of-fuel"
-  in
-  match o with
-  | Client.Done (Proto.Finished f) ->
-    { Campaign.s_index = i;
-      s_name = f.tag;
-      s_label = f.policy_label;
-      s_outcome = short f.outcome;
-      s_counters = f.counters;
-      s_failed = false;
-      s_violation = false;
-      s_detected = short f.outcome = "alert";
-      s_alert_pc = None;
-      s_instructions = f.instructions;
-      s_syscalls = f.syscalls;
-      s_attempts = 1 }
-  | Client.Done (Proto.Job_failed f) ->
-    { Campaign.s_index = i;
-      s_name = f.tag;
-      s_label = f.policy_label;
-      s_outcome = f.kind;
-      s_counters = f.counters;
-      s_failed = true;
-      s_violation = false;
-      s_detected = false;
-      s_alert_pc = None;
-      s_instructions = 0;
-      s_syscalls = 0;
-      s_attempts = 1 }
-  | Client.Done (Proto.Started _) | Client.Refused _ ->
-    { Campaign.s_index = i;
-      s_name = tag;
-      s_label = "unlabelled";
-      s_outcome = "rejected";
-      s_counters = [ ("jobs", 1); ("rejected", 1) ];
-      s_failed = true;
-      s_violation = false;
-      s_detected = false;
-      s_alert_pc = None;
-      s_instructions = 0;
-      s_syscalls = 0;
-      s_attempts = 1 }
-
 (* Daemon path: the generated stream goes to ptaintd in windows, with
    the same client-side manifest as the local path — kill this client
    at any point and rerunning the command resumes from the last
    window boundary; the daemon's image cache plays the role of the
    local template cache. *)
-let run_generate_connect sock spec metrics checkpoint every results_path job_timeout =
+let run_generate_connect sock spec metrics checkpoint every results_path job_timeout
+    log watch =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let total = Gen.jobs_of spec in
   let campaign_id = Gen.id spec in
@@ -423,7 +602,7 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
   | Error e ->
     prerr_endline e;
     2
-  | Ok (start, tally) ->
+  | Ok (start, tally, prior_us) ->
     if start > 0 then Printf.eprintf "resuming at job %d/%d\n%!" start total;
     if start >= total then begin
       print_gen_summary ~metrics ~total ~cursor:start ~wall:0. tally;
@@ -474,6 +653,11 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
       in
       let cursor = ref start in
       let last_ckpt = ref start in
+      let t0 = Unix.gettimeofday () in
+      let elapsed_now () =
+        prior_us + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+      in
+      let w = if watch then Some (watch_create ~prior_us ~total ()) else None in
       let save_ckpt () =
         match checkpoint with
         | None -> ()
@@ -481,10 +665,16 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
           (match sink with Some oc -> flush oc | None -> ());
           Checkpoint.save ~path
             { Checkpoint.id = campaign_id; total; cursor = !cursor;
+              elapsed_us = elapsed_now ();
               dump = Campaign.dump_tally tally };
-          last_ckpt := !cursor
+          last_ckpt := !cursor;
+          (match log with
+           | Some l ->
+             Log.info l ~src:"campaign" "checkpoint written"
+               [ Log.str "path" path; Log.int "cursor" !cursor;
+                 Log.int "elapsed_us" (elapsed_now ()) ]
+           | None -> ())
       in
-      let t0 = Unix.gettimeofday () in
       while !cursor < total do
         let n = min window (total - !cursor) in
         let specs = List.init n (fun k -> wire_spec_of spec (!cursor + k)) in
@@ -494,6 +684,19 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
             let i = !cursor + k in
             let s = summary_of_outcome i (List.nth specs k).Proto.spec_tag o in
             Campaign.tally_add tally s;
+            (match log with
+             | Some l when s.Campaign.s_failed ->
+               Log.warn l ~src:"campaign" "job failed"
+                 (Log.int "index" s.Campaign.s_index
+                  :: Log.str "tag" s.Campaign.s_name
+                  :: Log.str "kind" s.Campaign.s_outcome
+                  :: trace_log_fields s.Campaign.s_trace)
+             | _ -> ());
+            (match w with
+             | Some w ->
+               if s.Campaign.s_failed then w.w_failed <- w.w_failed + 1;
+               if s.Campaign.s_detected then w.w_alerts <- w.w_alerts + 1
+             | None -> ());
             match sink with
             | Some oc ->
               output_string oc (Campaign.jsonl_of_summary s);
@@ -501,9 +704,15 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
             | None -> ())
           outcomes;
         cursor := !cursor + n;
+        (match w with
+         | Some w ->
+           w.w_done <- !cursor;
+           watch_paint w
+         | None -> ());
         if !cursor - !last_ckpt >= every || !cursor = total then save_ckpt ()
       done;
       Client.close c;
+      (match w with Some w -> watch_close w | None -> ());
       (match sink with Some oc -> close_out oc | None -> ());
       print_gen_summary ~metrics ~total ~cursor:!cursor
         ~wall:(Unix.gettimeofday () -. t0)
@@ -522,12 +731,32 @@ let parse_injections specs =
 
 let run paths policy_name stdin_data sessions args disasm timing trace_file trace_insns
     trace_limit metrics timings domains inject_specs job_timeout connect daemon_stats
-    generate seed variants checkpoint checkpoint_every results_path =
+    generate seed variants checkpoint checkpoint_every results_path log_file log_level
+    log_format watch =
   match (Ptaint_sim.Sim.policy_of_label policy_name, parse_injections inject_specs) with
   | Error e, _ | _, Error e ->
     prerr_endline e;
     2
   | Ok policy, Ok plan -> (
+    let level =
+      match Log.level_of_string log_level with
+      | Ok l -> l
+      | Error m -> prerr_endline m; exit 2
+    in
+    let format =
+      match Log.format_of_string log_format with
+      | Ok f -> f
+      | Error m -> prerr_endline m; exit 2
+    in
+    let logger =
+      match log_file with
+      | None -> None
+      | Some path ->
+        Some (Log.create ~level ~format (Log.file_sink ~max_bytes:(64 * 1024 * 1024) path))
+    in
+    Fun.protect
+      ~finally:(fun () -> match logger with Some l -> Log.close l | None -> ())
+    @@ fun () ->
     try
       match (daemon_stats, connect, paths) with
       | _ when generate <> None && paths <> [] ->
@@ -543,14 +772,14 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
           match connect with
           | Some sock ->
             run_generate_connect sock spec metrics checkpoint checkpoint_every
-              results_path job_timeout
+              results_path job_timeout logger watch
           | None ->
             run_generate_local spec domains metrics checkpoint checkpoint_every
-              results_path job_timeout))
+              results_path job_timeout logger watch))
       | true, None, _ ->
         prerr_endline "--daemon-stats needs --connect SOCKET";
         2
-      | true, Some sock, _ -> print_daemon_stats sock
+      | true, Some sock, _ -> print_daemon_stats sock metrics
       | false, Some _, [] ->
         prerr_endline "no guest program given";
         2
@@ -559,6 +788,7 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
         if plan <> [] then prerr_endline "note: --inject is ignored in --connect mode";
         if timing then prerr_endline "note: --timing is ignored in --connect mode";
         run_connect sock paths policy_name stdin_data sessions args metrics job_timeout
+          trace_file results_path logger watch
       | false, None, [] ->
         prerr_endline "no guest program given";
         2
@@ -581,7 +811,7 @@ let run paths policy_name stdin_data sessions args disasm timing trace_file trac
             |> with_sessions (List.map (fun s -> [ s ]) sessions)
             |> with_timing timing)
         in
-        run_batch paths config domains trace_file metrics timings job_timeout
+        run_batch paths config domains trace_file metrics timings job_timeout logger
     with
     | Guest_error e ->
       prerr_endline e;
@@ -714,7 +944,28 @@ let checkpoint_every_arg =
 let results_arg =
   Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE"
          ~doc:"Append one JSON line per completed job to $(docv) (streaming sink; kept \
-               consistent with --checkpoint across kill-and-resume).")
+               consistent with --checkpoint across kill-and-resume; also available in \
+               --connect mode, where each line carries the job's trace id).")
+
+let log_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Write a structured client-side log (batch lifecycle, job failures, \
+               checkpoint writes) to $(docv), size-rotated at 64 MiB.")
+
+let log_level_arg =
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+         ~doc:"Minimum level for --log: debug, info, warn or error.")
+
+let log_format_arg =
+  Arg.(value & opt string "logfmt" & info [ "log-format" ] ~docv:"FMT"
+         ~doc:"--log record rendering: $(b,logfmt) (key=value) or $(b,json) (one \
+               object per line).")
+
+let watch_arg =
+  Arg.(value & flag & info [ "watch" ]
+         ~doc:"Refreshing one-line progress summary on stderr: completion percentage, \
+               throughput, alert and failure counts, elapsed time and ETA (cumulative \
+               across --checkpoint resumes).")
 
 let cmd =
   let doc = "run guest programs on the pointer-taintedness architecture" in
@@ -723,6 +974,7 @@ let cmd =
           $ timing_arg $ trace_arg $ trace_insns_arg $ trace_limit_arg $ metrics_arg
           $ timings_arg $ domains_arg $ inject_arg $ job_timeout_arg $ connect_arg
           $ daemon_stats_arg $ generate_arg $ seed_arg $ variants_arg $ checkpoint_arg
-          $ checkpoint_every_arg $ results_arg)
+          $ checkpoint_every_arg $ results_arg $ log_arg $ log_level_arg $ log_format_arg
+          $ watch_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,7 @@ type job = {
   j_policy_label : string;
   j_expect : (Ptaint_sim.Sim.result -> string option) option;
   j_work : work;
+  j_trace : (int * int) option;
 }
 
 let label_of_policy (p : Ptaint_cpu.Policy.t) =
@@ -32,10 +33,12 @@ let job ~name ?policy_label ?expect ~config program =
        | Some l -> l
        | None -> label_of_policy config.Ptaint_sim.Sim.policy);
     j_expect = expect;
-    j_work = Sim_run (config, program) }
+    j_work = Sim_run (config, program);
+    j_trace = None }
 
 let job_thunk ~name ?(policy_label = "unlabelled") ?expect thunk =
-  { j_name = name; j_policy_label = policy_label; j_expect = expect; j_work = Thunk thunk }
+  { j_name = name; j_policy_label = policy_label; j_expect = expect; j_work = Thunk thunk;
+    j_trace = None }
 
 let job_label (spec : Job.t) =
   match spec.Job.policy_label with
@@ -50,7 +53,8 @@ let of_job ?program (spec : Job.t) =
   { j_name = spec.Job.tag;
     j_policy_label = job_label spec;
     j_expect = spec.Job.expect;
-    j_work = Spec (spec, program) }
+    j_work = Spec (spec, program);
+    j_trace = spec.Job.trace }
 
 let job_name j = j.j_name
 
@@ -102,6 +106,7 @@ type job_result = {
   violation : string option;
   attempts : int;
   timing : timing;
+  trace : (int * int) option;
 }
 
 let result_exn r =
@@ -143,7 +148,8 @@ let exec ~job_timeout ~retries ~backoff run_sim j =
       timing =
         { started;
           finished = Unix.gettimeofday ();
-          domain = (Domain.self () :> int) } }
+          domain = (Domain.self () :> int) };
+      trace = j.j_trace }
   in
   let attempt () =
     (* The deadline is absolute wall-clock, re-derived per attempt so a
@@ -296,7 +302,32 @@ let outcome_name r =
     | Ptaint_sim.Sim.Trap _ -> "trap"
     | Ptaint_sim.Sim.Out_of_fuel -> "out-of-fuel")
 
-let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
+(* Structured-log adoption: job failures carry the typed taxonomy as
+   fields, so a log pipeline can aggregate by kind without parsing
+   prose.  Logging happens on the submitting domain only. *)
+let log_failure log r =
+  match r.status with
+  | Finished _ -> ()
+  | Failed f ->
+    let module L = Ptaint_obs.Log in
+    let kind_fields =
+      match f.kind with
+      | Timeout { seconds } -> [ L.float "seconds" seconds ]
+      | Guest_fault { sysnum; pc; _ } -> [ L.int "sysnum" sysnum; L.int "pc" pc ]
+      | Loader_error { where; message } -> [ L.str "where" where; L.str "message" message ]
+      | Crashed -> [ L.str "error" f.exn ]
+    in
+    let trace_fields =
+      match r.trace with
+      | Some (tid, span) -> [ L.str "trace" (L.hex_id tid); L.int "span" span ]
+      | None -> []
+    in
+    L.warn log ~src:"campaign" "job failed"
+      ([ L.str "tag" r.name; L.str "policy" r.policy_label;
+         L.str "kind" (kind_name f.kind); L.int "attempts" r.attempts ]
+       @ kind_fields @ trace_fields)
+
+let run ?domains ?trace ?log ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
   let t0 = Unix.gettimeofday () in
   (* Load each distinct image once up front; workers restore the
      copy-on-write snapshot per run.  Template building never brings a
@@ -333,8 +364,12 @@ let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
                 t0_us = (r.timing.started -. t0) *. 1e6;
                 dur_us = (r.timing.finished -. r.timing.started) *. 1e6;
                 domain = r.timing.domain;
-                outcome = outcome_name r }))
+                outcome = outcome_name r;
+                trace = r.trace }))
        results
+   | None -> ());
+  (match log with
+   | Some l -> List.iter (log_failure l) results
    | None -> ());
   (results, stats_of ~wall_seconds results)
 
@@ -342,7 +377,7 @@ let run ?domains ?trace ?job_timeout ?(retries = 0) ?(backoff = 0.05) jobs =
    the submitting domain (deduplicated by content hash, so a batch
    that submits the same source many times compiles it once), then
    run through the same pool/exec/templates machinery as [run]. *)
-let run_jobs ?domains ?trace ?job_timeout ?retries ?backoff specs =
+let run_jobs ?domains ?trace ?log ?job_timeout ?retries ?backoff specs =
   let built : (string, Ptaint_asm.Program.t) Hashtbl.t = Hashtbl.create 16 in
   let prebuild spec =
     let key = Job.image_key spec in
@@ -358,7 +393,7 @@ let run_jobs ?domains ?trace ?job_timeout ?retries ?backoff specs =
            and [exec] classifies the toolchain failure. *)
         None)
   in
-  run ?domains ?trace ?job_timeout ?retries ?backoff
+  run ?domains ?trace ?log ?job_timeout ?retries ?backoff
     (List.map (fun spec -> of_job ?program:(prebuild spec) spec) specs)
 
 (* One job, no pool — the daemon's per-worker entry point.  [run_sim]
@@ -399,6 +434,7 @@ type job_summary = {
   s_instructions : int;
   s_syscalls : int;
   s_attempts : int;
+  s_trace : (int * int) option;
 }
 
 (* Runs on the worker, before its arena is rebooted: everything the
@@ -429,7 +465,8 @@ let summarize idx (r : job_result) =
     s_alert_pc = alert_pc;
     s_instructions = instructions;
     s_syscalls = syscalls;
-    s_attempts = r.attempts }
+    s_attempts = r.attempts;
+    s_trace = r.trace }
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -451,8 +488,15 @@ let jsonl_of_summary s =
     "{\"i\":%d,\"tag\":\"%s\",\"policy\":\"%s\",\"outcome\":\"%s\",\"attempts\":%d,\"instructions\":%d,\"syscalls\":%d%s}"
     s.s_index (json_escape s.s_name) (json_escape s.s_label) (json_escape s.s_outcome)
     s.s_attempts s.s_instructions s.s_syscalls
-    (match s.s_alert_pc with
-     | Some pc -> Printf.sprintf ",\"alert_pc\":%d" pc
+    ((match s.s_alert_pc with
+      | Some pc -> Printf.sprintf ",\"alert_pc\":%d" pc
+      | None -> "")
+     ^
+     (* traceless campaigns (the generative path) keep their historic
+        byte-exact JSONL shape; the field appears only when a client
+        seeded an id *)
+     match s.s_trace with
+     | Some (tid, span) -> Printf.sprintf ",\"trace\":\"%016x\",\"span\":%d" tid span
      | None -> "")
 
 (* The incremental aggregate: the counter half of {!stats}, plus the
@@ -633,7 +677,21 @@ module Images = struct
         e)
 end
 
-let run_stream ?domains ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?window ?(start = 0)
+(* Streamed failures log from the summary (the full failure record
+   never crosses the worker boundary): kind is the outcome name. *)
+let log_failed_summary log (s : job_summary) =
+  if s.s_failed then begin
+    let module L = Ptaint_obs.Log in
+    L.warn log ~src:"campaign" "job failed"
+      ([ L.int "index" s.s_index; L.str "tag" s.s_name; L.str "policy" s.s_label;
+         L.str "kind" s.s_outcome; L.int "attempts" s.s_attempts ]
+       @
+       match s.s_trace with
+       | Some (tid, span) -> [ L.str "trace" (L.hex_id tid); L.int "span" span ]
+       | None -> [])
+  end
+
+let run_stream ?domains ?log ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?window ?(start = 0)
     ?(tally = tally ()) ?on_result ?on_progress jobs =
   let svc = Pool.service ?domains () in
   let window =
@@ -679,7 +737,8 @@ let run_stream ?domains ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?window ?(
           s_alert_pc = None;
           s_instructions = 0;
           s_syscalls = 0;
-          s_attempts = 1 }
+          s_attempts = 1;
+          s_trace = spec.Job.trace }
     in
     Mutex.lock mu;
     Queue.push summary completions;
@@ -713,6 +772,7 @@ let run_stream ?domains ?job_timeout ?(retries = 0) ?(backoff = 0.05) ?window ?(
       let s = Hashtbl.find pending !cursor in
       Hashtbl.remove pending !cursor;
       tally_add tally s;
+      (match log with Some l -> log_failed_summary l s | None -> ());
       (match on_result with Some f -> f s | None -> ());
       incr cursor;
       progressed := true

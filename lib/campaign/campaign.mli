@@ -135,6 +135,7 @@ type job_result = {
   violation : string option;  (** [expect]'s verdict, when given *)
   attempts : int;  (** 1 + retries consumed (≥ 1) *)
   timing : timing;
+  trace : (int * int) option;  (** the submitted job's correlation id *)
 }
 
 val outcome_name : job_result -> string
@@ -170,6 +171,7 @@ type stats = {
 val run :
   ?domains:int ->
   ?trace:Ptaint_obs.Trace.t ->
+  ?log:Ptaint_obs.Log.t ->
   ?job_timeout:float ->
   ?retries:int ->
   ?backoff:float ->
@@ -193,11 +195,16 @@ val run :
     With [trace], one {!Ptaint_obs.Event.Job} span per job (start
     offset, duration, worker domain, outcome) is emitted — from the
     submitting domain, after the pool drains — ready for the Chrome
-    trace exporter. *)
+    trace exporter.
+
+    With [log], each failed job is logged at [Warn] with its typed
+    taxonomy (kind, attempts, per-kind details) and trace id as
+    structured fields — also from the submitting domain only. *)
 
 val run_jobs :
   ?domains:int ->
   ?trace:Ptaint_obs.Trace.t ->
+  ?log:Ptaint_obs.Log.t ->
   ?job_timeout:float ->
   ?retries:int ->
   ?backoff:float ->
@@ -257,6 +264,7 @@ type job_summary = {
   s_instructions : int;
   s_syscalls : int;
   s_attempts : int;
+  s_trace : (int * int) option;  (** the submitted job's correlation id *)
 }
 (** Everything aggregation and the JSONL sink need from one job,
     extracted on the worker before its arena is rebooted — the full
@@ -264,7 +272,9 @@ type job_summary = {
 
 val jsonl_of_summary : job_summary -> string
 (** One JSON object (no trailing newline) for the on-disk result
-    sink.  Deterministic: no wall-clock fields. *)
+    sink.  Deterministic: no wall-clock fields.  Jobs that carried a
+    trace id append ["trace"] (16-digit hex) and ["span"] fields;
+    traceless jobs keep the historic byte-exact shape. *)
 
 type tally
 (** Incremental campaign aggregate: the deterministic counter half of
@@ -303,6 +313,7 @@ val load_tally : tally_dump -> tally
 
 val run_stream :
   ?domains:int ->
+  ?log:Ptaint_obs.Log.t ->
   ?job_timeout:float ->
   ?retries:int ->
   ?backoff:float ->

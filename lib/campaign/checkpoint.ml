@@ -16,6 +16,7 @@ type manifest = {
   id : string;  (* campaign identity; resume refuses a mismatch *)
   total : int;  (* total jobs the campaign will run *)
   cursor : int;  (* jobs [0, cursor) are folded into [dump] *)
+  elapsed_us : int;  (* cumulative wall time over all prior runs *)
   dump : Campaign.tally_dump;
 }
 
@@ -29,6 +30,7 @@ let render m =
   line "id\t%s" m.id;
   line "total\t%d" m.total;
   line "cursor\t%d" m.cursor;
+  line "elapsed_us\t%d" m.elapsed_us;
   line "jobs\t%d" d.Campaign.d_jobs;
   line "failed\t%d" d.Campaign.d_failed;
   line "violations\t%d" d.Campaign.d_violations;
@@ -67,6 +69,9 @@ let parse text =
       let id = ref None
       and total = ref None
       and cursor = ref None
+      (* elapsed_us is accepted-if-absent: manifests written before
+         the field existed resume with a zero wall-clock baseline *)
+      and elapsed_us = ref 0
       and jobs = ref 0
       and failed = ref 0
       and violations = ref 0
@@ -94,6 +99,10 @@ let parse text =
           | [ "cursor"; v ] ->
             let* n = int_of "cursor" v in
             cursor := Some n;
+            Ok ()
+          | [ "elapsed_us"; v ] ->
+            let* n = int_of "elapsed_us" v in
+            elapsed_us := n;
             Ok ()
           | [ "jobs"; v ] ->
             let* n = int_of "jobs" v in
@@ -147,6 +156,7 @@ let parse text =
             { id;
               total;
               cursor;
+              elapsed_us = !elapsed_us;
               dump =
                 { Campaign.d_jobs = !jobs;
                   d_failed = !failed;

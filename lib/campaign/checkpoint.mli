@@ -16,6 +16,12 @@ type manifest = {
           job stream would corrupt the tally silently. *)
   total : int;  (** Total jobs in the campaign. *)
   cursor : int;  (** Jobs [0, cursor) are already folded into [dump]. *)
+  elapsed_us : int;
+      (** Cumulative wall time (microseconds) spent across every prior
+          run of this campaign — what lets a resumed run report
+          end-to-end throughput and ETA rather than restarting the
+          clock.  Accepted-if-absent on read: manifests written before
+          the field existed load as [0]. *)
   dump : Campaign.tally_dump;
 }
 

@@ -18,17 +18,19 @@ type t = {
   injections : Ptaint_fi.Fi.injection list;
   timeout : float option;
   expect : (Ptaint_sim.Sim.result -> string option) option;
+  trace : (int * int) option;
 }
 
 let make ~tag ?(config = Ptaint_sim.Sim.default_config) ?policy_label
-    ?(injections = []) ?timeout ?expect payload =
-  { tag; payload; config; policy_label; injections; timeout; expect }
+    ?(injections = []) ?timeout ?expect ?trace payload =
+  { tag; payload; config; policy_label; injections; timeout; expect; trace }
 
 let with_config config t = { t with config }
 let with_policy_label label t = { t with policy_label = Some label }
 let with_injections injections t = { t with injections }
 let with_timeout seconds t = { t with timeout = Some seconds }
 let with_expect expect t = { t with expect = Some expect }
+let with_trace trace t = { t with trace = Some trace }
 
 let payload_kind = function
   | Asm_source _ -> "asm"

@@ -31,6 +31,10 @@ type t = {
           campaign-wide default *)
   expect : (Ptaint_sim.Sim.result -> string option) option;
       (** local-only result expectation — not carried on the wire *)
+  trace : (int * int) option;
+      (** correlation id: (client-seeded 63-bit trace id, per-job
+          span id), echoed through results, JSONL sinks, log lines
+          and Chrome spans *)
 }
 
 val make :
@@ -40,6 +44,7 @@ val make :
   ?injections:Ptaint_fi.Fi.injection list ->
   ?timeout:float ->
   ?expect:(Ptaint_sim.Sim.result -> string option) ->
+  ?trace:int * int ->
   payload ->
   t
 
@@ -48,6 +53,7 @@ val with_policy_label : string -> t -> t
 val with_injections : Ptaint_fi.Fi.injection list -> t -> t
 val with_timeout : float -> t -> t
 val with_expect : (Ptaint_sim.Sim.result -> string option) -> t -> t
+val with_trace : int * int -> t -> t
 
 val payload_kind : payload -> string
 (** ["asm"], ["c"], ["image"]. *)

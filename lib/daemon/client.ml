@@ -99,6 +99,12 @@ let stats t =
   | Proto.Stats_ok counters -> counters
   | _ -> fail "expected Stats_ok"
 
+let stats_full t =
+  send t Proto.Stats_full;
+  match read_reply t with
+  | Proto.Stats_full_ok text -> text
+  | _ -> fail "expected Stats_full_ok"
+
 let ping t payload =
   send t (Proto.Ping payload);
   match read_reply t with
@@ -113,7 +119,8 @@ let close t =
 
 type outcome = Done of Proto.event | Refused of string
 
-let run_batch t specs =
+let run_batch ?on_event t specs =
+  let observe e = match on_event with Some f -> f e | None -> () in
   let accepted = Hashtbl.create 16 in
   let order =
     List.map
@@ -128,8 +135,9 @@ let run_batch t specs =
   let outstanding = ref (Hashtbl.length accepted) in
   while !outstanding > 0 do
     match next_event t with
-    | Proto.Started _ -> ()
+    | Proto.Started _ as e -> observe e
     | (Proto.Finished { id; _ } | Proto.Job_failed { id; _ }) as e ->
+      observe e;
       (match Hashtbl.find_opt accepted id with
        | Some None ->
          Hashtbl.replace accepted id (Some e);

@@ -28,6 +28,11 @@ val next_event : t -> Proto.event
 (** The next streamed job event, blocking as needed. *)
 
 val stats : t -> (string * int) list
+
+val stats_full : t -> string
+(** The daemon's full telemetry snapshot in Prometheus text
+    exposition format ([Stats_full] / [Stats_full_ok]). *)
+
 val ping : t -> string -> string
 
 val close : t -> unit
@@ -37,7 +42,10 @@ type outcome =
   | Done of Proto.event  (** terminal: [Finished] or [Job_failed] *)
   | Refused of string  (** rejected at admission; never ran *)
 
-val run_batch : t -> Proto.job_spec list -> outcome list
+val run_batch :
+  ?on_event:(Proto.event -> unit) -> t -> Proto.job_spec list -> outcome list
 (** Submit every spec, pump events until each accepted job reaches a
     terminal event, and return outcomes in submission order — the
-    building block for daemon-vs-batch output parity. *)
+    building block for daemon-vs-batch output parity.  [on_event] sees
+    every streamed event ([Started] and terminal) as it arrives, for
+    client-side tracing and progress display. *)

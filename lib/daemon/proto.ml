@@ -7,7 +7,7 @@
 
      offset 0   'P'                 magic
      offset 1   'D'
-     offset 2   version (= 1)
+     offset 2   version (= 2; v1 frames still decode)
      offset 3   frame tag
      offset 4   payload length, u32 big-endian
      offset 8   payload bytes
@@ -15,9 +15,18 @@
    Every multi-byte integer on the wire is big-endian.  Strings are
    u32-length-prefixed byte strings; lists are u16-count-prefixed.
    Payloads above [max_payload] are rejected before buffering, so a
-   hostile client cannot make the server allocate unboundedly. *)
+   hostile client cannot make the server allocate unboundedly.
 
-let version = 1
+   Version 2 appends an optional trace id — (client-seeded 63-bit
+   trace id, per-job span id) — to Submit specs and to
+   Finished/Job_failed events, as a trailing field that is simply
+   absent when no id was attached.  Decoding is version-tolerant: a
+   v1 frame (or a v2 frame without the trailing field) yields
+   [trace = None], so v1 clients' frames still decode and traceless
+   v2 frames are byte-identical to their v1 rendering. *)
+
+let version = 2
+let min_version = 1
 let header_bytes = 8
 let max_payload = 16 * 1024 * 1024
 
@@ -56,14 +65,15 @@ type job_spec = {
   spec_max_instructions : int option;
   spec_injections : Ptaint_fi.Fi.injection list;
   spec_timeout : float option;
+  spec_trace : (int * int) option;  (** (trace id, span id), v2 frames *)
 }
 
 let job_spec ?policy ?(argv = []) ?(env = []) ?(stdin = "")
-    ?(sessions = []) ?max_instructions ?(injections = []) ?timeout ~tag payload =
+    ?(sessions = []) ?max_instructions ?(injections = []) ?timeout ?trace ~tag payload =
   { spec_tag = tag; spec_payload = payload; spec_policy = policy;
     spec_argv = argv; spec_env = env; spec_stdin = stdin;
     spec_sessions = sessions; spec_max_instructions = max_instructions;
-    spec_injections = injections; spec_timeout = timeout }
+    spec_injections = injections; spec_timeout = timeout; spec_trace = trace }
 
 (* --- frames --------------------------------------------------------- *)
 
@@ -71,6 +81,7 @@ type request =
   | Hello of { client : string }
   | Submit of job_spec
   | Stats
+  | Stats_full  (** full telemetry snapshot, Prometheus text *)
   | Ping of string
   | Quit
 
@@ -87,6 +98,7 @@ type event =
       cache_hit : bool;
       counters : (string * int) list;  (** {!Ptaint_campaign.Campaign.job_counters} *)
       stdout : string;
+      trace : (int * int) option;
     }
   | Job_failed of {
       id : int;
@@ -95,6 +107,7 @@ type event =
       message : string;
       policy_label : string;
       counters : (string * int) list;
+      trace : (int * int) option;
     }
 
 type response =
@@ -103,6 +116,7 @@ type response =
   | Rejected of { tag : string; reason : string }
   | Job_event of event
   | Stats_ok of (string * int) list
+  | Stats_full_ok of string  (** Prometheus text exposition 0.0.4 *)
   | Pong of string
   | Error_frame of string
 
@@ -162,6 +176,12 @@ let w_fault b =
 let w_injection b { Ptaint_fi.Fi.at; fault } =
   w_i64 b at;
   w_fault b fault
+
+(* The trailing v2 trace field: absent means None, so traceless
+   frames stay byte-identical to their v1 rendering. *)
+let w_trace b = function
+  | None -> ()
+  | Some (tid, span) -> w_u8 b 1; w_i64 b tid; w_i64 b span
 
 (* --- primitive readers ----------------------------------------------
 
@@ -248,6 +268,15 @@ let r_injection c =
   let at = r_i64 c "injection icount" in
   { Ptaint_fi.Fi.at; fault = r_fault c }
 
+let r_trace c =
+  if c.pos >= c.stop then None
+  else
+    r_opt c
+      (fun c what ->
+        let tid = r_i64 c what in
+        (tid, r_i64 c "span id"))
+      "trace id" 
+
 (* --- frame tags ------------------------------------------------------ *)
 
 let tag_hello = 0x01
@@ -255,6 +284,7 @@ let tag_submit = 0x02
 let tag_stats = 0x03
 let tag_ping = 0x04
 let tag_quit = 0x05
+let tag_stats_full = 0x06
 
 let tag_hello_ok = 0x81
 let tag_accepted = 0x82
@@ -263,6 +293,7 @@ let tag_job_event = 0x84
 let tag_stats_ok = 0x85
 let tag_pong = 0x86
 let tag_error = 0x87
+let tag_stats_full_ok = 0x88
 
 let ev_started = 1
 let ev_finished = 2
@@ -294,7 +325,8 @@ let w_job_spec b s =
   w_list b (fun b session -> w_list b w_string session) s.spec_sessions;
   w_opt_i64 b s.spec_max_instructions;
   w_list b w_injection s.spec_injections;
-  w_opt_seconds b s.spec_timeout
+  w_opt_seconds b s.spec_timeout;
+  w_trace b s.spec_trace
 
 let r_job_spec c =
   let payload =
@@ -314,9 +346,10 @@ let r_job_spec c =
   let spec_max_instructions = r_opt c r_i64 "max instructions" in
   let spec_injections = r_list c r_injection "injections" in
   let spec_timeout = r_opt_seconds c "timeout" in
+  let spec_trace = r_trace c in
   { spec_tag; spec_payload = payload; spec_policy; spec_argv; spec_env;
     spec_stdin; spec_sessions; spec_max_instructions; spec_injections;
-    spec_timeout }
+    spec_timeout; spec_trace }
 
 let encode_request req =
   let b = Buffer.create 64 in
@@ -324,6 +357,7 @@ let encode_request req =
   | Hello { client } -> w_string b client; frame tag_hello (Buffer.contents b)
   | Submit spec -> w_job_spec b spec; frame tag_submit (Buffer.contents b)
   | Stats -> frame tag_stats ""
+  | Stats_full -> frame tag_stats_full ""
   | Ping payload -> w_string b payload; frame tag_ping (Buffer.contents b)
   | Quit -> frame tag_quit ""
 
@@ -340,7 +374,8 @@ let w_event b = function
     w_string b f.policy_label;
     w_bool b f.cache_hit;
     w_list b w_counter f.counters;
-    w_string b f.stdout
+    w_string b f.stdout;
+    w_trace b f.trace
   | Job_failed f ->
     w_u8 b ev_failed;
     w_i64 b f.id;
@@ -348,7 +383,8 @@ let w_event b = function
     w_string b f.kind;
     w_string b f.message;
     w_string b f.policy_label;
-    w_list b w_counter f.counters
+    w_list b w_counter f.counters;
+    w_trace b f.trace
 
 let r_event c =
   match r_u8 c "event tag" with
@@ -364,8 +400,9 @@ let r_event c =
     let cache_hit = r_bool c "cache hit" in
     let counters = r_list c r_counter "counters" in
     let stdout = r_string c "stdout" in
+    let trace = r_trace c in
     Finished { id; tag; outcome; exit_code; instructions; syscalls;
-               policy_label; cache_hit; counters; stdout }
+               policy_label; cache_hit; counters; stdout; trace }
   | 3 ->
     let id = r_i64 c "job id" in
     let tag = r_string c "job tag" in
@@ -373,7 +410,8 @@ let r_event c =
     let message = r_string c "failure message" in
     let policy_label = r_string c "policy label" in
     let counters = r_list c r_counter "counters" in
-    Job_failed { id; tag; kind; message; policy_label; counters }
+    let trace = r_trace c in
+    Job_failed { id; tag; kind; message; policy_label; counters; trace }
   | t -> raise (Garbled (Printf.sprintf "unknown event tag %d" t))
 
 let encode_response resp =
@@ -392,6 +430,9 @@ let encode_response resp =
   | Stats_ok counters ->
     w_list b w_counter counters;
     frame tag_stats_ok (Buffer.contents b)
+  | Stats_full_ok text ->
+    w_string b text;
+    frame tag_stats_full_ok (Buffer.contents b)
   | Pong payload -> w_string b payload; frame tag_pong (Buffer.contents b)
   | Error_frame msg -> w_string b msg; frame tag_error (Buffer.contents b)
 
@@ -409,7 +450,7 @@ let split_frame ?(max_payload = max_payload) buf =
   else if len < header_bytes then Ok None
   else
     let ver = Char.code buf.[2] in
-    if ver <> version then Error (Bad_version ver)
+    if ver < min_version || ver > version then Error (Bad_version ver)
     else
       let tag = Char.code buf.[3] in
       let n =
@@ -437,6 +478,7 @@ let request_of_frame (tag, payload) =
   else if tag = tag_submit then
     parse_payload (fun c -> Submit (r_job_spec c)) payload
   else if tag = tag_stats then parse_payload (fun _ -> Stats) payload
+  else if tag = tag_stats_full then parse_payload (fun _ -> Stats_full) payload
   else if tag = tag_ping then
     parse_payload (fun c -> Ping (r_string c "ping payload")) payload
   else if tag = tag_quit then parse_payload (fun _ -> Quit) payload
@@ -464,6 +506,8 @@ let response_of_frame (tag, payload) =
   else if tag = tag_job_event then parse_payload (fun c -> Job_event (r_event c)) payload
   else if tag = tag_stats_ok then
     parse_payload (fun c -> Stats_ok (r_list c r_counter "stats")) payload
+  else if tag = tag_stats_full_ok then
+    parse_payload (fun c -> Stats_full_ok (r_string c "stats text")) payload
   else if tag = tag_pong then
     parse_payload (fun c -> Pong (r_string c "pong payload")) payload
   else if tag = tag_error then
@@ -518,7 +562,8 @@ let job_of_spec s =
        byte-for-byte between the two paths. *)
     Ok
       (Ptaint_campaign.Job.make ~tag:s.spec_tag ~config
-         ~injections:s.spec_injections ?timeout:s.spec_timeout payload)
+         ~injections:s.spec_injections ?timeout:s.spec_timeout
+         ?trace:s.spec_trace payload)
 
 let spec_of_job ?policy (j : Ptaint_campaign.Job.t) =
   let payload =
@@ -545,4 +590,5 @@ let spec_of_job ?policy (j : Ptaint_campaign.Job.t) =
         spec_sessions = c.Ptaint_sim.Sim.sessions;
         spec_max_instructions = Some c.Ptaint_sim.Sim.max_instructions;
         spec_injections = j.Ptaint_campaign.Job.injections;
-        spec_timeout = j.Ptaint_campaign.Job.timeout }
+        spec_timeout = j.Ptaint_campaign.Job.timeout;
+        spec_trace = j.Ptaint_campaign.Job.trace }

@@ -4,7 +4,7 @@
 
     {v
     offset 0  'P' 'D'      magic
-    offset 2  version      (= 1)
+    offset 2  version      (= 2; v1 frames still decode)
     offset 3  frame tag
     offset 4  u32 BE       payload length
     offset 8  payload
@@ -18,9 +18,19 @@
     and every corruption maps to a typed {!error} (no exceptions
     escape).  After any error the stream is unsalvageable by design:
     framing is length-prefixed, so the only safe response is an
-    {!Error_frame} and a close. *)
+    {!Error_frame} and a close.
+
+    Version 2 appends an optional trace correlation id — (client-seeded
+    63-bit trace id, per-job span id) — as a {e trailing} field of
+    Submit specs and Finished/Job_failed events.  The field is simply
+    absent when no id was attached, so traceless v2 frames are
+    byte-identical to their v1 rendering, and decoding is
+    version-tolerant: v1 frames yield [trace = None]. *)
 
 val version : int
+
+val min_version : int
+(** Oldest frame version {!split_frame} still accepts (1). *)
 val header_bytes : int
 
 val max_payload : int
@@ -60,6 +70,9 @@ type job_spec = {
   spec_injections : Ptaint_fi.Fi.injection list;
   spec_timeout : float option;
       (** seconds; carried as integer microseconds on the wire *)
+  spec_trace : (int * int) option;
+      (** correlation id: (trace id, span id); trailing v2 field,
+          [None] on v1 frames *)
 }
 
 val job_spec :
@@ -71,6 +84,7 @@ val job_spec :
   ?max_instructions:int ->
   ?injections:Ptaint_fi.Fi.injection list ->
   ?timeout:float ->
+  ?trace:int * int ->
   tag:string ->
   wire_payload ->
   job_spec
@@ -90,6 +104,9 @@ type request =
   | Hello of { client : string }
   | Submit of job_spec
   | Stats
+  | Stats_full
+      (** full telemetry snapshot; answered with {!Stats_full_ok}
+          carrying Prometheus text exposition *)
   | Ping of string  (** payload echoed back in {!Pong} *)
   | Quit  (** polite goodbye; the server drops the connection *)
 
@@ -110,6 +127,7 @@ type event =
               submission order rebuilds the batch runner's metrics
               registries byte-for-byte *)
       stdout : string;
+      trace : (int * int) option;
     }
   | Job_failed of {
       id : int;
@@ -118,6 +136,7 @@ type event =
       message : string;
       policy_label : string;
       counters : (string * int) list;
+      trace : (int * int) option;
     }
 
 type response =
@@ -127,6 +146,9 @@ type response =
       (** admission control: queue full, quota exceeded, bad policy *)
   | Job_event of event
   | Stats_ok of (string * int) list  (** daemon counters, e.g. [daemon/cache-hit] *)
+  | Stats_full_ok of string
+      (** Prometheus text exposition (format 0.0.4) of the daemon's
+          full metrics registry *)
   | Pong of string
   | Error_frame of string  (** protocol-level failure; connection closes *)
 

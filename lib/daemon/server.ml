@@ -29,6 +29,8 @@
 
 module Campaign = Ptaint_campaign.Campaign
 module Job = Ptaint_campaign.Job
+module Log = Ptaint_obs.Log
+module Metrics = Ptaint_obs.Metrics
 
 type config = {
   socket_path : string;
@@ -38,12 +40,17 @@ type config = {
   cache_capacity : int;
   job_timeout : float option;  (** default watchdog; a job's own wins *)
   banner : string;
-  log : (string -> unit) option;
+  log : Ptaint_obs.Log.t option;  (** structured lifecycle log *)
+  metrics_sock : string option;
+      (** scrape endpoint: connect, read Prometheus text, EOF *)
+  trace_path : string option;
+      (** Chrome trace of completed jobs, written at drain (pid 2) *)
 }
 
 let default_config ~socket_path =
   { socket_path; domains = None; max_queue = 256; max_inflight = 32;
-    cache_capacity = 64; job_timeout = None; banner = "ptaintd"; log = None }
+    cache_capacity = 64; job_timeout = None; banner = "ptaintd"; log = None;
+    metrics_sock = None; trace_path = None }
 
 type conn = {
   fd : Unix.file_descr;
@@ -57,10 +64,25 @@ type conn = {
   mutable broken : bool;  (* stop parsing input; stream unsalvageable *)
 }
 
+(* What the loop needs to account for a finished job — metrics,
+   structured log line, Chrome span — without re-parsing the response
+   frame it is about to forward. *)
+type job_info = {
+  ji_id : int;
+  ji_tag : string;
+  ji_outcome : string;  (* outcome class or failure kind; metric label *)
+  ji_cache_hit : bool;
+  ji_trace : (int * int) option;
+  ji_t0 : float;
+  ji_t1 : float;
+  ji_domain : int;  (* worker domain id; Chrome track *)
+}
+
 type completion = {
   c_cid : int;
   c_resp : Proto.response;
   c_terminal : bool;  (* finishes one admitted job *)
+  c_info : job_info option;  (* terminal completions only *)
 }
 
 type t = {
@@ -84,20 +106,49 @@ type t = {
   mutable protocol_errors : int;
   mutable clients_total : int;
   scratch : Bytes.t;  (* loop-owned read buffer *)
+  metrics : Metrics.t;  (* loop-owned; workers never touch it *)
+  metrics_fd : Unix.file_descr option;
+  mutable spans : job_info list;  (* newest first, for the drain-time trace *)
+  mutable spans_count : int;
+  mutable spans_dropped : int;
 }
 
-let logf t fmt =
-  Printf.ksprintf (fun s -> match t.cfg.log with Some f -> f s | None -> ()) fmt
+let log_src = "ptaintd"
+
+let linfo t msg fields =
+  match t.cfg.log with Some l -> Log.info l ~src:log_src msg fields | None -> ()
+
+let lwarn t msg fields =
+  match t.cfg.log with Some l -> Log.warn l ~src:log_src msg fields | None -> ()
+
+let ldebug t msg fields =
+  match t.cfg.log with Some l -> Log.debug l ~src:log_src msg fields | None -> ()
+
+let trace_fields = function
+  | None -> []
+  | Some (tid, span) -> [ Log.str "trace" (Log.hex_id tid); Log.int "span" span ]
+
+(* Metric helpers — get-or-create is a hash lookup, cheap enough to
+   do at the call site and keeps hot counters next to their events. *)
+let mcount t ?labels name = Metrics.inc (Metrics.counter t.metrics ?labels name)
+let mobserve t name v = Metrics.observe (Metrics.histogram t.metrics name) v
+
+let bind_unix_listener path ~backlog =
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> invalid_arg ("ptaintd: refusing to replace non-socket " ^ path)
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd backlog;
+  fd
 
 let create (cfg : config) =
-  (match Unix.lstat cfg.socket_path with
-   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink cfg.socket_path
-   | _ -> invalid_arg ("ptaintd: refusing to replace non-socket " ^ cfg.socket_path)
-   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_nonblock listen_fd;
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 64;
+  let listen_fd = bind_unix_listener cfg.socket_path ~backlog:64 in
+  let metrics_fd =
+    Option.map (fun p -> bind_unix_listener p ~backlog:16) cfg.metrics_sock
+  in
   let wake_rd, wake_wr = Unix.pipe () in
   Unix.set_nonblock wake_rd;
   { cfg;
@@ -118,7 +169,12 @@ let create (cfg : config) =
     jobs_completed = 0;
     protocol_errors = 0;
     clients_total = 0;
-    scratch = Bytes.create 65536 }
+    scratch = Bytes.create 65536;
+    metrics = Metrics.create ();
+    metrics_fd;
+    spans = [];
+    spans_count = 0;
+    spans_dropped = 0 }
 
 let wake t =
   (* best effort: a full pipe already guarantees a wakeup *)
@@ -142,6 +198,16 @@ let truncate_stdout s =
   if String.length s <= max_event_stdout then s
   else String.sub s 0 max_event_stdout ^ "\n[stdout truncated by ptaintd]\n"
 
+(* Closed, low-cardinality outcome classes: the [outcome] label of
+   [ptaintd_jobs_total].  Failures use {!Campaign.kind_name}. *)
+let outcome_class (o : Ptaint_sim.Sim.outcome) =
+  match o with
+  | Ptaint_sim.Sim.Exited _ -> "exited"
+  | Ptaint_sim.Sim.Alert _ -> "alert"
+  | Ptaint_sim.Sim.Fault _ -> "fault"
+  | Ptaint_sim.Sim.Trap _ -> "trap"
+  | Ptaint_sim.Sim.Out_of_fuel -> "out-of-fuel"
+
 let exit_code_of (o : Ptaint_sim.Sim.outcome) =
   match o with
   | Ptaint_sim.Sim.Exited c -> c land 0xff
@@ -161,21 +227,25 @@ let event_of_result ~id ~tag ~cache_hit (r : Campaign.job_result) =
         policy_label = r.Campaign.policy_label;
         cache_hit;
         counters;
-        stdout = truncate_stdout res.Ptaint_sim.Sim.stdout }
+        stdout = truncate_stdout res.Ptaint_sim.Sim.stdout;
+        trace = r.Campaign.trace }
   | Campaign.Failed f ->
     Proto.Job_failed
       { id; tag;
         kind = Campaign.kind_name f.Campaign.kind;
         message = f.Campaign.exn;
         policy_label = r.Campaign.policy_label;
-        counters }
+        counters;
+        trace = r.Campaign.trace }
 
 (* Runs on a worker domain.  Every path pushes exactly one terminal
    completion — that invariant is what lets the loop's drain logic
    count jobs instead of trusting connections. *)
 let run_job_task t ~cid ~id (spec : Job.t) () =
+  let t0 = Unix.gettimeofday () in
   push_completion t
-    { c_cid = cid; c_resp = Proto.Job_event (Proto.Started { id }); c_terminal = false };
+    { c_cid = cid; c_resp = Proto.Job_event (Proto.Started { id });
+      c_terminal = false; c_info = None };
   let result =
     match
       (* Build-or-hit outside the classification net is wrong: a
@@ -206,9 +276,25 @@ let run_job_task t ~cid ~id (spec : Job.t) () =
            { id; tag = spec.Job.tag; kind = "crashed";
              message = "ptaintd: failed to serialize job result";
              policy_label = Campaign.label_of_policy spec.Job.config.Ptaint_sim.Sim.policy;
-             counters = [ ("jobs", 1); ("crashed", 1) ] })
+             counters = [ ("jobs", 1); ("crashed", 1) ];
+             trace = spec.Job.trace })
   in
-  push_completion t { c_cid = cid; c_resp = resp; c_terminal = true }
+  let outcome =
+    match resp with
+    | Proto.Job_event (Proto.Finished _) ->
+      (match r.Campaign.status with
+       | Campaign.Finished res -> outcome_class res.Ptaint_sim.Sim.outcome
+       | Campaign.Failed _ -> "unknown")
+    | Proto.Job_event (Proto.Job_failed f) -> f.kind
+    | _ -> "unknown"
+  in
+  let info =
+    { ji_id = id; ji_tag = spec.Job.tag; ji_outcome = outcome;
+      ji_cache_hit = cache_hit; ji_trace = spec.Job.trace;
+      ji_t0 = t0; ji_t1 = Unix.gettimeofday ();
+      ji_domain = (Domain.self () :> int) }
+  in
+  push_completion t { c_cid = cid; c_resp = resp; c_terminal = true; c_info = Some info }
 
 (* --- event loop (connection side) ------------------------------------ *)
 
@@ -216,10 +302,14 @@ let send conn resp = Buffer.add_string conn.outq (Proto.encode_response resp)
 
 let disconnect t conn =
   Hashtbl.remove t.conns conn.cid;
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  ldebug t "client disconnected" [ Log.int "cid" conn.cid ]
 
 let reject t conn ~tag reason =
   t.jobs_rejected <- t.jobs_rejected + 1;
+  mcount t "ptaintd_jobs_rejected_total";
+  lwarn t "job rejected"
+    [ Log.int "cid" conn.cid; Log.str "tag" tag; Log.str "reason" reason ];
   send conn (Proto.Rejected { tag; reason })
 
 let daemon_counters t =
@@ -233,12 +323,39 @@ let daemon_counters t =
       ("daemon/clients-total", t.clients_total);
       ("daemon/workers", Ptaint_pool.Pool.service_size t.pool) ]
 
+(* One telemetry snapshot: refresh every level-triggered gauge from
+   loop state, then render the whole registry.  Event-driven counters
+   and histograms (jobs, bytes, latency, lag) are maintained where the
+   events happen and need no refresh here. *)
+let scrape t =
+  let g ?labels name v = Metrics.set (Metrics.gauge t.metrics ?labels name) v in
+  g "ptaintd_queue_depth" (float_of_int t.admitted);
+  g "ptaintd_clients_connected" (float_of_int (Hashtbl.length t.conns));
+  g "ptaintd_workers" (float_of_int (Ptaint_pool.Pool.service_size t.pool));
+  Hashtbl.iter
+    (fun cid conn ->
+      g ~labels:[ ("cid", string_of_int cid) ] "ptaintd_client_inflight"
+        (float_of_int conn.inflight))
+    t.conns;
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "daemon/cache-hit" -> g "ptaintd_cache_hits" (float_of_int v)
+      | "daemon/cache-miss" -> g "ptaintd_cache_misses" (float_of_int v)
+      | "daemon/cache-evictions" -> g "ptaintd_cache_evictions" (float_of_int v)
+      | "daemon/cache-entries" -> g "ptaintd_cache_entries" (float_of_int v)
+      | "daemon/cache-capacity" -> g "ptaintd_cache_capacity" (float_of_int v)
+      | _ -> ())
+    (Cache.counters t.cache);
+  Metrics.prometheus t.metrics
+
 let handle_request t conn = function
   | Proto.Hello _ ->
     send conn
       (Proto.Hello_ok { server_version = Proto.version; banner = t.cfg.banner })
   | Proto.Ping payload -> send conn (Proto.Pong payload)
   | Proto.Stats -> send conn (Proto.Stats_ok (daemon_counters t))
+  | Proto.Stats_full -> send conn (Proto.Stats_full_ok (scrape t))
   | Proto.Quit -> conn.close_after_flush <- true
   | Proto.Submit spec ->
     let tag = spec.Proto.spec_tag in
@@ -258,12 +375,18 @@ let handle_request t conn = function
         t.jobs_submitted <- t.jobs_submitted + 1;
         t.admitted <- t.admitted + 1;
         conn.inflight <- conn.inflight + 1;
+        mcount t "ptaintd_jobs_submitted_total";
+        ldebug t "job admitted"
+          (Log.int "cid" conn.cid :: Log.int "id" id :: Log.str "tag" tag
+           :: trace_fields job.Job.trace);
         send conn (Proto.Accepted { id; tag });
         Ptaint_pool.Pool.post t.pool (run_job_task t ~cid:conn.cid ~id job))
 
 let protocol_failure t conn err =
   t.protocol_errors <- t.protocol_errors + 1;
-  logf t "client %d: protocol error: %s" conn.cid (Proto.error_message err);
+  mcount t "ptaintd_protocol_errors_total";
+  lwarn t "protocol error"
+    [ Log.int "cid" conn.cid; Log.str "error" (Proto.error_message err) ];
   send conn (Proto.Error_frame (Proto.error_message err));
   conn.broken <- true;
   conn.close_after_flush <- true
@@ -291,6 +414,7 @@ let handle_readable t conn =
   match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
   | 0 -> disconnect t conn  (* EOF; any jobs in flight finish into the void *)
   | n ->
+    Metrics.inc ~by:n (Metrics.counter t.metrics "ptaintd_bytes_read_total");
     Buffer.add_subbytes conn.inbuf t.scratch 0 n;
     drain_inbuf t conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
@@ -302,6 +426,7 @@ let handle_writable t conn =
     let chunk = Buffer.to_bytes conn.outq in
     match Unix.write conn.fd chunk conn.out_off pending with
     | n ->
+      Metrics.inc ~by:n (Metrics.counter t.metrics "ptaintd_bytes_written_total");
       conn.out_off <- conn.out_off + n;
       if conn.out_off = Buffer.length conn.outq then begin
         Buffer.clear conn.outq;
@@ -325,11 +450,60 @@ let accept_new t =
       Hashtbl.replace t.conns cid
         { fd; cid; inbuf = Buffer.create 256; outq = Buffer.create 256;
           out_off = 0; inflight = 0; close_after_flush = false; broken = false };
-      logf t "client %d connected" cid;
+      mcount t "ptaintd_clients_total";
+      linfo t "client connected" [ Log.int "cid" cid ];
       go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   in
   go ()
+
+(* The scrape endpoint is one-shot: accept, write the snapshot,
+   close.  The payload is a few KiB against a fresh Unix-socket
+   buffer, so a bounded blocking write cannot wedge the loop. *)
+let serve_metrics_scrapes t listen_fd =
+  let rec go () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      (try
+         Unix.clear_nonblock fd;
+         let body = Bytes.of_string (scrape t) in
+         let len = Bytes.length body in
+         let off = ref 0 in
+         let budget = ref 64 in
+         while !off < len && !budget > 0 do
+           decr budget;
+           match Unix.write fd body !off (len - !off) with
+           | n -> off := !off + n
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         done
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+let max_spans = 65536
+
+(* Loop-side bookkeeping for one finished job: outcome counter,
+   latency histogram, log line, Chrome span. *)
+let account_finished t ji =
+  Metrics.inc
+    (Metrics.counter t.metrics ~labels:[ ("outcome", ji.ji_outcome) ]
+       "ptaintd_jobs_total");
+  mobserve t "ptaintd_job_duration_us" ((ji.ji_t1 -. ji.ji_t0) *. 1e6);
+  linfo t "job finished"
+    (Log.int "id" ji.ji_id :: Log.str "tag" ji.ji_tag
+     :: Log.str "outcome" ji.ji_outcome :: Log.bool "cache_hit" ji.ji_cache_hit
+     :: Log.float "ms" ((ji.ji_t1 -. ji.ji_t0) *. 1e3)
+     :: trace_fields ji.ji_trace);
+  if t.cfg.trace_path <> None then begin
+    if t.spans_count < max_spans then begin
+      t.spans <- ji :: t.spans;
+      t.spans_count <- t.spans_count + 1
+    end
+    else t.spans_dropped <- t.spans_dropped + 1
+  end
 
 let drain_completions t =
   let batch =
@@ -343,7 +517,8 @@ let drain_completions t =
     (fun c ->
       if c.c_terminal then begin
         t.admitted <- t.admitted - 1;
-        t.jobs_completed <- t.jobs_completed + 1
+        t.jobs_completed <- t.jobs_completed + 1;
+        match c.c_info with Some ji -> account_finished t ji | None -> ()
       end;
       match Hashtbl.find_opt t.conns c.c_cid with
       | None -> ()  (* client gone mid-job: result dropped, accounting kept *)
@@ -379,6 +554,34 @@ let final_flush conn =
   in
   go 64
 
+(* The daemon side of a cross-process timeline: every completed job
+   as a Chrome complete-span on pid 2 (clients use pid 1), one track
+   per worker domain, timestamped in absolute epoch microseconds so a
+   client trace of the same jobs merges without realignment. *)
+let write_trace t =
+  match t.cfg.trace_path with
+  | None -> ()
+  | Some path ->
+    let tr = Ptaint_obs.Chrome.create () in
+    List.iter
+      (fun ji ->
+        let args =
+          [ ("outcome", ji.ji_outcome);
+            ("cache_hit", if ji.ji_cache_hit then "true" else "false") ]
+          @ (match ji.ji_trace with
+             | None -> []
+             | Some (tid, span) ->
+               [ ("trace", Log.hex_id tid); ("span", string_of_int span) ])
+        in
+        Ptaint_obs.Chrome.complete tr ~name:ji.ji_tag ~cat:"daemon" ~pid:2
+          ~tid:ji.ji_domain ~ts_us:(ji.ji_t0 *. 1e6)
+          ~dur_us:((ji.ji_t1 -. ji.ji_t0) *. 1e6) ~args ())
+      (List.rev t.spans);
+    if t.spans_dropped > 0 then
+      lwarn t "trace spans dropped"
+        [ Log.int "dropped" t.spans_dropped; Log.int "kept" t.spans_count ];
+    Ptaint_obs.Chrome.write_file tr path
+
 let serve t =
   let listening = ref true in
   let finished = ref false in
@@ -387,13 +590,14 @@ let serve t =
       listening := false;
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
-      logf t "draining: %d jobs in flight" t.admitted
+      linfo t "draining" [ Log.int "inflight" t.admitted ]
     end;
     if Atomic.get t.stopping && drained t then finished := true
     else begin
       let reads =
         t.wake_rd
         :: (if !listening then [ t.listen_fd ] else [])
+        @ (match t.metrics_fd with Some fd when !listening -> [ fd ] | _ -> [])
         @ Hashtbl.fold (fun _ c acc -> if c.broken then acc else c.fd :: acc) t.conns []
       in
       let writes =
@@ -407,9 +611,16 @@ let serve t =
         try Unix.select reads writes [] 0.5
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
+      (* Lag = time the loop spends away from [select] this
+         iteration; the histogram is what a stall (oversized batch,
+         slow client, scrape burst) shows up in. *)
+      let work_t0 = Unix.gettimeofday () in
       if List.mem t.wake_rd readable then drain_wakeups t;
       drain_completions t;
       if !listening && List.mem t.listen_fd readable then accept_new t;
+      (match t.metrics_fd with
+       | Some fd when !listening && List.mem fd readable -> serve_metrics_scrapes t fd
+       | _ -> ());
       let conn_of fd =
         Hashtbl.fold (fun _ c acc -> if c.fd = fd then Some c else acc) t.conns None
       in
@@ -432,15 +643,26 @@ let serve t =
             else acc)
           t.conns []
       in
-      List.iter (fun c -> disconnect t c) flushed
+      List.iter (fun c -> disconnect t c) flushed;
+      mobserve t "ptaintd_loop_lag_us" ((Unix.gettimeofday () -. work_t0) *. 1e6)
     end
   done;
   Hashtbl.iter (fun _ c -> final_flush c) t.conns;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   Hashtbl.reset t.conns;
   Ptaint_pool.Pool.stop t.pool;
+  (match t.metrics_fd with
+   | Some fd ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (match t.cfg.metrics_sock with
+      | Some p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ())
+   | None -> ());
+  write_trace t;
   (try Unix.close t.wake_rd with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_wr with Unix.Unix_error _ -> ());
-  logf t "drained, goodbye"
+  linfo t "drained, goodbye" [ Log.int "jobs" t.jobs_completed ];
+  (match t.cfg.log with Some l -> Log.flush l | None -> ())
 
 let stats t = daemon_counters t
+let prometheus t = scrape t

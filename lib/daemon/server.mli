@@ -30,12 +30,23 @@ type config = {
   job_timeout : float option;
       (** default per-job watchdog (seconds); a job's own timeout wins *)
   banner : string;  (** echoed in [Hello_ok] *)
-  log : (string -> unit) option;  (** connection/drain diagnostics *)
+  log : Ptaint_obs.Log.t option;
+      (** structured lifecycle log: connections, admissions,
+          rejections, protocol errors, job completions (with trace
+          correlation ids), drain progress *)
+  metrics_sock : string option;
+      (** when set, a second Unix-domain socket serving one-shot
+          Prometheus scrapes: connect, read the text exposition, EOF *)
+  trace_path : string option;
+      (** when set, a Chrome trace of every completed job is written
+          here at drain — spans on pid 2, one track per worker domain,
+          absolute epoch-microsecond timestamps, so a client-side
+          trace (pid 1) of the same jobs merges into one timeline *)
 }
 
 val default_config : socket_path:string -> config
 (** max_queue 256, max_inflight 32, cache 64 entries, no default
-    timeout, no log. *)
+    timeout, no log, no metrics socket, no trace. *)
 
 type t
 
@@ -57,3 +68,10 @@ val stats : t -> (string * int) list
     hits/misses, jobs submitted/completed/rejected/in flight, client
     counts).  Loop-owned state: call from the serving domain only —
     other processes should ask over the socket. *)
+
+val prometheus : t -> string
+(** The full telemetry snapshot served to [Stats_full] requests and
+    the metrics socket: jobs by outcome, queue depth, per-client
+    inflight, cache traffic, byte counters, event-loop lag and job
+    latency histograms, in Prometheus text exposition format 0.0.4.
+    Loop-owned state, same caveat as {!stats}. *)

@@ -45,9 +45,13 @@ let instant t ~name ?(cat = "ptaint") ?(pid = 1) ~tid ~ts_us ?(args = []) () =
   raw_event t ~ph:"i" ~name ~cat ~pid ~tid ~ts:ts_us ~args ()
 
 (* One guest cycle renders as one microsecond: the timeline stays
-   proportional and deterministic, whatever the host clock did. *)
-let add_event t ?(tid = 0) ev =
+   proportional and deterministic, whatever the host clock did.
+   [pid] partitions the timeline per process, so client- and
+   daemon-side traces of the same jobs merge without colliding. *)
+let add_event t ?pid ?(tid = 0) ev =
   let us cycle = float_of_int cycle in
+  let instant = instant ?pid in
+  let complete = complete ?pid in
   match (ev : Event.t) with
   | Event.Taint_in { cycle; source; addr; len; offset } ->
     instant t ~name:("taint-in " ^ source) ~cat:"taint" ~tid ~ts_us:(us cycle)
@@ -80,11 +84,18 @@ let add_event t ?(tid = 0) ev =
   | Event.Fault_injected { cycle; model; target } ->
     instant t ~name:("fault injected: " ^ model) ~cat:"fault" ~tid ~ts_us:(us cycle)
       ~args:[ ("target", target) ] ()
-  | Event.Job { name; label; t0_us; dur_us; domain; outcome } ->
-    complete t ~name ~cat:"campaign" ~tid:domain ~ts_us:t0_us ~dur_us
-      ~args:[ ("policy", label); ("outcome", outcome) ] ()
+  | Event.Job { name; label; t0_us; dur_us; domain; outcome; trace } ->
+    let args = [ ("policy", label); ("outcome", outcome) ] in
+    let args =
+      match trace with
+      | None -> args
+      | Some (tid, span) ->
+        args
+        @ [ ("trace", Printf.sprintf "%016x" tid); ("span", string_of_int span) ]
+    in
+    complete t ~name ~cat:"campaign" ~tid:domain ~ts_us:t0_us ~dur_us ~args ()
 
-let add_events t ?tid evs = List.iter (add_event t ?tid) evs
+let add_events t ?pid ?tid evs = List.iter (add_event t ?pid ?tid) evs
 
 let contents t =
   Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n" (Buffer.contents t.buf)

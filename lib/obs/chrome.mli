@@ -20,8 +20,12 @@ val instant :
   t -> name:string -> ?cat:string -> ?pid:int -> tid:int -> ts_us:float ->
   ?args:(string * string) list -> unit -> unit
 
-val add_event : t -> ?tid:int -> Event.t -> unit
-val add_events : t -> ?tid:int -> Event.t list -> unit
+val add_event : t -> ?pid:int -> ?tid:int -> Event.t -> unit
+(** [pid] partitions the timeline per process (default [1]), so
+    client- and daemon-side traces of the same jobs merge into one
+    document without colliding. *)
+
+val add_events : t -> ?pid:int -> ?tid:int -> Event.t list -> unit
 
 val event_count : t -> int
 

@@ -14,6 +14,7 @@ type t =
       dur_us : float;
       domain : int;
       outcome : string;
+      trace : (int * int) option;
     }
 
 let cycle = function
@@ -59,8 +60,11 @@ let to_string = function
   | Restore { cycle } -> Printf.sprintf "cycle %d: booted from snapshot restore" cycle
   | Fault_injected { cycle; model; target } ->
     Printf.sprintf "cycle %d: injected %s fault into %s" cycle model target
-  | Job { name; label; t0_us; dur_us; domain; outcome } ->
-    Printf.sprintf "job %s [%s] on domain %d: %.0fus..%.0fus, %s" name label domain t0_us
+  | Job { name; label; t0_us; dur_us; domain; outcome; trace } ->
+    Printf.sprintf "job %s [%s] on domain %d: %.0fus..%.0fus, %s%s" name label domain t0_us
       (t0_us +. dur_us) outcome
+      (match trace with
+       | None -> ""
+       | Some (tid, span) -> Printf.sprintf " (trace %016x span %d)" tid span)
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

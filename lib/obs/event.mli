@@ -34,6 +34,10 @@ type t =
       dur_us : float;
       domain : int;  (** worker domain id the job ran on *)
       outcome : string;
+      trace : (int * int) option;
+          (** client-seeded (trace id, span id), when the job carried
+              one — rendered into span args so cross-process traces
+              correlate *)
     }  (** one campaign job span, emitted by [Campaign.run] *)
 
 val cycle : t -> int

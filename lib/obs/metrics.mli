@@ -1,33 +1,48 @@
-(** Metrics registry: named counters and histograms.
+(** Metrics registry: counters, gauges and histograms, optionally
+    labeled.
 
     A registry is cheap single-domain state: look a metric up once
-    (get-or-create by name), then bump it allocation-free.  Histograms
-    bucket observations by power of two and track count/sum/min/max,
-    which is enough to render a latency distribution without keeping
-    samples.  {!merge} folds one registry into another, so per-job or
-    per-worker registries can be aggregated by the parent. *)
+    (get-or-create by name + label set), then bump it
+    allocation-free.  Histograms bucket observations by power of two
+    and track count/sum/min/max, which is enough to render a latency
+    distribution without keeping samples.  {!merge} folds one registry
+    into another, so per-job or per-worker registries can be
+    aggregated by the parent, and {!prometheus} renders the whole
+    registry in Prometheus text exposition format 0.0.4 for
+    scraping. *)
 
 type t
 
+type labels = (string * string) list
+(** Label pairs identify a child within a family: the same metric
+    name with different label sets is a family of independent
+    children.  Keep label values low-cardinality (outcome names,
+    client ids of live connections) — every distinct set is a
+    separate child held for the registry's lifetime. *)
+
 type counter
+type gauge
 type histogram
 
 val create : unit -> t
 
-val counter : t -> string -> counter
-(** Get or create; raises [Invalid_argument] if [name] is already a
-    histogram. *)
+val counter : t -> ?labels:labels -> string -> counter
+(** Get or create; raises [Invalid_argument] if [name] with these
+    labels already names a different kind. *)
 
-val histogram : t -> string -> histogram
+val gauge : t -> ?labels:labels -> string -> gauge
+val histogram : t -> ?labels:labels -> string -> histogram
 
 val inc : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
 
 (** {1 Reading} *)
 
 type row = {
   name : string;
-  kind : string;  (** ["counter"] or ["histogram"] *)
+  labels : labels;
+  kind : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
   count : int;  (** counter value, or number of observations *)
   sum : float;
   min : float;
@@ -36,8 +51,17 @@ type row = {
 }
 
 val rows : t -> row list
-(** One row per metric, in registration order. *)
+(** One row per metric child, in registration order. *)
 
 val merge : into:t -> t -> unit
 (** Add every metric of the source registry into [into], creating
-    names as needed. *)
+    (name, labels) children as needed.  Counters and gauges add;
+    histograms merge buckets and extrema. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition (format 0.0.4): families grouped under
+    one [# TYPE] header in registration order, label values escaped,
+    histograms rendered as cumulative [_bucket] series (le boundaries
+    [2^i - 1], matching the internal log2 buckets) closed by [+Inf],
+    [_sum] and [_count].  Metric and label names are sanitized to
+    [[a-zA-Z0-9_:]]. *)

@@ -412,19 +412,37 @@ let test_checkpoint_roundtrip () =
   let tally, cursor = Campaign.run_stream ~domains:2 (List.to_seq (stream_jobs ())) in
   let m =
     { Checkpoint.id = "campaign-test v1"; total = 42; cursor;
-      dump = Campaign.dump_tally tally }
+      elapsed_us = 123_456_789; dump = Campaign.dump_tally tally }
   in
   let path = Filename.temp_file "ptaint-ckpt" ".txt" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   Checkpoint.save ~path m;
+  (match Checkpoint.load ~path with
+   | Error e -> Alcotest.fail ("manifest failed to load: " ^ e)
+   | Ok m' ->
+     Alcotest.(check bool) "manifest round-trips exactly" true (m' = m);
+     Alcotest.(check string) "reloaded tally renders byte-identically"
+       (Campaign.metrics_table (Campaign.tally_stats tally))
+       (Campaign.metrics_table
+          (Campaign.tally_stats (Campaign.load_tally m'.Checkpoint.dump))));
+  (* a manifest written before elapsed_us existed must still load *)
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let legacy =
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (String.length l >= 10 && String.sub l 0 10 = "elapsed_us"))
+         (String.split_on_char '\n' text))
+  in
+  let oc = open_out_bin path in
+  output_string oc legacy;
+  close_out oc;
   match Checkpoint.load ~path with
-  | Error e -> Alcotest.fail ("manifest failed to load: " ^ e)
+  | Error e -> Alcotest.fail ("legacy manifest refused: " ^ e)
   | Ok m' ->
-    Alcotest.(check bool) "manifest round-trips exactly" true (m' = m);
-    Alcotest.(check string) "reloaded tally renders byte-identically"
-      (Campaign.metrics_table (Campaign.tally_stats tally))
-      (Campaign.metrics_table
-         (Campaign.tally_stats (Campaign.load_tally m'.Checkpoint.dump)))
+    Alcotest.(check int) "absent elapsed_us reads as zero" 0
+      m'.Checkpoint.elapsed_us;
+    Alcotest.(check bool) "rest of the legacy manifest intact" true
+      (m'.Checkpoint.dump = m.Checkpoint.dump && m'.Checkpoint.cursor = m.Checkpoint.cursor)
 
 let test_truncate_jsonl () =
   let path = Filename.temp_file "ptaint-sink" ".jsonl" in

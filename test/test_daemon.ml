@@ -32,11 +32,17 @@ let spec_full =
     ~timeout:2.5
     (Proto.Wire_c "int main() { return 0; }")
 
+let spec_traced =
+  Proto.job_spec ~tag:"traced" ~trace:(0x1234_5678_9abc_def0, 17)
+    (Proto.Wire_asm ".text\nmain: j main\n")
+
 let requests =
   [ ("hello", Proto.Hello { client = "test" });
     ("submit-full", Proto.Submit spec_full);
     ("submit-minimal", Proto.Submit (Proto.job_spec ~tag:"" (Proto.Wire_asm "")));
+    ("submit-traced", Proto.Submit spec_traced);
     ("stats", Proto.Stats);
+    ("stats-full", Proto.Stats_full);
     ("ping", Proto.Ping "payload\x00\x01");
     ("quit", Proto.Quit) ]
 
@@ -52,13 +58,24 @@ let responses =
              instructions = 1_000_000_007; syscalls = 42;
              policy_label = "pointer taintedness"; cache_hit = true;
              counters = [ ("jobs", 1); ("instructions", 1_000_000_007) ];
-             stdout = "hello\nworld\n" }) );
+             stdout = "hello\nworld\n"; trace = None }) );
+    ( "finished-traced",
+      Proto.Job_event
+        (Proto.Finished
+           { id = 9; tag = "t"; outcome = "exited with status 0"; exit_code = 0;
+             instructions = 3; syscalls = 1; policy_label = "pointer taintedness";
+             cache_hit = false; counters = [ ("jobs", 1) ]; stdout = "";
+             trace = Some (max_int, max_int) }) );
     ( "failed",
       Proto.Job_event
         (Proto.Job_failed
            { id = 8; tag = "x"; kind = "timeout"; message = "Sim.Timeout";
-             policy_label = "no protection"; counters = [ ("jobs", 1); ("timeouts", 1) ] }) );
+             policy_label = "no protection"; counters = [ ("jobs", 1); ("timeouts", 1) ];
+             trace = Some (0x0fed_cba9_8765_4321, 2) }) );
     ("stats-ok", Proto.Stats_ok [ ("daemon/cache-hit", 3); ("daemon/cache-miss", 0) ]);
+    ( "stats-full-ok",
+      Proto.Stats_full_ok
+        "# TYPE ptaintd_jobs_total counter\nptaintd_jobs_total{outcome=\"exited\"} 3\n" );
     ("pong", Proto.Pong "");
     ("error", Proto.Error_frame "bad magic (not a ptaintd stream)") ]
 
@@ -170,6 +187,50 @@ let test_unknown_fault_tag () =
   Bytes.set f idx '\xfa';
   expect_error "fault tag 250" (Bytes.to_string f) malformed
 
+(* --- version tolerance ----------------------------------------------- *)
+
+(* A traceless v2 frame is byte-identical to its v1 rendering, so
+   replaying it with the version byte set to 1 is exactly what a v1
+   peer would send — it must decode, with [trace = None]. *)
+let as_v1 frame =
+  let b = Bytes.of_string frame in
+  Alcotest.(check char) "encoder stamps v2" '\x02' (Bytes.get b 2);
+  Bytes.set b 2 '\x01';
+  Bytes.to_string b
+
+let test_v1_frames_decode () =
+  List.iter
+    (fun (name, req) ->
+      match Proto.decode_request (as_v1 (Proto.encode_request req)) with
+      | Ok (Some (decoded, _)) ->
+        Alcotest.(check bool) (name ^ ": v1 equal") true (decoded = req)
+      | Ok None -> Alcotest.fail (name ^ ": v1 decoder wants more bytes")
+      | Error e -> Alcotest.fail (name ^ ": v1 " ^ Proto.error_message e))
+    [ ("hello", Proto.Hello { client = "old" });
+      ("submit", Proto.Submit spec_full);
+      ("quit", Proto.Quit) ]
+
+let test_traceless_spec_has_no_trailer () =
+  (* the trace field must cost zero bytes when absent: same payload
+     length with and without the version byte games above, and a
+     traced spec strictly longer *)
+  let bare =
+    Proto.encode_request (Proto.Submit (Proto.job_spec ~tag:"exit" (Proto.Wire_asm "")))
+  in
+  let traced =
+    Proto.encode_request
+      (Proto.Submit (Proto.job_spec ~tag:"exit" ~trace:(1, 1) (Proto.Wire_asm "")))
+  in
+  Alcotest.(check int) "trace trailer is 17 bytes"
+    (String.length bare + 17) (String.length traced)
+
+let test_future_version_rejected () =
+  let f = Bytes.of_string (Proto.encode_request Proto.Quit) in
+  Bytes.set f 2 '\x03';
+  match Proto.decode_request (Bytes.to_string f) with
+  | Error (Proto.Bad_version 3) -> ()
+  | _ -> Alcotest.fail "version 3 must be rejected"
+
 (* --- job spec <-> Job.t ---------------------------------------------- *)
 
 let test_job_of_spec () =
@@ -185,6 +246,18 @@ let test_job_of_spec () =
     (* the canonical label must come from the policy, as in batch mode *)
     Alcotest.(check string) "derived label" "control-data only"
       (Ptaint_campaign.Campaign.label_of_policy c.Ptaint_sim.Sim.policy)
+
+let test_job_trace_roundtrip () =
+  match Proto.job_of_spec spec_traced with
+  | Error m -> Alcotest.fail m
+  | Ok job ->
+    Alcotest.(check bool) "trace survives job_of_spec" true
+      (job.Ptaint_campaign.Job.trace = Some (0x1234_5678_9abc_def0, 17));
+    (match Proto.spec_of_job job with
+     | Error m -> Alcotest.fail m
+     | Ok spec ->
+       Alcotest.(check bool) "trace survives spec_of_job" true
+         (spec.Proto.spec_trace = Some (0x1234_5678_9abc_def0, 17)))
 
 let test_job_of_spec_bad_policy () =
   match Proto.job_of_spec (Proto.job_spec ~tag:"t" ~policy:"nonsense" (Proto.Wire_asm "")) with
@@ -280,6 +353,72 @@ let test_loopback_batch_and_failures () =
       | _ -> Alcotest.fail "unexpected batch shape")
 
 (* concurrent clients: two connections submitting interleaved batches *)
+(* the correlation id travels submit -> worker -> terminal event, and
+   from there into the JSONL result sink *)
+let test_loopback_trace_roundtrip () =
+  with_server (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      let trace = (0x0abc_def0_1234_5678, 3) in
+      let spec =
+        Proto.job_spec ~tag:"traced" ~trace (Proto.Wire_asm exit_asm)
+      in
+      (match Client.submit c spec with
+       | Error m -> Alcotest.fail ("rejected: " ^ m)
+       | Ok _ -> (
+         match wait_terminal c with
+         | Proto.Finished f ->
+           Alcotest.(check bool) "event carries the trace" true
+             (f.trace = Some trace);
+           let s =
+             { Ptaint_campaign.Campaign.s_index = 1; s_name = f.tag;
+               s_label = f.policy_label; s_outcome = "exited";
+               s_counters = f.counters; s_failed = false; s_violation = false;
+               s_detected = false; s_alert_pc = None;
+               s_instructions = f.instructions; s_syscalls = f.syscalls;
+               s_attempts = 1; s_trace = f.trace }
+           in
+           let line = Ptaint_campaign.Campaign.jsonl_of_summary s in
+           Alcotest.(check bool) "jsonl carries the trace" true
+             (let needle = "\"trace\":\"0abcdef012345678\",\"span\":3" in
+              let n = String.length needle and l = String.length line in
+              let rec scan i =
+                i + n <= l && (String.sub line i n = needle || scan (i + 1))
+              in
+              scan 0);
+           let bare = { s with s_trace = None } in
+           let bare_line = Ptaint_campaign.Campaign.jsonl_of_summary bare in
+           Alcotest.(check bool) "traceless jsonl keeps the historic shape" true
+             (String.length bare_line < String.length line
+              && not (let needle = "\"trace\":" in
+                      let n = String.length needle and l = String.length bare_line in
+                      let rec scan i =
+                        i + n <= l && (String.sub bare_line i n = needle || scan (i + 1))
+                      in
+                      scan 0))
+         | _ -> Alcotest.fail "expected Finished"));
+      Client.close c)
+
+let test_loopback_stats_full () =
+  with_server (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      (match Client.submit c (exit_spec ()) with
+       | Error m -> Alcotest.fail ("rejected: " ^ m)
+       | Ok _ -> ignore (wait_terminal c));
+      let text = Client.stats_full c in
+      let has needle =
+        let n = String.length needle and l = String.length text in
+        let rec scan i = i + n <= l && (String.sub text i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "jobs_total family" true
+        (has "# TYPE ptaintd_jobs_total counter");
+      Alcotest.(check bool) "outcome label" true
+        (has "ptaintd_jobs_total{outcome=\"exited\"} 1");
+      Alcotest.(check bool) "cache gauges" true (has "ptaintd_cache_misses 1");
+      Alcotest.(check bool) "latency histogram" true
+        (has "ptaintd_job_duration_us_count 1");
+      Client.close c)
+
 let test_loopback_two_clients () =
   with_server (fun path _server ->
       let c1 = Client.connect ~client:"one" path in
@@ -448,12 +587,19 @@ let () =
           Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
           Alcotest.test_case "truncated payload" `Quick test_truncated_payload;
           Alcotest.test_case "unknown fault tag" `Quick test_unknown_fault_tag ] );
+      ( "compat",
+        [ Alcotest.test_case "v1 frames decode" `Quick test_v1_frames_decode;
+          Alcotest.test_case "traceless has no trailer" `Quick test_traceless_spec_has_no_trailer;
+          Alcotest.test_case "future version rejected" `Quick test_future_version_rejected ] );
       ( "job-spec",
         [ Alcotest.test_case "spec to Job.t" `Quick test_job_of_spec;
+          Alcotest.test_case "trace round-trip" `Quick test_job_trace_roundtrip;
           Alcotest.test_case "bad policy label" `Quick test_job_of_spec_bad_policy ] );
       ( "loopback",
         [ Alcotest.test_case "submit and stream" `Quick test_loopback_submit_stream;
           Alcotest.test_case "batch with failures" `Quick test_loopback_batch_and_failures;
+          Alcotest.test_case "trace round-trip" `Quick test_loopback_trace_roundtrip;
+          Alcotest.test_case "stats-full scrape" `Quick test_loopback_stats_full;
           Alcotest.test_case "two clients" `Quick test_loopback_two_clients;
           Alcotest.test_case "admission quota" `Quick test_admission_quota ] );
       ( "hostile",

@@ -83,7 +83,7 @@ let test_metrics_counters () =
      Alcotest.(check int) "count" 6 r.Metrics.count
    | _ -> Alcotest.fail "expected one row");
   Alcotest.check_raises "kind clash"
-    (Invalid_argument "Metrics.histogram: jobs is a counter")
+    (Invalid_argument "Metrics.histogram: jobs is not a histogram")
     (fun () -> ignore (Metrics.histogram m "jobs"))
 
 let test_metrics_histogram_and_merge () =
@@ -105,6 +105,145 @@ let test_metrics_histogram_and_merge () =
   match List.find_opt (fun r -> r.Metrics.name = "alerts") rows with
   | Some r -> Alcotest.(check int) "counter created by merge" 2 r.Metrics.count
   | None -> Alcotest.fail "merged counter missing"
+
+(* --- structured log ------------------------------------------------- *)
+
+let test_log_logfmt_render () =
+  let line =
+    Log.render Log.Logfmt ~ts:0.5 ~level:Log.Info ~src:"daemon" ~msg:"job finished"
+      [ Log.str "tag" "a b"; Log.int "n" 3; Log.bool "hit" true;
+        Log.str "odd" "say \"hi\"\n"; Log.float "ms" 1.5 ]
+  in
+  Alcotest.(check string) "logfmt line"
+    "ts=1970-01-01T00:00:00.500Z level=info src=daemon msg=\"job finished\" \
+     tag=\"a b\" n=3 hit=true odd=\"say \\\"hi\\\"\\n\" ms=1.5"
+    line;
+  (* bare values stay unquoted; keys are sanitized *)
+  let bare =
+    Log.render Log.Logfmt ~ts:0.0 ~level:Log.Warn ~src:"x" ~msg:"m"
+      [ Log.str "weird key" "v" ]
+  in
+  Alcotest.(check bool) "key sanitized" true (contains bare "weird_key=v")
+
+let test_log_json_render () =
+  let line =
+    Log.render Log.Json ~ts:0.0 ~level:Log.Error ~src:"campaign" ~msg:"job failed"
+      [ Log.str "kind" "time\"out\""; Log.int "index" 7 ]
+  in
+  Alcotest.(check string) "json line"
+    "{\"ts\":\"1970-01-01T00:00:00.000Z\",\"level\":\"error\",\"src\":\"campaign\",\
+     \"msg\":\"job failed\",\"kind\":\"time\\\"out\\\"\",\"index\":7}"
+    line;
+  (* control characters become \u escapes *)
+  let ctl =
+    Log.render Log.Json ~ts:0.0 ~level:Log.Info ~src:"s" ~msg:"m"
+      [ Log.str "c" "a\x01b" ]
+  in
+  Alcotest.(check bool) "control escaped" true (contains ctl "a\\u0001b")
+
+let test_log_level_filtering () =
+  let b = Buffer.create 256 in
+  let l = Log.create ~level:Log.Warn (Log.buffer_sink b) in
+  Log.debug l ~src:"a" "dropped" [];
+  Log.info l ~src:"a" "dropped too" [];
+  Log.warn l ~src:"a" "kept-warn" [];
+  Log.error l ~src:"a" "kept-error" [];
+  (* per-source override: src b only logs errors *)
+  Log.set_source_level l "b" Log.Error;
+  Log.warn l ~src:"b" "src-b-warn-dropped" [];
+  Log.error l ~src:"b" "src-b-error-kept" [];
+  Alcotest.(check bool) "enabled warn/a" true (Log.enabled l ~src:"a" Log.Warn);
+  Alcotest.(check bool) "disabled warn/b" false (Log.enabled l ~src:"b" Log.Warn);
+  Log.close l;
+  let out = Buffer.contents b in
+  Alcotest.(check bool) "warn kept" true (contains out "kept-warn");
+  Alcotest.(check bool) "error kept" true (contains out "kept-error");
+  Alcotest.(check bool) "debug dropped" false (contains out "dropped");
+  Alcotest.(check bool) "src override drops warn" false (contains out "src-b-warn-dropped");
+  Alcotest.(check bool) "src override keeps error" true (contains out "src-b-error-kept");
+  Alcotest.(check int) "exactly three lines" 3
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 out)
+
+let test_log_rotation () =
+  let dir = Filename.temp_file "ptaint-log" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "svc.log" in
+  let l = Log.create ~level:Log.Info (Log.file_sink ~max_bytes:160 path) in
+  (* each record is ~70 bytes; the third write would cross the cap and
+     must land in a fresh file, with the first two rotated to .1 *)
+  for i = 1 to 3 do
+    Log.info l ~src:"rot" (Printf.sprintf "record-%d" i) []
+  done;
+  Log.close l;
+  let read f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic; s
+  in
+  let live = read path and old = read (path ^ ".1") in
+  Alcotest.(check bool) "third record in live file" true (contains live "record-3");
+  Alcotest.(check bool) "live file fresh" false (contains live "record-1");
+  Alcotest.(check bool) "rotation keeps older records" true
+    (contains old "record-1" && contains old "record-2");
+  Sys.remove path; Sys.remove (path ^ ".1"); Unix.rmdir dir
+
+let test_log_hex_id () =
+  Alcotest.(check string) "fixed width" "00000000000000ff" (Log.hex_id 0xff);
+  Alcotest.(check string) "wide id" "1234567812345678" (Log.hex_id 0x1234567812345678)
+
+(* --- prometheus exposition ------------------------------------------ *)
+
+let test_prometheus_families_and_escaping () =
+  let m = Metrics.create () in
+  Metrics.inc ~by:3 (Metrics.counter m ~labels:[ ("outcome", "exited") ] "jobs_total");
+  Metrics.inc (Metrics.counter m ~labels:[ ("outcome", "alert") ] "jobs_total");
+  Metrics.set (Metrics.gauge m "queue depth") 2.0;
+  Metrics.inc (Metrics.counter m ~labels:[ ("tag", "a\"b\\c\nd") ] "weird");
+  let s = Metrics.prometheus m in
+  (* one TYPE header per family, children grouped beneath it *)
+  Alcotest.(check bool) "family header once" true
+    (contains s "# TYPE jobs_total counter"
+     && not (contains s "# TYPE jobs_total counter\n# TYPE"));
+  Alcotest.(check bool) "first child" true (contains s "jobs_total{outcome=\"exited\"} 3");
+  Alcotest.(check bool) "second child" true (contains s "jobs_total{outcome=\"alert\"} 1");
+  Alcotest.(check bool) "gauge sanitized name" true (contains s "# TYPE queue_depth gauge");
+  Alcotest.(check bool) "gauge value" true (contains s "queue_depth 2");
+  Alcotest.(check bool) "label value escaped" true
+    (contains s "weird{tag=\"a\\\"b\\\\c\\nd\"} 1")
+
+let test_prometheus_bucket_cumulativity () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat us" in
+  List.iter (Metrics.observe h) [ 0.0; 1.0; 2.0; 100.0 ];
+  let s = Metrics.prometheus m in
+  Alcotest.(check bool) "histogram type" true (contains s "# TYPE lat_us histogram");
+  (* buckets are cumulative over the log2 boundaries: le=0 sees the
+     0.0 observation, le=1 adds 1.0, le=3 adds 2.0, le=127 adds 100.0 *)
+  Alcotest.(check bool) "le=0" true (contains s "lat_us_bucket{le=\"0\"} 1\n");
+  Alcotest.(check bool) "le=1" true (contains s "lat_us_bucket{le=\"1\"} 2\n");
+  Alcotest.(check bool) "le=3" true (contains s "lat_us_bucket{le=\"3\"} 3\n");
+  Alcotest.(check bool) "le=127" true (contains s "lat_us_bucket{le=\"127\"} 4\n");
+  Alcotest.(check bool) "+Inf equals count" true
+    (contains s "lat_us_bucket{le=\"+Inf\"} 4\n");
+  Alcotest.(check bool) "sum" true (contains s "lat_us_sum 103\n");
+  Alcotest.(check bool) "count" true (contains s "lat_us_count 4\n");
+  (* cumulative counts never decrease *)
+  let counts =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+         if String.length line > 14 && String.sub line 0 14 = "lat_us_bucket{" then
+           String.rindex_opt line ' '
+           |> Option.map (fun i ->
+                int_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+         else None)
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone buckets" true (monotone counts)
 
 (* --- chrome export -------------------------------------------------- *)
 
@@ -262,6 +401,15 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram + merge" `Quick test_metrics_histogram_and_merge ] );
+      ( "log",
+        [ Alcotest.test_case "logfmt rendering" `Quick test_log_logfmt_render;
+          Alcotest.test_case "json rendering" `Quick test_log_json_render;
+          Alcotest.test_case "level filtering" `Quick test_log_level_filtering;
+          Alcotest.test_case "size rotation" `Quick test_log_rotation;
+          Alcotest.test_case "hex ids" `Quick test_log_hex_id ] );
+      ( "prometheus",
+        [ Alcotest.test_case "families + escaping" `Quick test_prometheus_families_and_escaping;
+          Alcotest.test_case "bucket cumulativity" `Quick test_prometheus_bucket_cumulativity ] );
       ( "chrome",
         [ Alcotest.test_case "json shape" `Quick test_chrome_shape ] );
       ( "sim",
