@@ -293,7 +293,69 @@ let micro_clean_fastpath_bench =
   Test.make ~name:"micro/clean-fastpath-10k"
     (Staged.stage (fun () ->
          let m = alu_machine ~tainted:false () in
-         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000)))
+         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000);
+         (* a guard, not just a timer: this row exists to measure the
+            specialized no-taint executor, so a fall-back to the
+            masked handlers must fail the bench, not silently time
+            the wrong path *)
+         if m.Ptaint_cpu.Machine.blocks_run = 0
+            || m.Ptaint_cpu.Machine.clean_blocks < m.Ptaint_cpu.Machine.blocks_run
+         then
+           failwith
+             (Printf.sprintf
+                "micro/clean-fastpath-10k: clean path not taken (%d/%d blocks clean)"
+                m.Ptaint_cpu.Machine.clean_blocks m.Ptaint_cpu.Machine.blocks_run)))
+
+(* superblock tier, steady state: the machines persist across
+   invocations, so after the warm-up runs every hot block is
+   translated and the timed runs never leave the compiled chains.
+   [superblock-dispatch] spins one tainted self-looping block (full
+   variant, self-chained); [chain-hit] walks a ring of four blocks
+   linked by direct jumps (clean variant, every crossing a patched
+   chain edge).  Both rows assert the tier actually carried the load. *)
+let micro_superblock_dispatch_bench =
+  let m = alu_machine () in
+  ignore (Ptaint_cpu.Machine.run m ~fuel:20_000);
+  Test.make ~name:"micro/superblock-dispatch-10k"
+    (Staged.stage (fun () ->
+         let before = m.Ptaint_cpu.Machine.chain_hits in
+         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000);
+         if m.Ptaint_cpu.Machine.sb_promoted = 0
+            || m.Ptaint_cpu.Machine.chain_hits - before < 1_000
+         then
+           failwith
+             (Printf.sprintf
+                "micro/superblock-dispatch-10k: tier not engaged \
+                 (%d promoted, %d chain hits this run)"
+                m.Ptaint_cpu.Machine.sb_promoted
+                (m.Ptaint_cpu.Machine.chain_hits - before))))
+
+let chain_machine () =
+  let open Ptaint_isa in
+  let tb = Ptaint_mem.Layout.text_base in
+  let insns =
+    [| Insn.I (ADDIU, 8, 8, 1); Insn.J (tb + 8);
+       Insn.I (ADDIU, 9, 9, 1); Insn.J (tb + 16);
+       Insn.I (ADDIU, 10, 10, 1); Insn.J (tb + 24);
+       Insn.I (ADDIU, 11, 11, 1); Insn.J tb |]
+  in
+  let mem = Ptaint_mem.Memory.create () in
+  Ptaint_cpu.Machine.create
+    ~code:{ Ptaint_cpu.Machine.base = tb; insns }
+    ~mem ~entry:tb ()
+
+let micro_chain_hit_bench =
+  let m = chain_machine () in
+  ignore (Ptaint_cpu.Machine.run m ~fuel:20_000);
+  Test.make ~name:"micro/chain-hit-10k"
+    (Staged.stage (fun () ->
+         let before = m.Ptaint_cpu.Machine.chain_hits in
+         ignore (Ptaint_cpu.Machine.run m ~fuel:10_000);
+         if m.Ptaint_cpu.Machine.chain_hits - before < 4_000 then
+           failwith
+             (Printf.sprintf
+                "micro/chain-hit-10k: chains not linking (%d hits this run)"
+                (m.Ptaint_cpu.Machine.chain_hits - before))))
 
 (* fuel-sliced execution: the same bulk loop chopped into
    watchdog/fault-injection slices (Fi.default_slice) with a deadline
@@ -383,6 +445,7 @@ let micro_metrics_scrape_bench =
 let micro_benches =
   [ micro_mem_bench; micro_regfile_bench; micro_snapshot_bench; micro_trace_off_bench;
     micro_trace_on_bench; micro_block_dispatch_bench; micro_clean_fastpath_bench;
+    micro_superblock_dispatch_bench; micro_chain_hit_bench;
     micro_sliced_run_bench; micro_arena_reuse_bench; micro_fresh_boot_bench;
     micro_log_off_bench; micro_metrics_scrape_bench ]
 

@@ -117,13 +117,26 @@ let run_one path config disasm trace_file metrics plan job_timeout =
    | _ -> ());
   if metrics then begin
     let ms = Ptaint_mem.Memory.stats r.Ptaint_sim.Sim.machine.Ptaint_cpu.Machine.mem in
+    (* Single-run mode attaches the obs trace for alert diagnostics,
+       which drives the per-step engine — the translation tier only
+       engages on untraced runs (batch mode, the daemon), so show its
+       counters only when it actually ran. *)
+    let sb =
+      let cs =
+        Ptaint_cpu.Machine.superblock_counters r.Ptaint_sim.Sim.machine
+      in
+      if List.exists (fun (_, n) -> n > 0) cs then
+        List.map (fun (event, n) -> ("run/superblock-" ^ event, n)) cs
+      else []
+    in
     print_string
       (Ptaint_report.Report.counters
-         [ ("run/loads", ms.Ptaint_mem.Memory.loads);
-           ("run/tainted-loads", ms.Ptaint_mem.Memory.tainted_loads);
-           ("run/stores", ms.Ptaint_mem.Memory.stores);
-           ("run/tainted-stores", ms.Ptaint_mem.Memory.tainted_stores);
-           ("run/syscalls", r.Ptaint_sim.Sim.syscalls) ])
+         ([ ("run/loads", ms.Ptaint_mem.Memory.loads);
+            ("run/tainted-loads", ms.Ptaint_mem.Memory.tainted_loads);
+            ("run/stores", ms.Ptaint_mem.Memory.stores);
+            ("run/tainted-stores", ms.Ptaint_mem.Memory.tainted_stores);
+            ("run/syscalls", r.Ptaint_sim.Sim.syscalls) ]
+         @ sb))
   end;
   (match trace_file with
    | Some file ->
@@ -880,9 +893,9 @@ let metrics_arg =
 
 let timings_arg =
   Arg.(value & flag & info [ "timings" ]
-         ~doc:"With --metrics in batch mode: add the wall-clock and pool-concurrency \
-               histogram rows (non-deterministic; the default table is counters-only so \
-               runs can be diffed).")
+         ~doc:"With --metrics in batch mode: add the wall-clock, pool-concurrency and \
+               superblock-tier histogram rows (non-deterministic; the default table is \
+               counters-only so runs can be diffed).")
 
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"

@@ -249,6 +249,20 @@ let metrics_of results =
     (fun r ->
       let m = registry r.policy_label in
       List.iter (fun (name, by) -> M.inc ~by (M.counter m name)) (job_counters r);
+      (* Superblock-tier telemetry rides as per-job distributions, not
+         counters: the numbers depend on how warm the (shared) tier
+         was when each job started, so they live with the other
+         non-deterministic rows that only render under [~timings]. *)
+      (match r.status with
+       | Finished res ->
+         List.iter
+           (fun (event, n) ->
+             M.observe
+               (M.histogram m ("superblock " ^ event))
+               (float_of_int n))
+           (Ptaint_cpu.Machine.superblock_counters
+              res.Ptaint_sim.Sim.machine)
+       | Failed _ -> ());
       M.observe (M.histogram m "job wall ms")
         ((r.timing.finished -. r.timing.started) *. 1000.);
       (* Queue depth, post-hoc: how many jobs were in flight when this

@@ -24,6 +24,7 @@ type t = {
   fc : int array;
   stops : int array;
   insns : Insn.t array;
+  counts : int array;
 }
 
 let is_terminator (i : Insn.t) =
@@ -116,7 +117,12 @@ let analyze ~base (insns : Insn.t array) =
        else if i = n - 1 then n
        else stops.(i + 1))
   done;
-  { base; n; ops; fa; fb; fc; stops; insns }
+  (* [counts] are the superblock tier's per-entry hotness counters.
+     A decoded program (and hence this array) is shared across every
+     machine and domain running the same image, so increments race;
+     lost updates only delay promotion by a few dispatches, and the
+     warm counts let later jobs promote immediately. *)
+  { base; n; ops; fa; fb; fc; stops; insns; counts = Array.make (max n 1) 0 }
 
 let index_of ~base ~len pc =
   let off = pc - base in

@@ -48,6 +48,13 @@ type t = {
           end of the text segment.  The block entered at [i] is
           [\[i, stops.(i)\]] inclusive of the terminator. *)
   insns : Ptaint_isa.Insn.t array;  (** originals, for alert records *)
+  counts : int array;
+      (** Superblock-tier hotness counters, one per entry index.
+          Bumped by the interpreting dispatcher until the entry is
+          promoted to a translated superblock.  Shared (racily, with
+          benign lost updates) across every machine and domain
+          executing the same decoded program, so counts warm up
+          across jobs exactly like the snapshot pages do. *)
 }
 
 val analyze : base:int -> Ptaint_isa.Insn.t array -> t

@@ -46,18 +46,27 @@ type t = {
   mutable decoded : Block.t option;
   mutable blocks_run : int;
   mutable clean_blocks : int;
+  mutable tier : Superblock.tier option;
+  mutable sbenv : Superblock.env option;
+  mutable sb_promoted : int;
+  mutable chain_hits : int;
+  mutable chain_misses : int;
+  mutable sb_deopts : int;
 }
 
-let create ?(policy = Policy.default) ?decoded ~code ~mem ~entry () =
+let create ?(policy = Policy.default) ?decoded ?tier ~code ~mem ~entry () =
   { regs = Regfile.create (); mem; code; policy; pc = entry; icount = 0; guard_ranges = [];
-    obs = None; decoded; blocks_run = 0; clean_blocks = 0 }
+    obs = None; decoded; blocks_run = 0; clean_blocks = 0;
+    tier; sbenv = None; sb_promoted = 0; chain_hits = 0; chain_misses = 0; sb_deopts = 0 }
 
 (* Arena recycling: rewind every piece of machine state except [mem]
    (the caller restores that from its snapshot) and [regs] storage,
    re-aiming the machine at a possibly different program.  After
    [reset] the machine is indistinguishable from a [create] with the
-   same arguments. *)
-let reset ?(policy = Policy.default) ?decoded t ~code ~entry =
+   same arguments.  [sbenv] deliberately survives: it only caches the
+   register-file storage, tagged store and stats record, all of which
+   are stable across resets of the same machine. *)
+let reset ?(policy = Policy.default) ?decoded ?tier t ~code ~entry =
   Regfile.reset t.regs;
   t.code <- code;
   t.policy <- policy;
@@ -67,7 +76,12 @@ let reset ?(policy = Policy.default) ?decoded t ~code ~entry =
   t.obs <- None;
   t.decoded <- decoded;
   t.blocks_run <- 0;
-  t.clean_blocks <- 0
+  t.clean_blocks <- 0;
+  t.tier <- tier;
+  t.sb_promoted <- 0;
+  t.chain_hits <- 0;
+  t.chain_misses <- 0;
+  t.sb_deopts <- 0
 
 let decoded t =
   match t.decoded with
@@ -76,6 +90,31 @@ let decoded t =
     let d = Block.analyze ~base:t.code.base t.code.insns in
     t.decoded <- Some d;
     d
+
+(* The superblock tier must agree with the decode it indexes and the
+   policy its closures baked in; a mismatched cache (machine re-aimed
+   without a fresh tier) is replaced by a machine-local one. *)
+let tier_for t d =
+  match t.tier with
+  | Some tr when tr.Superblock.t_blocks == d && tr.Superblock.t_policy = t.policy -> tr
+  | _ ->
+    let tr = Superblock.create_tier d t.policy in
+    t.tier <- Some tr;
+    tr
+
+let sbenv_for t ts st =
+  match t.sbenv with
+  | Some e -> e
+  | None ->
+    let e = Superblock.make_env ~rf:t.regs ~ts ~st in
+    t.sbenv <- Some e;
+    e
+
+let superblock_counters t =
+  [ ("promoted", t.sb_promoted);
+    ("chain_hit", t.chain_hits);
+    ("chain_miss", t.chain_misses);
+    ("deopt", t.sb_deopts) ]
 
 let attach_obs ?(ring = 48) t trace =
   t.obs <-
@@ -1218,7 +1257,18 @@ let run t ~fuel =
           Break_trap (Array.unsafe_get fa k)
         | _ -> assert false
       in
-      (* Driver: one iteration per basic block. *)
+      (* Superblock tier: per-entry hotness counters, translated
+         chains, and an env the chains communicate exits through. *)
+      let module SB = Superblock in
+      let tier = tier_for t d in
+      let sbs = tier.SB.t_sbs and counts = d.Block.counts in
+      let env = sbenv_for t tsto st in
+      env.SB.e_guards <- guards;
+      env.SB.e_has_guards <- has_guards;
+      (* Driver: one iteration per basic block (or per superblock
+         chain run, when the entry is translated and the whole block
+         fits the remaining fuel — the tier refuses partial blocks so
+         fuel slicing stays icount-exact on the interpreter arm). *)
       let remaining = ref fuel in
       let result = ref Normal in
       let running = ref true in
@@ -1230,46 +1280,176 @@ let run t ~fuel =
           running := false
         end
         else begin
-          t.blocks_run <- t.blocks_run + 1;
-          let s_lim = Array.unsafe_get stops idx in
-          let budget = !remaining in
-          let stop = if s_lim - idx < budget then s_lim else idx + budget in
-          let clean =
-            Regfile.tainted_count regs = 0 && Ptaint_mem.Memory.tainted_bytes mem = 0
-          in
-          if clean then t.clean_blocks <- t.clean_blocks + 1;
-          ev := Normal;
-          let j = if clean then exec_clean idx stop else exec_full idx stop in
-          match !ev with
-          | Normal ->
-            if j = s_lim && s_lim < n && budget > s_lim - idx then begin
-              (* straight-line body complete, fuel left: run the
-                 terminator as part of this block *)
-              let r = exec_term s_lim in
-              t.icount <- t.icount + (s_lim - idx) + 1;
-              remaining := budget - (s_lim - idx) - 1;
-              match r with
-              | Normal -> if !remaining <= 0 then running := false
-              | r ->
-                result := r;
-                running := false
+          let sb0 =
+            let s = Array.unsafe_get sbs idx in
+            if s != SB.dummy then s
+            else if Array.unsafe_get stops idx < n then begin
+              (* untranslated entry with an in-text terminator: warm
+                 its counter, promote when it crosses the threshold *)
+              let c = Array.unsafe_get counts idx + 1 in
+              Array.unsafe_set counts idx c;
+              if c >= SB.threshold then begin
+                t.sb_promoted <- t.sb_promoted + 1;
+                SB.translate tier idx
+              end
+              else SB.dummy
             end
-            else begin
-              (* stopped at the fuel cap, or fell off the end of the
-                 text segment (the next iteration reports Bad_pc) *)
-              t.icount <- t.icount + (j - idx);
-              remaining := budget - (j - idx);
-              t.pc <- base + (j lsl 2);
+            else SB.dummy
+          in
+          if sb0 != SB.dummy && !remaining >= sb0.SB.sb_len then begin
+            (* --- translated arm: run the chain until it exits --- *)
+            env.SB.e_fuel <- !remaining;
+            env.SB.e_blocks <- 0;
+            env.SB.e_cleans <- 0;
+            env.SB.e_deopts <- 0;
+            env.SB.e_mode <- -1;
+            (try sb0.SB.sb_go env
+             with TS.Unmapped addr ->
+               env.SB.e_ev <- SB.ev_unmapped;
+               env.SB.e_a <- addr);
+            t.blocks_run <- t.blocks_run + env.SB.e_blocks;
+            t.clean_blocks <- t.clean_blocks + env.SB.e_cleans;
+            t.sb_deopts <- t.sb_deopts + env.SB.e_deopts;
+            if env.SB.e_blocks > 1 then
+              t.chain_hits <- t.chain_hits + env.SB.e_blocks - 1;
+            let code = env.SB.e_ev in
+            let cur = env.SB.e_cur in
+            let rel = env.SB.e_rel in
+            (* Mid-body exits charged the chain for the whole current
+               block up front; repay the unexecuted suffix (the event
+               instruction itself counts, as in the per-step engine).
+               Terminator-site and fuel exits have nothing to repay
+               ([ev_jump_alert] parks [e_rel] on the terminator, so the
+               formula is uniform). *)
+            let repay =
+              if code <= SB.ev_break then 0
+              else (Array.unsafe_get sbs cur).SB.sb_len - rel - 1
+            in
+            env.SB.e_fuel <- env.SB.e_fuel + repay;
+            t.icount <- t.icount + (!remaining - env.SB.e_fuel);
+            remaining := env.SB.e_fuel;
+            (* The block entry flushed its whole-body load/store
+               counts up front; a mid-body exit must give back the
+               unexecuted suffix, starting at the event instruction
+               itself (the interpreter bumps only after a successful
+               access, so a faulting/alerting access never counts). *)
+            if code >= SB.ev_load_alert then begin
+              let nl = ref 0 and ns = ref 0 in
+              let last = cur + (Array.unsafe_get sbs cur).SB.sb_len - 2 in
+              for q = cur + rel to last do
+                match Array.unsafe_get ops q with
+                | Block.Olb | Block.Olbu | Block.Olh | Block.Olhu | Block.Olw ->
+                  incr nl
+                | Block.Osb | Block.Osh | Block.Osw -> incr ns
+                | _ -> ()
+              done;
+              if !nl > 0 then st.M.loads <- st.M.loads - !nl;
+              if !ns > 0 then st.M.stores <- st.M.stores - !ns
+            end;
+            if code = SB.ev_none then begin
+              (* chain miss: continue (and warm the successor) on the
+                 interpreter arm *)
+              t.chain_misses <- t.chain_misses + 1;
+              t.pc <- env.SB.e_next_pc;
               if !remaining <= 0 then running := false
             end
-          | e ->
-            (* the instruction at [j] raised: it still counts, and the
-               pc parks on it, exactly like the per-step engine *)
-            t.icount <- t.icount + (j - idx) + 1;
-            remaining := budget - (j - idx) - 1;
-            t.pc <- base + (j lsl 2);
-            result := e;
-            running := false
+            else if code = SB.ev_fuel then begin
+              (* a chained successor no longer fits: park on it and
+                 let the interpreter arm run the partial block *)
+              t.pc <- env.SB.e_next_pc;
+              if !remaining <= 0 then running := false
+            end
+            else if code = SB.ev_syscall then begin
+              t.pc <- env.SB.e_next_pc;
+              result := Syscall;
+              running := false
+            end
+            else if code = SB.ev_break then begin
+              t.pc <- env.SB.e_next_pc;
+              result := Break_trap env.SB.e_a;
+              running := false
+            end
+            else begin
+              let j = cur + rel in
+              let jpc = base + (j lsl 2) in
+              t.pc <- jpc;
+              result :=
+                (if code = SB.ev_jump_alert then
+                   Alert
+                     { alert_pc = jpc; alert_insn = Array.unsafe_get insns j;
+                       kind = Jump_target; reg = env.SB.e_a;
+                       reg_value = Regfile.get regs env.SB.e_a; ea = None;
+                       stage = "ID/EX" }
+                 else if code = SB.ev_load_alert || code = SB.ev_store_alert then
+                   Alert
+                     { alert_pc = jpc; alert_insn = Array.unsafe_get insns j;
+                       kind =
+                         (if code = SB.ev_load_alert then Load_address
+                          else Store_address);
+                       reg = env.SB.e_a; reg_value = Regfile.get regs env.SB.e_a;
+                       ea = Some env.SB.e_b; stage = "EX/MEM" }
+                 else if code = SB.ev_guard_alert then
+                   Alert
+                     { alert_pc = jpc; alert_insn = Array.unsafe_get insns j;
+                       kind = Guarded_store; reg = env.SB.e_a;
+                       reg_value = Regfile.get regs env.SB.e_a;
+                       ea = Some env.SB.e_b; stage = "EX/MEM" }
+                 else if code = SB.ev_misalign then
+                   Fault (Misaligned { addr = env.SB.e_a; width = env.SB.e_b })
+                 else
+                   Fault
+                     (Segfault
+                        { addr = env.SB.e_a;
+                          access =
+                            (match Array.unsafe_get ops j with
+                             | Block.Osb | Block.Osh | Block.Osw -> M.Store
+                             | _ -> M.Load) }));
+              running := false
+            end
+          end
+          else begin
+            (* --- interpreter arm --- *)
+            t.blocks_run <- t.blocks_run + 1;
+            let s_lim = Array.unsafe_get stops idx in
+            let budget = !remaining in
+            let stop = if s_lim - idx < budget then s_lim else idx + budget in
+            let clean =
+              Regfile.is_clean regs && Ptaint_mem.Memory.tainted_bytes mem = 0
+            in
+            if clean then t.clean_blocks <- t.clean_blocks + 1;
+            ev := Normal;
+            let j = if clean then exec_clean idx stop else exec_full idx stop in
+            match !ev with
+            | Normal ->
+              if j = s_lim && s_lim < n && budget > s_lim - idx then begin
+                (* straight-line body complete, fuel left: run the
+                   terminator as part of this block *)
+                let r = exec_term s_lim in
+                t.icount <- t.icount + (s_lim - idx) + 1;
+                remaining := budget - (s_lim - idx) - 1;
+                match r with
+                | Normal -> if !remaining <= 0 then running := false
+                | r ->
+                  result := r;
+                  running := false
+              end
+              else begin
+                (* stopped at the fuel cap, or fell off the end of the
+                   text segment (the next iteration reports Bad_pc) *)
+                t.icount <- t.icount + (j - idx);
+                remaining := budget - (j - idx);
+                t.pc <- base + (j lsl 2);
+                if !remaining <= 0 then running := false
+              end
+            | e ->
+              (* the instruction at [j] raised: it still counts, and the
+                 pc parks on it, exactly like the per-step engine *)
+              t.icount <- t.icount + (j - idx) + 1;
+              remaining := budget - (j - idx) - 1;
+              t.pc <- base + (j lsl 2);
+              result := e;
+              running := false
+          end
         end
       done;
       !result

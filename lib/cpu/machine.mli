@@ -69,16 +69,35 @@ type t = {
   mutable clean_blocks : int;
       (** blocks {!run} executed on the clean fast path (zero live
           taint); [blocks_run - clean_blocks] ran the full handlers *)
+  mutable tier : Superblock.tier option;
+      (** superblock translation table; seeded from an image's shared
+          per-policy tier, or created machine-locally on first use *)
+  mutable sbenv : Superblock.env option;
+      (** cached chain-execution context (survives {!reset}: it only
+          aliases state that is itself stable across resets) *)
+  mutable sb_promoted : int;  (** blocks this machine translated *)
+  mutable chain_hits : int;
+      (** superblock→superblock crossings that stayed inside a chain *)
+  mutable chain_misses : int;
+      (** chain exits to an untranslated successor *)
+  mutable sb_deopts : int;
+      (** clean/full variant switches observed inside chain runs — the
+          taint-transition deoptimizations *)
 }
 
 val create :
-  ?policy:Policy.t -> ?decoded:Block.t -> code:code -> mem:Ptaint_mem.Memory.t ->
-  entry:int -> unit -> t
+  ?policy:Policy.t -> ?decoded:Block.t -> ?tier:Superblock.tier -> code:code ->
+  mem:Ptaint_mem.Memory.t -> entry:int -> unit -> t
 (** [?decoded] seeds the pre-decode cache with an externally built
     {!Block.t} (an image's shared block table); without it the first
-    {!run} analyzes the text segment lazily. *)
+    {!run} analyzes the text segment lazily.  [?tier] likewise seeds
+    the superblock tier with an image's shared translation table; it
+    must have been built over the same {!Block.t} and policy, else
+    {!run} quietly replaces it with a machine-local tier. *)
 
-val reset : ?policy:Policy.t -> ?decoded:Block.t -> t -> code:code -> entry:int -> unit
+val reset :
+  ?policy:Policy.t -> ?decoded:Block.t -> ?tier:Superblock.tier -> t -> code:code ->
+  entry:int -> unit
 (** Arena recycling: rewind everything except [mem] (the caller
     restores that separately, e.g. via
     {!Ptaint_mem.Memory.reset_from_snapshot}) so the machine — and the
@@ -109,6 +128,13 @@ val run : t -> fuel:int -> step
     an incident report) and emits {!Ptaint_obs.Event.t} values for
     propagation milestones (first taint of each register slot, first
     tainted store into each memory region), alerts and faults. *)
+
+val superblock_counters : t -> (string * int) list
+(** The translation-tier telemetry of this machine as labeled event
+    counts, in fixed order: [promoted], [chain_hit], [chain_miss],
+    [deopt].  These depend on how warm the (possibly shared) tier was
+    when the run started, so they are performance telemetry, not part
+    of the deterministic per-job counter set. *)
 
 val attach_obs : ?ring:int -> t -> Ptaint_obs.Trace.t -> unit
 (** Attach an event bus (and a [ring]-entry instruction window,

@@ -4,26 +4,29 @@ open Ptaint_taint
    (indices 32/33 are HI/LO) — no per-register boxing, and reset is a
    single fill.
 
-   [tainted] counts the slots whose packed mask is non-zero; it is
-   maintained by every mutator, so the block engine can test "no live
-   register taint anywhere" with one load instead of a 34-slot scan. *)
-type t = { regs : int array; mutable tainted : int }
+   [tmap] is a bitmap with bit [i] set iff slot [i]'s packed mask is
+   non-zero; it is maintained by every mutator, so the block engine and
+   the superblock tier can test "no live register taint anywhere" with
+   one load instead of a 34-slot scan.  A bitmap (rather than the old
+   live count) lets writes maintain it branchlessly without loading the
+   old slot value first. *)
+type t = { regs : int array; mutable tmap : int }
 
 let hi_idx = 32
 let lo_idx = 33
 
-let create () = { regs = Array.make 34 (Tword.to_bits Tword.zero); tainted = 0 }
+let create () = { regs = Array.make 34 (Tword.to_bits Tword.zero); tmap = 0 }
 
 (* Register indices come out of 5-bit instruction fields (plus the
    fixed HI/LO slots), so every index is < 34 by construction and the
    accessors skip the array bounds checks. *)
 let[@inline] get t r = if r = 0 then Tword.zero else Tword.of_bits (Array.unsafe_get t.regs r)
 
+(* The packed mask occupies bits 32..35, so [bits lsr 32] is a 4-bit
+   mask and [(m + 15) lsr 4] collapses it to 0/1 without a branch. *)
 let[@inline] write t i bits =
-  let old = Array.unsafe_get t.regs i in
   Array.unsafe_set t.regs i bits;
-  if (old lsr 32 <> 0) <> (bits lsr 32 <> 0) then
-    t.tainted <- t.tainted + (if bits lsr 32 <> 0 then 1 else -1)
+  t.tmap <- t.tmap land lnot (1 lsl i) lor ((((bits lsr 32) + 15) lsr 4) lsl i)
 
 let[@inline] set t r w = if r <> 0 then write t r (Tword.to_bits w)
 let[@inline] get_hi t = Tword.of_bits (Array.unsafe_get t.regs hi_idx)
@@ -33,27 +36,30 @@ let[@inline] set_lo t w = write t lo_idx (Tword.to_bits w)
 
 let[@inline] untaint t r =
   if r <> 0 then begin
-    let old = Array.unsafe_get t.regs r in
-    if old lsr 32 <> 0 then begin
-      Array.unsafe_set t.regs r (old land 0xFFFFFFFF);
-      t.tainted <- t.tainted - 1
-    end
+    Array.unsafe_set t.regs r (Array.unsafe_get t.regs r land 0xFFFFFFFF);
+    t.tmap <- t.tmap land lnot (1 lsl r)
   end
 
 let[@inline] value t r = if r = 0 then 0 else Array.unsafe_get t.regs r land 0xFFFFFFFF
 
 (* Clean-path write: the value is untainted by construction, so no
-   mask restriction is needed; the counter is still kept exact in case
+   mask restriction is needed; the bitmap bit is still cleared in case
    the destination held taint (it never does while the clean fast path
    is active, but correctness must not depend on the caller). *)
 let[@inline] set_value t r v =
   if r <> 0 then begin
-    let old = Array.unsafe_get t.regs r in
-    if old lsr 32 <> 0 then t.tainted <- t.tainted - 1;
-    Array.unsafe_set t.regs r (v land 0xFFFFFFFF)
+    Array.unsafe_set t.regs r (v land 0xFFFFFFFF);
+    t.tmap <- t.tmap land lnot (1 lsl r)
   end
 
-let tainted_count t = t.tainted
+let[@inline] is_clean t = t.tmap = 0
+
+let tainted_count t =
+  (* Popcount of a 34-bit map; called from diagnostics and the
+     per-step engine's clean test, never from the hot translated
+     path, so a plain fold is fine. *)
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 t.tmap
 
 let tainted_registers t =
   List.filter (fun r -> Tword.is_tainted (get t r)) (List.init 32 Fun.id)
@@ -64,10 +70,30 @@ let slot t i = if i = 0 then Tword.zero else Tword.of_bits t.regs.(i)
 let slot_name i =
   if i = hi_idx then "hi" else if i = lo_idx then "lo" else Ptaint_isa.Reg.name i
 
+(* {1 Superblock-translator storage hooks}
+
+   The translated tier reads and writes the packed array directly (the
+   clean variant never touches taint at all, so even the [lsr 32] of
+   [write] would be waste there).  These accessors expose just enough
+   raw structure for that, while keeping the bitmap invariant in the
+   translator's hands: [mark] after a full write, [mark_clean] after a
+   known-untainted write, nothing at all on the clean path (where
+   [tmap] is 0 and every write keeps it 0). *)
+
+let[@inline] storage t = t.regs
+
+let[@inline] mark t i ~m =
+  t.tmap <- t.tmap land lnot (1 lsl i) lor (((m + 15) lsr 4) lsl i)
+
+let[@inline] mark_clean t i = t.tmap <- t.tmap land lnot (1 lsl i)
+
+let[@inline] mark_clean2 t i j =
+  t.tmap <- t.tmap land lnot ((1 lsl i) lor (1 lsl j))
+
 (* Fault-injection entry points.  [inject_flip_value] touches only the
-   value bits, so the taint nibble (and the live counter) cannot
+   value bits, so the taint nibble (and the live bitmap) cannot
    change; [inject_set_taint] goes through [write], which maintains
-   the counter exactly.  Slot 0 absorbs injections silently — the
+   the bitmap exactly.  Slot 0 absorbs injections silently — the
    hardwired zero register masks any fault landing on it. *)
 
 let inject_flip_value t r ~bit =
@@ -84,7 +110,7 @@ let inject_set_taint t r ~tainted =
 
 let reset t =
   Array.fill t.regs 0 34 (Tword.to_bits Tword.zero);
-  t.tainted <- 0
+  t.tmap <- 0
 
 let pp ppf t =
   for r = 0 to 31 do

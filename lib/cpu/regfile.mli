@@ -26,8 +26,12 @@ val set_value : t -> Ptaint_isa.Reg.t -> int -> unit
 
 val tainted_count : t -> int
 (** Number of slots (GPRs, HI, LO) currently carrying any taint.
-    Maintained incrementally by every mutator; [0] means the whole
-    file is provably clean. *)
+    Derived from a live bitmap maintained by every mutator; [0] means
+    the whole file is provably clean. *)
+
+val is_clean : t -> bool
+(** [tainted_count t = 0], as a single load-and-compare — the
+    superblock tier's per-block variant-selection guard. *)
 
 val tainted_registers : t -> Ptaint_isa.Reg.t list
 val reset : t -> unit
@@ -48,6 +52,31 @@ val slot : t -> int -> Ptaint_taint.Tword.t
 
 val slot_name : int -> string
 (** ["v0"], ..., ["hi"], ["lo"]. *)
+
+(** {1 Superblock-translator storage hooks}
+
+    The translated tier compiles blocks into closures that operate on
+    the packed slot array directly; these accessors expose the raw
+    storage plus the bitmap-maintenance writes it must pair with full
+    (possibly tainted) and known-clean register writebacks.  Nothing
+    else should use them. *)
+
+val storage : t -> int array
+(** The flat 34-slot array of packed Tword bits.  Slot 0 always holds
+    untainted zero; writers must preserve that (writing packed 0 to
+    slot 0 is the idiomatic no-op). *)
+
+val mark : t -> int -> m:int -> unit
+(** Record that slot [i] now carries 4-bit taint mask [m] (0..15),
+    branchlessly updating the live-taint bitmap.  Must follow every
+    raw write of possibly-tainted packed bits. *)
+
+val mark_clean : t -> int -> unit
+(** Record that slot [i] is now untainted. *)
+
+val mark_clean2 : t -> int -> int -> unit
+(** [mark_clean] on two slots with one bitmap update (the
+    compare-untaint rule touches both operands). *)
 
 (** {1 Fault-injection entry points}
 

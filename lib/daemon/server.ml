@@ -76,6 +76,8 @@ type job_info = {
   ji_t0 : float;
   ji_t1 : float;
   ji_domain : int;  (* worker domain id; Chrome track *)
+  ji_superblock : (string * int) list;
+      (* translation-tier event counts (promoted / chain_hit / ...) *)
 }
 
 type completion = {
@@ -288,11 +290,18 @@ let run_job_task t ~cid ~id (spec : Job.t) () =
     | Proto.Job_event (Proto.Job_failed f) -> f.kind
     | _ -> "unknown"
   in
+  let superblock =
+    match r.Campaign.status with
+    | Campaign.Finished res ->
+      Ptaint_cpu.Machine.superblock_counters res.Ptaint_sim.Sim.machine
+    | Campaign.Failed _ -> []
+  in
   let info =
     { ji_id = id; ji_tag = spec.Job.tag; ji_outcome = outcome;
       ji_cache_hit = cache_hit; ji_trace = spec.Job.trace;
       ji_t0 = t0; ji_t1 = Unix.gettimeofday ();
-      ji_domain = (Domain.self () :> int) }
+      ji_domain = (Domain.self () :> int);
+      ji_superblock = superblock }
   in
   push_completion t { c_cid = cid; c_resp = resp; c_terminal = true; c_info = Some info }
 
@@ -491,6 +500,16 @@ let account_finished t ji =
   Metrics.inc
     (Metrics.counter t.metrics ~labels:[ ("outcome", ji.ji_outcome) ]
        "ptaintd_jobs_total");
+  (* Translation-tier telemetry, aggregated across jobs: how many
+     blocks the fleet promoted, how often chains stayed linked, and
+     how often taint transitions forced a variant deopt. *)
+  List.iter
+    (fun (event, n) ->
+      if n > 0 then
+        Metrics.inc ~by:n
+          (Metrics.counter t.metrics ~labels:[ ("event", event) ]
+             "ptaintd_superblock_events_total"))
+    ji.ji_superblock;
   mobserve t "ptaintd_job_duration_us" ((ji.ji_t1 -. ji.ji_t0) *. 1e6);
   linfo t "job finished"
     (Log.int "id" ji.ji_id :: Log.str "tag" ji.ji_tag

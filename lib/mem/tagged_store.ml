@@ -72,7 +72,7 @@ let is_mapped t idx = Hashtbl.mem t.pages idx
 
 let mapped_pages t = Hashtbl.length t.pages
 
-let tainted_bytes t = t.tainted
+let[@inline] tainted_bytes t = t.tainted
 
 let page_miss t addr idx slot =
   match Hashtbl.find_opt t.pages idx with
@@ -153,6 +153,9 @@ let[@inline] store_word_aligned t addr w =
     t.tainted <-
       t.tainted + Array.unsafe_get pop4 (bits lsr 32) - Array.unsafe_get pop4 (old lsr 32);
   Bigarray.Array1.unsafe_set pl wi bits
+
+let[@inline] load_word_elt t addr =
+  Bigarray.Array1.unsafe_get (read_plane t addr) ((addr land page_mask) lsr 2)
 
 let[@inline] load_byte_tw t addr =
   let elt =

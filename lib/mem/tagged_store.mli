@@ -61,6 +61,13 @@ val store_half : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit
 
 val load_word_aligned : t -> int -> Ptaint_taint.Tword.t
 val store_word_aligned : t -> int -> Ptaint_taint.Tword.t -> unit
+
+val load_word_elt : t -> int -> int
+(** Raw packed element at a 4-aligned address — the word's value bits
+    0..31 plus its four taint tags at bits 32..35, with no masking or
+    re-packing at all.  The superblock tier's [lw]: the element is the
+    Tword bit pattern, so the translated closure stores it straight
+    into the register file. *)
 val load_byte_tw : t -> int -> Ptaint_taint.Tword.t
 val load_half_even : t -> int -> Ptaint_taint.Tword.t
 val store_half_even : t -> int -> int -> m:Ptaint_taint.Mask.t -> unit

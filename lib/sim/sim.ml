@@ -132,9 +132,9 @@ type session = {
 
 type progress = Running | Finished of outcome
 
-let boot_image ?decoded config (image : Ptaint_asm.Loader.image) =
+let boot_image ?decoded ?tier config (image : Ptaint_asm.Loader.image) =
   let machine =
-    Machine.create ~policy:config.policy ?decoded ~code:image.Ptaint_asm.Loader.code
+    Machine.create ~policy:config.policy ?decoded ?tier ~code:image.Ptaint_asm.Loader.code
       ~mem:image.Ptaint_asm.Loader.mem ~entry:image.Ptaint_asm.Loader.entry ()
   in
   Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
@@ -184,10 +184,28 @@ module Image = struct
     i_argv : string list;
     i_env : (string * string) list;
     i_sources : Sources.t;
+    i_tiers : (Policy.t * Superblock.tier) list Atomic.t;
+        (* superblock translation tables, one per policy the image has
+           run under.  Translated closures bake policy constants, so a
+           tier is only valid for the exact policy it was built with;
+           campaigns replay the same few policies, so a small assoc
+           list found by structural equality suffices.  Push-only CAS
+           list: losing a race re-reads and retries, and a duplicate
+           tier (two domains creating one concurrently) costs only the
+           warm-up repeating. *)
   }
 
   let program t = t.i_image.Ptaint_asm.Loader.program
   let blocks t = t.i_blocks
+
+  let rec tier_for t policy =
+    let tiers = Atomic.get t.i_tiers in
+    match List.find_opt (fun (p, _) -> p = policy) tiers with
+    | Some (_, tier) -> tier
+    | None ->
+      let tier = Superblock.create_tier t.i_blocks policy in
+      if Atomic.compare_and_set t.i_tiers tiers ((policy, tier) :: tiers) then tier
+      else tier_for t policy
 end
 
 type template = Image.t
@@ -202,7 +220,8 @@ let prepare ?(config = default_config) program =
     i_snapshot = Ptaint_mem.Memory.snapshot image.Ptaint_asm.Loader.mem;
     i_argv = config.argv;
     i_env = config.env;
-    i_sources = config.sources }
+    i_sources = config.sources;
+    i_tiers = Atomic.make [] }
 
 let template_matches (config : config) program (tpl : template) =
   tpl.Image.i_image.Ptaint_asm.Loader.program == program
@@ -219,7 +238,7 @@ let boot_template ?(config = default_config) tpl =
   check_template_config "Sim.boot_template" config tpl;
   let mem = Ptaint_mem.Memory.restore tpl.Image.i_snapshot in
   let s =
-    boot_image ~decoded:tpl.Image.i_blocks config
+    boot_image ~decoded:tpl.Image.i_blocks ~tier:(Image.tier_for tpl config.policy) config
       { tpl.Image.i_image with Ptaint_asm.Loader.mem }
   in
   (match Machine.trace s.s_machine with
@@ -264,7 +283,8 @@ let boot_template_arena ?(config = default_config) tpl =
     | Some machine ->
       let image = tpl.Image.i_image in
       Ptaint_mem.Memory.reset_from_snapshot machine.Machine.mem tpl.Image.i_snapshot;
-      Machine.reset ~policy:config.policy ~decoded:tpl.Image.i_blocks machine
+      Machine.reset ~policy:config.policy ~decoded:tpl.Image.i_blocks
+        ~tier:(Image.tier_for tpl config.policy) machine
         ~code:image.Ptaint_asm.Loader.code ~entry:image.Ptaint_asm.Loader.entry;
       Regfile.set machine.Machine.regs Ptaint_isa.Reg.sp
         (Ptaint_taint.Tword.untainted image.Ptaint_asm.Loader.initial_sp);

@@ -225,6 +225,101 @@ let test_clean_taint_clean () =
   Alcotest.(check int) "memory scrubbed" 0 (Memory.tainted_bytes m.Machine.mem);
   Alcotest.(check int) "registers scrubbed" 0 (Regfile.tainted_count m.Machine.regs)
 
+(* --- superblock chains ---------------------------------------------- *)
+
+(* A nested direct-branch loop: the inner body self-chains through its
+   taken slot, the outer tail chains back across two blocks.  Hot
+   enough (5000 inner iterations) that every loop block is promoted
+   and almost every crossing stays inside a compiled chain — the
+   differential proves the chained execution is still bit-exact, the
+   counter checks prove the chains actually carried the run. *)
+let chain_loop_asm =
+  {|
+        .text
+main:   li $t0, 100
+outer:  li $t1, 50
+inner:  addiu $t1, $t1, -1
+        addu $t2, $t2, $t0
+        bne $t1, $zero, inner
+        addiu $t0, $t0, -1
+        bgtz $t0, outer
+        li $v0, 1
+        li $a0, 0
+        syscall
+|}
+
+let test_superblock_chains () =
+  let program =
+    match Ptaint_asm.Assembler.assemble chain_loop_asm with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "assembly failed: %a" Ptaint_asm.Assembler.pp_error e
+  in
+  let bulk = differential "superblock-chains" Sim.default_config program in
+  let m = bulk.machine in
+  (match bulk.outcome with
+   | Sim.Exited 0 -> ()
+   | o -> Alcotest.failf "outcome: %a" Sim.pp_outcome o);
+  Alcotest.(check bool) "blocks were promoted" true (m.Machine.sb_promoted > 0);
+  Alcotest.(check bool) "chains linked up" true (m.Machine.chain_hits > 1000)
+
+(* Taint flips inside a chain: each loop iteration reads four tainted
+   bytes (full handlers), scrubs every trace of them, then spins a
+   clean inner loop — so once the loop is promoted, a single chain run
+   crosses from the full variant into the clean variant, which is
+   exactly the per-entry re-selection (deopt) path. *)
+let flip_loop_asm =
+  {|
+        .text
+main:   li $t3, 20
+loop:   li $v0, 2               # sys_read: 4 tainted bytes -> buf
+        li $a0, 0
+        la $a1, buf
+        li $a2, 4
+        syscall
+        lw $t0, 0($a1)
+        addu $t2, $t0, $t0      # propagate under the full handlers
+        sw $zero, 0($a1)        # scrub the memory taint...
+        li $t0, 0               # ...and both registers
+        li $t2, 0
+        li $t4, 30
+spin:   addiu $t4, $t4, -1      # clean spin, mid-chain
+        bne $t4, $zero, spin
+        addiu $t3, $t3, -1
+        bgtz $t3, loop
+        li $v0, 1
+        li $a0, 0
+        syscall
+        .data
+buf:    .space 8
+|}
+
+let test_taint_flip_mid_chain () =
+  let program =
+    match Ptaint_asm.Assembler.assemble flip_loop_asm with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "assembly failed: %a" Ptaint_asm.Assembler.pp_error e
+  in
+  let config =
+    Sim.Config.(
+      default
+      |> with_sources { Ptaint_os.Sources.none with stdin = true }
+      |> with_stdin (String.init 80 (fun i -> Char.chr (65 + (i mod 26)))))
+  in
+  let bulk = differential "taint-flip-mid-chain" config program in
+  let m = bulk.machine in
+  (match bulk.outcome with
+   | Sim.Exited 0 -> ()
+   | o -> Alcotest.failf "outcome: %a" Sim.pp_outcome o);
+  Alcotest.(check bool) "blocks were promoted" true (m.Machine.sb_promoted > 0);
+  Alcotest.(check bool) "chains linked up" true (m.Machine.chain_hits > 0);
+  Alcotest.(check bool) "variant flips were observed mid-chain" true
+    (m.Machine.sb_deopts > 0);
+  Alcotest.(check bool) "some blocks ran clean" true (m.Machine.clean_blocks > 0);
+  Alcotest.(check bool) "some blocks ran the full handlers" true
+    (m.Machine.blocks_run > m.Machine.clean_blocks);
+  Alcotest.(check int) "memory scrubbed" 0 (Memory.tainted_bytes m.Machine.mem);
+  Alcotest.(check int) "registers scrubbed" 0 (Regfile.tainted_count m.Machine.regs)
+
 (* --- batch runner --------------------------------------------------- *)
 
 (* [run_many] feeds every job through [finish]; a two-domain batch
@@ -251,4 +346,6 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_random_programs;
           Alcotest.test_case "attack catalogue, both engines" `Quick test_catalog_differential;
           Alcotest.test_case "clean -> tainted -> clean" `Quick test_clean_taint_clean;
+          Alcotest.test_case "superblock chains, both engines" `Quick test_superblock_chains;
+          Alcotest.test_case "taint flip mid-chain" `Quick test_taint_flip_mid_chain;
           Alcotest.test_case "run_many matches per-step" `Quick test_run_many_differential ] ) ]

@@ -269,6 +269,13 @@ let test_job_of_spec_bad_policy () =
 let exit_asm = ".text\nmain: li $v0, 1\n li $a0, 0\n syscall\n"
 let spin_asm = ".text\nmain: j main\n"
 
+(* A spinner job that only the wall-clock watchdog can stop: the
+   default fuel budget is finite, and a fast engine can burn through
+   it before a sub-second timeout fires. *)
+let spin_spec ~timeout =
+  Proto.job_spec ~tag:"spin" ~timeout ~max_instructions:max_int
+    (Proto.Wire_asm spin_asm)
+
 let with_server ?(max_queue = 64) ?(max_inflight = 8) f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -337,7 +344,7 @@ let test_loopback_batch_and_failures () =
       let specs =
         [ exit_spec ~tag:"a" ();
           Proto.job_spec ~tag:"malformed" (Proto.Wire_asm ".data\nx: .space -4\n");
-          Proto.job_spec ~tag:"spin" ~timeout:0.2 (Proto.Wire_asm spin_asm);
+          spin_spec ~timeout:0.2;
           exit_spec ~tag:"b" () ]
       in
       match Client.run_batch c specs with
@@ -417,6 +424,25 @@ let test_loopback_stats_full () =
       Alcotest.(check bool) "cache gauges" true (has "ptaintd_cache_misses 1");
       Alcotest.(check bool) "latency histogram" true
         (has "ptaintd_job_duration_us_count 1");
+      (* A guest that loops one block past the promotion threshold must
+         surface translation-tier events in the scrape. *)
+      let loop_asm =
+        ".text\nmain: li $t0, 64\nloop: addi $t0, $t0, -1\n bgtz $t0, loop\n \
+         li $v0, 1\n li $a0, 0\n syscall\n"
+      in
+      (match Client.submit c (Proto.job_spec ~tag:"loop" (Proto.Wire_asm loop_asm)) with
+       | Error m -> Alcotest.fail ("rejected: " ^ m)
+       | Ok _ -> ignore (wait_terminal c));
+      let text2 = Client.stats_full c in
+      let has2 needle =
+        let n = String.length needle and l = String.length text2 in
+        let rec scan i = i + n <= l && (String.sub text2 i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "superblock family" true
+        (has2 "# TYPE ptaintd_superblock_events_total counter");
+      Alcotest.(check bool) "superblock promotions counted" true
+        (has2 "ptaintd_superblock_events_total{event=\"promoted\"}");
       Client.close c)
 
 let test_loopback_two_clients () =
@@ -446,7 +472,7 @@ let test_admission_quota () =
   (* max_inflight 1: the second concurrent submission must bounce *)
   with_server ~max_inflight:1 (fun path _server ->
       let c = Client.connect ~client:"test" path in
-      (match Client.submit c (Proto.job_spec ~tag:"spin" ~timeout:1.0 (Proto.Wire_asm spin_asm)) with
+      (match Client.submit c (spin_spec ~timeout:1.0) with
        | Ok _ -> ()
        | Error m -> Alcotest.fail ("first submission rejected: " ^ m));
       (match Client.submit c (exit_spec ()) with

@@ -108,6 +108,76 @@ let test_watchdog_fires () =
   | exception Sim.Timeout { instructions } ->
     Alcotest.(check bool) "made progress before the deadline" true (instructions > 0)
 
+(* --- run_until lands exactly inside promoted superblocks --- *)
+
+(* A hot nested loop whose blocks all get promoted and chained by the
+   translation tier.  Pausing at arbitrary icounts — including ones
+   that fall in the middle of a fused block — must park the machine at
+   exactly that instruction, accept an injection there, and resume
+   bit-identically to the per-step engine doing the same dance. *)
+let hot_loop_asm =
+  {|
+        .text
+main:   li $t0, 100
+outer:  li $t1, 50
+inner:  addiu $t1, $t1, -1
+        addu $t2, $t2, $t0
+        bne $t1, $zero, inner
+        addiu $t0, $t0, -1
+        bgtz $t0, outer
+        li $v0, 1
+        li $a0, 0
+        syscall
+|}
+
+let test_superblock_slice_exact () =
+  let program = Ptaint_asm.Assembler.assemble_exn hot_loop_asm in
+  (* pauses chosen to land at different offsets inside the fused
+     3-instruction inner block, long after promotion (threshold 16) *)
+  let pauses = [ 1000; 5003; 5004; 7919; 12000 ] in
+  let drive config =
+    let s = Sim.boot ~config program in
+    let m = s.Sim.s_machine in
+    let at =
+      List.map
+        (fun n ->
+          match Sim.run_until s ~icount:n with
+          | Sim.Running ->
+            Alcotest.(check int) (Printf.sprintf "paused at exactly %d" n) n
+              m.Machine.icount;
+            (* mutate state mid-chain: the resumed run must honor it *)
+            Alcotest.(check bool) "injection lands mid-chain" true
+              (Fi.apply m (Fi.Flip_reg { slot = 10; bit = 2 }));
+            (m.Machine.pc, m.Machine.icount)
+          | Sim.Finished _ -> Alcotest.failf "finished before icount %d" n)
+        pauses
+    in
+    let r = Sim.finish s in
+    let regs =
+      List.init Ptaint_cpu.Regfile.slots (fun i ->
+          Ptaint_taint.Tword.to_bits (Ptaint_cpu.Regfile.slot m.Machine.regs i))
+    in
+    (at, fingerprint r, regs, m)
+  in
+  let at_b, fp_b, regs_b, mb = drive Sim.default_config in
+  let at_s, fp_s, regs_s, _ =
+    drive { Sim.default_config with Sim.on_step = Some (fun _ _ -> ()) }
+  in
+  List.iteri
+    (fun i ((pc_b, ic_b), (pc_s, ic_s)) ->
+      Alcotest.(check int) (Printf.sprintf "pause %d: same pc" i) pc_s pc_b;
+      Alcotest.(check int) (Printf.sprintf "pause %d: same icount" i) ic_s ic_b)
+    (List.combine at_b at_s);
+  Alcotest.(check string) "resumed run = per-step run" fp_s fp_b;
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "register slot %d differs — bulk %x, per-step %x" i b a)
+    (List.combine regs_b regs_s);
+  (* and the bulk run really was executing translated chains *)
+  Alcotest.(check bool) "blocks were promoted" true (mb.Machine.sb_promoted > 0);
+  Alcotest.(check bool) "chains linked up" true (mb.Machine.chain_hits > 0)
+
 (* --- directed faults move the detector the way the taxonomy says --- *)
 
 let test_taint_wipe_false_negative () =
@@ -239,6 +309,8 @@ let () =
           Alcotest.test_case "late injection misses" `Quick test_injection_after_exit ] );
       ( "slicing",
         [ Alcotest.test_case "sliced run = plain run" `Quick test_slice_parity;
+          Alcotest.test_case "run_until exact inside superblocks" `Quick
+            test_superblock_slice_exact;
           Alcotest.test_case "watchdog fires" `Quick test_watchdog_fires ] );
       ( "coverage deltas",
         [ Alcotest.test_case "taint wipe => false negative" `Quick
