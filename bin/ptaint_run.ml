@@ -537,17 +537,31 @@ let run_generate_local spec domains metrics checkpoint every results_path job_ti
           (* the sink must be on disk before the manifest points past
              its lines — resume truncates any overshoot *)
           (match sink with Some oc -> flush oc | None -> ());
-          Checkpoint.save ~path
-            { Checkpoint.id = campaign_id; total; cursor;
-              elapsed_us = elapsed_now ();
-              dump = Campaign.dump_tally tally };
-          last_ckpt := cursor;
-          (match log with
-           | Some l ->
-             Log.info l ~src:"campaign" "checkpoint written"
-               [ Log.str "path" path; Log.int "cursor" cursor;
-                 Log.int "elapsed_us" (elapsed_now ()) ]
-           | None -> ())
+          (* a failed checkpoint costs freshness, not the campaign:
+             the previous manifest is still valid, so warn and keep
+             running without advancing the checkpoint cursor *)
+          match
+            Checkpoint.save ~path
+              { Checkpoint.id = campaign_id; total; cursor;
+                elapsed_us = elapsed_now ();
+                dump = Campaign.dump_tally tally }
+          with
+          | () ->
+            last_ckpt := cursor;
+            (match log with
+             | Some l ->
+               Log.info l ~src:"campaign" "checkpoint written"
+                 [ Log.str "path" path; Log.int "cursor" cursor;
+                   Log.int "elapsed_us" (elapsed_now ()) ]
+             | None -> ())
+          | exception Checkpoint.Checkpoint_write_error { path; reason } ->
+            Printf.eprintf "warning: checkpoint %s not written: %s\n%!" path reason;
+            (match log with
+             | Some l ->
+               Log.warn l ~src:"campaign" "checkpoint write failed"
+                 [ Log.str "path" path; Log.str "reason" reason;
+                   Log.int "cursor" cursor ]
+             | None -> ())
       in
       let tally, cursor =
         Campaign.run_stream ?domains ?log ?job_timeout ~start ~tally
@@ -596,10 +610,15 @@ let wire_spec_of gspec i =
     | Job.Asm_source s -> Proto.Wire_asm s
     | Job.Image _ -> invalid_arg "generated jobs are always symbolic"
   in
+  (* Campaign id + index is a natural idempotency key: a resubmit
+     after a dropped connection attaches to the original admission
+     instead of running (and counting) the job twice. *)
   Proto.job_spec ~tag:j.Job.tag
     ~policy:(Gen.policy_label gspec i)
     ~argv:cfg.Ptaint_sim.Sim.argv ~env:cfg.Ptaint_sim.Sim.env
-    ~stdin:cfg.Ptaint_sim.Sim.stdin ?timeout:j.Job.timeout payload
+    ~stdin:cfg.Ptaint_sim.Sim.stdin ?timeout:j.Job.timeout
+    ~idem:(Printf.sprintf "%s#%d" (Gen.id gspec) i)
+    payload
 
 (* Daemon path: the generated stream goes to ptaintd in windows, with
    the same client-side manifest as the local path — kill this client
@@ -627,7 +646,7 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
           (fun rp -> open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 rp)
           results_path
       in
-      let c = Client.connect ~client:"ptaint-run" sock in
+      let c = Client.connect ~client:"ptaint-run" ~retries:5 sock in
       let window = 64 in
       (* Admission bounces (per-client quota, server-wide queue) are
          backpressure, not job outcomes: resubmit until the daemon
@@ -676,17 +695,28 @@ let run_generate_connect sock spec metrics checkpoint every results_path job_tim
         | None -> ()
         | Some path ->
           (match sink with Some oc -> flush oc | None -> ());
-          Checkpoint.save ~path
-            { Checkpoint.id = campaign_id; total; cursor = !cursor;
-              elapsed_us = elapsed_now ();
-              dump = Campaign.dump_tally tally };
-          last_ckpt := !cursor;
-          (match log with
-           | Some l ->
-             Log.info l ~src:"campaign" "checkpoint written"
-               [ Log.str "path" path; Log.int "cursor" !cursor;
-                 Log.int "elapsed_us" (elapsed_now ()) ]
-           | None -> ())
+          match
+            Checkpoint.save ~path
+              { Checkpoint.id = campaign_id; total; cursor = !cursor;
+                elapsed_us = elapsed_now ();
+                dump = Campaign.dump_tally tally }
+          with
+          | () ->
+            last_ckpt := !cursor;
+            (match log with
+             | Some l ->
+               Log.info l ~src:"campaign" "checkpoint written"
+                 [ Log.str "path" path; Log.int "cursor" !cursor;
+                   Log.int "elapsed_us" (elapsed_now ()) ]
+             | None -> ())
+          | exception Checkpoint.Checkpoint_write_error { path; reason } ->
+            Printf.eprintf "warning: checkpoint %s not written: %s\n%!" path reason;
+            (match log with
+             | Some l ->
+               Log.warn l ~src:"campaign" "checkpoint write failed"
+                 [ Log.str "path" path; Log.str "reason" reason;
+                   Log.int "cursor" !cursor ]
+             | None -> ())
       in
       while !cursor < total do
         let n = min window (total - !cursor) in

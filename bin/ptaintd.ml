@@ -22,7 +22,7 @@ module Server = Ptaint_daemon.Server
 module Log = Ptaint_obs.Log
 
 let serve socket domains max_queue max_inflight cache job_timeout quiet
-    log_file log_level log_format metrics_sock trace_path =
+    log_file log_level log_format metrics_sock trace_path isolate workers =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let level =
     match Log.level_of_string log_level with
@@ -53,7 +53,9 @@ let serve socket domains max_queue max_inflight cache job_timeout quiet
       job_timeout;
       log;
       metrics_sock;
-      trace_path }
+      trace_path;
+      isolate;
+      workers }
   in
   let close_log () = match log with Some l -> Log.close l | None -> () in
   match Server.create cfg with
@@ -74,10 +76,13 @@ let serve socket domains max_queue max_inflight cache job_timeout quiet
      | Some l ->
        Log.info l ~src:"ptaintd" "listening"
          [ Log.str "socket" socket;
+           Log.str "backend" (if isolate then "isolated" else "in-process");
            Log.int "workers"
-             (match domains with
-              | Some d -> d
-              | None -> Ptaint_pool.Pool.recommended_domains ()) ]
+             (if isolate then (match workers with Some n -> max 1 n | None -> 2)
+              else
+                match domains with
+                | Some d -> d
+                | None -> Ptaint_pool.Pool.recommended_domains ()) ]
      | None -> ());
     Server.serve t;
     close_log ();
@@ -139,11 +144,25 @@ let trace_arg =
          ~doc:"Write a Chrome trace of every completed job to $(docv) at drain \
                (pid 2, one track per worker domain; merges with client traces).")
 
+let isolate_arg =
+  Arg.(value & flag & info [ "isolate" ]
+         ~doc:"Run jobs in forked worker processes under a supervision tree \
+               instead of in-process domains.  A crashing, wedged or killed \
+               worker is contained: its job is redelivered to a survivor (or \
+               synthesized into a typed failure after the delivery budget), \
+               the worker respawned with jittered backoff, and the daemon \
+               keeps serving throughout.")
+
+let workers_arg =
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker processes under $(b,--isolate) (default 2).  Ignored \
+               without $(b,--isolate); use $(b,-j) to size the in-process pool.")
+
 let cmd =
   let doc = "pointer-taintedness detection daemon" in
   Cmd.v (Cmd.info "ptaintd" ~doc)
     Term.(const serve $ socket_arg $ domains_arg $ queue_arg $ inflight_arg $ cache_arg
           $ job_timeout_arg $ quiet_arg $ log_arg $ log_level_arg $ log_format_arg
-          $ metrics_sock_arg $ trace_arg)
+          $ metrics_sock_arg $ trace_arg $ isolate_arg $ workers_arg)
 
 let () = exit (Cmd.eval' cmd)

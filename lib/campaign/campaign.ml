@@ -203,13 +203,19 @@ let exec ~job_timeout ~retries ~backoff run_sim j =
    daemon streams per finished job: a client merging these deltas in
    submission order rebuilds byte-identical per-label registries,
    because {!metrics_of} below is defined as exactly that merge. *)
+let kind_counter = function
+  | Timeout _ -> "timeouts"
+  | Guest_fault _ -> "guest faults"
+  | Loader_error _ -> "loader errors"
+  | Crashed -> "crashed"
+
+(* The counter deltas a failed job contributes, independent of any
+   job_result — what a supervisor synthesizing a typed failure for a
+   job it had to kill (dead worker, blown deadline, exhausted
+   redeliveries) must emit to keep parity with the cooperative path. *)
+let failure_counters kind = [ ("jobs", 1); (kind_counter kind, 1) ]
+
 let job_counters r =
-  let kind_counter = function
-    | Timeout _ -> "timeouts"
-    | Guest_fault _ -> "guest faults"
-    | Loader_error _ -> "loader errors"
-    | Crashed -> "crashed"
-  in
   [ ("jobs", 1) ]
   @ (if r.attempts > 1 then [ ("retries", r.attempts - 1) ] else [])
   @

@@ -352,6 +352,15 @@ val job_counters : job_result -> (string * int) list
     {!stats.metrics}'s counters exactly; {!metrics_of} is defined as
     that merge. *)
 
+val failure_counters : failure_kind -> (string * int) list
+(** The deltas a first-attempt {!Failed} job contributes —
+    [[("jobs", 1); (kind, 1)]] with the {!job_counters} kind key.
+    This is the requeue-accounting unit for supervisors that must
+    synthesize a typed failure for a job they killed (dead worker,
+    blown deadline, exhausted redeliveries): emitting exactly this
+    shape keeps streamed tallies mergeable with cooperative-path
+    results. *)
+
 val metrics_table_of :
   ?timings:bool -> (string * Ptaint_obs.Metrics.t) list -> string
 (** {!metrics_table} over bare per-label registries — for clients

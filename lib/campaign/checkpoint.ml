@@ -8,9 +8,15 @@
    round-trip exactly — so a resumed campaign's final report is
    byte-identical to an uninterrupted one.
 
-   Writes are atomic (temp file in the same directory + rename), and
-   the [end] sentinel guards against a torn write surviving a
-   non-atomic filesystem: a manifest without it is rejected. *)
+   Writes are atomic and durable: temp file in the same directory,
+   fsync'd before the rename so the rename can never promote
+   unflushed data, then a best-effort directory fsync to persist the
+   rename itself.  Any failure along the way raises the typed
+   {!Checkpoint_write_error} with the temp file removed and the
+   previous manifest untouched — a full disk costs one checkpoint,
+   never the resume point.  The [end] sentinel additionally guards
+   against a torn write surviving a non-atomic filesystem: a manifest
+   without it is rejected. *)
 
 type manifest = {
   id : string;  (* campaign identity; resume refuses a mismatch *)
@@ -46,13 +52,60 @@ let render m =
   line "end";
   Buffer.contents b
 
+exception Checkpoint_write_error of { path : string; reason : string }
+
+let write_error path reason = raise (Checkpoint_write_error { path; reason })
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Persist the rename: fsync the containing directory.  Best-effort —
+   some filesystems refuse O_RDONLY directory fsync — but a failure
+   here only risks losing the *newest* manifest to a crash, never
+   corrupting one, so it is not an error. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let save ~path m =
+  let text = render m in
   let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir "ckpt" ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc (render m);
-  close_out oc;
-  Sys.rename tmp path
+  let tmp =
+    try Filename.temp_file ~temp_dir:dir "ckpt" ".tmp"
+    with Sys_error e -> write_error path e
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         write_all fd text;
+         (* the rename below must never promote unflushed data *)
+         Unix.fsync fd)
+   with
+   | Unix.Unix_error (e, op, _) ->
+     cleanup ();
+     write_error path (Printf.sprintf "%s: %s" op (Unix.error_message e))
+   | Sys_error e ->
+     cleanup ();
+     write_error path e);
+  (try Sys.rename tmp path
+   with Sys_error e ->
+     cleanup ();
+     write_error path e);
+  fsync_dir dir
 
 (* Parser: a tiny fold over tab-split lines.  Unknown keys are errors
    — a manifest is a contract between two runs of the same binary,

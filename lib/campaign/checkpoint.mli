@@ -25,10 +25,18 @@ type manifest = {
   dump : Campaign.tally_dump;
 }
 
-(** [save ~path m] writes [m] atomically: the manifest is rendered to a
-    temporary file in [path]'s directory and renamed over [path], so a
-    crash mid-checkpoint leaves either the previous manifest or the new
-    one, never a torn file. *)
+exception Checkpoint_write_error of { path : string; reason : string }
+(** A checkpoint could not be persisted (disk full, permission,
+    unwritable directory).  The temp file has been removed and the
+    previous manifest at [path] — if any — is intact, so the caller
+    can log and keep running; only checkpoint freshness was lost. *)
+
+(** [save ~path m] writes [m] atomically and durably: the manifest is
+    rendered to a temporary file in [path]'s directory, fsync'd, and
+    renamed over [path] (followed by a best-effort directory fsync),
+    so a crash mid-checkpoint leaves either the previous manifest or
+    the new one, never a torn or unflushed file.  Raises
+    {!Checkpoint_write_error} — not a raw [Sys_error] — on failure. *)
 val save : path:string -> manifest -> unit
 
 (** [load ~path] parses a manifest written by {!save}.  Returns

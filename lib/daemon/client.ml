@@ -1,19 +1,41 @@
 (* Blocking ptaintd client.
 
    One connection, one thread: requests are written whole, responses
-   are read frame-by-frame.  The only subtlety is interleaving — the
-   server streams [Job_event] frames for earlier submissions while we
-   wait for the direct reply to a later request — so the client
-   stashes events encountered mid-RPC and hands them out from
-   {!next_event} in arrival order. *)
+   are read frame-by-frame.  Two subtleties:
+
+   - Interleaving: the server streams [Job_event] frames for earlier
+     submissions while we wait for the direct reply to a later
+     request, so the client stashes events encountered mid-RPC and
+     hands them out from {!next_event} in arrival order.
+
+   - Retries: with [retries > 0], {!connect} rides out a daemon that
+     is still binding its socket, and {!submit} survives a connection
+     dropped between submissions — jittered capped backoff, fresh
+     handshake, resend.  Resubmission is only exactly-once when the
+     spec carries an idempotency key ([spec_idem]); the server then
+     attaches the retry to the live admission or replays the recorded
+     result instead of running the job again. *)
+
+module Rng = Ptaint_fi.Fi.Rng
 
 exception Protocol_error of string
 
+(* Matched on retry: an EOF mid-frame is a connection loss, not a
+   framing violation, so it is the one Protocol_error worth a
+   reconnect.  Kept as a single constant so the raise site and the
+   retry match cannot drift apart. *)
+let eof_message = "server closed the connection"
+
 type t = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   inbuf : Buffer.t;
   events : Proto.event Queue.t;
   mutable server_banner : string;
+  path : string;
+  client_name : string;
+  retries : int;  (* reconnect attempts beyond the first try *)
+  backoff : float;  (* base delay, seconds; doubled per attempt *)
+  rng : Rng.t;
 }
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
@@ -42,7 +64,7 @@ let read_frame t =
       resp
     | Ok None -> (
       match Unix.read t.fd chunk 0 (Bytes.length chunk) with
-      | 0 -> fail "server closed the connection"
+      | 0 -> raise (Protocol_error eof_message)
       | n ->
         Buffer.add_subbytes t.inbuf chunk 0 n;
         go ()
@@ -60,30 +82,90 @@ let rec read_reply t =
   | Proto.Error_frame m -> fail "server error: %s" m
   | resp -> resp
 
-let connect ?(client = "ptaint") path =
+(* Capped exponential backoff with uniform jitter in [cap/2, cap]:
+   retrying clients of one dead daemon must not reconnect in
+   lockstep. *)
+let backoff_sleep ~backoff ~rng attempt =
+  let cap = min 1.0 (backoff *. (2. ** float_of_int (min 10 attempt))) in
+  let jitter = float_of_int (Rng.next rng land 0xffff) /. 65535. in
+  let delay = (cap /. 2.) +. (cap /. 2. *. jitter) in
+  try ignore (Unix.select [] [] [] delay) with Unix.Unix_error _ -> ()
+
+let transient_unix_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.EPIPE -> true
+  | _ -> false
+
+let dial path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  let t = { fd; inbuf = Buffer.create 256; events = Queue.create (); server_banner = "" } in
-  send t (Proto.Hello { client });
-  (match read_reply t with
-   | Proto.Hello_ok { server_version; banner } ->
-     if server_version <> Proto.version then
-       fail "server speaks protocol v%d, client v%d" server_version Proto.version;
-     t.server_banner <- banner
-   | _ -> fail "expected Hello_ok");
+  fd
+
+let handshake t =
+  Buffer.clear t.inbuf;
+  send t (Proto.Hello { client = t.client_name });
+  match read_reply t with
+  | Proto.Hello_ok { server_version; banner } ->
+    if server_version <> Proto.version then
+      fail "server speaks protocol v%d, client v%d" server_version Proto.version;
+    t.server_banner <- banner
+  | _ -> fail "expected Hello_ok"
+
+(* Drop the dead fd and dial + handshake again.  Stashed events
+   survive — they were delivered before the connection died and the
+   caller has not consumed them yet. *)
+let reconnect t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- dial t.path;
+  handshake t
+
+let connect ?(client = "ptaint") ?(retries = 0) ?(backoff = 0.05) path =
+  let rng =
+    Rng.create
+      (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () * 0x9e3779b9))
+  in
+  let rec dial_retry attempt =
+    match dial path with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _)
+      when transient_unix_error err && attempt < retries ->
+      backoff_sleep ~backoff ~rng attempt;
+      dial_retry (attempt + 1)
+  in
+  let fd = dial_retry 0 in
+  let t =
+    { fd; inbuf = Buffer.create 256; events = Queue.create ();
+      server_banner = ""; path; client_name = client; retries; backoff; rng }
+  in
+  handshake t;
   t
 
 let banner t = t.server_banner
 
 let submit t spec =
-  send t (Proto.Submit spec);
-  match read_reply t with
-  | Proto.Accepted { id; _ } -> Ok id
-  | Proto.Rejected { reason; _ } -> Error reason
-  | _ -> fail "expected Accepted/Rejected"
+  let attempt () =
+    send t (Proto.Submit spec);
+    match read_reply t with
+    | Proto.Accepted { id; _ } -> Ok id
+    | Proto.Rejected { reason; _ } -> Error reason
+    | _ -> fail "expected Accepted/Rejected"
+  in
+  let rec go n =
+    match attempt () with
+    | r -> r
+    | exception Unix.Unix_error (err, _, _)
+      when transient_unix_error err && n < t.retries ->
+      backoff_sleep ~backoff:t.backoff ~rng:t.rng n;
+      reconnect t;
+      go (n + 1)
+    | exception Protocol_error m when m = eof_message && n < t.retries ->
+      backoff_sleep ~backoff:t.backoff ~rng:t.rng n;
+      reconnect t;
+      go (n + 1)
+  in
+  go 0
 
 let next_event t =
   if not (Queue.is_empty t.events) then Queue.pop t.events

@@ -13,16 +13,28 @@ exception Protocol_error of string
 
 type t
 
-val connect : ?client:string -> string -> t
+val connect : ?client:string -> ?retries:int -> ?backoff:float -> string -> t
 (** Connect to the socket path and complete the [Hello] handshake.
-    Raises [Unix.Unix_error] if the socket is absent or refusing, and
+    With [retries] (default 0: fail fast), a refused or absent socket
+    is retried up to that many extra times with capped jittered
+    exponential backoff from [backoff] seconds (default 0.05, capped
+    at 1 s) — enough to ride out a daemon still binding its socket.
+    The retry budget also arms {!submit} reconnection.  Raises
+    [Unix.Unix_error] once the budget is exhausted, and
     {!Protocol_error} on a version mismatch. *)
 
 val banner : t -> string
 
 val submit : t -> Proto.job_spec -> (int, string) result
 (** [Ok id] on admission; [Error reason] for an admission-control or
-    validation rejection (the connection stays usable). *)
+    validation rejection (the connection stays usable).  When the
+    client was connected with [retries > 0] and the connection dies
+    mid-submit ([EPIPE], [ECONNRESET], EOF), the client backs off,
+    reconnects and resends.  Pair retries with an idempotency key
+    ([Proto.job_spec.spec_idem]) to make resubmission exactly-once:
+    the server attaches the retry to the live admission or replays
+    the recorded result, never running the job twice.  Stashed events
+    survive a reconnect; {!next_event} itself does not retry. *)
 
 val next_event : t -> Proto.event
 (** The next streamed job event, blocking as needed. *)

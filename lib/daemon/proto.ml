@@ -7,7 +7,7 @@
 
      offset 0   'P'                 magic
      offset 1   'D'
-     offset 2   version (= 2; v1 frames still decode)
+     offset 2   version (= 3; v1/v2 frames still decode)
      offset 3   frame tag
      offset 4   payload length, u32 big-endian
      offset 8   payload bytes
@@ -23,9 +23,19 @@
    absent when no id was attached.  Decoding is version-tolerant: a
    v1 frame (or a v2 frame without the trailing field) yields
    [trace = None], so v1 clients' frames still decode and traceless
-   v2 frames are byte-identical to their v1 rendering. *)
+   v2 frames are byte-identical to their v1 rendering.
 
-let version = 2
+   Version 3 extends the same trailing-optional scheme on Submit
+   specs with an idempotency key (so a client that lost its
+   connection can resubmit without double-running the job) and a
+   completion deadline (so admission can shed jobs it cannot finish
+   in time).  Trailing fields cascade: an absent field costs zero
+   bytes unless a later field is present, in which case it is written
+   as an explicit presence-0 byte — a keyless, deadline-less v3 spec
+   therefore stays byte-identical to its v2 rendering, and a
+   traceless one to its v1 rendering. *)
+
+let version = 3
 let min_version = 1
 let header_bytes = 8
 let max_payload = 16 * 1024 * 1024
@@ -66,14 +76,18 @@ type job_spec = {
   spec_injections : Ptaint_fi.Fi.injection list;
   spec_timeout : float option;
   spec_trace : (int * int) option;  (** (trace id, span id), v2 frames *)
+  spec_idem : string option;  (** idempotency key, v3 frames *)
+  spec_deadline : float option;  (** completion SLA in seconds, v3 frames *)
 }
 
 let job_spec ?policy ?(argv = []) ?(env = []) ?(stdin = "")
-    ?(sessions = []) ?max_instructions ?(injections = []) ?timeout ?trace ~tag payload =
+    ?(sessions = []) ?max_instructions ?(injections = []) ?timeout ?trace
+    ?idem ?deadline ~tag payload =
   { spec_tag = tag; spec_payload = payload; spec_policy = policy;
     spec_argv = argv; spec_env = env; spec_stdin = stdin;
     spec_sessions = sessions; spec_max_instructions = max_instructions;
-    spec_injections = injections; spec_timeout = timeout; spec_trace = trace }
+    spec_injections = injections; spec_timeout = timeout; spec_trace = trace;
+    spec_idem = idem; spec_deadline = deadline }
 
 (* --- frames --------------------------------------------------------- *)
 
@@ -183,6 +197,18 @@ let w_trace b = function
   | None -> ()
   | Some (tid, span) -> w_u8 b 1; w_i64 b tid; w_i64 b span
 
+(* The v2/v3 trailing-optional cascade on Submit specs.  Later fields
+   force explicit presence-0 bytes for earlier absent ones; the
+   trailing run of absent fields costs zero bytes, so a spec using no
+   v3 feature re-encodes exactly as its v2 (or v1) self. *)
+let w_spec_trailer b s =
+  let idem = s.spec_idem <> None and deadline = s.spec_deadline <> None in
+  (match s.spec_trace with
+   | Some (tid, span) -> w_u8 b 1; w_i64 b tid; w_i64 b span
+   | None -> if idem || deadline then w_u8 b 0);
+  if idem || deadline then w_opt_string b s.spec_idem;
+  if deadline then w_opt_seconds b s.spec_deadline
+
 (* --- primitive readers ----------------------------------------------
 
    Readers work over (string, mutable position); any violation raises
@@ -268,14 +294,20 @@ let r_injection c =
   let at = r_i64 c "injection icount" in
   { Ptaint_fi.Fi.at; fault = r_fault c }
 
+(* Trailing optionals: end-of-payload means None. *)
+let r_trailing c f what = if c.pos >= c.stop then None else r_opt c f what
+
 let r_trace c =
-  if c.pos >= c.stop then None
-  else
-    r_opt c
-      (fun c what ->
-        let tid = r_i64 c what in
-        (tid, r_i64 c "span id"))
-      "trace id" 
+  r_trailing c
+    (fun c what ->
+      let tid = r_i64 c what in
+      (tid, r_i64 c "span id"))
+    "trace id"
+
+let r_trailing_seconds c what =
+  match r_trailing c r_i64 what with
+  | None -> None
+  | Some us -> Some (float_of_int us /. 1e6)
 
 (* --- frame tags ------------------------------------------------------ *)
 
@@ -326,7 +358,7 @@ let w_job_spec b s =
   w_opt_i64 b s.spec_max_instructions;
   w_list b w_injection s.spec_injections;
   w_opt_seconds b s.spec_timeout;
-  w_trace b s.spec_trace
+  w_spec_trailer b s
 
 let r_job_spec c =
   let payload =
@@ -347,9 +379,11 @@ let r_job_spec c =
   let spec_injections = r_list c r_injection "injections" in
   let spec_timeout = r_opt_seconds c "timeout" in
   let spec_trace = r_trace c in
+  let spec_idem = r_trailing c r_string "idempotency key" in
+  let spec_deadline = r_trailing_seconds c "deadline" in
   { spec_tag; spec_payload = payload; spec_policy; spec_argv; spec_env;
     spec_stdin; spec_sessions; spec_max_instructions; spec_injections;
-    spec_timeout; spec_trace }
+    spec_timeout; spec_trace; spec_idem; spec_deadline }
 
 let encode_request req =
   let b = Buffer.create 64 in
@@ -591,4 +625,6 @@ let spec_of_job ?policy (j : Ptaint_campaign.Job.t) =
         spec_max_instructions = Some c.Ptaint_sim.Sim.max_instructions;
         spec_injections = j.Ptaint_campaign.Job.injections;
         spec_timeout = j.Ptaint_campaign.Job.timeout;
-        spec_trace = j.Ptaint_campaign.Job.trace }
+        spec_trace = j.Ptaint_campaign.Job.trace;
+        spec_idem = None;
+        spec_deadline = None }

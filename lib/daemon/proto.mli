@@ -4,7 +4,7 @@
 
     {v
     offset 0  'P' 'D'      magic
-    offset 2  version      (= 2; v1 frames still decode)
+    offset 2  version      (= 3; v1/v2 frames still decode)
     offset 3  frame tag
     offset 4  u32 BE       payload length
     offset 8  payload
@@ -25,7 +25,18 @@
     Submit specs and Finished/Job_failed events.  The field is simply
     absent when no id was attached, so traceless v2 frames are
     byte-identical to their v1 rendering, and decoding is
-    version-tolerant: v1 frames yield [trace = None]. *)
+    version-tolerant: v1 frames yield [trace = None].
+
+    Version 3 continues the trailing-optional cascade on Submit specs
+    with an idempotency key ([spec_idem]: resubmitting a key the
+    server has seen replays the original admission/result instead of
+    running the job again) and a completion deadline
+    ([spec_deadline]: the server sheds the job at admission when its
+    queue cannot meet it).  A trailing run of absent fields costs
+    zero bytes; an absent field before a present one costs one
+    explicit presence-0 byte — so specs using no v3 feature stay
+    byte-identical to their v2 rendering and v1/v2 frames decode with
+    [spec_idem = None], [spec_deadline = None]. *)
 
 val version : int
 
@@ -73,6 +84,16 @@ type job_spec = {
   spec_trace : (int * int) option;
       (** correlation id: (trace id, span id); trailing v2 field,
           [None] on v1 frames *)
+  spec_idem : string option;
+      (** idempotency key; trailing v3 field.  Two submissions with
+          the same key run the job at most once — the second receives
+          the original job id (and, when already finished, a replay
+          of the original terminal event). *)
+  spec_deadline : float option;
+      (** completion SLA in seconds from admission; trailing v3
+          field, carried as integer microseconds.  Admission rejects
+          the job when queue depth × observed job duration says the
+          deadline cannot be met. *)
 }
 
 val job_spec :
@@ -85,6 +106,8 @@ val job_spec :
   ?injections:Ptaint_fi.Fi.injection list ->
   ?timeout:float ->
   ?trace:int * int ->
+  ?idem:string ->
+  ?deadline:float ->
   tag:string ->
   wire_payload ->
   job_spec

@@ -45,12 +45,16 @@ type config = {
       (** scrape endpoint: connect, read Prometheus text, EOF *)
   trace_path : string option;
       (** Chrome trace of completed jobs, written at drain (pid 2) *)
+  isolate : bool;
+      (** run jobs in forked worker processes under a supervision
+          tree instead of in-process domains *)
+  workers : int option;  (** worker processes when [isolate]; default 2 *)
 }
 
 let default_config ~socket_path =
   { socket_path; domains = None; max_queue = 256; max_inflight = 32;
     cache_capacity = 64; job_timeout = None; banner = "ptaintd"; log = None;
-    metrics_sock = None; trace_path = None }
+    metrics_sock = None; trace_path = None; isolate = false; workers = None }
 
 type conn = {
   fd : Unix.file_descr;
@@ -87,12 +91,29 @@ type completion = {
   c_info : job_info option;  (* terminal completions only *)
 }
 
+(* Execution backend: in-process worker domains behind a Pool.service
+   (fast, shared cache) or forked worker processes behind a
+   supervision tree (--isolate: crash containment, preemptive
+   deadlines).  Two-phase init — the supervisor's callbacks close
+   over [t], so the field is filled right after the record exists and
+   never observed empty outside [create]. *)
+type backend =
+  | In_process of Ptaint_pool.Pool.service
+  | Isolated of Supervisor.t
+
+(* Idempotency: a key the server has seen maps to the live admission
+   (so a resubmit attaches instead of re-running) or to the original
+   terminal event (so a resubmit replays it verbatim). *)
+type idem_state =
+  | Idem_pending of { id : int; mutable cid : int }
+  | Idem_done of { id : int; event : Proto.event }
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   wake_rd : Unix.file_descr;
   wake_wr : Unix.file_descr;
-  pool : Ptaint_pool.Pool.service;
+  mutable backend : backend option;
   cache : Cache.t;
   conns : (int, conn) Hashtbl.t;
   mutable next_cid : int;
@@ -113,7 +134,23 @@ type t = {
   mutable spans : job_info list;  (* newest first, for the drain-time trace *)
   mutable spans_count : int;
   mutable spans_dropped : int;
+  idem : (string, idem_state) Hashtbl.t;
+  idem_order : string Queue.t;  (* FIFO eviction of finished keys *)
+  idem_of_job : (int, string) Hashtbl.t;  (* live job id -> its key *)
+  routes : (int, int) Hashtbl.t;  (* job id -> rerouted cid, idem resubmits *)
 }
+
+let max_idem_entries = 4096
+
+let backend_exn t =
+  match t.backend with
+  | Some b -> b
+  | None -> invalid_arg "ptaintd: backend used before init"
+
+let worker_count t =
+  match backend_exn t with
+  | In_process pool -> Ptaint_pool.Pool.service_size pool
+  | Isolated sup -> Supervisor.size sup
 
 let log_src = "ptaintd"
 
@@ -146,38 +183,6 @@ let bind_unix_listener path ~backlog =
   Unix.listen fd backlog;
   fd
 
-let create (cfg : config) =
-  let listen_fd = bind_unix_listener cfg.socket_path ~backlog:64 in
-  let metrics_fd =
-    Option.map (fun p -> bind_unix_listener p ~backlog:16) cfg.metrics_sock
-  in
-  let wake_rd, wake_wr = Unix.pipe () in
-  Unix.set_nonblock wake_rd;
-  { cfg;
-    listen_fd;
-    wake_rd;
-    wake_wr;
-    pool = Ptaint_pool.Pool.service ?domains:cfg.domains ();
-    cache = Cache.create ~capacity:cfg.cache_capacity ();
-    conns = Hashtbl.create 16;
-    next_cid = 1;
-    next_job = 1;
-    admitted = 0;
-    stopping = Atomic.make false;
-    cq_mu = Mutex.create ();
-    cq = Queue.create ();
-    jobs_submitted = 0;
-    jobs_rejected = 0;
-    jobs_completed = 0;
-    protocol_errors = 0;
-    clients_total = 0;
-    scratch = Bytes.create 65536;
-    metrics = Metrics.create ();
-    metrics_fd;
-    spans = [];
-    spans_count = 0;
-    spans_dropped = 0 }
-
 let wake t =
   (* best effort: a full pipe already guarantees a wakeup *)
   try ignore (Unix.write t.wake_wr (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
@@ -194,55 +199,103 @@ let push_completion t c =
   Mutex.unlock t.cq_mu;
   wake t
 
-let max_event_stdout = 1 lsl 20
+(* Robustness families must render in every scrape, including a
+   freshly started daemon's — chaos harnesses assert on them at zero.
+   The registry only renders created metrics, so create them now. *)
+let preregister_metrics m =
+  List.iter
+    (fun reason ->
+      ignore
+        (Metrics.counter m ~labels:[ ("reason", reason) ]
+           "ptaintd_worker_restarts_total"))
+    [ "crash"; "heartbeat"; "deadline" ];
+  ignore (Metrics.counter m "ptaintd_redeliveries_total");
+  ignore (Metrics.counter m "ptaintd_heartbeat_misses_total");
+  ignore
+    (Metrics.counter m ~labels:[ ("reason", "deadline") ]
+       "ptaintd_jobs_shed_total");
+  ignore (Metrics.counter m "ptaintd_idem_replays_total")
 
-let truncate_stdout s =
-  if String.length s <= max_event_stdout then s
-  else String.sub s 0 max_event_stdout ^ "\n[stdout truncated by ptaintd]\n"
+let create (cfg : config) =
+  let listen_fd = bind_unix_listener cfg.socket_path ~backlog:64 in
+  let metrics_fd =
+    Option.map (fun p -> bind_unix_listener p ~backlog:16) cfg.metrics_sock
+  in
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_rd;
+  let metrics = Metrics.create () in
+  preregister_metrics metrics;
+  let t =
+    { cfg;
+      listen_fd;
+      wake_rd;
+      wake_wr;
+      backend = None;
+      cache = Cache.create ~capacity:cfg.cache_capacity ();
+      conns = Hashtbl.create 16;
+      next_cid = 1;
+      next_job = 1;
+      admitted = 0;
+      stopping = Atomic.make false;
+      cq_mu = Mutex.create ();
+      cq = Queue.create ();
+      jobs_submitted = 0;
+      jobs_rejected = 0;
+      jobs_completed = 0;
+      protocol_errors = 0;
+      clients_total = 0;
+      scratch = Bytes.create 65536;
+      metrics;
+      metrics_fd;
+      spans = [];
+      spans_count = 0;
+      spans_dropped = 0;
+      idem = Hashtbl.create 64;
+      idem_order = Queue.create ();
+      idem_of_job = Hashtbl.create 64;
+      routes = Hashtbl.create 16 }
+  in
+  (if cfg.isolate then begin
+     (* Fork the worker fleet before any domain exists in this
+        process — fork and the multicore runtime do not mix, which is
+        also why the isolated backend never creates a Pool.service. *)
+     let emit ~cid resp ~terminal ~info =
+       let c_info =
+         Option.map
+           (fun (i : Supervisor.done_info) ->
+             { ji_id = i.Supervisor.i_id; ji_tag = i.i_tag;
+               ji_outcome = i.i_outcome; ji_cache_hit = i.i_cache_hit;
+               ji_trace = i.i_trace; ji_t0 = i.i_t0; ji_t1 = i.i_t1;
+               ji_domain = i.i_worker; ji_superblock = [] })
+           info
+       in
+       push_completion t { c_cid = cid; c_resp = resp; c_terminal = terminal; c_info }
+     in
+     let close_in_child () =
+       t.listen_fd :: t.wake_rd :: t.wake_wr
+       :: (match t.metrics_fd with Some fd -> [ fd ] | None -> [])
+       @ Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns []
+     in
+     let sup_cfg =
+       { (Supervisor.default_config ~emit) with
+         Supervisor.workers = (match cfg.workers with Some n -> max 1 n | None -> 2);
+         job_timeout = cfg.job_timeout;
+         cache_capacity = max 1 (cfg.cache_capacity / 4);
+         log = cfg.log;
+         metrics = Some metrics;
+         close_in_child }
+     in
+     t.backend <- Some (Isolated (Supervisor.create sup_cfg))
+   end
+   else
+     t.backend <- Some (In_process (Ptaint_pool.Pool.service ?domains:cfg.domains ())));
+  t
 
-(* Closed, low-cardinality outcome classes: the [outcome] label of
-   [ptaintd_jobs_total].  Failures use {!Campaign.kind_name}. *)
-let outcome_class (o : Ptaint_sim.Sim.outcome) =
-  match o with
-  | Ptaint_sim.Sim.Exited _ -> "exited"
-  | Ptaint_sim.Sim.Alert _ -> "alert"
-  | Ptaint_sim.Sim.Fault _ -> "fault"
-  | Ptaint_sim.Sim.Trap _ -> "trap"
-  | Ptaint_sim.Sim.Out_of_fuel -> "out-of-fuel"
-
-let exit_code_of (o : Ptaint_sim.Sim.outcome) =
-  match o with
-  | Ptaint_sim.Sim.Exited c -> c land 0xff
-  | Ptaint_sim.Sim.Alert _ -> 3
-  | Ptaint_sim.Sim.Fault _ | Ptaint_sim.Sim.Trap _ | Ptaint_sim.Sim.Out_of_fuel -> 4
-
-let event_of_result ~id ~tag ~cache_hit (r : Campaign.job_result) =
-  let counters = Campaign.job_counters r in
-  match r.Campaign.status with
-  | Campaign.Finished res ->
-    Proto.Finished
-      { id; tag;
-        outcome = Format.asprintf "%a" Ptaint_sim.Sim.pp_outcome res.Ptaint_sim.Sim.outcome;
-        exit_code = exit_code_of res.Ptaint_sim.Sim.outcome;
-        instructions = res.Ptaint_sim.Sim.instructions;
-        syscalls = res.Ptaint_sim.Sim.syscalls;
-        policy_label = r.Campaign.policy_label;
-        cache_hit;
-        counters;
-        stdout = truncate_stdout res.Ptaint_sim.Sim.stdout;
-        trace = r.Campaign.trace }
-  | Campaign.Failed f ->
-    Proto.Job_failed
-      { id; tag;
-        kind = Campaign.kind_name f.Campaign.kind;
-        message = f.Campaign.exn;
-        policy_label = r.Campaign.policy_label;
-        counters;
-        trace = r.Campaign.trace }
-
-(* Runs on a worker domain.  Every path pushes exactly one terminal
-   completion — that invariant is what lets the loop's drain logic
-   count jobs instead of trusting connections. *)
+(* Runs on a worker domain (in-process backend only; the isolated
+   backend's equivalent lives in {!Worker} + {!Supervisor}).  Every
+   path pushes exactly one terminal completion — that invariant is
+   what lets the loop's drain logic count jobs instead of trusting
+   connections. *)
 let run_job_task t ~cid ~id (spec : Job.t) () =
   let t0 = Unix.gettimeofday () in
   push_completion t
@@ -269,27 +322,9 @@ let run_job_task t ~cid ~id (spec : Job.t) () =
       (Campaign.run_job ?job_timeout:t.cfg.job_timeout spec, false)
   in
   let r, cache_hit = result in
-  let resp =
-    match event_of_result ~id ~tag:spec.Job.tag ~cache_hit r with
-    | ev -> Proto.Job_event ev
-    | exception _ ->
-      Proto.Job_event
-        (Proto.Job_failed
-           { id; tag = spec.Job.tag; kind = "crashed";
-             message = "ptaintd: failed to serialize job result";
-             policy_label = Campaign.label_of_policy spec.Job.config.Ptaint_sim.Sim.policy;
-             counters = [ ("jobs", 1); ("crashed", 1) ];
-             trace = spec.Job.trace })
-  in
-  let outcome =
-    match resp with
-    | Proto.Job_event (Proto.Finished _) ->
-      (match r.Campaign.status with
-       | Campaign.Finished res -> outcome_class res.Ptaint_sim.Sim.outcome
-       | Campaign.Failed _ -> "unknown")
-    | Proto.Job_event (Proto.Job_failed f) -> f.kind
-    | _ -> "unknown"
-  in
+  let ev = Worker.event_of_job_result ~id ~job:spec ~cache_hit r in
+  let resp = Proto.Job_event ev in
+  let outcome = Worker.outcome_of_event ev in
   let superblock =
     match r.Campaign.status with
     | Campaign.Finished res ->
@@ -330,7 +365,7 @@ let daemon_counters t =
       ("daemon/protocol-errors", t.protocol_errors);
       ("daemon/clients-now", Hashtbl.length t.conns);
       ("daemon/clients-total", t.clients_total);
-      ("daemon/workers", Ptaint_pool.Pool.service_size t.pool) ]
+      ("daemon/workers", worker_count t) ]
 
 (* One telemetry snapshot: refresh every level-triggered gauge from
    loop state, then render the whole registry.  Event-driven counters
@@ -340,7 +375,7 @@ let scrape t =
   let g ?labels name v = Metrics.set (Metrics.gauge t.metrics ?labels name) v in
   g "ptaintd_queue_depth" (float_of_int t.admitted);
   g "ptaintd_clients_connected" (float_of_int (Hashtbl.length t.conns));
-  g "ptaintd_workers" (float_of_int (Ptaint_pool.Pool.service_size t.pool));
+  g "ptaintd_workers" (float_of_int (worker_count t));
   Hashtbl.iter
     (fun cid conn ->
       g ~labels:[ ("cid", string_of_int cid) ] "ptaintd_client_inflight"
@@ -358,6 +393,61 @@ let scrape t =
     (Cache.counters t.cache);
   Metrics.prometheus t.metrics
 
+(* Deadline-aware admission: estimate this job's completion time from
+   the observed duration histogram and current queue depth, and shed
+   jobs the queue provably cannot serve in time — a typed [Rejected]
+   now beats a useless result after the client stopped waiting.  With
+   no duration evidence yet the job is admitted. *)
+let deadline_shed t (spec : Proto.job_spec) =
+  match spec.Proto.spec_deadline with
+  | None -> None
+  | Some budget ->
+    let mean_us =
+      List.fold_left
+        (fun acc (r : Metrics.row) ->
+          if r.Metrics.name = "ptaintd_job_duration_us" && r.Metrics.count > 0
+          then Some r.Metrics.mean
+          else acc)
+        None (Metrics.rows t.metrics)
+    in
+    (match mean_us with
+     | None -> None
+     | Some mean_us ->
+       let workers = max 1 (worker_count t) in
+       let waves = (t.admitted / workers) + 1 in
+       let est = mean_us /. 1e6 *. float_of_int waves in
+       if est > budget then
+         Some
+           (Printf.sprintf
+              "deadline %.3fs unmeetable: %d jobs ahead on %d workers, \
+               estimated %.3fs"
+              budget t.admitted workers est)
+       else None)
+
+let admit t conn (spec : Proto.job_spec) ~tag (job : Job.t) =
+  let id = t.next_job in
+  t.next_job <- t.next_job + 1;
+  t.jobs_submitted <- t.jobs_submitted + 1;
+  t.admitted <- t.admitted + 1;
+  conn.inflight <- conn.inflight + 1;
+  mcount t "ptaintd_jobs_submitted_total";
+  (match spec.Proto.spec_idem with
+   | Some key ->
+     Hashtbl.replace t.idem key (Idem_pending { id; cid = conn.cid });
+     Hashtbl.replace t.idem_of_job id key
+   | None -> ());
+  ldebug t "job admitted"
+    (Log.int "cid" conn.cid :: Log.int "id" id :: Log.str "tag" tag
+     :: trace_fields job.Job.trace);
+  send conn (Proto.Accepted { id; tag });
+  match backend_exn t with
+  | In_process pool ->
+    Ptaint_pool.Pool.post pool (run_job_task t ~cid:conn.cid ~id job)
+  | Isolated sup ->
+    Supervisor.submit sup ~id ~cid:conn.cid
+      ~label:(Campaign.label_of_policy job.Job.config.Ptaint_sim.Sim.policy)
+      ~trace:job.Job.trace spec
+
 let handle_request t conn = function
   | Proto.Hello _ ->
     send conn
@@ -368,28 +458,54 @@ let handle_request t conn = function
   | Proto.Quit -> conn.close_after_flush <- true
   | Proto.Submit spec ->
     let tag = spec.Proto.spec_tag in
-    if Atomic.get t.stopping then reject t conn ~tag "server is draining"
-    else if t.admitted >= t.cfg.max_queue then
-      reject t conn ~tag
-        (Printf.sprintf "queue full (%d jobs in flight)" t.admitted)
-    else if conn.inflight >= t.cfg.max_inflight then
-      reject t conn ~tag
-        (Printf.sprintf "client quota exceeded (%d jobs in flight)" conn.inflight)
-    else (
-      match Proto.job_of_spec spec with
-      | Error m -> reject t conn ~tag m
-      | Ok job ->
-        let id = t.next_job in
-        t.next_job <- t.next_job + 1;
-        t.jobs_submitted <- t.jobs_submitted + 1;
-        t.admitted <- t.admitted + 1;
-        conn.inflight <- conn.inflight + 1;
-        mcount t "ptaintd_jobs_submitted_total";
-        ldebug t "job admitted"
-          (Log.int "cid" conn.cid :: Log.int "id" id :: Log.str "tag" tag
-           :: trace_fields job.Job.trace);
-        send conn (Proto.Accepted { id; tag });
-        Ptaint_pool.Pool.post t.pool (run_job_task t ~cid:conn.cid ~id job))
+    (* Idempotency wins over every other admission rule: a dedup hit
+       creates no new work, so it is answered even while draining or
+       full — exactly when a retrying client needs it most. *)
+    let idem_hit =
+      match spec.Proto.spec_idem with
+      | None -> None
+      | Some key -> Hashtbl.find_opt t.idem key
+    in
+    (match idem_hit with
+     | Some (Idem_done { id; event }) ->
+       mcount t "ptaintd_idem_replays_total";
+       ldebug t "idempotent replay"
+         [ Log.int "cid" conn.cid; Log.int "id" id; Log.str "tag" tag ];
+       send conn (Proto.Accepted { id; tag });
+       send conn (Proto.Job_event event)
+     | Some (Idem_pending p) ->
+       mcount t "ptaintd_idem_replays_total";
+       if p.cid <> conn.cid then begin
+         (* reroute the eventual result to the newest submitter; the
+            admission quota moves with it *)
+         (match Hashtbl.find_opt t.conns p.cid with
+          | Some old -> old.inflight <- old.inflight - 1
+          | None -> ());
+         conn.inflight <- conn.inflight + 1;
+         p.cid <- conn.cid;
+         Hashtbl.replace t.routes p.id conn.cid
+       end;
+       ldebug t "idempotent reattach"
+         [ Log.int "cid" conn.cid; Log.int "id" p.id; Log.str "tag" tag ];
+       send conn (Proto.Accepted { id = p.id; tag })
+     | None ->
+       if Atomic.get t.stopping then reject t conn ~tag "server is draining"
+       else if t.admitted >= t.cfg.max_queue then
+         reject t conn ~tag
+           (Printf.sprintf "queue full (%d jobs in flight)" t.admitted)
+       else if conn.inflight >= t.cfg.max_inflight then
+         reject t conn ~tag
+           (Printf.sprintf "client quota exceeded (%d jobs in flight)"
+              conn.inflight)
+       else
+         match deadline_shed t spec with
+         | Some reason ->
+           mcount t ~labels:[ ("reason", "deadline") ] "ptaintd_jobs_shed_total";
+           reject t conn ~tag reason
+         | None ->
+           (match Proto.job_of_spec spec with
+            | Error m -> reject t conn ~tag m
+            | Ok job -> admit t conn spec ~tag job))
 
 let protocol_failure t conn err =
   t.protocol_errors <- t.protocol_errors + 1;
@@ -524,6 +640,29 @@ let account_finished t ji =
     else t.spans_dropped <- t.spans_dropped + 1
   end
 
+let event_id = function
+  | Proto.Started { id } -> id
+  | Proto.Finished { id; _ } -> id
+  | Proto.Job_failed { id; _ } -> id
+
+(* Terminal event for a keyed job: remember it for replays, with FIFO
+   eviction so the table is bounded.  Only finished keys enter the
+   eviction queue — a pending key is always backed by a live admission. *)
+let record_idem_done t ~id ev =
+  match Hashtbl.find_opt t.idem_of_job id with
+  | None -> ()
+  | Some key ->
+    Hashtbl.remove t.idem_of_job id;
+    Hashtbl.replace t.idem key (Idem_done { id; event = ev });
+    Queue.push key t.idem_order;
+    while Hashtbl.length t.idem > max_idem_entries
+          && not (Queue.is_empty t.idem_order) do
+      let victim = Queue.pop t.idem_order in
+      match Hashtbl.find_opt t.idem victim with
+      | Some (Idem_done _) -> Hashtbl.remove t.idem victim
+      | _ -> ()
+    done
+
 let drain_completions t =
   let batch =
     Mutex.lock t.cq_mu;
@@ -534,12 +673,29 @@ let drain_completions t =
   in
   List.iter
     (fun c ->
+      (* An idempotent resubmit may have rerouted this job to a newer
+         connection after dispatch; the override table wins. *)
+      let cid, id =
+        match c.c_resp with
+        | Proto.Job_event ev ->
+          let id = event_id ev in
+          ((match Hashtbl.find_opt t.routes id with
+            | Some cid -> cid
+            | None -> c.c_cid),
+           Some id)
+        | _ -> (c.c_cid, None)
+      in
       if c.c_terminal then begin
         t.admitted <- t.admitted - 1;
         t.jobs_completed <- t.jobs_completed + 1;
-        match c.c_info with Some ji -> account_finished t ji | None -> ()
+        (match c.c_info with Some ji -> account_finished t ji | None -> ());
+        match (id, c.c_resp) with
+        | Some id, Proto.Job_event ev ->
+          record_idem_done t ~id ev;
+          Hashtbl.remove t.routes id
+        | _ -> ()
       end;
-      match Hashtbl.find_opt t.conns c.c_cid with
+      match Hashtbl.find_opt t.conns cid with
       | None -> ()  (* client gone mid-job: result dropped, accounting kept *)
       | Some conn ->
         if c.c_terminal then conn.inflight <- conn.inflight - 1;
@@ -613,10 +769,14 @@ let serve t =
     end;
     if Atomic.get t.stopping && drained t then finished := true
     else begin
+      let sup_fds =
+        match backend_exn t with Isolated sup -> Supervisor.fds sup | In_process _ -> []
+      in
       let reads =
         t.wake_rd
         :: (if !listening then [ t.listen_fd ] else [])
         @ (match t.metrics_fd with Some fd when !listening -> [ fd ] | _ -> [])
+        @ sup_fds
         @ Hashtbl.fold (fun _ c acc -> if c.broken then acc else c.fd :: acc) t.conns []
       in
       let writes =
@@ -635,6 +795,14 @@ let serve t =
          slow client, scrape burst) shows up in. *)
       let work_t0 = Unix.gettimeofday () in
       if List.mem t.wake_rd readable then drain_wakeups t;
+      (match backend_exn t with
+       | Isolated sup ->
+         List.iter
+           (fun fd ->
+             if Supervisor.owns sup fd then Supervisor.handle_readable sup fd)
+           readable;
+         Supervisor.tick sup ~now:work_t0
+       | In_process _ -> ());
       drain_completions t;
       if !listening && List.mem t.listen_fd readable then accept_new t;
       (match t.metrics_fd with
@@ -645,7 +813,9 @@ let serve t =
       in
       List.iter
         (fun fd ->
-          if fd <> t.wake_rd && (not !listening || fd <> t.listen_fd) then
+          if fd <> t.wake_rd && (not !listening || fd <> t.listen_fd)
+             && not (List.mem fd sup_fds)
+          then
             match conn_of fd with
             | Some c -> handle_readable t c
             | None -> ())
@@ -669,7 +839,9 @@ let serve t =
   Hashtbl.iter (fun _ c -> final_flush c) t.conns;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   Hashtbl.reset t.conns;
-  Ptaint_pool.Pool.stop t.pool;
+  (match backend_exn t with
+   | In_process pool -> Ptaint_pool.Pool.stop pool
+   | Isolated sup -> Supervisor.stop sup);
   (match t.metrics_fd with
    | Some fd ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -685,3 +857,8 @@ let serve t =
 
 let stats t = daemon_counters t
 let prometheus t = scrape t
+
+let worker_pids t =
+  match backend_exn t with
+  | In_process _ -> []
+  | Isolated sup -> Supervisor.pids sup

@@ -11,7 +11,16 @@
     [Finished]/[Job_failed] with {!Ptaint_campaign.Campaign.job_counters}
     deltas).
 
-    Robustness properties, exercised by [test_daemon]:
+    Two execution backends share that loop.  The default runs jobs on
+    in-process worker domains (fast, shared cache).  With [isolate]
+    set, jobs run in forked worker {e processes} under a
+    {!Supervisor} tree instead: a crashing, wedged or SIGKILLed
+    worker is contained, its job redelivered or synthesized into a
+    typed failure, and the worker respawned with backoff — the daemon
+    keeps serving throughout.
+
+    Robustness properties, exercised by [test_daemon] and
+    [test_supervisor]:
     - a malformed, oversized or truncated-forever frame costs that
       one client its connection ([Error_frame], close) and nothing
       else;
@@ -19,7 +28,16 @@
       results are dropped, its jobs still count as completed;
     - {!shutdown} (the SIGTERM path) is a graceful drain: stop
       listening, reject new submissions, finish all admitted jobs,
-      flush outboxes best-effort, return from {!serve}. *)
+      flush outboxes best-effort, return from {!serve};
+    - under [isolate], killing a worker mid-campaign leaves the final
+      batch counters byte-identical to an undisturbed run (bounded
+      redelivery preserves results; only a twice-killed job turns
+      into a typed [crashed]/[timeout] failure);
+    - a [spec_idem]-keyed job resubmitted after a dropped connection
+      runs at most once — the retry attaches to the live admission or
+      replays the recorded terminal event;
+    - a [spec_deadline] the queue cannot meet (duration histogram ×
+      queue depth) is shed at admission with a typed [Rejected]. *)
 
 type config = {
   socket_path : string;
@@ -42,18 +60,27 @@ type config = {
           here at drain — spans on pid 2, one track per worker domain,
           absolute epoch-microsecond timestamps, so a client-side
           trace (pid 1) of the same jobs merges into one timeline *)
+  isolate : bool;
+      (** run jobs in forked worker processes under a supervision
+          tree instead of in-process domains: crash containment,
+          preemptive deadline enforcement, automatic respawn.
+          Superblock telemetry is unavailable in this mode (the
+          counters live in the worker's address space). *)
+  workers : int option;  (** worker processes when [isolate]; default 2 *)
 }
 
 val default_config : socket_path:string -> config
 (** max_queue 256, max_inflight 32, cache 64 entries, no default
-    timeout, no log, no metrics socket, no trace. *)
+    timeout, no log, no metrics socket, no trace, no isolation. *)
 
 type t
 
 val create : config -> t
 (** Bind the socket (replacing a stale socket file; refusing to
-    replace a non-socket), spawn the worker pool.  Raises
-    [Unix.Unix_error] on bind/listen failure. *)
+    replace a non-socket), spawn the worker pool — or, under
+    [isolate], fork the worker fleet (so call it before spawning any
+    domain in this process).  Raises [Unix.Unix_error] on bind/listen
+    failure. *)
 
 val serve : t -> unit
 (** Run the event loop until {!shutdown}.  Returns after the drain
@@ -75,3 +102,7 @@ val prometheus : t -> string
     inflight, cache traffic, byte counters, event-loop lag and job
     latency histograms, in Prometheus text exposition format 0.0.4.
     Loop-owned state, same caveat as {!stats}. *)
+
+val worker_pids : t -> int list
+(** Live worker process pids under [isolate] (what a chaos harness
+    SIGKILLs); [[]] for the in-process backend. *)

@@ -1,0 +1,60 @@
+(** ptaintd worker process — the child half of the supervision tree.
+
+    {!main} is the entire life of a forked worker: announce readiness
+    ([Hello_ok]), then loop reading {!Proto.request} frames from the
+    supervisor pipe and answering with {!Proto.response} frames — a
+    [Started]/terminal [Job_event] pair per [Submit], a [Pong]
+    heartbeat every [beat_interval] while idle.  Jobs run through the
+    same containment machinery as the in-process backend
+    ({!Ptaint_campaign.Campaign.run_job} behind a per-worker image
+    {!Cache}), so the two backends emit byte-identical events for
+    identical jobs.
+
+    The worker is deliberately single-threaded: while a job runs it
+    cannot heartbeat, and the supervisor covers that window with the
+    dispatch deadline rather than the heartbeat. *)
+
+type config = {
+  cache_capacity : int;  (** per-worker image cache entries *)
+  job_timeout : float option;
+      (** default per-job watchdog; a job's own timeout wins *)
+  beat_interval : float;  (** idle heartbeat period, seconds *)
+}
+
+val default_config : config
+(** 16 cache entries, no default timeout, 0.25 s heartbeat. *)
+
+val main : config:config -> rd:Unix.file_descr -> wr:Unix.file_descr -> unit
+(** Run the worker loop over the supervisor pipe pair until the pipe
+    reaches EOF, a [Quit] frame arrives, or the stream garbles.
+    Never raises on a clean shutdown; callers fork and [_exit] around
+    it.  Events carry job id 0 — the supervisor rewrites ids, since
+    at dispatch depth one it always knows which job a worker runs. *)
+
+(** {1 Shared result serialization}
+
+    Used by both backends so events are identical whichever executed
+    the job. *)
+
+val event_of_job_result :
+  id:int ->
+  job:Ptaint_campaign.Job.t ->
+  cache_hit:bool ->
+  Ptaint_campaign.Campaign.job_result ->
+  Proto.event
+(** The wire event for one finished job, with
+    {!Ptaint_campaign.Campaign.job_counters} deltas.  A result that
+    fails to serialize becomes a typed ["crashed"] failure with the
+    canonical [[("jobs",1);("crashed",1)]] counters instead of
+    killing the worker. *)
+
+val outcome_class : Ptaint_sim.Sim.outcome -> string
+(** Closed, low-cardinality outcome class for the [outcome] label of
+    [ptaintd_jobs_total]: ["exited"], ["alert"], ["fault"], ["trap"]
+    or ["out-of-fuel"]. *)
+
+val outcome_of_event : Proto.event -> string
+(** {!outcome_class}-compatible label recovered from a wire event
+    (failures carry their kind; finished jobs are classified from the
+    stable {!Ptaint_sim.Sim.pp_outcome} prefix) — how the supervisor
+    buckets worker events without the worker-side result at hand. *)

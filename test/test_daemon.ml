@@ -189,12 +189,13 @@ let test_unknown_fault_tag () =
 
 (* --- version tolerance ----------------------------------------------- *)
 
-(* A traceless v2 frame is byte-identical to its v1 rendering, so
-   replaying it with the version byte set to 1 is exactly what a v1
-   peer would send — it must decode, with [trace = None]. *)
+(* A traceless, keyless, deadline-free v3 frame is byte-identical to
+   its v1 rendering, so replaying it with the version byte set to 1
+   is exactly what a v1 peer would send — it must decode, with every
+   optional trailing field [None]. *)
 let as_v1 frame =
   let b = Bytes.of_string frame in
-  Alcotest.(check char) "encoder stamps v2" '\x02' (Bytes.get b 2);
+  Alcotest.(check char) "encoder stamps v3" '\x03' (Bytes.get b 2);
   Bytes.set b 2 '\x01';
   Bytes.to_string b
 
@@ -226,10 +227,34 @@ let test_traceless_spec_has_no_trailer () =
 
 let test_future_version_rejected () =
   let f = Bytes.of_string (Proto.encode_request Proto.Quit) in
-  Bytes.set f 2 '\x03';
+  Bytes.set f 2 '\x04';
   match Proto.decode_request (Bytes.to_string f) with
-  | Error (Proto.Bad_version 3) -> ()
-  | _ -> Alcotest.fail "version 3 must be rejected"
+  | Error (Proto.Bad_version 4) -> ()
+  | _ -> Alcotest.fail "version 4 must be rejected"
+
+(* v3 trailing-optional cascade: idem and deadline round-trip, and a
+   deadline without an idem key pays the one explicit presence-0 byte
+   for the absent fields before it — never more. *)
+let test_idem_deadline_roundtrip () =
+  let spec =
+    Proto.job_spec ~tag:"keyed" ~idem:"campaign#7" ~deadline:1.5
+      (Proto.Wire_asm "")
+  in
+  match Proto.decode_request (Proto.encode_request (Proto.Submit spec)) with
+  | Ok (Some (Proto.Submit s, _)) ->
+    Alcotest.(check (option string)) "idem" (Some "campaign#7") s.Proto.spec_idem;
+    Alcotest.(check (option (float 1e-9))) "deadline" (Some 1.5) s.Proto.spec_deadline
+  | _ -> Alcotest.fail "keyed spec did not round-trip"
+
+let test_v3_trailer_sizes () =
+  let enc spec = String.length (Proto.encode_request (Proto.Submit spec)) in
+  let bare = enc (Proto.job_spec ~tag:"t" (Proto.Wire_asm "")) in
+  (* idem only: presence-0 for trace, then Some + len + key *)
+  let keyed = enc (Proto.job_spec ~tag:"t" ~idem:"k" (Proto.Wire_asm "")) in
+  Alcotest.(check int) "idem-only trailer" (bare + 1 + 5 + 1) keyed;
+  (* deadline only: presence-0 for trace and idem, then Some + i64 *)
+  let dead = enc (Proto.job_spec ~tag:"t" ~deadline:1.0 (Proto.Wire_asm "")) in
+  Alcotest.(check int) "deadline-only trailer" (bare + 1 + 1 + 9) dead
 
 (* --- job spec <-> Job.t ---------------------------------------------- *)
 
@@ -424,6 +449,22 @@ let test_loopback_stats_full () =
       Alcotest.(check bool) "cache gauges" true (has "ptaintd_cache_misses 1");
       Alcotest.(check bool) "latency histogram" true
         (has "ptaintd_job_duration_us_count 1");
+      (* robustness families are pre-registered: they must render (at
+         zero) even though no worker ever died in this server *)
+      Alcotest.(check bool) "worker restarts family" true
+        (has "# TYPE ptaintd_worker_restarts_total counter");
+      Alcotest.(check bool) "restart reason children" true
+        (has "ptaintd_worker_restarts_total{reason=\"crash\"} 0"
+         && has "ptaintd_worker_restarts_total{reason=\"heartbeat\"} 0"
+         && has "ptaintd_worker_restarts_total{reason=\"deadline\"} 0");
+      Alcotest.(check bool) "redeliveries family" true
+        (has "ptaintd_redeliveries_total 0");
+      Alcotest.(check bool) "heartbeat misses family" true
+        (has "ptaintd_heartbeat_misses_total 0");
+      Alcotest.(check bool) "shed family" true
+        (has "ptaintd_jobs_shed_total{reason=\"deadline\"} 0");
+      Alcotest.(check bool) "idem replays family" true
+        (has "ptaintd_idem_replays_total 0");
       (* A guest that loops one block past the promotion threshold must
          surface translation-tier events in the scrape. *)
       let loop_asm =
@@ -574,6 +615,108 @@ let test_hostile_clients () =
        | Error m -> Alcotest.fail ("server rejects after hostile clients: " ^ m));
       Client.close c)
 
+(* --- idempotency and deadline shedding ------------------------------- *)
+
+let contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec scan i = i + n <= l && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+(* The client-retry story end to end: a keyed job whose submitter's
+   connection dies mid-run is resubmitted from a fresh connection,
+   attaches to the live admission (same job id, no second run), and
+   the retry receives the one and only terminal event. *)
+let test_idempotent_resubmit_after_drop () =
+  with_server (fun path _server ->
+      let keyed_spin =
+        Proto.job_spec ~tag:"spin" ~timeout:0.5 ~max_instructions:max_int
+          ~idem:"retry-key-1" (Proto.Wire_asm spin_asm)
+      in
+      let c1 = Client.connect ~client:"dropper" path in
+      let id1 =
+        match Client.submit c1 keyed_spin with
+        | Ok id -> id
+        | Error m -> Alcotest.fail ("first submission rejected: " ^ m)
+      in
+      (* connection dies while the job is still spinning *)
+      Client.close c1;
+      let c2 = Client.connect ~client:"retrier" path in
+      (match Client.submit c2 keyed_spin with
+       | Ok id2 -> Alcotest.(check int) "retry attaches to the admission" id1 id2
+       | Error m -> Alcotest.fail ("resubmission rejected: " ^ m));
+      (match wait_terminal c2 with
+       | Proto.Job_failed f ->
+         Alcotest.(check int) "terminal event has the original id" id1 f.id;
+         Alcotest.(check string) "watchdog classified" "timeout" f.kind
+       | _ -> Alcotest.fail "expected the spinner's timeout");
+      let stats = Client.stats c2 in
+      let get k = match List.assoc_opt k stats with Some v -> v | None -> -1 in
+      Alcotest.(check int) "the job ran exactly once" 1 (get "daemon/jobs-submitted");
+      Alcotest.(check int) "and completed exactly once" 1 (get "daemon/jobs-completed");
+      (* replay-after-done: a key whose job already finished answers
+         from the record — same id, a verbatim terminal event, and
+         still only one run in the counters *)
+      let keyed_exit =
+        Proto.job_spec ~tag:"once" ~idem:"retry-key-2" (Proto.Wire_asm exit_asm)
+      in
+      let id3 =
+        match Client.submit c2 keyed_exit with
+        | Ok id -> id
+        | Error m -> Alcotest.fail ("keyed exit rejected: " ^ m)
+      in
+      let first_id, first_outcome, first_counters =
+        match wait_terminal c2 with
+        | Proto.Finished f -> (f.id, f.outcome, f.counters)
+        | _ -> Alcotest.fail "expected Finished"
+      in
+      (match Client.submit c2 keyed_exit with
+       | Ok id -> Alcotest.(check int) "replay returns the original id" id3 id
+       | Error m -> Alcotest.fail ("replay rejected: " ^ m));
+      (match wait_terminal c2 with
+       | Proto.Finished f ->
+         Alcotest.(check int) "replayed event id" first_id f.id;
+         Alcotest.(check bool) "replayed event verbatim" true
+           (f.counters = first_counters && f.outcome = first_outcome)
+       | _ -> Alcotest.fail "expected the replayed Finished");
+      let stats = Client.stats c2 in
+      let get k = match List.assoc_opt k stats with Some v -> v | None -> -1 in
+      Alcotest.(check int) "replay admitted nothing" 2 (get "daemon/jobs-submitted");
+      Alcotest.(check bool) "replays counted" true
+        (contains (Client.stats_full c2) "ptaintd_idem_replays_total 2");
+      Client.close c2)
+
+let test_deadline_shed () =
+  with_server (fun path _server ->
+      let c = Client.connect ~client:"test" path in
+      (* no duration evidence yet: a tight deadline is still admitted *)
+      (match
+         Client.submit c
+           (Proto.job_spec ~tag:"first" ~deadline:1e-6 (Proto.Wire_asm exit_asm))
+       with
+       | Ok _ -> ignore (wait_terminal c)
+       | Error m -> Alcotest.fail ("empty-histogram submission rejected: " ^ m));
+      (* now the histogram has a mean; an impossible deadline is shed
+         at admission with a reasoned rejection *)
+      (match
+         Client.submit c
+           (Proto.job_spec ~tag:"doomed" ~deadline:1e-9 (Proto.Wire_asm exit_asm))
+       with
+       | Error reason ->
+         Alcotest.(check bool) "reason names the deadline" true
+           (contains reason "deadline")
+       | Ok _ -> Alcotest.fail "impossible deadline admitted");
+      (* a generous deadline still passes *)
+      (match
+         Client.submit c
+           (Proto.job_spec ~tag:"fine" ~deadline:60.0 (Proto.Wire_asm exit_asm))
+       with
+       | Ok _ -> ignore (wait_terminal c)
+       | Error m -> Alcotest.fail ("generous deadline rejected: " ^ m));
+      Alcotest.(check bool) "shed counted" true
+        (contains (Client.stats_full c)
+           "ptaintd_jobs_shed_total{reason=\"deadline\"} 1");
+      Client.close c)
+
 (* graceful drain: submissions in flight at shutdown still complete *)
 let test_graceful_drain () =
   with_server (fun path server ->
@@ -616,7 +759,9 @@ let () =
       ( "compat",
         [ Alcotest.test_case "v1 frames decode" `Quick test_v1_frames_decode;
           Alcotest.test_case "traceless has no trailer" `Quick test_traceless_spec_has_no_trailer;
-          Alcotest.test_case "future version rejected" `Quick test_future_version_rejected ] );
+          Alcotest.test_case "future version rejected" `Quick test_future_version_rejected;
+          Alcotest.test_case "idem/deadline round-trip" `Quick test_idem_deadline_roundtrip;
+          Alcotest.test_case "v3 trailer sizes" `Quick test_v3_trailer_sizes ] );
       ( "job-spec",
         [ Alcotest.test_case "spec to Job.t" `Quick test_job_of_spec;
           Alcotest.test_case "trace round-trip" `Quick test_job_trace_roundtrip;
@@ -628,6 +773,10 @@ let () =
           Alcotest.test_case "stats-full scrape" `Quick test_loopback_stats_full;
           Alcotest.test_case "two clients" `Quick test_loopback_two_clients;
           Alcotest.test_case "admission quota" `Quick test_admission_quota ] );
+      ( "robustness",
+        [ Alcotest.test_case "idempotent resubmit after drop" `Quick
+            test_idempotent_resubmit_after_drop;
+          Alcotest.test_case "deadline shed" `Quick test_deadline_shed ] );
       ( "hostile",
         [ Alcotest.test_case "garbage, oversize, slowloris, vanish" `Quick test_hostile_clients;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain ] ) ]
